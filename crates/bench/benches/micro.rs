@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks of the hot-path mechanisms: the probe, the
+//! SPSC ring, the JSQ decision, the event queue, the skip list, and the
+//! reuse-distance analyzer. These are the costs the paper's §3 argues
+//! must be tiny for tiny quanta to pay off.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tq_core::policy::{DispatchPolicy, Dispatcher, TieBreak, WorkerLoad};
+use tq_core::{Cycles, Nanos};
+use tq_runtime::job::{Job, JobStatus, QuantumCtx};
+use tq_runtime::{SpinJob, TscClock};
+use tq_sim::{EventQueue, SimRng};
+
+fn bench_probe(c: &mut Criterion) {
+    let clock = TscClock::calibrated();
+    let mut ctx = QuantumCtx::new(clock.clone());
+    ctx.arm(clock.to_cycles(Nanos::from_secs(1)));
+    c.bench_function("probe_no_yield", |b| {
+        b.iter(|| black_box(ctx.probe()));
+    });
+}
+
+fn bench_yield_roundtrip(c: &mut Criterion) {
+    // One quantum of a spin job at a tiny quantum: run + yield + re-arm.
+    let clock = TscClock::calibrated();
+    let mut ctx = QuantumCtx::new(clock.clone());
+    let quantum = clock.to_cycles(Nanos::from_micros(1));
+    let mut job = SpinJob::new(Cycles(u64::MAX / 2));
+    c.bench_function("quantum_run_yield_1us", |b| {
+        b.iter(|| {
+            ctx.arm(quantum);
+            assert_eq!(job.run(&mut ctx), JobStatus::Yielded);
+        });
+    });
+}
+
+fn bench_spsc_ring(c: &mut Criterion) {
+    let (p, consumer) = tq_runtime::ring::spsc::<u64>(1024);
+    c.bench_function("spsc_push_pop", |b| {
+        b.iter(|| {
+            p.push(black_box(7)).unwrap();
+            black_box(consumer.pop().unwrap());
+        });
+    });
+}
+
+fn bench_jsq_pick(c: &mut Criterion) {
+    let mut d = Dispatcher::new(DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta), 16, 1);
+    let loads: Vec<WorkerLoad> = (0..16)
+        .map(|i| WorkerLoad {
+            queued_jobs: (i % 5) as u64,
+            serviced_quanta: (i * 3) as u64,
+        })
+        .collect();
+    c.bench_function("jsq_msq_pick_16_workers", |b| {
+        b.iter(|| black_box(d.pick(&loads, 12345)));
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1_000u64 {
+                q.push(Nanos::from_nanos((i * 7919) % 100_000 + 100_000), i);
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        });
+    });
+}
+
+fn bench_skiplist(c: &mut Criterion) {
+    let mut store = tq_kv::KvStore::new(5);
+    store.populate(100_000, 100);
+    let mut rng = SimRng::new(9);
+    c.bench_function("kv_get_100k_entries", |b| {
+        b.iter(|| {
+            let key = tq_kv::KvStore::nth_key(rng.u64() % 100_000);
+            black_box(store.get(&key));
+        });
+    });
+    c.bench_function("kv_scan_100", |b| {
+        b.iter(|| {
+            let start = tq_kv::KvStore::nth_key(rng.u64() % 99_000);
+            black_box(store.scan(&start, 100).len());
+        });
+    });
+}
+
+fn bench_reuse_distance(c: &mut Criterion) {
+    let mut rng = SimRng::new(4);
+    let trace: Vec<u64> = (0..10_000).map(|_| rng.u64() % 512).collect();
+    c.bench_function("reuse_distances_10k", |b| {
+        b.iter(|| black_box(tq_cache::reuse_distances(&trace).len()));
+    });
+}
+
+fn bench_instrument_pass(c: &mut Criterion) {
+    let p = tq_instrument::programs::by_name("cholesky").unwrap();
+    c.bench_function("tq_pass_cholesky", |b| {
+        b.iter(|| {
+            black_box(tq_instrument::passes::tq::instrument(
+                &p,
+                tq_instrument::passes::tq::TqPassConfig::default(),
+            ))
+        });
+    });
+}
+
+fn quick() -> Criterion {
+    // Mechanism costs are nanosecond-scale and stable: short windows keep
+    // `cargo bench --workspace` pleasant without hurting precision.
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_probe,
+    bench_yield_roundtrip,
+    bench_spsc_ring,
+    bench_jsq_pick,
+    bench_event_queue,
+    bench_skiplist,
+    bench_reuse_distance,
+    bench_instrument_pass,
+}
+criterion_main!(benches);

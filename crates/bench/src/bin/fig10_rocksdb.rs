@@ -1,0 +1,28 @@
+//! Figure 10: the RocksDB-style GET/SCAN workloads (§5.3).
+//!
+//! Real-job service times (GET 1.2 µs, SCAN 675 µs) at 0.5% and 50% SCAN
+//! mixes. The 0.5% mix resembles Extreme Bimodal (rare huge stragglers);
+//! the 50% mix is dominated by SCAN work, so throughput is low and the
+//! GET tail hinges entirely on preemption quality.
+
+use tq_bench::{banner, better_caladan, compare_systems};
+use tq_core::Nanos;
+use tq_queueing::presets;
+use tq_workloads::table1;
+
+fn main() {
+    banner(
+        "Figure 10",
+        "RocksDB GET/SCAN: p999 end-to-end latency vs rate, 0.5% and 50% SCAN",
+        "TQ keeps GET tail low at the highest load; Caladan GETs blocked behind SCANs",
+    );
+    for wl in [table1::rocksdb_low_scan(), table1::rocksdb_high_scan()] {
+        println!("### workload: {} ###", wl.name());
+        let systems = [
+            presets::tq(16, Nanos::from_micros(2)),
+            presets::shinjuku(16, Nanos::from_micros(15)),
+            better_caladan(&wl),
+        ];
+        compare_systems(&systems, &wl);
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 11: forced-multitasking ablation (§5.4).
+//!
+//! RocksDB 0.5% SCAN, TQ against three crippled variants:
+//!
+//! * TQ-IC — instruction-counter instrumentation (60% GET inflation):
+//!   ~62% of TQ's throughput at a 50 µs GET budget;
+//! * TQ-SLOW-YIELD — +1 µs per yield: ~81%;
+//! * TQ-TIMING — inaccurate quanta (1 µs GET / 3 µs SCAN): ~81%.
+
+use tq_bench::{banner, compare_systems};
+use tq_core::Nanos;
+use tq_queueing::presets;
+use tq_workloads::table1;
+
+fn main() {
+    banner(
+        "Figure 11",
+        "forced-multitasking breakdown on RocksDB (0.5% SCAN): TQ vs TQ-IC / TQ-SLOW-YIELD / TQ-TIMING",
+        "TQ-IC ~62% of TQ's throughput under a 50us GET budget; SLOW-YIELD and TIMING ~81%",
+    );
+    let wl = table1::rocksdb_low_scan();
+    let q = Nanos::from_micros(2);
+    let systems = [
+        presets::tq(16, q),
+        presets::tq_ic(16, q),
+        presets::tq_slow_yield(16, q),
+        presets::tq_timing(16),
+    ];
+    compare_systems(&systems, &wl);
+}

@@ -1,0 +1,31 @@
+//! Figure 12: two-level-scheduling policy ablation (§5.4).
+//!
+//! RocksDB 0.5% SCAN, TQ's JSQ-PS against:
+//!
+//! * TQ-RAND — random dispatch: ~53% of TQ's throughput (load imbalance);
+//! * TQ-POWER-TWO — power-of-two choices: similar throughput, higher
+//!   latency than full JSQ;
+//! * TQ-FCFS — run-to-completion workers: ~34% for GETs (head-of-line
+//!   blocking), though SCANs see lower latency.
+
+use tq_bench::{banner, compare_systems};
+use tq_core::Nanos;
+use tq_queueing::presets;
+use tq_workloads::table1;
+
+fn main() {
+    banner(
+        "Figure 12",
+        "scheduling-policy breakdown on RocksDB (0.5% SCAN): TQ vs TQ-RAND / TQ-POWER-TWO / TQ-FCFS",
+        "TQ-RAND ~53% and TQ-FCFS ~34% of TQ's GET throughput; POWER-TWO close but higher latency",
+    );
+    let wl = table1::rocksdb_low_scan();
+    let q = Nanos::from_micros(2);
+    let systems = [
+        presets::tq(16, q),
+        presets::tq_rand(16, q),
+        presets::tq_power_two(16, q),
+        presets::tq_fcfs(16),
+    ];
+    compare_systems(&systems, &wl);
+}

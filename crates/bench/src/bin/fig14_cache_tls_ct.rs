@@ -1,0 +1,28 @@
+//! Figure 14: two-level vs. centralized scheduling cache behavior (§5.5).
+//!
+//! Same microbenchmark at 2 µs quanta. Centralized scheduling spreads a
+//! job's quanta across cores, so a core's private caches see *all* 64
+//! concurrent arrays (amplification ×64) instead of its own 4 (×4): CT
+//! starts missing L2 from ~16 KiB arrays (16 KiB × 64 = 1 MiB), TLS not
+//! until 256 KiB.
+
+use tq_bench::{banner, seed};
+use tq_cache::chase::{run, ChaseConfig, Placement};
+use tq_core::Nanos;
+
+fn main() {
+    banner(
+        "Figure 14",
+        "TLS vs CT pointer-chase mean access latency, 2us quanta",
+        "CT spills L2 from ~16KB arrays (x64 amplification); TLS only from ~256KB",
+    );
+    let sizes_kb = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    print!("{:>8}{:>12}{:>12}", "array", "TLS", "CT");
+    println!("   (mean access latency, ns)");
+    for kb in sizes_kb {
+        let cfg = ChaseConfig::paper(kb * 1024, Nanos::from_micros(2));
+        let tls = run(Placement::TwoLevel, &cfg, seed());
+        let ct = run(Placement::Centralized, &cfg, seed());
+        println!("{:>8}{:>12.1}{:>12.1}", format!("{kb}KB"), tls.avg_nanos, ct.avg_nanos);
+    }
+}

@@ -1,0 +1,72 @@
+//! Reproduce everything: runs every figure/table binary in sequence,
+//! writing each one's output under `results/`.
+//!
+//! ```text
+//! cargo run --release -p tq-bench --bin repro_all            # default horizons
+//! TQ_SIM_MILLIS=500 cargo run --release -p tq-bench --bin repro_all
+//! ```
+//!
+//! Binaries are located next to this executable (the cargo target dir),
+//! so build the whole package first: `cargo build --release -p tq-bench`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Every regeneration binary, in DESIGN.md's experiment-index order.
+pub const ALL_BINARIES: [&str; 23] = [
+    "fig01_quanta_slowdown",
+    "fig02_overhead_capacity",
+    "fig04_msq_tiebreak",
+    "fig05_tq_quanta_short",
+    "fig06_tq_quanta_long",
+    "fig07_bimodal_comparison",
+    "fig08_tpcc",
+    "fig09_exp",
+    "fig10_rocksdb",
+    "fig11_breakdown_fm",
+    "fig12_breakdown_tls",
+    "fig13_cache_quanta",
+    "fig14_cache_tls_ct",
+    "fig15_reuse_hist",
+    "fig16_dispatcher_scaling",
+    "table1_workloads",
+    "table2_reuse_analysis",
+    "table3_instrumentation",
+    "dispatcher_throughput",
+    "methodology_prefetch",
+    "ext_las",
+    "ext_multi_dispatcher",
+    "related_concord",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("own path");
+    let bin_dir = me.parent().expect("target dir").to_path_buf();
+    let out_dir = PathBuf::from("results");
+    std::fs::create_dir_all(&out_dir).expect("create results/");
+    let mut failures = Vec::new();
+    for name in ALL_BINARIES {
+        let exe = bin_dir.join(name);
+        if !exe.exists() {
+            eprintln!("missing {name} — run `cargo build --release -p tq-bench` first");
+            failures.push(name);
+            continue;
+        }
+        print!("{name:<28}");
+        let out = Command::new(&exe).output().expect("spawn");
+        let path = out_dir.join(format!("{name}.txt"));
+        std::fs::write(&path, &out.stdout).expect("write output");
+        if out.status.success() {
+            println!("ok -> {}", path.display());
+        } else {
+            println!("FAILED (status {:?})", out.status.code());
+            failures.push(name);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments regenerated.", ALL_BINARIES.len());
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Table 1: the evaluated workload catalogue.
+
+use tq_bench::banner;
+use tq_workloads::table1;
+
+fn main() {
+    banner(
+        "Table 1",
+        "the evaluated workloads",
+        "Extreme/High Bimodal, TPC-C, Exp(1), RocksDB 0.5%/50% SCAN",
+    );
+    println!(
+        "{:<22}{:<14}{:>12}{:>9}   {:>14}{:>12}",
+        "Workload", "Request", "Runtime(us)", "Ratio", "mean svc (us)", "dispersion"
+    );
+    for wl in table1::all() {
+        for (i, class) in wl.classes().iter().enumerate() {
+            let name = if i == 0 { wl.name() } else { "" };
+            let extras = if i == 0 {
+                format!(
+                    "{:>14.2}{:>12.0}",
+                    wl.mean_service_nanos() / 1e3,
+                    wl.dispersion_ratio()
+                )
+            } else {
+                String::new()
+            };
+            println!(
+                "{:<22}{:<14}{:>12.1}{:>8.1}%   {}",
+                name,
+                class.name,
+                class.dist.mean_nanos() / 1e3,
+                class.ratio * 100.0,
+                extras,
+            );
+        }
+    }
+}

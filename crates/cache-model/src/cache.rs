@@ -1,0 +1,375 @@
+//! Set-associative LRU caches and the testbed's hierarchy.
+//!
+//! Addresses are cache-line granular (line id = byte address / 64). Each
+//! cache is true-LRU within a set — the idealization under which reuse
+//! distance exactly predicts hits and misses, which §5.5 notes "largely
+//! holds for cache capacity misses" on real hardware too.
+
+use serde::{Deserialize, Serialize};
+
+/// Which level served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Level {
+    /// Private 32 KiB L1 data cache.
+    L1,
+    /// Private 1 MiB L2.
+    L2,
+    /// Shared last-level cache.
+    L3,
+    /// DRAM.
+    Memory,
+}
+
+impl Level {
+    /// Load-to-use latency in cycles on the 2.1 GHz testbed.
+    pub fn latency_cycles(self) -> u64 {
+        match self {
+            Level::L1 => 4,
+            Level::L2 => 14,
+            Level::L3 => 50,
+            Level::Memory => 200,
+        }
+    }
+}
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// The testbed's 32 KiB / 8-way L1D.
+    pub const L1: CacheConfig = CacheConfig {
+        capacity: 32 * 1024,
+        ways: 8,
+    };
+    /// The testbed's 1 MiB / 16-way private L2.
+    pub const L2: CacheConfig = CacheConfig {
+        capacity: 1024 * 1024,
+        ways: 16,
+    };
+    /// Shared L3 (38.5 MiB on the Xeon 8176; modeled 16-way).
+    pub const L3: CacheConfig = CacheConfig {
+        capacity: 38 * 1024 * 1024 + 512 * 1024,
+        ways: 16,
+    };
+
+    fn n_sets(&self) -> usize {
+        (self.capacity / 64 / self.ways).max(1)
+    }
+}
+
+/// One set-associative LRU cache over line ids.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<u64>>, // most-recently-used last
+    ways: usize,
+    n_sets: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ways is zero or the capacity is smaller than one line
+    /// per way.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.ways > 0, "need at least one way");
+        assert!(cfg.capacity >= 64 * cfg.ways, "capacity below one set");
+        let n_sets = cfg.n_sets();
+        Cache {
+            sets: vec![Vec::with_capacity(cfg.ways); n_sets],
+            ways: cfg.ways,
+            n_sets: n_sets as u64,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Touches `line`; returns `true` on hit. On miss the line is filled,
+    /// evicting the set's LRU entry if full.
+    pub fn access(&mut self, line: u64) -> bool {
+        let set = &mut self.sets[(line % self.n_sets) as usize];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            let l = set.remove(pos);
+            set.push(l);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.ways {
+                set.remove(0);
+            }
+            set.push(line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// A multi-core hierarchy: private L1+L2 per core, one shared L3, and an
+/// optional next-line hardware prefetcher.
+///
+/// The prefetcher matters for §5.5's methodology: with a *sequential*
+/// access pattern, a line evicted during another job's quantum "is likely
+/// prefetched by the hardware after the job resumes, which effectively
+/// conceals the negative effects of preemptions" — which is exactly why
+/// the paper's microbenchmark uses random pointer chasing instead.
+///
+/// # Example
+///
+/// ```
+/// use tq_cache::{CacheSystem, Level};
+///
+/// let mut sys = CacheSystem::new(2);
+/// assert_eq!(sys.access(0, 42), Level::Memory); // cold
+/// assert_eq!(sys.access(0, 42), Level::L1);     // hot in core 0
+/// assert_eq!(sys.access(1, 42), Level::L3);     // other core: shared L3
+/// ```
+#[derive(Debug)]
+pub struct CacheSystem {
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    l3: Cache,
+    accesses: u64,
+    total_cycles: u64,
+    prefetch: bool,
+    /// Last line each core touched (stride detection state).
+    last_line: Vec<u64>,
+}
+
+impl CacheSystem {
+    /// Creates a hierarchy for `n_cores` cores with the testbed geometry
+    /// (no prefetcher).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero.
+    pub fn new(n_cores: usize) -> Self {
+        assert!(n_cores > 0, "need at least one core");
+        CacheSystem {
+            l1: (0..n_cores).map(|_| Cache::new(CacheConfig::L1)).collect(),
+            l2: (0..n_cores).map(|_| Cache::new(CacheConfig::L2)).collect(),
+            l3: Cache::new(CacheConfig::L3),
+            accesses: 0,
+            total_cycles: 0,
+            prefetch: false,
+            last_line: vec![u64::MAX; n_cores],
+        }
+    }
+
+    /// Creates a hierarchy with a next-line prefetcher: when a core's
+    /// access continues a +1-line stride, the following line is pulled
+    /// into its L1 in the background (no latency charged).
+    pub fn with_prefetcher(n_cores: usize) -> Self {
+        let mut s = Self::new(n_cores);
+        s.prefetch = true;
+        s
+    }
+
+    /// Core `core` loads `line`; returns the level that served it and
+    /// fills all levels above (inclusive caching).
+    pub fn access(&mut self, core: usize, line: u64) -> Level {
+        self.accesses += 1;
+        let level = if self.l1[core].access(line) {
+            Level::L1
+        } else if self.l2[core].access(line) {
+            Level::L2
+        } else if self.l3.access(line) {
+            Level::L3
+        } else {
+            Level::Memory
+        };
+        self.total_cycles += level.latency_cycles();
+        if self.prefetch {
+            // Stride-1 detection: touching line n right after n-1 pulls
+            // n+1 into L1 ahead of time.
+            if self.last_line[core].wrapping_add(1) == line {
+                self.l1[core].access(line + 1);
+                self.l2[core].access(line + 1);
+            }
+            self.last_line[core] = line;
+        }
+        level
+    }
+
+    /// Mean access latency so far, in cycles.
+    pub fn avg_latency_cycles(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.total_cycles as f64 / self.accesses as f64
+    }
+
+    /// Mean access latency so far, in nanoseconds at 2.1 GHz.
+    pub fn avg_latency_nanos(&self) -> f64 {
+        self.avg_latency_cycles() / 2.1
+    }
+
+    /// Total accesses served.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Clears the latency accounting (cache *contents* stay warm) — used
+    /// to exclude the cold first pass of a microbenchmark.
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.total_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_within_set() {
+        // Tiny direct-mapped-ish cache: 2 ways, 1 set (128 B).
+        let mut c = Cache::new(CacheConfig {
+            capacity: 128,
+            ways: 2,
+        });
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(c.access(1)); // 1 now MRU
+        assert!(!c.access(3)); // evicts 2 (LRU)
+        assert!(c.access(1));
+        assert!(!c.access(2)); // 2 was evicted
+    }
+
+    #[test]
+    fn working_set_within_capacity_all_hits_after_warmup() {
+        let mut c = Cache::new(CacheConfig::L1);
+        let lines = 32 * 1024 / 64; // exactly L1-sized
+        for l in 0..lines as u64 {
+            c.access(l);
+        }
+        for l in 0..lines as u64 {
+            assert!(c.access(l), "line {l} should still be resident");
+        }
+    }
+
+    #[test]
+    fn working_set_over_capacity_thrashes() {
+        let mut c = Cache::new(CacheConfig::L1);
+        let lines = 2 * 32 * 1024 / 64; // 2x L1, sequential sweep
+        for _ in 0..3 {
+            for l in 0..lines as u64 {
+                c.access(l);
+            }
+        }
+        let (hits, misses) = c.stats();
+        // Sequential sweep over 2x capacity with LRU: ~every access misses.
+        assert!(misses > hits * 10, "hits {hits}, misses {misses}");
+    }
+
+    #[test]
+    fn hierarchy_levels_and_sharing() {
+        let mut sys = CacheSystem::new(2);
+        assert_eq!(sys.access(0, 7), Level::Memory);
+        assert_eq!(sys.access(0, 7), Level::L1);
+        // Core 1 finds it only in the shared L3.
+        assert_eq!(sys.access(1, 7), Level::L3);
+        assert_eq!(sys.access(1, 7), Level::L1);
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let mut sys = CacheSystem::new(1);
+        sys.access(0, 1); // memory: 200
+        sys.access(0, 1); // L1: 4
+        assert!((sys.avg_latency_cycles() - 102.0).abs() < 1e-9);
+        assert_eq!(sys.accesses(), 2);
+    }
+
+    #[test]
+    fn prefetcher_hides_sequential_misses() {
+        // Sweep 4x L1 sequentially, twice. Without a prefetcher the
+        // second pass still misses (capacity); with one, the next line is
+        // always resident by the time it's wanted.
+        let lines = 4 * 32 * 1024 / 64u64;
+        let run = |prefetch: bool| {
+            let mut sys = if prefetch {
+                CacheSystem::with_prefetcher(1)
+            } else {
+                CacheSystem::new(1)
+            };
+            for _ in 0..2 {
+                for l in 0..lines {
+                    sys.access(0, l);
+                }
+            }
+            sys.avg_latency_cycles()
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            with < without / 3.0,
+            "prefetching should hide sequential misses: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn prefetcher_useless_for_random_chase() {
+        // A random permutation has no stride: the prefetcher never fires
+        // usefully and latency matches the plain hierarchy.
+        let lines = 2 * 32 * 1024 / 64u64;
+        let perm: Vec<u64> = {
+            // Fixed pseudo-random permutation via multiplicative hash.
+            let mut v: Vec<u64> = (0..lines).collect();
+            for i in (1..v.len()).rev() {
+                let j = ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 33) as usize % (i + 1);
+                v.swap(i, j);
+            }
+            v
+        };
+        let run = |prefetch: bool| {
+            let mut sys = if prefetch {
+                CacheSystem::with_prefetcher(1)
+            } else {
+                CacheSystem::new(1)
+            };
+            for _ in 0..3 {
+                for &l in &perm {
+                    sys.access(0, l);
+                }
+            }
+            sys.avg_latency_cycles()
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            (with - without).abs() / without < 0.25,
+            "random chase defeats prefetching: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn l2_capacity_separates_from_l1() {
+        let mut sys = CacheSystem::new(1);
+        let lines = 128 * 1024 / 64; // 128KB: fits L2, not L1
+        for l in 0..lines as u64 {
+            sys.access(0, l);
+        }
+        // Second pass: most accesses L2 (evicted from L1, resident in L2).
+        let mut l2_hits = 0;
+        for l in 0..lines as u64 {
+            if sys.access(0, l) == Level::L2 {
+                l2_hits += 1;
+            }
+        }
+        assert!(l2_hits > lines * 8 / 10, "only {l2_hits} L2 hits");
+    }
+}

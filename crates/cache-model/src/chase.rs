@@ -1,0 +1,357 @@
+//! The §5.5 pointer-chasing microbenchmark.
+//!
+//! Per core, `jobs_per_core` jobs each own an array of configurable size
+//! and iterate it via a random cyclic permutation (random pointer
+//! chasing defeats prefetching and exposes every miss). Execution is
+//! interleaved in quanta of a fixed number of accesses; after each
+//! quantum the core switches to the next job, saving progress — exactly
+//! the §5.5 methodology of emulating scheduling *frameworks* rather than
+//! mechanisms.
+//!
+//! Array placement follows the scheduling architecture:
+//!
+//! * [`Placement::TwoLevel`] — each core rotates over its *own* 4 arrays
+//!   (a job lives on one core for its whole life);
+//! * [`Placement::Centralized`] — all 64 arrays rotate over all cores
+//!   (a job's quanta land on different cores).
+
+use crate::cache::CacheSystem;
+use serde::{Deserialize, Serialize};
+
+use tq_core::Nanos;
+use tq_sim::SimRng;
+
+/// Array-to-core placement, i.e. the scheduling framework being emulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Two-level scheduling: jobs pinned to cores.
+    TwoLevel,
+    /// Centralized scheduling: jobs migrate across cores.
+    Centralized,
+}
+
+/// How each job walks its array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Random cyclic permutation (the paper's choice): defeats the
+    /// prefetcher, fully exposing every preemption-induced miss.
+    RandomChase,
+    /// In-order sweep: a stride-1 prefetcher conceals most misses, which
+    /// is exactly why §5.5 rejects this pattern for the study.
+    Sequential,
+}
+
+/// Configuration of one pointer-chase experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaseConfig {
+    /// Bytes per array (1 KiB – 1 MiB in the paper's sweep).
+    pub array_bytes: usize,
+    /// Worker cores (16 in the paper).
+    pub cores: usize,
+    /// Jobs (arrays) per core (4 in the paper — the concurrency under
+    /// heavy load).
+    pub jobs_per_core: usize,
+    /// Quantum expressed in pointer accesses. The paper sets the access
+    /// count to match a time quantum; at ~2 ns per (mostly L1-hit)
+    /// access, a 2 µs quantum is ≈1000 accesses.
+    pub quantum_accesses: usize,
+    /// How many *measured* passes over its array each job performs (one
+    /// additional unmeasured warm-up pass excludes cold misses, like the
+    /// paper's 100K-iteration runs amortizing the first touch away).
+    pub passes: usize,
+}
+
+impl ChaseConfig {
+    /// The paper's setup for a given array size and quantum.
+    pub fn paper(array_bytes: usize, quantum: Nanos) -> Self {
+        ChaseConfig {
+            array_bytes,
+            cores: 16,
+            jobs_per_core: 4,
+            quantum_accesses: (quantum.as_nanos() / 2).max(1) as usize,
+            passes: 8,
+        }
+    }
+}
+
+/// One job's array: a random cyclic permutation over its cache lines,
+/// plus the job's saved progress.
+#[derive(Debug)]
+struct Job {
+    /// next[i] = index of the line visited after line i.
+    next: Vec<u32>,
+    /// Current position in the chase.
+    pos: u32,
+    /// Accesses still to perform (passes × lines).
+    remaining: u64,
+    /// Base line id of this array in the global address space.
+    base: u64,
+}
+
+impl Job {
+    fn new(lines: usize, base: u64, pattern: AccessPattern, rng: &mut SimRng) -> Self {
+        Job {
+            next: match pattern {
+                AccessPattern::RandomChase => sattolo_cycle(lines, rng),
+                AccessPattern::Sequential => {
+                    (0..lines as u32).map(|i| (i + 1) % lines as u32).collect()
+                }
+            },
+            pos: 0,
+            remaining: 0,
+            base,
+        }
+    }
+}
+
+/// Sattolo's algorithm: a uniformly random single-cycle permutation, so
+/// the chase visits every line exactly once per pass.
+fn sattolo_cycle(n: usize, rng: &mut SimRng) -> Vec<u32> {
+    let mut items: Vec<u32> = (0..n as u32).collect();
+    let mut i = n;
+    while i > 1 {
+        i -= 1;
+        let j = rng.index(i);
+        items.swap(i, j);
+    }
+    // items is a random permutation in cycle notation: build next[].
+    let mut next = vec![0u32; n];
+    for w in items.windows(2) {
+        next[w[0] as usize] = w[1];
+    }
+    if n > 0 {
+        next[items[n - 1] as usize] = items[0];
+    }
+    next
+}
+
+/// Result of one experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaseResult {
+    /// Mean pointer-access latency in cycles.
+    pub avg_cycles: f64,
+    /// Mean pointer-access latency in nanoseconds (2.1 GHz).
+    pub avg_nanos: f64,
+    /// Total accesses performed.
+    pub accesses: u64,
+}
+
+/// Runs the microbenchmark and returns the average access latency.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero cores/jobs/quantum or
+/// an array smaller than one line).
+pub fn run(placement: Placement, cfg: &ChaseConfig, seed: u64) -> ChaseResult {
+    run_with_pattern(placement, AccessPattern::RandomChase, cfg, seed)
+}
+
+/// [`run`] with an explicit access pattern and — for
+/// [`AccessPattern::Sequential`] — a stride-1 prefetcher, demonstrating
+/// why the paper's methodology insists on random chasing.
+pub fn run_with_pattern(
+    placement: Placement,
+    pattern: AccessPattern,
+    cfg: &ChaseConfig,
+    seed: u64,
+) -> ChaseResult {
+    assert!(cfg.cores > 0 && cfg.jobs_per_core > 0, "empty system");
+    assert!(cfg.quantum_accesses > 0, "zero quantum");
+    assert!(cfg.array_bytes >= 64, "array below one line");
+    let lines = cfg.array_bytes / 64;
+    let n_jobs = cfg.cores * cfg.jobs_per_core;
+    let mut rng = SimRng::new(seed);
+    let mut jobs: Vec<Job> = (0..n_jobs)
+        // Arrays are disjoint: give each a line-id region with padding so
+        // they never share cache sets by aliasing accident.
+        .map(|j| Job::new(lines, (j as u64) << 32, pattern, &mut rng))
+        .collect();
+    let mut sys = match pattern {
+        AccessPattern::RandomChase => CacheSystem::new(cfg.cores),
+        AccessPattern::Sequential => CacheSystem::with_prefetcher(cfg.cores),
+    };
+
+    // Rotation cursors: per-core for TLS, one global for CT.
+    let mut tls_cursor = vec![0usize; cfg.cores];
+    let mut ct_cursor = 0usize;
+
+    // Warm-up pass (cold misses excluded from stats), then measured runs.
+    for (phase_passes, measured) in [(1usize, false), (cfg.passes, true)] {
+        for job in &mut jobs {
+            job.remaining = (phase_passes * lines) as u64;
+        }
+        if measured {
+            sys.reset_stats();
+        }
+        let mut live = n_jobs;
+        let mut core_order: Vec<usize> = (0..cfg.cores).collect();
+        while live > 0 {
+            // Shuffle which core is served first each round: with a
+            // deterministic lockstep order and a divisible job count,
+            // each array would be pinned to one core and CT would
+            // silently degenerate into TLS (on the testbed, timing
+            // jitter provides this mixing).
+            for i in (1..core_order.len()).rev() {
+                let j = rng.index(i + 1);
+                core_order.swap(i, j);
+            }
+            for &core in &core_order {
+                // Pick this core's next job with remaining work.
+                let job_idx = match placement {
+                    Placement::TwoLevel => {
+                        let mut found = None;
+                        for k in 0..cfg.jobs_per_core {
+                            let idx = core * cfg.jobs_per_core
+                                + (tls_cursor[core] + k) % cfg.jobs_per_core;
+                            if jobs[idx].remaining > 0 {
+                                found = Some(idx);
+                                tls_cursor[core] = (idx - core * cfg.jobs_per_core + 1)
+                                    % cfg.jobs_per_core;
+                                break;
+                            }
+                        }
+                        found
+                    }
+                    Placement::Centralized => {
+                        let mut found = None;
+                        for k in 0..n_jobs {
+                            let idx = (ct_cursor + k) % n_jobs;
+                            if jobs[idx].remaining > 0 {
+                                found = Some(idx);
+                                ct_cursor = (idx + 1) % n_jobs;
+                                break;
+                            }
+                        }
+                        found
+                    }
+                };
+                let Some(ji) = job_idx else { continue };
+                let job = &mut jobs[ji];
+                let steps = (cfg.quantum_accesses as u64).min(job.remaining);
+                for _ in 0..steps {
+                    sys.access(core, job.base + job.pos as u64);
+                    job.pos = job.next[job.pos as usize];
+                }
+                job.remaining -= steps;
+                if job.remaining == 0 {
+                    live -= 1;
+                }
+            }
+        }
+    }
+
+    ChaseResult {
+        avg_cycles: sys.avg_latency_cycles(),
+        avg_nanos: sys.avg_latency_nanos(),
+        accesses: sys.accesses(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(array_bytes: usize, quantum_accesses: usize) -> ChaseConfig {
+        ChaseConfig {
+            array_bytes,
+            cores: 4,
+            jobs_per_core: 4,
+            quantum_accesses,
+            passes: 6,
+        }
+    }
+
+    #[test]
+    fn sattolo_is_single_cycle() {
+        let mut rng = SimRng::new(3);
+        for n in [1usize, 2, 7, 64, 1000] {
+            let next = sattolo_cycle(n, &mut rng);
+            let mut seen = vec![false; n];
+            let mut pos = 0u32;
+            for _ in 0..n {
+                assert!(!seen[pos as usize], "revisited before full cycle (n={n})");
+                seen[pos as usize] = true;
+                pos = next[pos as usize];
+            }
+            assert_eq!(pos, 0, "cycle must close (n={n})");
+        }
+    }
+
+    #[test]
+    fn tiny_arrays_are_l1_fast_regardless_of_quantum() {
+        // 4 jobs × 2KB = 8KB per core ≪ 32KB L1: everything hits after
+        // the cold pass, at any quantum.
+        let small = run(Placement::TwoLevel, &cfg(2 * 1024, 32), 1);
+        assert!(
+            small.avg_cycles < 8.0,
+            "2KB arrays should be ~L1: {} cycles",
+            small.avg_cycles
+        );
+    }
+
+    #[test]
+    fn small_quanta_hurt_only_l1_straddling_sizes() {
+        // 16KB arrays × 4 jobs = 64KB per core > L1: small quanta amplify
+        // reuse distances past L1 while big quanta mostly fit.
+        let fine = run(Placement::TwoLevel, &cfg(16 * 1024, 64), 1);
+        let coarse = run(Placement::TwoLevel, &cfg(16 * 1024, 4096), 1);
+        assert!(
+            fine.avg_cycles > coarse.avg_cycles + 1.0,
+            "fine {} vs coarse {}",
+            fine.avg_cycles,
+            coarse.avg_cycles
+        );
+    }
+
+    #[test]
+    fn centralized_worse_than_two_level() {
+        // The Figure 14 effect: CT's amplification ratio is cores× larger.
+        // At 128KB arrays: TLS first-in-quantum distance 4×128KB = 512KB
+        // (L2 hit), CT 16×128KB = 2MB (spills past L2 to L3).
+        let tls = run(Placement::TwoLevel, &cfg(128 * 1024, 512), 1);
+        let ct = run(Placement::Centralized, &cfg(128 * 1024, 512), 1);
+        assert!(
+            ct.avg_cycles > tls.avg_cycles + 1.0,
+            "CT {} vs TLS {}",
+            ct.avg_cycles,
+            tls.avg_cycles
+        );
+    }
+
+    #[test]
+    fn sequential_pattern_conceals_preemption_effects() {
+        // The §5.5 methodology point: at an L1-straddling size where
+        // random chasing shows a clear small-vs-large-quantum gap, the
+        // sequential sweep (with its prefetcher) shows almost none.
+        let fine = cfg(16 * 1024, 64);
+        let coarse = cfg(16 * 1024, 4096);
+        let rand_gap = run_with_pattern(Placement::TwoLevel, AccessPattern::RandomChase, &fine, 1)
+            .avg_cycles
+            - run_with_pattern(Placement::TwoLevel, AccessPattern::RandomChase, &coarse, 1)
+                .avg_cycles;
+        let seq_gap = run_with_pattern(Placement::TwoLevel, AccessPattern::Sequential, &fine, 1)
+            .avg_cycles
+            - run_with_pattern(Placement::TwoLevel, AccessPattern::Sequential, &coarse, 1)
+                .avg_cycles;
+        assert!(
+            seq_gap.abs() < rand_gap / 2.0,
+            "sequential gap {seq_gap} should be concealed vs random gap {rand_gap}"
+        );
+    }
+
+    #[test]
+    fn all_work_is_performed() {
+        let c = cfg(4 * 1024, 100);
+        let r = run(Placement::TwoLevel, &c, 5);
+        let expected =
+            (c.cores * c.jobs_per_core * c.passes * (c.array_bytes / 64)) as u64;
+        assert_eq!(r.accesses, expected);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(Placement::Centralized, &cfg(8 * 1024, 256), 9);
+        let b = run(Placement::Centralized, &cfg(8 * 1024, 256), 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,36 @@
+//! # Tiny Quanta cache model
+//!
+//! The µs-scale cache-behavior study of §5.5:
+//!
+//! * [`cache`] — a set-associative LRU cache hierarchy (32 KiB/8-way L1,
+//!   1 MiB/16-way L2 private per core, shared L3) with the per-level
+//!   latencies of the paper's Xeon testbed.
+//! * [`reuse`] — exact reuse-distance analysis (Olken's algorithm with a
+//!   Fenwick tree) and the bucketed histograms of Figure 15.
+//! * [`chase`] — the pointer-chasing microbenchmark: per-core jobs
+//!   iterating random cyclic permutations of arrays from 1 KiB to 1 MiB,
+//!   interleaved at a configurable quantum under either two-level (TLS)
+//!   or centralized (CT) array placement — reproducing Figures 13/14 and
+//!   the reuse-distance amplification analysis of Table 2.
+//!
+//! ## Example
+//!
+//! ```
+//! use tq_cache::reuse::reuse_distances;
+//!
+//! // a b a  → second access to `a` has reuse distance 1 (only `b`
+//! // intervened); cold accesses have no distance.
+//! let d = reuse_distances(&[10, 20, 10]);
+//! assert_eq!(d, vec![None, None, Some(1)]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod chase;
+pub mod reuse;
+
+pub use cache::{CacheConfig, CacheSystem, Level};
+pub use chase::{AccessPattern, ChaseConfig, Placement};
+pub use reuse::{reuse_distances, ReuseHistogram};

@@ -1,0 +1,274 @@
+//! Exact reuse-distance analysis.
+//!
+//! The reuse distance of an access is the number of *distinct* cache
+//! lines touched between the previous access to the same line and this
+//! one (§5.5.2). For a fully associative LRU cache of capacity C lines,
+//! an access hits iff its reuse distance is < C — which is what lets the
+//! paper reason about quantum-size effects analytically (Table 2).
+//!
+//! Implementation: Olken's algorithm — a Fenwick tree marks the most
+//! recent access position of every live line, so the distinct-line count
+//! in a window is a prefix-sum query. O(n log n) total.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Fenwick (binary indexed) tree over access positions.
+#[derive(Debug)]
+struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i64) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i`.
+    fn prefix(&self, mut i: usize) -> i64 {
+        i += 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Computes the reuse distance of every access in `trace` (line ids).
+/// `None` marks a cold (first) access.
+///
+/// # Example
+///
+/// ```
+/// use tq_cache::reuse_distances;
+///
+/// let d = reuse_distances(&[1, 2, 3, 2, 1]);
+/// assert_eq!(d, vec![None, None, None, Some(1), Some(2)]);
+/// ```
+pub fn reuse_distances(trace: &[u64]) -> Vec<Option<u64>> {
+    let n = trace.len();
+    let mut fen = Fenwick::new(n);
+    let mut last: HashMap<u64, usize> = HashMap::new();
+    let mut out = Vec::with_capacity(n);
+    for (t, &line) in trace.iter().enumerate() {
+        match last.get(&line).copied() {
+            Some(p) => {
+                // Distinct lines whose most-recent access lies in (p, t).
+                let distinct = fen.prefix(t.saturating_sub(1)) - fen.prefix(p);
+                out.push(Some(distinct as u64));
+                fen.add(p, -1);
+            }
+            None => out.push(None),
+        }
+        fen.add(t, 1);
+        last.insert(line, t);
+    }
+    out
+}
+
+/// A histogram of reuse distances bucketed by working-set bytes
+/// (distance × 64-byte lines), as Figure 15 plots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReuseHistogram {
+    /// Bucket upper bounds in bytes (the last bucket is unbounded).
+    pub bounds: Vec<u64>,
+    /// Access counts per bucket.
+    pub counts: Vec<u64>,
+    /// Cold (first-touch) accesses, excluded from the buckets.
+    pub cold: u64,
+    /// Total non-cold accesses.
+    pub total: u64,
+}
+
+impl ReuseHistogram {
+    /// Figure 15's buckets: powers of two from 1 KiB to 1 MiB.
+    pub fn figure15_bounds() -> Vec<u64> {
+        (0..=10).map(|i| 1024u64 << i).collect()
+    }
+
+    /// Builds the histogram of a trace.
+    pub fn from_trace(trace: &[u64], bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "need at least one bucket bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must rise");
+        let mut counts = vec![0u64; bounds.len() + 1];
+        let mut cold = 0;
+        let mut total = 0;
+        for d in reuse_distances(trace) {
+            match d {
+                None => cold += 1,
+                Some(dist) => {
+                    total += 1;
+                    let bytes = dist * 64;
+                    let idx = bounds
+                        .iter()
+                        .position(|&b| bytes <= b)
+                        .unwrap_or(bounds.len());
+                    counts[idx] += 1;
+                }
+            }
+        }
+        ReuseHistogram {
+            bounds,
+            counts,
+            cold,
+            total,
+        }
+    }
+
+    /// Fraction of (non-cold) accesses with reuse distance above
+    /// `bytes` — the paper's "only 3.7% / 4.5% of accesses have reuse
+    /// distances larger than 8 KB" summary statistic.
+    pub fn fraction_above(&self, bytes: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let above: u64 = self
+            .bounds
+            .iter()
+            .zip(&self.counts)
+            .filter(|(&b, _)| b > bytes)
+            .map(|(_, &c)| c)
+            .sum::<u64>()
+            + self.counts[self.bounds.len()];
+        above as f64 / self.total as f64
+    }
+}
+
+/// The Table 2 analysis: the reuse distance (in bytes) of an array
+/// access under preemptive interleaving, for the first access of an
+/// element within a quantum vs. repeat accesses.
+///
+/// * centralized (CT): first access sees `cores × jobs_per_core × array`
+///   distinct bytes (quanta of *all* jobs interleave on every core);
+/// * two-level (TLS): first access sees `jobs_per_core × array` (only
+///   the jobs resident on this core interleave);
+/// * repeat accesses within a quantum always see just `array`.
+pub fn table2_reuse_bytes(
+    cores: u64,
+    jobs_per_core: u64,
+    array_bytes: u64,
+    centralized: bool,
+    first_in_quantum: bool,
+) -> u64 {
+    if !first_in_quantum {
+        array_bytes
+    } else if centralized {
+        cores * jobs_per_core * array_bytes
+    } else {
+        jobs_per_core * array_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// O(n²) reference implementation.
+    fn naive(trace: &[u64]) -> Vec<Option<u64>> {
+        let mut out = Vec::new();
+        for (t, &line) in trace.iter().enumerate() {
+            let prev = trace[..t].iter().rposition(|&l| l == line);
+            out.push(prev.map(|p| {
+                let mut distinct: Vec<u64> = trace[p + 1..t].to_vec();
+                distinct.sort_unstable();
+                distinct.dedup();
+                distinct.len() as u64
+            }));
+        }
+        out
+    }
+
+    #[test]
+    fn simple_sequences() {
+        assert_eq!(reuse_distances(&[]), Vec::<Option<u64>>::new());
+        assert_eq!(reuse_distances(&[5, 5]), vec![None, Some(0)]);
+        assert_eq!(
+            reuse_distances(&[1, 2, 1, 2]),
+            vec![None, None, Some(1), Some(1)]
+        );
+    }
+
+    #[test]
+    fn array_iteration_distance_is_array_size() {
+        // Iterating 100 lines twice: every second-pass access has reuse
+        // distance 99 (the other lines).
+        let mut trace: Vec<u64> = (0..100).collect();
+        trace.extend(0..100);
+        let d = reuse_distances(&trace);
+        for x in &d[100..] {
+            assert_eq!(*x, Some(99));
+        }
+    }
+
+    #[test]
+    fn duplicates_within_window_counted_once() {
+        // 1, 2, 2, 2, 1 → distance of the last access to 1 is 1, not 3.
+        assert_eq!(reuse_distances(&[1, 2, 2, 2, 1])[4], Some(1));
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive_reference(trace in prop::collection::vec(0u64..32, 0..300)) {
+            prop_assert_eq!(reuse_distances(&trace), naive(&trace));
+        }
+
+        #[test]
+        fn lru_cache_hit_iff_distance_below_capacity(
+            trace in prop::collection::vec(0u64..64, 1..400),
+        ) {
+            // Fully associative LRU of capacity C hits exactly when the
+            // reuse distance is < C.
+            let cap = 16usize;
+            let mut cache: Vec<u64> = Vec::new(); // MRU at end
+            let dists = reuse_distances(&trace);
+            for (i, &line) in trace.iter().enumerate() {
+                let hit = if let Some(pos) = cache.iter().position(|&l| l == line) {
+                    cache.remove(pos);
+                    true
+                } else {
+                    if cache.len() == cap {
+                        cache.remove(0);
+                    }
+                    false
+                };
+                cache.push(line);
+                let predicted = matches!(dists[i], Some(d) if (d as usize) < cap);
+                prop_assert_eq!(hit, predicted, "access {} line {}", i, line);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_tail() {
+        // 64-line array iterated twice: distance 63 → 4032 bytes ≤ 4KiB.
+        let mut trace: Vec<u64> = (0..64).collect();
+        trace.extend(0..64);
+        let h = ReuseHistogram::from_trace(&trace, ReuseHistogram::figure15_bounds());
+        assert_eq!(h.cold, 64);
+        assert_eq!(h.total, 64);
+        assert!(h.fraction_above(8 * 1024) < 1e-9);
+        assert!(h.fraction_above(2 * 1024) > 0.99);
+    }
+
+    #[test]
+    fn table2_formulas() {
+        let a = 32 * 1024;
+        assert_eq!(table2_reuse_bytes(16, 4, a, true, true), 64 * a);
+        assert_eq!(table2_reuse_bytes(16, 4, a, false, true), 4 * a);
+        assert_eq!(table2_reuse_bytes(16, 4, a, true, false), a);
+        assert_eq!(table2_reuse_bytes(16, 4, a, false, false), a);
+    }
+}

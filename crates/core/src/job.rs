@@ -1,0 +1,159 @@
+//! Job identities and request descriptors.
+//!
+//! A *job* (interchangeably: request) is the unit the dispatcher
+//! load-balances and a worker's quantum scheduler interleaves. Blind
+//! scheduling means nothing here carries scheduling hints: the
+//! [`Request::service`] field exists only so the *simulator* knows how long
+//! to run the job and so metrics can compute slowdown — the modeled
+//! schedulers never read it.
+
+use crate::time::Nanos;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Unique identity of a job within one run (simulation or server lifetime).
+///
+/// # Example
+///
+/// ```
+/// use tq_core::JobId;
+/// let id = JobId(7);
+/// assert_eq!(id.to_string(), "job#7");
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// The workload class a job belongs to (e.g. "Short"/"Long" for a bimodal
+/// workload, or "NewOrder" for TPC-C).
+///
+/// Classes exist purely for *reporting*: the paper reports tail latency per
+/// class (Figures 5–10). Schedulers never see them — that would violate
+/// blindness.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ClassId(pub u16);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// An incoming request: what arrives at the dispatcher's RX queue.
+///
+/// # Example
+///
+/// ```
+/// use tq_core::{ClassId, JobId, Nanos, Request};
+///
+/// let r = Request::new(JobId(1), ClassId(0), Nanos::from_micros(10), Nanos::from_nanos(500));
+/// assert_eq!(r.service, Nanos::from_nanos(500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique job identity.
+    pub id: JobId,
+    /// Reporting class (see [`ClassId`]); invisible to schedulers.
+    pub class: ClassId,
+    /// Arrival time at the server NIC.
+    pub arrival: Nanos,
+    /// True service demand. Only the simulator's "CPU" and the metrics
+    /// pipeline read this; scheduling policies are blind to it.
+    pub service: Nanos,
+}
+
+impl Request {
+    /// Creates a request.
+    pub fn new(id: JobId, class: ClassId, arrival: Nanos, service: Nanos) -> Self {
+        Request {
+            id,
+            class,
+            arrival,
+            service,
+        }
+    }
+}
+
+/// The outcome record for one finished job, used by the metrics pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The job that finished.
+    pub id: JobId,
+    /// Its reporting class.
+    pub class: ClassId,
+    /// When it arrived at the server.
+    pub arrival: Nanos,
+    /// Its true service demand (denominator of slowdown).
+    pub service: Nanos,
+    /// When its last quantum finished and the response was sent.
+    pub finish: Nanos,
+}
+
+impl Completion {
+    /// Server-side sojourn time: finish − arrival.
+    ///
+    /// This is the paper's "sojourn time" metric (§5.1): time from the
+    /// dispatcher receiving the request until the job finishes executing.
+    pub fn sojourn(&self) -> Nanos {
+        self.finish - self.arrival
+    }
+
+    /// Slowdown: sojourn time divided by the job's uninterrupted service
+    /// time (≥ 1 in any work-conserving system with no overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorded service time is zero.
+    pub fn slowdown(&self) -> f64 {
+        assert!(!self.service.is_zero(), "slowdown of a zero-service job");
+        self.sojourn().as_nanos() as f64 / self.service.as_nanos() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_metrics() {
+        let c = Completion {
+            id: JobId(1),
+            class: ClassId(0),
+            arrival: Nanos::from_micros(10),
+            service: Nanos::from_nanos(500),
+            finish: Nanos::from_micros(12),
+        };
+        assert_eq!(c.sojourn(), Nanos::from_micros(2));
+        assert!((c.slowdown() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-service")]
+    fn slowdown_rejects_zero_service() {
+        let c = Completion {
+            id: JobId(1),
+            class: ClassId(0),
+            arrival: Nanos::ZERO,
+            service: Nanos::ZERO,
+            finish: Nanos::from_nanos(1),
+        };
+        let _ = c.slowdown();
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(JobId(3).to_string(), "job#3");
+        assert_eq!(ClassId(2).to_string(), "class#2");
+    }
+}

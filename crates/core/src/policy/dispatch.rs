@@ -1,0 +1,341 @@
+//! Dispatcher-level load-balancing policies.
+//!
+//! In two-level scheduling the dispatcher performs *only* load balancing: it
+//! never parses requests for job information (blindness) and never schedules
+//! quanta. Its entire job is [`Dispatcher::pick`]: map an arriving request
+//! to a worker core given each core's load.
+
+use super::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Tie-breaking rule used when several workers share the shortest queue
+/// under [`DispatchPolicy::Jsq`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TieBreak {
+    /// Pick uniformly among the tied workers (the naive baseline in §3.2).
+    Random,
+    /// Maximum-Serviced-Quanta (MSQ): pick the tied worker whose *current*
+    /// jobs have received the most quanta of service, expecting it to have
+    /// the smallest remaining work (§3.2). This is TQ's default and what
+    /// Figure 4 shows recovers centralized-PS-like long-job latency.
+    MaxServicedQuanta,
+}
+
+/// A load-balancing policy for the dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Join-the-shortest-queue with the given tie-break. TQ's default
+    /// (with [`TieBreak::MaxServicedQuanta`]); the M/G/K/JSQ/PS combination
+    /// is provably near-optimal for mean sojourn time.
+    Jsq(TieBreak),
+    /// Uniformly random worker (the TQ-RAND ablation of §5.4).
+    Random,
+    /// Power-of-two-choices: sample two distinct workers, send to the less
+    /// loaded (the TQ-POWER-TWO ablation of §5.4).
+    PowerOfTwo,
+    /// Round-robin across workers.
+    RoundRobin,
+    /// Steer by a hash of the request's flow (how Caladan's RSS spreads
+    /// packets: static, load-oblivious).
+    RssHash,
+    /// Send everything to one worker. Degenerate on purpose: useful for
+    /// pinning experiments and for testing rebalancing mechanisms (work
+    /// stealing must rescue the other workers' idleness).
+    Pinned(usize),
+}
+
+/// A snapshot of one worker's load, as visible to the dispatcher.
+///
+/// In the real runtime this is derived from the shared cache-line counters
+/// of [`crate::counters`]; in the simulator it is read directly from the
+/// modeled worker state.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WorkerLoad {
+    /// Unfinished jobs resident on the worker (assigned − finished).
+    pub queued_jobs: u64,
+    /// Quanta serviced for the worker's *current* jobs (MSQ's signal).
+    pub serviced_quanta: u64,
+}
+
+/// The dispatcher's load-balancing decision procedure.
+///
+/// Holds the policy plus the small mutable state some policies need
+/// (round-robin cursor, RNG for random choices). Decisions are fully
+/// deterministic given the seed.
+///
+/// # Example
+///
+/// ```
+/// use tq_core::policy::{Dispatcher, DispatchPolicy, WorkerLoad};
+///
+/// let mut d = Dispatcher::new(DispatchPolicy::RoundRobin, 3, 0);
+/// let loads = [WorkerLoad::default(); 3];
+/// assert_eq!(d.pick(&loads, 0), 0);
+/// assert_eq!(d.pick(&loads, 0), 1);
+/// assert_eq!(d.pick(&loads, 0), 2);
+/// assert_eq!(d.pick(&loads, 0), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    policy: DispatchPolicy,
+    n_workers: usize,
+    rng: SplitMix64,
+    rr_cursor: usize,
+    scratch: Vec<usize>,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher for `n_workers` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_workers` is zero.
+    pub fn new(policy: DispatchPolicy, n_workers: usize, seed: u64) -> Self {
+        assert!(n_workers > 0, "dispatcher needs at least one worker");
+        Dispatcher {
+            policy,
+            n_workers,
+            rng: SplitMix64::new(seed),
+            rr_cursor: 0,
+            scratch: Vec::with_capacity(n_workers),
+        }
+    }
+
+    /// The policy this dispatcher applies.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// The number of workers decisions are made over.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Picks the worker for the next arriving request.
+    ///
+    /// `loads` must have exactly `n_workers` entries. `flow_hash` is only
+    /// consulted by [`DispatchPolicy::RssHash`] (it is what the NIC's RSS
+    /// hash would be for the request's flow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads.len() != n_workers`.
+    pub fn pick(&mut self, loads: &[WorkerLoad], flow_hash: u64) -> usize {
+        assert_eq!(loads.len(), self.n_workers, "load snapshot size mismatch");
+        match self.policy {
+            DispatchPolicy::Jsq(tie) => self.pick_jsq(loads, tie),
+            DispatchPolicy::Random => self.rng.index(self.n_workers),
+            DispatchPolicy::PowerOfTwo => self.pick_power_of_two(loads),
+            DispatchPolicy::RoundRobin => {
+                let w = self.rr_cursor;
+                self.rr_cursor = (self.rr_cursor + 1) % self.n_workers;
+                w
+            }
+            DispatchPolicy::RssHash => (flow_hash % self.n_workers as u64) as usize,
+            DispatchPolicy::Pinned(w) => {
+                assert!(w < self.n_workers, "pinned worker out of range");
+                w
+            }
+        }
+    }
+
+    fn pick_jsq(&mut self, loads: &[WorkerLoad], tie: TieBreak) -> usize {
+        let min_q = loads
+            .iter()
+            .map(|l| l.queued_jobs)
+            .min()
+            .expect("non-empty loads");
+        self.scratch.clear();
+        self.scratch
+            .extend((0..loads.len()).filter(|&w| loads[w].queued_jobs == min_q));
+        debug_assert!(!self.scratch.is_empty());
+        if self.scratch.len() == 1 {
+            return self.scratch[0];
+        }
+        match tie {
+            TieBreak::Random => {
+                let i = self.rng.index(self.scratch.len());
+                self.scratch[i]
+            }
+            TieBreak::MaxServicedQuanta => {
+                // Deterministic: among ties on serviced quanta too, take the
+                // lowest index. (The paper does not specify a third-level
+                // tie-break; any fixed rule works and determinism aids tests.)
+                *self
+                    .scratch
+                    .iter()
+                    .max_by_key(|&&w| (loads[w].serviced_quanta, core::cmp::Reverse(w)))
+                    .expect("non-empty tie set")
+            }
+        }
+    }
+
+    fn pick_power_of_two(&mut self, loads: &[WorkerLoad]) -> usize {
+        if self.n_workers == 1 {
+            return 0;
+        }
+        let a = self.rng.index(self.n_workers);
+        // Sample b distinct from a by shifting into the remaining n-1 slots.
+        let mut b = self.rng.index(self.n_workers - 1);
+        if b >= a {
+            b += 1;
+        }
+        if loads[b].queued_jobs < loads[a].queued_jobs {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads(qs: &[u64]) -> Vec<WorkerLoad> {
+        qs.iter()
+            .map(|&q| WorkerLoad {
+                queued_jobs: q,
+                serviced_quanta: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn jsq_picks_unique_minimum() {
+        let mut d = Dispatcher::new(DispatchPolicy::Jsq(TieBreak::Random), 4, 1);
+        assert_eq!(d.pick(&loads(&[5, 2, 9, 3]), 0), 1);
+    }
+
+    #[test]
+    fn jsq_msq_breaks_ties_by_max_quanta() {
+        let mut d = Dispatcher::new(DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta), 3, 1);
+        let ls = [
+            WorkerLoad {
+                queued_jobs: 1,
+                serviced_quanta: 4,
+            },
+            WorkerLoad {
+                queued_jobs: 1,
+                serviced_quanta: 9,
+            },
+            WorkerLoad {
+                queued_jobs: 2,
+                serviced_quanta: 100,
+            },
+        ];
+        assert_eq!(d.pick(&ls, 0), 1);
+    }
+
+    #[test]
+    fn jsq_msq_third_level_tie_is_lowest_index() {
+        let mut d = Dispatcher::new(DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta), 3, 1);
+        let ls = [
+            WorkerLoad {
+                queued_jobs: 1,
+                serviced_quanta: 9,
+            },
+            WorkerLoad {
+                queued_jobs: 1,
+                serviced_quanta: 9,
+            },
+            WorkerLoad {
+                queued_jobs: 0,
+                serviced_quanta: 0,
+            },
+        ];
+        // Worker 2 has the shortest queue outright.
+        assert_eq!(d.pick(&ls, 0), 2);
+        let ls2 = [
+            WorkerLoad {
+                queued_jobs: 1,
+                serviced_quanta: 9,
+            },
+            WorkerLoad {
+                queued_jobs: 1,
+                serviced_quanta: 9,
+            },
+            WorkerLoad {
+                queued_jobs: 1,
+                serviced_quanta: 3,
+            },
+        ];
+        assert_eq!(d.pick(&ls2, 0), 0);
+    }
+
+    #[test]
+    fn jsq_random_tie_stays_within_ties() {
+        let mut d = Dispatcher::new(DispatchPolicy::Jsq(TieBreak::Random), 4, 99);
+        let ls = loads(&[1, 7, 1, 7]);
+        for _ in 0..200 {
+            let w = d.pick(&ls, 0);
+            assert!(w == 0 || w == 2);
+        }
+    }
+
+    #[test]
+    fn rss_hash_is_stable_per_flow() {
+        let mut d = Dispatcher::new(DispatchPolicy::RssHash, 5, 0);
+        let ls = loads(&[0; 5]);
+        let w1 = d.pick(&ls, 12345);
+        let w2 = d.pick(&ls, 12345);
+        assert_eq!(w1, w2);
+        assert_eq!(d.pick(&ls, 7), 2);
+    }
+
+    #[test]
+    fn power_of_two_prefers_less_loaded_of_pair() {
+        let mut d = Dispatcher::new(DispatchPolicy::PowerOfTwo, 2, 3);
+        // With two workers the sampled pair is always {0, 1}.
+        let ls = loads(&[10, 0]);
+        for _ in 0..50 {
+            assert_eq!(d.pick(&ls, 0), 1);
+        }
+    }
+
+    #[test]
+    fn power_of_two_single_worker() {
+        let mut d = Dispatcher::new(DispatchPolicy::PowerOfTwo, 1, 3);
+        assert_eq!(d.pick(&loads(&[4]), 0), 0);
+    }
+
+    #[test]
+    fn random_covers_all_workers() {
+        let mut d = Dispatcher::new(DispatchPolicy::Random, 4, 5);
+        let ls = loads(&[0; 4]);
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            seen[d.pick(&ls, 0)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn pinned_always_picks_target() {
+        let mut d = Dispatcher::new(DispatchPolicy::Pinned(2), 4, 0);
+        let ls = loads(&[9, 0, 5, 0]);
+        for _ in 0..10 {
+            assert_eq!(d.pick(&ls, 12345), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned worker out of range")]
+    fn pinned_rejects_out_of_range() {
+        let mut d = Dispatcher::new(DispatchPolicy::Pinned(4), 4, 0);
+        let _ = d.pick(&loads(&[0; 4]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn pick_rejects_wrong_snapshot_len() {
+        let mut d = Dispatcher::new(DispatchPolicy::Random, 4, 5);
+        let _ = d.pick(&loads(&[0; 3]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn new_rejects_zero_workers() {
+        let _ = Dispatcher::new(DispatchPolicy::Random, 0, 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Blind scheduling policies.
+//!
+//! Two-level scheduling (§3.2 of the paper) splits a job's scheduling policy
+//! across two places:
+//!
+//! * the **dispatcher** picks a worker core for each arriving job
+//!   ([`Dispatcher`], [`DispatchPolicy`]) — TQ uses join-the-shortest-queue
+//!   with maximum-serviced-quanta (MSQ) tie-breaking;
+//! * each **worker** interleaves quanta of its resident jobs
+//!   ([`PsQueue`], [`WorkerPolicy`]) — TQ uses processor sharing (PS).
+//!
+//! Both the discrete-event models in `tq-queueing` and the real runtime in
+//! `tq-runtime` call into this exact code, so the policies evaluated in the
+//! figures are the policies the runtime ships.
+
+mod dispatch;
+mod rng;
+mod worker;
+
+pub use dispatch::{DispatchPolicy, Dispatcher, TieBreak, WorkerLoad};
+pub(crate) use rng::SplitMix64;
+pub use worker::{LasQueue, PsQueue, WorkerPolicy};

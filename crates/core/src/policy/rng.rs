@@ -1,0 +1,81 @@
+//! A tiny deterministic generator for policy decisions.
+//!
+//! Dispatch decisions (random tie-breaks, power-of-two sampling) need a
+//! few bits of cheap, reproducible randomness on the fast path. SplitMix64
+//! is a well-known 64-bit mixer with good statistical quality, a one-word
+//! state, and exact cross-platform reproducibility — and it keeps `rand`'s
+//! heavier machinery out of the per-request path.
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Any seed (including 0) is fine.
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    #[inline]
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform index in `0..n` (Lemire's multiply-shift method —
+    /// bias is at most 2⁻⁶⁴·n, immaterial for worker counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[inline]
+    pub(crate) fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn index_in_range_and_covers() {
+        let mut g = SplitMix64::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let i = g.index(8);
+            assert!(i < 8);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all indices hit in 1000 draws");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn index_rejects_zero() {
+        let _ = SplitMix64::new(0).index(0);
+    }
+}

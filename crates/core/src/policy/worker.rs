@@ -1,0 +1,314 @@
+//! Worker-local quantum scheduling.
+//!
+//! Each TQ worker core runs a *scheduler coroutine* that interleaves quanta
+//! of its resident jobs. The paper's workers emulate processor sharing (PS)
+//! with a FIFO rotation: yielded coroutines re-enter at the tail and the
+//! head is resumed next (§4). [`PsQueue`] is that rotation, shared by the
+//! simulator and the real runtime.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The quantum scheduling discipline a worker core applies to its jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkerPolicy {
+    /// Processor sharing emulated by round-robin quanta — TQ's default,
+    /// provably tail-optimal for heavy-tailed service distributions.
+    ProcessorSharing,
+    /// First-come-first-served run-to-completion (Caladan's discipline and
+    /// the TQ-FCFS ablation): a job, once started, is never preempted.
+    Fcfs,
+    /// Least-attained-service: each quantum goes to the resident job that
+    /// has received the least service so far. §3.1 notes TQ's run-time
+    /// yield decision "supports dynamic quantum sizes, which are needed
+    /// for scheduling policies like least-attained-service" — this is
+    /// that policy, as an extension beyond the paper's evaluation.
+    LeastAttainedService,
+}
+
+impl WorkerPolicy {
+    /// Whether this policy preempts jobs at quantum boundaries.
+    pub fn preempts(self) -> bool {
+        !matches!(self, WorkerPolicy::Fcfs)
+    }
+}
+
+/// A least-attained-service run queue: [`LasQueue::take_next`] yields the
+/// job with the smallest attained service, breaking ties by admission
+/// order (so equal-attainment jobs round-robin like PS).
+///
+/// # Example
+///
+/// ```
+/// use tq_core::policy::LasQueue;
+/// use tq_core::Nanos;
+///
+/// let mut q = LasQueue::new();
+/// q.admit("old", Nanos::from_micros(30)); // already got 30us
+/// q.admit("new", Nanos::ZERO);
+/// assert_eq!(q.take_next(), Some(("new", Nanos::ZERO)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LasQueue<T> {
+    heap: std::collections::BinaryHeap<LasEntry<T>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct LasEntry<T> {
+    attained: crate::time::Nanos,
+    seq: u64,
+    job: T,
+}
+
+impl<T> PartialEq for LasEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.attained == other.attained && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for LasEntry<T> {}
+
+impl<T> PartialOrd for LasEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for LasEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed for a min-heap on (attained, seq).
+        (other.attained, other.seq).cmp(&(self.attained, self.seq))
+    }
+}
+
+impl<T> LasQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        LasQueue {
+            heap: std::collections::BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Admits (or re-enters) a job with its attained service so far.
+    pub fn admit(&mut self, job: T, attained: crate::time::Nanos) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(LasEntry {
+            attained,
+            seq,
+            job,
+        });
+    }
+
+    /// Takes the job with the least attained service.
+    pub fn take_next(&mut self) -> Option<(T, crate::time::Nanos)> {
+        self.heap.pop().map(|e| (e.job, e.attained))
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for LasQueue<T> {
+    fn default() -> Self {
+        LasQueue::new()
+    }
+}
+
+/// The PS rotation queue of runnable jobs on one worker core.
+///
+/// New jobs and preempted (yielded) jobs both enqueue at the tail; the head
+/// runs next. Running every resident job for one quantum per rotation is
+/// the classic round-robin emulation of processor sharing.
+///
+/// # Example
+///
+/// ```
+/// use tq_core::policy::PsQueue;
+///
+/// let mut q = PsQueue::new();
+/// q.admit("a");
+/// q.admit("b");
+/// let job = q.take_next().unwrap();   // "a" runs a quantum…
+/// q.reenter(job);                     // …yields, re-enters at the tail
+/// assert_eq!(q.take_next(), Some("b"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PsQueue<T> {
+    queue: VecDeque<T>,
+}
+
+impl<T> PsQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        PsQueue {
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Creates an empty queue with space for `cap` jobs.
+    pub fn with_capacity(cap: usize) -> Self {
+        PsQueue {
+            queue: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Admits a newly arrived job at the tail of the rotation.
+    pub fn admit(&mut self, job: T) {
+        self.queue.push_back(job);
+    }
+
+    /// Re-enters a job that yielded at the end of its quantum.
+    ///
+    /// Distinct from [`PsQueue::admit`] only in intent; both enqueue at the
+    /// tail, which is exactly the paper's PS emulation.
+    pub fn reenter(&mut self, job: T) {
+        self.queue.push_back(job);
+    }
+
+    /// Takes the job at the head of the rotation to run its next quantum,
+    /// or `None` if the worker is idle.
+    pub fn take_next(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Peeks at the job that would run next.
+    pub fn peek_next(&self) -> Option<&T> {
+        self.queue.front()
+    }
+
+    /// Removes the job at the *tail* of the rotation — the one that would
+    /// run last. This is what a work-stealing thief takes from a victim:
+    /// the job with the longest expected wait on its home core.
+    pub fn take_last(&mut self) -> Option<T> {
+        self.queue.pop_back()
+    }
+
+    /// Number of runnable jobs in the rotation.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the rotation is empty (worker idle).
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Iterates over the rotation from next-to-run to last.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.queue.iter()
+    }
+}
+
+impl<T> Default for PsQueue<T> {
+    fn default() -> Self {
+        PsQueue::new()
+    }
+}
+
+impl<T> FromIterator<T> for PsQueue<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        PsQueue {
+            queue: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<T> Extend<T> for PsQueue<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.queue.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_is_round_robin() {
+        let mut q: PsQueue<u32> = (0..3).collect();
+        let mut order = Vec::new();
+        // Two full rotations with every job yielding.
+        for _ in 0..6 {
+            let j = q.take_next().unwrap();
+            order.push(j);
+            q.reenter(j);
+        }
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn finished_jobs_leave_the_rotation() {
+        let mut q: PsQueue<u32> = (0..3).collect();
+        let j = q.take_next().unwrap();
+        assert_eq!(j, 0);
+        // job 0 finishes: do not reenter.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.take_next(), Some(1));
+        assert_eq!(q.take_next(), Some(2));
+        assert!(q.is_empty());
+        assert_eq!(q.take_next(), None);
+    }
+
+    #[test]
+    fn new_arrivals_join_at_tail() {
+        let mut q = PsQueue::new();
+        q.admit(1);
+        let j = q.take_next().unwrap();
+        q.admit(2);
+        q.reenter(j);
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![2, 1]);
+    }
+
+    #[test]
+    fn policy_preemption_flags() {
+        assert!(WorkerPolicy::ProcessorSharing.preempts());
+        assert!(!WorkerPolicy::Fcfs.preempts());
+        assert!(WorkerPolicy::LeastAttainedService.preempts());
+    }
+
+    #[test]
+    fn las_prefers_least_attained() {
+        use crate::time::Nanos;
+        let mut q = LasQueue::new();
+        q.admit("a", Nanos::from_micros(10));
+        q.admit("b", Nanos::from_micros(2));
+        q.admit("c", Nanos::from_micros(5));
+        assert_eq!(q.take_next().unwrap().0, "b");
+        assert_eq!(q.take_next().unwrap().0, "c");
+        assert_eq!(q.take_next().unwrap().0, "a");
+        assert!(q.take_next().is_none());
+    }
+
+    #[test]
+    fn las_ties_round_robin_by_admission() {
+        use crate::time::Nanos;
+        let mut q = LasQueue::new();
+        q.admit(1, Nanos::ZERO);
+        q.admit(2, Nanos::ZERO);
+        q.admit(3, Nanos::ZERO);
+        // Equal attainment: FIFO among ties, exactly like a PS rotation.
+        assert_eq!(q.take_next().unwrap().0, 1);
+        q.admit(1, Nanos::from_micros(1));
+        assert_eq!(q.take_next().unwrap().0, 2);
+        assert_eq!(q.take_next().unwrap().0, 3);
+        assert_eq!(q.take_next().unwrap().0, 1);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = PsQueue::new();
+        q.admit(9);
+        assert_eq!(q.peek_next(), Some(&9));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of the scheduling-policy invariants.
+
+use proptest::prelude::*;
+use tq_core::counters::WorkerCounters;
+use tq_core::policy::{DispatchPolicy, Dispatcher, LasQueue, PsQueue, TieBreak, WorkerLoad};
+use tq_core::Nanos;
+
+fn arb_loads(max_workers: usize) -> impl Strategy<Value = Vec<WorkerLoad>> {
+    prop::collection::vec(
+        (0u64..100, 0u64..1000).prop_map(|(q, s)| WorkerLoad {
+            queued_jobs: q,
+            serviced_quanta: s,
+        }),
+        1..=max_workers,
+    )
+}
+
+proptest! {
+    /// JSQ always picks a worker whose queue is the global minimum.
+    #[test]
+    fn jsq_picks_a_true_argmin(loads in arb_loads(32), seed in any::<u64>()) {
+        let mut d = Dispatcher::new(DispatchPolicy::Jsq(TieBreak::Random), loads.len(), seed);
+        let w = d.pick(&loads, 0);
+        let min = loads.iter().map(|l| l.queued_jobs).min().unwrap();
+        prop_assert_eq!(loads[w].queued_jobs, min);
+    }
+
+    /// MSQ tie-breaking picks, among minimum-queue workers, one with the
+    /// maximum serviced-quanta count.
+    #[test]
+    fn msq_maximizes_quanta_among_ties(loads in arb_loads(32), seed in any::<u64>()) {
+        let mut d = Dispatcher::new(
+            DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta),
+            loads.len(),
+            seed,
+        );
+        let w = d.pick(&loads, 0);
+        let min = loads.iter().map(|l| l.queued_jobs).min().unwrap();
+        prop_assert_eq!(loads[w].queued_jobs, min);
+        let max_quanta = loads
+            .iter()
+            .filter(|l| l.queued_jobs == min)
+            .map(|l| l.serviced_quanta)
+            .max()
+            .unwrap();
+        prop_assert_eq!(loads[w].serviced_quanta, max_quanta);
+    }
+
+    /// Every policy returns an in-range worker for any load snapshot.
+    #[test]
+    fn all_policies_in_range(loads in arb_loads(16), seed in any::<u64>(), hash in any::<u64>()) {
+        for policy in [
+            DispatchPolicy::Jsq(TieBreak::Random),
+            DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta),
+            DispatchPolicy::Random,
+            DispatchPolicy::PowerOfTwo,
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::RssHash,
+        ] {
+            let mut d = Dispatcher::new(policy, loads.len(), seed);
+            for _ in 0..8 {
+                prop_assert!(d.pick(&loads, hash) < loads.len());
+            }
+        }
+    }
+
+    /// PS rotation fairness: if every job always yields, after k full
+    /// rotations every job has run exactly k quanta.
+    #[test]
+    fn ps_rotation_is_fair(n in 1usize..20, rounds in 1usize..10) {
+        let mut q: PsQueue<usize> = (0..n).collect();
+        let mut runs = vec![0usize; n];
+        for _ in 0..rounds * n {
+            let j = q.take_next().unwrap();
+            runs[j] += 1;
+            q.reenter(j);
+        }
+        prop_assert!(runs.iter().all(|&r| r == rounds));
+    }
+
+    /// LAS pops in non-decreasing attained order when nothing re-enters.
+    #[test]
+    fn las_pop_order_sorted(attained in prop::collection::vec(0u64..10_000, 1..50)) {
+        let mut q = LasQueue::new();
+        for (i, &a) in attained.iter().enumerate() {
+            q.admit(i, Nanos::from_nanos(a));
+        }
+        let mut prev = Nanos::ZERO;
+        while let Some((_, a)) = q.take_next() {
+            prop_assert!(a >= prev);
+            prev = a;
+        }
+    }
+
+    /// The wrap-safe counters agree with an infinite-precision model for
+    /// any operation sequence.
+    #[test]
+    fn counters_match_infinite_precision_model(
+        ops in prop::collection::vec((0u8..3, 0u64..5), 0..200),
+    ) {
+        let mut c = WorkerCounters::new();
+        let (mut assigned, mut finished, mut serviced, mut retired) = (0i128, 0i128, 0i128, 0i128);
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    c.on_assigned();
+                    assigned += 1;
+                }
+                1 => {
+                    c.on_quantum();
+                    serviced += 1;
+                }
+                _ => {
+                    // Only finish a job that exists and has the quanta.
+                    if assigned > finished && serviced - retired >= arg as i128 {
+                        c.on_finished(arg);
+                        finished += 1;
+                        retired += arg as i128;
+                    }
+                }
+            }
+        }
+        let load = c.load();
+        prop_assert_eq!(load.queued_jobs as i128, assigned - finished);
+        prop_assert_eq!(load.serviced_quanta as i128, serviced - retired);
+    }
+}
+
+/// Random dispatch is roughly uniform (not a proptest: one statistical
+/// check with a fixed seed).
+#[test]
+fn random_dispatch_is_roughly_uniform() {
+    let n = 8;
+    let loads = vec![WorkerLoad::default(); n];
+    let mut d = Dispatcher::new(DispatchPolicy::Random, n, 12345);
+    let mut counts = vec![0usize; n];
+    let draws = 80_000;
+    for _ in 0..draws {
+        counts[d.pick(&loads, 0)] += 1;
+    }
+    let expect = draws / n;
+    for (w, &c) in counts.iter().enumerate() {
+        assert!(
+            (c as f64 - expect as f64).abs() < expect as f64 * 0.06,
+            "worker {w}: {c} picks vs expected {expect}"
+        );
+    }
+}

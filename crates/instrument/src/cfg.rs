@@ -1,0 +1,417 @@
+//! Control-flow-graph lowering and analyses.
+//!
+//! The passes operate on the structured IR (the post-`LoopSimplify` form,
+//! see [`crate::ir`]); this module lowers a function to an explicit
+//! basic-block CFG and re-derives the structural facts from scratch —
+//! predecessors, reverse postorder, *natural loops via back-edge
+//! analysis*, and longest acyclic paths. It exists for two reasons:
+//!
+//! * it is the representation a production pass over arbitrary input
+//!   would start from (real compilers see goto soup, not region trees);
+//! * it lets the test suite *verify* the structured IR's metadata against
+//!   independent graph algorithms (every `Loop` node must be exactly one
+//!   natural loop; worst-case path lengths must agree), so the placement
+//!   results don't silently rest on builder bookkeeping.
+
+use crate::ir::{FuncId, Inst, Node, Program, TripSpec};
+use serde::{Deserialize, Serialize};
+
+/// Index of a basic block within its [`Cfg`].
+pub type BlockId = usize;
+
+/// A basic-block terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Term {
+    /// Unconditional edge.
+    Jump(BlockId),
+    /// Two-way branch taken with probability `p_then`.
+    Branch {
+        /// Taken target.
+        then_: BlockId,
+        /// Fall-through target.
+        else_: BlockId,
+        /// Probability of the taken edge.
+        p_then: f64,
+    },
+    /// Loop latch: back edge to `header`, exit edge to `exit`.
+    LoopBack {
+        /// The loop header (dominates the latch).
+        header: BlockId,
+        /// The loop exit block.
+        exit: BlockId,
+        /// Trip-count behavior.
+        trips: TripSpec,
+    },
+    /// Function return.
+    Return,
+}
+
+/// One basic block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub insts: Vec<Inst>,
+    /// Terminator.
+    pub term: Term,
+}
+
+/// An explicit control-flow graph of one function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cfg {
+    /// Blocks; `entry` is always 0.
+    pub blocks: Vec<Block>,
+}
+
+impl Cfg {
+    /// The entry block id.
+    pub const ENTRY: BlockId = 0;
+
+    /// Successor block ids of `b` (back edges included).
+    pub fn succs(&self, b: BlockId) -> Vec<BlockId> {
+        match self.blocks[b].term {
+            Term::Jump(t) => vec![t],
+            Term::Branch { then_, else_, .. } => vec![then_, else_],
+            Term::LoopBack { header, exit, .. } => vec![header, exit],
+            Term::Return => vec![],
+        }
+    }
+
+    /// Predecessor lists for every block.
+    pub fn preds(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in 0..self.blocks.len() {
+            for s in self.succs(b) {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Reverse postorder over forward edges (back edges skipped), the
+    /// canonical iteration order for forward dataflow.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut state = vec![0u8; self.blocks.len()]; // 0=new 1=open 2=done
+        let mut post = Vec::with_capacity(self.blocks.len());
+        let mut stack = vec![(Self::ENTRY, 0usize)];
+        state[Self::ENTRY] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let succs = self.forward_succs(b);
+            if *i < succs.len() {
+                let s = succs[*i];
+                *i += 1;
+                if state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Successors excluding loop back edges.
+    fn forward_succs(&self, b: BlockId) -> Vec<BlockId> {
+        match self.blocks[b].term {
+            Term::Jump(t) => vec![t],
+            Term::Branch { then_, else_, .. } => vec![then_, else_],
+            Term::LoopBack { exit, .. } => vec![exit],
+            Term::Return => vec![],
+        }
+    }
+
+    /// Natural loops found by back-edge analysis: for each back edge
+    /// `latch → header`, the loop body is every block that reaches the
+    /// latch without passing through the header. Returns
+    /// `(header, latch, body)` triples, body sorted.
+    pub fn natural_loops(&self) -> Vec<NaturalLoop> {
+        let preds = self.preds();
+        let mut loops = Vec::new();
+        for latch in 0..self.blocks.len() {
+            let Term::LoopBack { header, trips, .. } = self.blocks[latch].term else {
+                continue;
+            };
+            // Standard natural-loop body collection.
+            let mut body = vec![header, latch];
+            let mut stack = vec![latch];
+            while let Some(b) = stack.pop() {
+                if b == header {
+                    continue;
+                }
+                for &p in &preds[b] {
+                    if !body.contains(&p) {
+                        body.push(p);
+                        stack.push(p);
+                    }
+                }
+            }
+            body.sort_unstable();
+            body.dedup();
+            loops.push(NaturalLoop {
+                header,
+                latch,
+                trips,
+                body,
+            });
+        }
+        loops.sort_by_key(|l| l.header);
+        loops
+    }
+
+    /// Longest (worst-case) instruction count over any acyclic path from
+    /// entry to a return, with back edges ignored (each loop body counted
+    /// once). Probes count zero.
+    pub fn longest_acyclic_path_insns(&self) -> u64 {
+        let order = self.reverse_postorder();
+        let mut best = vec![0u64; self.blocks.len()];
+        let mut reached = vec![false; self.blocks.len()];
+        reached[Self::ENTRY] = true;
+        let mut answer = 0;
+        for &b in &order {
+            if !reached[b] {
+                continue;
+            }
+            let here = best[b] + block_insns(&self.blocks[b].insts);
+            if matches!(self.blocks[b].term, Term::Return) {
+                answer = answer.max(here);
+            }
+            for s in self.forward_succs(b) {
+                reached[s] = true;
+                best[s] = best[s].max(here);
+            }
+        }
+        answer
+    }
+
+    /// Total instructions across all blocks (static size).
+    pub fn total_insns(&self) -> u64 {
+        self.blocks.iter().map(|b| block_insns(&b.insts)).sum()
+    }
+}
+
+fn block_insns(insts: &[Inst]) -> u64 {
+    insts
+        .iter()
+        .filter(|i| matches!(i, Inst::Work { .. } | Inst::Call { .. }))
+        .count() as u64
+}
+
+/// A natural loop discovered by back-edge analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NaturalLoop {
+    /// Loop header block.
+    pub header: BlockId,
+    /// Latch block carrying the back edge.
+    pub latch: BlockId,
+    /// Trip-count behavior recovered from the latch.
+    pub trips: TripSpec,
+    /// All blocks in the loop, sorted.
+    pub body: Vec<BlockId>,
+}
+
+/// Lowers one function of `program` to an explicit CFG.
+///
+/// # Panics
+///
+/// Panics if `func` is out of range.
+pub fn lower(program: &Program, func: FuncId) -> Cfg {
+    let f = &program.functions[func];
+    let mut cfg = Cfg { blocks: Vec::new() };
+    // Entry placeholder; fixed up below.
+    let entry = push_block(&mut cfg);
+    let last = lower_node(&mut cfg, entry, &f.body);
+    cfg.blocks[last].term = Term::Return;
+    cfg
+}
+
+fn push_block(cfg: &mut Cfg) -> BlockId {
+    cfg.blocks.push(Block {
+        insts: Vec::new(),
+        term: Term::Return, // provisional
+    });
+    cfg.blocks.len() - 1
+}
+
+/// Lowers `node`, appending to block `cur`; returns the block where
+/// control continues afterwards.
+fn lower_node(cfg: &mut Cfg, cur: BlockId, node: &Node) -> BlockId {
+    match node {
+        Node::Block(insts) => {
+            cfg.blocks[cur].insts.extend(insts.iter().copied());
+            cur
+        }
+        Node::Seq(children) => {
+            let mut b = cur;
+            for c in children {
+                b = lower_node(cfg, b, c);
+            }
+            b
+        }
+        Node::Branch {
+            p_then,
+            then_,
+            else_,
+        } => {
+            let then_entry = push_block(cfg);
+            let else_entry = push_block(cfg);
+            let join = push_block(cfg);
+            cfg.blocks[cur].term = Term::Branch {
+                then_: then_entry,
+                else_: else_entry,
+                p_then: *p_then,
+            };
+            let t_end = lower_node(cfg, then_entry, then_);
+            cfg.blocks[t_end].term = Term::Jump(join);
+            let e_end = lower_node(cfg, else_entry, else_);
+            cfg.blocks[e_end].term = Term::Jump(join);
+            join
+        }
+        Node::Loop { trips, body } => {
+            let header = push_block(cfg);
+            let exit = push_block(cfg);
+            cfg.blocks[cur].term = Term::Jump(header);
+            let latch = lower_node(cfg, header, body);
+            cfg.blocks[latch].term = Term::LoopBack {
+                header,
+                exit,
+                trips: *trips,
+            };
+            exit
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Function;
+
+    fn prog(body: Node) -> Program {
+        Program::new(
+            "t",
+            vec![Function {
+                name: "main".into(),
+                body,
+                instrumentable: true,
+            }],
+            0,
+        )
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = lower(&prog(Node::work(10)), 0);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.total_insns(), 10);
+        assert!(matches!(cfg.blocks[0].term, Term::Return));
+        assert!(cfg.natural_loops().is_empty());
+    }
+
+    #[test]
+    fn branch_lowers_to_diamond() {
+        let cfg = lower(
+            &prog(Node::Branch {
+                p_then: 0.3,
+                then_: Box::new(Node::work(5)),
+                else_: Box::new(Node::work(7)),
+            }),
+            0,
+        );
+        // entry, then, else, join.
+        assert_eq!(cfg.blocks.len(), 4);
+        let preds = cfg.preds();
+        let join = 3;
+        assert_eq!(preds[join].len(), 2, "join has both arms as preds");
+        assert_eq!(cfg.longest_acyclic_path_insns(), 7);
+    }
+
+    #[test]
+    fn loop_lowers_to_back_edge() {
+        let cfg = lower(
+            &prog(Node::Loop {
+                trips: TripSpec::Static(9),
+                body: Box::new(Node::work(4)),
+            }),
+            0,
+        );
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].trips, TripSpec::Static(9));
+        assert!(loops[0].body.contains(&loops[0].header));
+        assert!(loops[0].body.contains(&loops[0].latch));
+    }
+
+    #[test]
+    fn nested_loops_found_individually() {
+        let cfg = lower(
+            &prog(Node::Loop {
+                trips: TripSpec::Static(3),
+                body: Box::new(Node::Seq(vec![
+                    Node::work(2),
+                    Node::Loop {
+                        trips: TripSpec::Geometric { mean: 5.0 },
+                        body: Box::new(Node::work(3)),
+                    },
+                ])),
+            }),
+            0,
+        );
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 2);
+        // The inner loop's body is a subset of the outer's.
+        let (outer, inner) = if loops[0].body.len() > loops[1].body.len() {
+            (&loops[0], &loops[1])
+        } else {
+            (&loops[1], &loops[0])
+        };
+        assert!(inner.body.iter().all(|b| outer.body.contains(b)));
+    }
+
+    #[test]
+    fn reverse_postorder_respects_forward_edges() {
+        let cfg = lower(
+            &prog(Node::Seq(vec![
+                Node::Branch {
+                    p_then: 0.5,
+                    then_: Box::new(Node::work(1)),
+                    else_: Box::new(Node::work(2)),
+                },
+                Node::work(3),
+            ])),
+            0,
+        );
+        let order = cfg.reverse_postorder();
+        assert_eq!(order.len(), cfg.blocks.len());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; order.len()];
+            for (i, &b) in order.iter().enumerate() {
+                p[b] = i;
+            }
+            p
+        };
+        for b in 0..cfg.blocks.len() {
+            for s in cfg.forward_succs(b) {
+                assert!(pos[b] < pos[s], "block {b} must precede successor {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn longest_path_agrees_with_structured_analysis_when_loop_free() {
+        let body = Node::Seq(vec![
+            Node::work(10),
+            Node::Branch {
+                p_then: 0.5,
+                then_: Box::new(Node::Seq(vec![Node::work(20), Node::work(5)])),
+                else_: Box::new(Node::work(8)),
+            },
+            Node::work(2),
+        ]);
+        let p = prog(body.clone());
+        let cfg = lower(&p, 0);
+        assert_eq!(cfg.longest_acyclic_path_insns(), p.max_path_insns(&body));
+    }
+}

@@ -1,0 +1,549 @@
+//! The IR interpreter with a virtual cycle clock.
+//!
+//! Executes a (possibly instrumented) [`Program`], charging each
+//! instruction its cycle cost and each probe its mechanism-specific cost,
+//! and records exactly what Table 3 reports:
+//!
+//! * **probing overhead** — instrumented cycles vs. the uninstrumented
+//!   base run (identical control-flow path: probes never consume
+//!   randomness);
+//! * **yield timing** — the cycle timestamps of every yield, from which
+//!   the mean absolute error against the target quantum is computed;
+//! * **max clock gap** — the longest stretch of instructions executed
+//!   between consecutive clock reads, the safety property TQ's placement
+//!   bounds.
+
+use crate::ir::{Inst, Node, Probe, Program};
+use serde::{Deserialize, Serialize};
+use tq_core::{CpuFreq, Nanos};
+use tq_sim::SimRng;
+
+/// Interpreter configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Target preemption quantum.
+    pub quantum: Nanos,
+    /// Clock frequency for cycle↔nanosecond conversion.
+    pub freq: CpuFreq,
+    /// Instructions-per-cycle ratio the CI translation assumes when
+    /// converting the quantum into a target instruction count. Real
+    /// programs' IPC differs (loads stall), which is CI's systematic
+    /// timing error (§3.1).
+    pub assumed_ipc: f64,
+    /// Cost of one cycle-counter read (§3.1: RDTSC takes 20–40 cycles).
+    pub rdtsc_cycles: u64,
+    /// Cost of one instruction-counter probe (add + compare + branch).
+    pub counter_probe_cycles: u64,
+    /// How many times the entry function is executed back-to-back
+    /// (modeling a long-running job so enough yields accumulate).
+    pub repeats: u32,
+}
+
+impl ExecConfig {
+    /// The Table 3 setup: 2 µs target on the 2.1 GHz testbed, assumed
+    /// IPC 1.0, RDTSC 25 cycles, counter probe 2 cycles.
+    pub fn default_for_quantum(quantum: Nanos) -> Self {
+        ExecConfig {
+            quantum,
+            freq: CpuFreq::PAPER_TESTBED,
+            assumed_ipc: 1.0,
+            rdtsc_cycles: tq_core::costs::RDTSC_PROBE_CYCLES,
+            counter_probe_cycles: tq_core::costs::COUNTER_PROBE_CYCLES,
+            repeats: 40,
+        }
+    }
+
+    fn quantum_cycles(&self) -> u64 {
+        self.freq.nanos_to_cycles(self.quantum).as_u64()
+    }
+
+    fn target_insns(&self) -> u64 {
+        (self.quantum_cycles() as f64 * self.assumed_ipc).round() as u64
+    }
+}
+
+/// Everything measured during one execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Total virtual cycles elapsed (work + probes).
+    pub total_cycles: u64,
+    /// Cycles spent in real program instructions.
+    pub work_cycles: u64,
+    /// Cycles spent in probes (the probing overhead numerator).
+    pub probe_cycles: u64,
+    /// Instructions executed.
+    pub insns: u64,
+    /// Dynamic probe executions.
+    pub probes_executed: u64,
+    /// Cycle timestamps of every yield.
+    pub yields: Vec<u64>,
+    /// Longest instruction gap between consecutive clock reads (or yields
+    /// for clock-less CI). The TQ placement bound caps this.
+    pub max_clock_gap_insns: u64,
+}
+
+impl ExecStats {
+    /// Probing overhead relative to an uninstrumented base run, in percent
+    /// (Table 3's "probing overhead" column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base run has zero cycles.
+    pub fn overhead_pct(&self, base: &ExecStats) -> f64 {
+        assert!(base.total_cycles > 0, "empty base run");
+        (self.total_cycles as f64 - base.total_cycles as f64) / base.total_cycles as f64 * 100.0
+    }
+
+    /// Mean absolute error of yield intervals against the target quantum,
+    /// in nanoseconds (Table 3's "MAE" column). `None` with fewer than
+    /// two yields.
+    pub fn yield_mae_nanos(&self, cfg: &ExecConfig) -> Option<f64> {
+        if self.yields.len() < 2 {
+            return None;
+        }
+        let q = cfg.quantum_cycles() as f64;
+        let mut err = 0.0;
+        let mut prev = self.yields[0];
+        for &y in &self.yields[1..] {
+            err += ((y - prev) as f64 - q).abs();
+            prev = y;
+        }
+        let mae_cycles = err / (self.yields.len() - 1) as f64;
+        Some(mae_cycles * 1e9 / cfg.freq.hz())
+    }
+}
+
+struct LoopFrame {
+    trips: u64,
+    iter: u64,
+    /// For cloned loops: this invocation chose the uninstrumented clone.
+    clone_skip: bool,
+}
+
+struct Rt<'p> {
+    program: &'p Program,
+    cfg: &'p ExecConfig,
+    rng: SimRng,
+    quantum_cycles: u64,
+    target_insns: u64,
+    cycles: u64,
+    work_cycles: u64,
+    probe_cycles: u64,
+    insns: u64,
+    probes_executed: u64,
+    counter: u64,
+    last_yield: u64,
+    yields: Vec<u64>,
+    gap_insns: u64,
+    max_gap: u64,
+    loop_stack: Vec<LoopFrame>,
+    site_counters: Vec<u64>,
+}
+
+/// Executes `program` and returns its measurements. Control flow is
+/// deterministic given `seed`, and identical between an instrumented
+/// program and its uninstrumented original (probes draw no randomness) —
+/// which is what makes [`ExecStats::overhead_pct`] an apples-to-apples
+/// comparison.
+pub fn execute(program: &Program, cfg: &ExecConfig, seed: u64) -> ExecStats {
+    let mut rt = Rt {
+        program,
+        cfg,
+        rng: SimRng::new(seed),
+        quantum_cycles: cfg.quantum_cycles(),
+        target_insns: cfg.target_insns(),
+        cycles: 0,
+        work_cycles: 0,
+        probe_cycles: 0,
+        insns: 0,
+        probes_executed: 0,
+        counter: 0,
+        last_yield: 0,
+        yields: Vec::new(),
+        gap_insns: 0,
+        max_gap: 0,
+        loop_stack: Vec::new(),
+        site_counters: Vec::new(),
+    };
+    for _ in 0..cfg.repeats {
+        let main = &program.functions[program.main];
+        rt.exec_node(&main.body);
+        // Between requests the scheduler coroutine runs and arms the next
+        // quantum — a clock read. Without it, uncovered work would appear
+        // to accumulate across request boundaries that the runtime in
+        // fact punctuates.
+        rt.note_clock_read();
+    }
+    ExecStats {
+        total_cycles: rt.cycles,
+        work_cycles: rt.work_cycles,
+        probe_cycles: rt.probe_cycles,
+        insns: rt.insns,
+        probes_executed: rt.probes_executed,
+        yields: rt.yields,
+        max_clock_gap_insns: rt.max_gap.max(rt.gap_insns),
+    }
+}
+
+impl Rt<'_> {
+    fn exec_node(&mut self, node: &Node) {
+        match node {
+            Node::Block(insts) => {
+                for inst in insts {
+                    match *inst {
+                        Inst::Work { cycles } => {
+                            self.cycles += cycles as u64;
+                            self.work_cycles += cycles as u64;
+                            self.step_insn();
+                        }
+                        Inst::Call { func } => {
+                            // One cycle of call/return overhead plus the
+                            // callee body.
+                            self.cycles += 1;
+                            self.work_cycles += 1;
+                            self.step_insn();
+                            let f = &self.program.functions[func];
+                            // Callees run outside the caller's loop nest.
+                            let saved = std::mem::take(&mut self.loop_stack);
+                            self.exec_node(&f.body);
+                            self.loop_stack = saved;
+                        }
+                        Inst::Probe(p) => self.exec_probe(p),
+                    }
+                }
+            }
+            Node::Seq(children) => children.iter().for_each(|c| self.exec_node(c)),
+            Node::Branch { p_then, then_, .. } => {
+                let take_then = self.rng.chance(*p_then);
+                if take_then {
+                    self.exec_node(then_);
+                } else {
+                    let Node::Branch { else_, .. } = node else {
+                        unreachable!()
+                    };
+                    self.exec_node(else_);
+                }
+            }
+            Node::Loop { trips, body } => {
+                let n = match *trips {
+                    crate::ir::TripSpec::Static(n) => n as u64,
+                    crate::ir::TripSpec::Geometric { mean } => self.sample_geometric(mean),
+                };
+                self.loop_stack.push(LoopFrame {
+                    trips: n,
+                    iter: 0,
+                    clone_skip: false,
+                });
+                for i in 0..n {
+                    self.loop_stack.last_mut().expect("frame pushed").iter = i;
+                    self.exec_node(body);
+                }
+                self.loop_stack.pop();
+            }
+        }
+    }
+
+    fn exec_probe(&mut self, probe: Probe) {
+        self.probes_executed += 1;
+        match probe {
+            Probe::Clock => self.clock_read_and_maybe_yield(),
+            Probe::GatedClock {
+                period,
+                gate_cycles,
+                cloned,
+                site,
+            } => {
+                let site = site as usize;
+                if self.site_counters.len() <= site {
+                    self.site_counters.resize(site + 1, 0);
+                }
+                let (trips, iter) = {
+                    let frame = self
+                        .loop_stack
+                        .last()
+                        .expect("gated probe outside any loop");
+                    (frame.trips, frame.iter)
+                };
+                if cloned {
+                    if iter == 0 {
+                        // Clone selection at loop entry: run the
+                        // uninstrumented version only if even this
+                        // invocation's trips won't reach the gate period.
+                        // The skipped iterations still advance the
+                        // persistent counter (one add, known at entry),
+                        // so repeated short invocations cannot starve the
+                        // clock indefinitely.
+                        let skip = self.site_counters[site] + trips < period as u64;
+                        if skip {
+                            self.site_counters[site] += trips;
+                        }
+                        self.loop_stack
+                            .last_mut()
+                            .expect("frame present")
+                            .clone_skip = skip;
+                    }
+                    if self.loop_stack.last().expect("frame present").clone_skip {
+                        self.probes_executed -= 1;
+                        return;
+                    }
+                }
+                self.charge_probe(gate_cycles as u64);
+                // The gate counter is persistent across loop invocations,
+                // like the thread-local counter the real pass emits.
+                self.site_counters[site] += 1;
+                if self.site_counters[site] >= period as u64 {
+                    self.site_counters[site] = 0;
+                    self.clock_read_and_maybe_yield();
+                }
+            }
+            Probe::Counter { increment } => {
+                self.charge_probe(self.cfg.counter_probe_cycles);
+                self.counter += increment as u64;
+                if self.counter >= self.target_insns {
+                    // CI trusts its instruction count: yield immediately.
+                    self.do_yield();
+                }
+            }
+            Probe::HybridCounter { increment } => {
+                self.charge_probe(self.cfg.counter_probe_cycles);
+                self.counter += increment as u64;
+                if self.counter >= self.target_insns {
+                    self.charge_probe(self.cfg.rdtsc_cycles);
+                    self.note_clock_read();
+                    if self.cycles - self.last_yield >= self.quantum_cycles {
+                        self.do_yield();
+                    }
+                }
+            }
+        }
+    }
+
+    fn clock_read_and_maybe_yield(&mut self) {
+        self.charge_probe(self.cfg.rdtsc_cycles);
+        self.note_clock_read();
+        if self.cycles - self.last_yield >= self.quantum_cycles {
+            self.do_yield();
+        }
+    }
+
+    fn charge_probe(&mut self, cycles: u64) {
+        self.cycles += cycles;
+        self.probe_cycles += cycles;
+    }
+
+    fn do_yield(&mut self) {
+        self.yields.push(self.cycles);
+        self.last_yield = self.cycles;
+        self.counter = 0;
+        self.note_clock_read();
+    }
+
+    fn note_clock_read(&mut self) {
+        self.max_gap = self.max_gap.max(self.gap_insns);
+        self.gap_insns = 0;
+    }
+
+    fn step_insn(&mut self) {
+        self.insns += 1;
+        self.gap_insns += 1;
+    }
+
+    /// Geometric trip count with the given mean, minimum 1.
+    fn sample_geometric(&mut self, mean: f64) -> u64 {
+        debug_assert!(mean >= 1.0, "geometric mean below 1");
+        if mean <= 1.0 {
+            return 1;
+        }
+        let p = 1.0 / mean;
+        let u: f64 = 1.0 - self.rng.f64();
+        ((u.ln() / (1.0 - p).ln()).ceil() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Function, TripSpec};
+    use crate::passes;
+
+    fn func(body: Node) -> Program {
+        Program::new(
+            "t",
+            vec![Function {
+                name: "main".into(),
+                body,
+                instrumentable: true,
+            }],
+            0,
+        )
+    }
+
+    fn cfg() -> ExecConfig {
+        ExecConfig::default_for_quantum(Nanos::from_micros(2))
+    }
+
+    #[test]
+    fn base_run_counts_work_exactly() {
+        let p = func(Node::Seq(vec![Node::work(100), Node::work(50)]));
+        let cfg = ExecConfig {
+            repeats: 1,
+            ..cfg()
+        };
+        let s = execute(&p, &cfg, 1);
+        assert_eq!(s.total_cycles, 150);
+        assert_eq!(s.insns, 150);
+        assert_eq!(s.probe_cycles, 0);
+        assert!(s.yields.is_empty());
+    }
+
+    #[test]
+    fn static_loop_trip_count_exact() {
+        let p = func(Node::Loop {
+            trips: TripSpec::Static(7),
+            body: Box::new(Node::work(3)),
+        });
+        let cfg = ExecConfig {
+            repeats: 1,
+            ..cfg()
+        };
+        let s = execute(&p, &cfg, 1);
+        assert_eq!(s.insns, 21);
+    }
+
+    #[test]
+    fn geometric_trips_have_requested_mean() {
+        let p = func(Node::Loop {
+            trips: TripSpec::Geometric { mean: 10.0 },
+            body: Box::new(Node::work(1)),
+        });
+        let cfg = ExecConfig {
+            repeats: 2_000,
+            ..cfg()
+        };
+        let s = execute(&p, &cfg, 9);
+        let mean = s.insns as f64 / 2_000.0;
+        assert!((mean - 10.0).abs() < 0.5, "mean trips {mean}");
+    }
+
+    #[test]
+    fn same_seed_same_path_with_and_without_probes() {
+        let p = func(Node::Seq(vec![
+            Node::Branch {
+                p_then: 0.5,
+                then_: Box::new(Node::work(100)),
+                else_: Box::new(Node::work(200)),
+            },
+            Node::Loop {
+                trips: TripSpec::Geometric { mean: 20.0 },
+                body: Box::new(Node::work(10)),
+            },
+        ]));
+        let tq = passes::tq::instrument(&p, passes::tq::TqPassConfig::default());
+        for seed in 0..5 {
+            let a = execute(&p, &cfg(), seed);
+            let b = execute(&tq, &cfg(), seed);
+            assert_eq!(a.insns, b.insns, "probes must not change control flow");
+            assert!(b.total_cycles >= a.total_cycles);
+        }
+    }
+
+    #[test]
+    fn tq_instrumented_long_run_yields_near_quantum() {
+        let p = func(Node::Loop {
+            trips: TripSpec::Geometric { mean: 500.0 },
+            body: Box::new(Node::work(20)),
+        });
+        let tq = passes::tq::instrument(&p, passes::tq::TqPassConfig::default());
+        let c = ExecConfig {
+            repeats: 400,
+            ..cfg()
+        };
+        let s = execute(&tq, &c, 3);
+        assert!(s.yields.len() > 20, "only {} yields", s.yields.len());
+        let mae = s.yield_mae_nanos(&c).expect("enough yields");
+        // TQ's physical clock keeps the error well under the quantum.
+        assert!(mae < 500.0, "MAE {mae}ns too large for a 2µs quantum");
+    }
+
+    #[test]
+    fn tq_bounds_the_clock_read_gap() {
+        let p = func(Node::Seq(vec![
+            Node::work(2_000),
+            Node::Loop {
+                trips: TripSpec::Geometric { mean: 100.0 },
+                body: Box::new(Node::work(7)),
+            },
+        ]));
+        let pass_cfg = passes::tq::TqPassConfig::default();
+        let tq = passes::tq::instrument(&p, pass_cfg);
+        let s = execute(&tq, &cfg(), 5);
+        // Worst case: the residual gap at one invocation's exit (< bound),
+        // plus a cloned short-trip loop that read no clock (< bound), plus
+        // the path to the next invocation's first probe (≤ bound).
+        assert!(
+            s.max_clock_gap_insns <= 3 * pass_cfg.bound,
+            "gap {} exceeds 3x bound",
+            s.max_clock_gap_insns
+        );
+    }
+
+    #[test]
+    fn ci_yields_late_on_load_heavy_code() {
+        // IPC 0.33 (every instruction is a 3-cycle load): CI translates
+        // the quantum at IPC 1 and thus yields ~3x late.
+        let p = func(Node::Loop {
+            trips: TripSpec::Geometric { mean: 1_000.0 },
+            body: Box::new(Node::work_with_loads(10, 1.0, 3)),
+        });
+        let ci = passes::ci::instrument(&p);
+        let c = ExecConfig {
+            repeats: 200,
+            ..cfg()
+        };
+        let s = execute(&ci, &c, 11);
+        assert!(s.yields.len() >= 2);
+        let mae = s.yield_mae_nanos(&c).expect("enough yields");
+        // ~2x-of-quantum lateness ⇒ MAE near 4µs; demand at least 2µs.
+        assert!(mae > 2_000.0, "CI MAE {mae}ns suspiciously accurate");
+    }
+
+    #[test]
+    fn cloned_loop_pays_nothing_on_short_trips() {
+        let body = Node::work(10);
+        let p = func(Node::Loop {
+            trips: TripSpec::Static(5_000),
+            body: Box::new(body.clone()),
+        });
+        // Force a gated+cloned probe by instrumenting, then execute a
+        // *short-trip* sibling with the same instrumented body shape.
+        let tq = passes::tq::instrument(&p, passes::tq::TqPassConfig::default());
+        let Node::Loop { body: ibody, .. } = &tq.functions[0].body else {
+            panic!("expected loop");
+        };
+        let short = func(Node::Loop {
+            trips: TripSpec::Static(3),
+            body: ibody.clone(),
+        });
+        let base_short = func(Node::Loop {
+            trips: TripSpec::Static(3),
+            body: Box::new(body),
+        });
+        let c = ExecConfig {
+            repeats: 1,
+            ..cfg()
+        };
+        let a = execute(&short, &c, 1);
+        let b = execute(&base_short, &c, 1);
+        assert_eq!(
+            a.total_cycles, b.total_cycles,
+            "clone must skip instrumentation below the gate period"
+        );
+    }
+
+    #[test]
+    fn mae_none_with_too_few_yields() {
+        let p = func(Node::work(10));
+        let s = execute(&p, &cfg(), 1);
+        assert!(s.yield_mae_nanos(&cfg()).is_none());
+    }
+}

@@ -1,0 +1,418 @@
+//! The synthetic structured IR.
+//!
+//! Programs are trees of [`Node`]s over a flat function table. The IR is
+//! *structured* (loops and branches are explicit regions rather than raw
+//! goto edges) because that is the information the placement algorithms
+//! consume after LLVM's `LoopSimplify`/`ScalarEvolution` normalization
+//! passes anyway (§4); executing it needs no CFG reconstruction.
+//!
+//! Instructions carry two independent costs:
+//!
+//! * an **instruction count** of 1 — what the CI baseline's counters
+//!   accumulate, and what TQ's placement bounds;
+//! * a **cycle cost** — what actually elapses on the virtual clock
+//!   (loads cost more than ALU ops, which is precisely the
+//!   cycle↔instruction translation error that makes instruction-counter
+//!   yield timing inaccurate, §3.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a function within its [`Program`].
+pub type FuncId = usize;
+
+/// How many times a loop body executes per entry to the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TripSpec {
+    /// Known at compile time (e.g. `for i in 0..N` with constant `N`):
+    /// TQ's pass can statically deduce the iteration count.
+    Static(u32),
+    /// Unknown until run time; the interpreter samples a geometric trip
+    /// count with this mean (minimum 1 trip).
+    Geometric {
+        /// Mean trip count.
+        mean: f64,
+    },
+}
+
+impl TripSpec {
+    /// Worst-case trip count the placement pass must assume: the static
+    /// count, or `None` when unbounded (dynamic trips).
+    pub fn static_trips(&self) -> Option<u32> {
+        match *self {
+            TripSpec::Static(n) => Some(n),
+            TripSpec::Geometric { .. } => None,
+        }
+    }
+}
+
+/// A yield probe inserted by an instrumentation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Probe {
+    /// TQ physical-clock probe: read the cycle counter; yield if at least
+    /// a quantum has elapsed since the last yield.
+    Clock,
+    /// TQ in-loop gated probe: every iteration pays `gate_cycles` (1 when
+    /// the loop's induction variable can drive the gate, 2 when a
+    /// dedicated iteration counter must be maintained); the clock is read
+    /// only every `period` iterations. With `cloned`, the loop was
+    /// duplicated and executions whose trip count is below `period` run
+    /// the uninstrumented clone, paying nothing.
+    GatedClock {
+        /// Iterations between clock reads.
+        period: u32,
+        /// Per-iteration gating cost in cycles.
+        gate_cycles: u32,
+        /// Whether the self-loop cloning optimization applies.
+        cloned: bool,
+        /// Identity of this probe's persistent iteration counter (the
+        /// counter survives across loop invocations, like the
+        /// thread-local counter the real pass emits).
+        site: u32,
+    },
+    /// CI instruction-counter probe: `counter += increment`, then yield if
+    /// the counter passed the translated target instruction count.
+    Counter {
+        /// Instructions accounted by this probe (its region's count).
+        increment: u32,
+    },
+    /// CI-Cycles hybrid probe: like [`Probe::Counter`], but once the
+    /// counter passes the target every probe also reads the physical
+    /// clock and yields only when the quantum truly elapsed.
+    HybridCounter {
+        /// Instructions accounted by this probe.
+        increment: u32,
+    },
+}
+
+/// One instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    /// A real program instruction costing `cycles` on the virtual clock
+    /// (and 1 toward instruction counts).
+    Work {
+        /// Latency in cycles (1 = ALU, 3 = L1 load, bigger = cache miss).
+        cycles: u32,
+    },
+    /// A call to another function in the program.
+    Call {
+        /// Callee.
+        func: FuncId,
+    },
+    /// An instrumentation probe (zero instruction count; probe-specific
+    /// cycle cost paid by the interpreter).
+    Probe(Probe),
+}
+
+/// A region of a function body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// A basic block: straight-line instructions.
+    Block(Vec<Inst>),
+    /// Sequential composition.
+    Seq(Vec<Node>),
+    /// Two-way branch taken with probability `p_then`.
+    Branch {
+        /// Probability of executing `then_`.
+        p_then: f64,
+        /// Taken arm.
+        then_: Box<Node>,
+        /// Fall-through arm.
+        else_: Box<Node>,
+    },
+    /// A natural loop.
+    Loop {
+        /// Trip-count behavior.
+        trips: TripSpec,
+        /// Loop body.
+        body: Box<Node>,
+    },
+}
+
+impl Node {
+    /// A block of `n` ALU instructions.
+    pub fn work(n: usize) -> Node {
+        Node::Block(vec![Inst::Work { cycles: 1 }; n])
+    }
+
+    /// A block of `n` instructions where a fraction `load_frac` are loads
+    /// costing `load_cycles` each (deterministically interleaved).
+    pub fn work_with_loads(n: usize, load_frac: f64, load_cycles: u32) -> Node {
+        assert!((0.0..=1.0).contains(&load_frac), "bad load fraction");
+        let loads = (n as f64 * load_frac).round() as usize;
+        let mut insts = Vec::with_capacity(n);
+        let mut acc = 0usize;
+        for _ in 0..n {
+            acc += loads;
+            if acc >= n && loads > 0 {
+                acc -= n;
+                insts.push(Inst::Work {
+                    cycles: load_cycles,
+                });
+            } else {
+                insts.push(Inst::Work { cycles: 1 });
+            }
+        }
+        Node::Block(insts)
+    }
+
+    /// Whether this subtree is a single basic block (the self-loop
+    /// cloning candidate shape).
+    pub fn is_single_block(&self) -> bool {
+        matches!(self, Node::Block(_))
+    }
+
+    /// Whether any probe instruction exists in the subtree.
+    pub fn has_probe(&self) -> bool {
+        match self {
+            Node::Block(insts) => insts.iter().any(|i| matches!(i, Inst::Probe(_))),
+            Node::Seq(ns) => ns.iter().any(Node::has_probe),
+            Node::Branch { then_, else_, .. } => then_.has_probe() || else_.has_probe(),
+            Node::Loop { body, .. } => body.has_probe(),
+        }
+    }
+
+    /// Number of `Work` instructions in a block; 0 for non-blocks.
+    pub fn block_insn_count(&self) -> u64 {
+        match self {
+            Node::Block(insts) => insts
+                .iter()
+                .filter(|i| matches!(i, Inst::Work { .. } | Inst::Call { .. }))
+                .count() as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// A function: a name (for reports) and a body region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Body region tree.
+    pub body: Node,
+    /// Whether the compiler may instrument it. External/opaque functions
+    /// (system calls, uninstrumented libraries) are `false`; TQ pads the
+    /// caller's path budget with their worst-case instruction count
+    /// instead (§3.1).
+    pub instrumentable: bool,
+}
+
+/// A whole program.
+///
+/// Functions may only call lower-indexed functions (no recursion), which
+/// the constructor validates; the passes rely on this for bottom-up
+/// interprocedural summaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program name (benchmark name in Table 3).
+    pub name: String,
+    /// Function table; `main` is the entry point.
+    pub functions: Vec<Function>,
+    /// Entry function.
+    pub main: FuncId,
+}
+
+impl Program {
+    /// Creates a program, validating the call-order invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `main` is out of range or any function calls a
+    /// same-or-higher-indexed function (possible recursion).
+    pub fn new(name: impl Into<String>, functions: Vec<Function>, main: FuncId) -> Self {
+        assert!(main < functions.len(), "main out of range");
+        for (id, f) in functions.iter().enumerate() {
+            validate_calls(&f.body, id, functions.len());
+        }
+        Program {
+            name: name.into(),
+            functions,
+            main,
+        }
+    }
+
+    /// Worst-case instruction count of one execution path through
+    /// `node` (loops assume their static trip count, or `per-iteration ×
+    /// 1` plus `u64::MAX/4` saturation for dynamic loops — callers must
+    /// handle dynamic loops separately).
+    pub fn max_path_insns(&self, node: &Node) -> u64 {
+        match node {
+            Node::Block(_) => node.block_insn_count(),
+            Node::Seq(ns) => ns.iter().map(|n| self.max_path_insns(n)).sum(),
+            Node::Branch { then_, else_, .. } => self
+                .max_path_insns(then_)
+                .max(self.max_path_insns(else_)),
+            Node::Loop { trips, body } => {
+                let per = self.max_path_insns(body);
+                match trips.static_trips() {
+                    Some(n) => per.saturating_mul(n as u64),
+                    // Dynamic loop: unbounded worst case.
+                    None => u64::MAX / 4,
+                }
+            }
+        }
+    }
+
+    /// Worst-case instruction count through a function, counting calls to
+    /// other functions at their own worst case.
+    pub fn max_func_insns(&self, func: FuncId) -> u64 {
+        self.max_node_insns_with_calls(&self.functions[func].body)
+    }
+
+    /// Worst-case instruction count through `node`, expanding calls to
+    /// their callees' own worst cases.
+    pub fn max_node_insns_with_calls(&self, node: &Node) -> u64 {
+        match node {
+            Node::Block(insts) => insts
+                .iter()
+                .map(|i| match i {
+                    Inst::Work { .. } => 1,
+                    Inst::Call { func } => 1 + self.max_func_insns(*func),
+                    Inst::Probe(_) => 0,
+                })
+                .sum(),
+            Node::Seq(ns) => ns.iter().map(|n| self.max_node_insns_with_calls(n)).sum(),
+            Node::Branch { then_, else_, .. } => self
+                .max_node_insns_with_calls(then_)
+                .max(self.max_node_insns_with_calls(else_)),
+            Node::Loop { trips, body } => {
+                let per = self.max_node_insns_with_calls(body);
+                match trips.static_trips() {
+                    Some(n) => per.saturating_mul(n as u64),
+                    None => u64::MAX / 4,
+                }
+            }
+        }
+    }
+
+    /// Total static probe count (Table 3's probe-count comparison: TQ
+    /// inserts 25–60× fewer probes than CI).
+    pub fn probe_count(&self) -> u64 {
+        fn count(node: &Node) -> u64 {
+            match node {
+                Node::Block(insts) => insts
+                    .iter()
+                    .filter(|i| matches!(i, Inst::Probe(_)))
+                    .count() as u64,
+                Node::Seq(ns) => ns.iter().map(count).sum(),
+                Node::Branch { then_, else_, .. } => count(then_) + count(else_),
+                Node::Loop { body, .. } => count(body),
+            }
+        }
+        self.functions.iter().map(|f| count(&f.body)).sum()
+    }
+}
+
+fn validate_calls(node: &Node, caller: FuncId, n_funcs: usize) {
+    match node {
+        Node::Block(insts) => {
+            for inst in insts {
+                if let Inst::Call { func } = inst {
+                    assert!(*func < n_funcs, "call target out of range");
+                    assert!(
+                        *func < caller,
+                        "function {caller} calls {func}: call graph must be bottom-up"
+                    );
+                }
+            }
+        }
+        Node::Seq(ns) => ns.iter().for_each(|n| validate_calls(n, caller, n_funcs)),
+        Node::Branch { then_, else_, .. } => {
+            validate_calls(then_, caller, n_funcs);
+            validate_calls(else_, caller, n_funcs);
+        }
+        Node::Loop { body, .. } => validate_calls(body, caller, n_funcs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf_program(body: Node) -> Program {
+        Program::new(
+            "t",
+            vec![Function {
+                name: "main".into(),
+                body,
+                instrumentable: true,
+            }],
+            0,
+        )
+    }
+
+    #[test]
+    fn max_path_takes_longest_branch() {
+        let p = leaf_program(Node::Branch {
+            p_then: 0.5,
+            then_: Box::new(Node::work(10)),
+            else_: Box::new(Node::work(30)),
+        });
+        assert_eq!(p.max_func_insns(0), 30);
+    }
+
+    #[test]
+    fn static_loop_multiplies() {
+        let p = leaf_program(Node::Loop {
+            trips: TripSpec::Static(8),
+            body: Box::new(Node::work(5)),
+        });
+        assert_eq!(p.max_func_insns(0), 40);
+    }
+
+    #[test]
+    fn dynamic_loop_is_unbounded() {
+        let p = leaf_program(Node::Loop {
+            trips: TripSpec::Geometric { mean: 4.0 },
+            body: Box::new(Node::work(5)),
+        });
+        assert!(p.max_func_insns(0) >= u64::MAX / 4);
+    }
+
+    #[test]
+    fn calls_count_callee_path() {
+        let callee = Function {
+            name: "leaf".into(),
+            body: Node::work(100),
+            instrumentable: true,
+        };
+        let main = Function {
+            name: "main".into(),
+            body: Node::Block(vec![Inst::Work { cycles: 1 }, Inst::Call { func: 0 }]),
+            instrumentable: true,
+        };
+        let p = Program::new("t", vec![callee, main], 1);
+        assert_eq!(p.max_func_insns(1), 102);
+    }
+
+    #[test]
+    #[should_panic(expected = "bottom-up")]
+    fn rejects_recursion() {
+        let f = Function {
+            name: "f".into(),
+            body: Node::Block(vec![Inst::Call { func: 0 }]),
+            instrumentable: true,
+        };
+        let _ = Program::new("t", vec![f], 0);
+    }
+
+    #[test]
+    fn work_with_loads_places_requested_loads() {
+        let node = Node::work_with_loads(10, 0.3, 5);
+        let Node::Block(insts) = &node else { panic!() };
+        let loads = insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Work { cycles: 5 }))
+            .count();
+        assert_eq!(loads, 3);
+    }
+
+    #[test]
+    fn probe_detection() {
+        let mut insts = vec![Inst::Work { cycles: 1 }];
+        let node = Node::Block(insts.clone());
+        assert!(!node.has_probe());
+        insts.push(Inst::Probe(Probe::Clock));
+        assert!(Node::Block(insts).has_probe());
+    }
+}

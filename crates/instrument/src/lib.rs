@@ -1,0 +1,63 @@
+//! # Tiny Quanta forced-multitasking instrumentation
+//!
+//! A reproduction of TQ's compiler pass (§3.1) and the instruction-counter
+//! baselines it is compared against (§5.6, Table 3), built on a *synthetic
+//! structured IR* instead of LLVM (the Rust toolchain has no equivalent
+//! pass insertion point; see DESIGN.md).
+//!
+//! The IR ([`ir`]) models what the placement algorithms actually consume:
+//! basic blocks with per-instruction cycle costs, branches with taken
+//! probabilities, loops with static or dynamic trip counts, and calls.
+//! A lowering to an explicit basic-block CFG with natural-loop detection
+//! ([`cfg`]) cross-validates the structured form with from-scratch graph
+//! analyses.
+//! Three instrumentation passes ([`passes`]) insert yield probes:
+//!
+//! * **TQ** — physical-clock probes placed so that the longest execution
+//!   path between two probes is bounded; loops get gated probes driven by
+//!   an iteration counter (or the loop's induction variable, saving the
+//!   counter), and single-block loops are cloned so short trips skip
+//!   instrumentation entirely.
+//! * **CI** — the state-of-the-art instruction-counter approach: a counter
+//!   probe per basic block (with straight-line SESE chains merged), and a
+//!   quantum expressed as a target instruction count via an assumed
+//!   instructions-per-cycle ratio.
+//! * **CI-Cycles** — CI's placement, but once the counter crosses the
+//!   threshold each probe also reads the clock and yields only when the
+//!   quantum has truly elapsed.
+//!
+//! The interpreter ([`exec`]) runs a program on a virtual cycle clock and
+//! measures exactly what Table 3 reports: probing overhead (instrumented
+//! vs. base cycles) and yield-timing mean absolute error. The benchmark
+//! programs of Table 3 — 27 CFG shapes modeled on SPLASH-2, Phoenix and
+//! Parsec — are generated in [`programs`].
+//!
+//! ## Example
+//!
+//! ```
+//! use tq_core::Nanos;
+//! use tq_instrument::{exec, passes, programs};
+//!
+//! let base = programs::by_name("matrix-multiply").unwrap();
+//! let tq = passes::tq::instrument(&base, passes::tq::TqPassConfig::default());
+//! let cfg = exec::ExecConfig::default_for_quantum(Nanos::from_micros(2));
+//! let stats = exec::execute(&tq, &cfg, 42);
+//! let base_stats = exec::execute(&base, &cfg, 42);
+//! // Instrumentation costs something, but far less than 2x:
+//! assert!(stats.total_cycles > base_stats.total_cycles);
+//! assert!((stats.total_cycles as f64) < base_stats.total_cycles as f64 * 1.5);
+//! // And the program actually yields at ~quantum intervals:
+//! assert!(stats.yields.len() > 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cfg;
+pub mod exec;
+pub mod ir;
+pub mod passes;
+pub mod programs;
+pub mod report;
+
+pub use ir::{Function, Inst, Node, Probe, Program, TripSpec};

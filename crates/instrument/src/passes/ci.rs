@@ -1,0 +1,217 @@
+//! The instruction-counter baseline ("Compiler Interrupt", CI).
+//!
+//! CI maintains a thread-local instruction counter. To keep the counter
+//! *correct* — every executed instruction accounted — it must probe at
+//! the granularity of basic blocks: each block's probe adds the block's
+//! instruction count and yields if the counter passed the target
+//! (the quantum translated into instructions via an assumed IPC).
+//!
+//! The one optimization the state of the art applies (§3.1) is merging
+//! single-entry single-exit straight-line chains: a run of consecutive
+//! blocks with no intervening control flow needs only one probe with the
+//! summed increment. Branches and loops defeat the merge — each arm and
+//! each body must count its own instructions — which is why CI probe
+//! counts explode on branchy or tight-loop code.
+
+use crate::ir::{Function, Inst, Node, Probe, Program};
+
+/// Instruments every instrumentable function of `program` with
+/// instruction-counter probes.
+pub fn instrument(program: &Program) -> Program {
+    instrument_with(program, &|inc| Probe::Counter { increment: inc })
+}
+
+/// Shared placement logic, parameterized over the probe constructor so
+/// CI-Cycles can reuse it byte-for-byte.
+pub(crate) fn instrument_with(program: &Program, mk: &dyn Fn(u32) -> Probe) -> Program {
+    let functions = program
+        .functions
+        .iter()
+        .map(|f| {
+            if f.instrumentable {
+                Function {
+                    name: f.name.clone(),
+                    body: instrument_node(&f.body, mk),
+                    instrumentable: true,
+                }
+            } else {
+                f.clone()
+            }
+        })
+        .collect();
+    Program::new(program.name.clone(), functions, program.main)
+}
+
+fn instrument_node(node: &Node, mk: &dyn Fn(u32) -> Probe) -> Node {
+    match node {
+        Node::Block(_) => probe_run(std::slice::from_ref(node), mk),
+        Node::Seq(children) => {
+            // Merge maximal runs of consecutive blocks (SESE chains):
+            // one probe per run, placed at the run's end.
+            let mut out = Vec::with_capacity(children.len());
+            let mut run: Vec<&Node> = Vec::new();
+            for child in children {
+                if child.is_single_block() {
+                    run.push(child);
+                } else {
+                    if !run.is_empty() {
+                        out.push(probe_run(
+                            &run.drain(..).cloned().collect::<Vec<_>>(),
+                            mk,
+                        ));
+                    }
+                    out.push(instrument_node(child, mk));
+                }
+            }
+            if !run.is_empty() {
+                out.push(probe_run(&run.drain(..).cloned().collect::<Vec<_>>(), mk));
+            }
+            Node::Seq(out)
+        }
+        Node::Branch {
+            p_then,
+            then_,
+            else_,
+        } => Node::Branch {
+            p_then: *p_then,
+            then_: Box::new(instrument_node(then_, mk)),
+            else_: Box::new(instrument_node(else_, mk)),
+        },
+        Node::Loop { trips, body } => Node::Loop {
+            trips: *trips,
+            body: Box::new(instrument_node(body, mk)),
+        },
+    }
+}
+
+/// Emits a run of blocks with one counter probe appended to the last,
+/// carrying the whole run's instruction count.
+fn probe_run<N: std::borrow::Borrow<Node>>(run: &[N], mk: &dyn Fn(u32) -> Probe) -> Node {
+    let total: u64 = run.iter().map(|n| n.borrow().block_insn_count()).sum();
+    let mut blocks: Vec<Node> = run.iter().map(|n| n.borrow().clone()).collect();
+    if total > 0 {
+        if let Some(Node::Block(insts)) = blocks.last_mut() {
+            insts.push(Inst::Probe(mk(total as u32)));
+        }
+    }
+    if blocks.len() == 1 {
+        blocks.pop().expect("non-empty run")
+    } else {
+        Node::Seq(blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::TripSpec;
+
+    fn func(body: Node) -> Program {
+        Program::new(
+            "t",
+            vec![Function {
+                name: "main".into(),
+                body,
+                instrumentable: true,
+            }],
+            0,
+        )
+    }
+
+    fn counter_increments(node: &Node) -> Vec<u32> {
+        fn walk(node: &Node, out: &mut Vec<u32>) {
+            match node {
+                Node::Block(insts) => {
+                    for i in insts {
+                        if let Inst::Probe(Probe::Counter { increment }) = i {
+                            out.push(*increment);
+                        }
+                    }
+                }
+                Node::Seq(ns) => ns.iter().for_each(|n| walk(n, out)),
+                Node::Branch { then_, else_, .. } => {
+                    walk(then_, out);
+                    walk(else_, out);
+                }
+                Node::Loop { body, .. } => walk(body, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(node, &mut out);
+        out
+    }
+
+    #[test]
+    fn straight_line_chain_merges_to_one_probe() {
+        let p = func(Node::Seq(vec![
+            Node::work(10),
+            Node::work(20),
+            Node::work(30),
+        ]));
+        let out = instrument(&p);
+        assert_eq!(out.probe_count(), 1);
+        assert_eq!(counter_increments(&out.functions[0].body), vec![60]);
+    }
+
+    #[test]
+    fn branch_defeats_merging() {
+        let p = func(Node::Seq(vec![
+            Node::work(10),
+            Node::Branch {
+                p_then: 0.5,
+                then_: Box::new(Node::work(5)),
+                else_: Box::new(Node::work(7)),
+            },
+            Node::work(10),
+        ]));
+        let out = instrument(&p);
+        // prefix, then-arm, else-arm, suffix.
+        assert_eq!(out.probe_count(), 4);
+        assert_eq!(
+            counter_increments(&out.functions[0].body),
+            vec![10, 5, 7, 10]
+        );
+    }
+
+    #[test]
+    fn loop_body_gets_its_own_probe() {
+        let p = func(Node::Loop {
+            trips: TripSpec::Static(100),
+            body: Box::new(Node::work(4)),
+        });
+        let out = instrument(&p);
+        assert_eq!(out.probe_count(), 1);
+        assert_eq!(counter_increments(&out.functions[0].body), vec![4]);
+    }
+
+    #[test]
+    fn counter_is_exact_on_every_path() {
+        // For any execution path, summed increments must equal executed
+        // instructions. Here: both branch arms.
+        let p = func(Node::Branch {
+            p_then: 0.5,
+            then_: Box::new(Node::Seq(vec![Node::work(3), Node::work(4)])),
+            else_: Box::new(Node::work(9)),
+        });
+        let out = instrument(&p);
+        let incs = counter_increments(&out.functions[0].body);
+        assert_eq!(incs, vec![7, 9]);
+    }
+
+    #[test]
+    fn uninstrumentable_functions_untouched() {
+        let ext = Function {
+            name: "syscall".into(),
+            body: Node::work(50),
+            instrumentable: false,
+        };
+        let main = Function {
+            name: "main".into(),
+            body: Node::Block(vec![Inst::Call { func: 0 }]),
+            instrumentable: true,
+        };
+        let p = Program::new("t", vec![ext, main], 1);
+        let out = instrument(&p);
+        assert!(!out.functions[0].body.has_probe());
+    }
+}

@@ -1,0 +1,79 @@
+//! CI-Cycles: the hybrid variant of the instruction-counter baseline.
+//!
+//! Identical probe *placement* to CI — that is the point of the §5.6
+//! comparison — but once the instruction counter crosses the translated
+//! threshold, each probe additionally reads the physical clock and yields
+//! only when the quantum has truly elapsed. This repairs part of CI's
+//! cycle↔instruction translation error at the price of extra clock reads
+//! on top of CI's already-dense probes.
+
+use crate::ir::{Probe, Program};
+use crate::passes::ci;
+
+/// Instruments `program` with CI's placement but hybrid counter+clock
+/// probes.
+pub fn instrument(program: &Program) -> Program {
+    ci::instrument_with(program, &|inc| Probe::HybridCounter { increment: inc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Function, Inst, Node, Program};
+
+    #[test]
+    fn placement_identical_to_ci() {
+        let p = Program::new(
+            "t",
+            vec![Function {
+                name: "main".into(),
+                body: Node::Seq(vec![
+                    Node::work(10),
+                    Node::Branch {
+                        p_then: 0.5,
+                        then_: Box::new(Node::work(5)),
+                        else_: Box::new(Node::work(7)),
+                    },
+                ]),
+                instrumentable: true,
+            }],
+            0,
+        );
+        let a = ci::instrument(&p);
+        let b = instrument(&p);
+        assert_eq!(a.probe_count(), b.probe_count());
+        // Same increments, different probe kind.
+        fn kinds(node: &Node, out: &mut Vec<(bool, u32)>) {
+            match node {
+                Node::Block(insts) => {
+                    for i in insts {
+                        match i {
+                            Inst::Probe(Probe::Counter { increment }) => {
+                                out.push((false, *increment))
+                            }
+                            Inst::Probe(Probe::HybridCounter { increment }) => {
+                                out.push((true, *increment))
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                Node::Seq(ns) => ns.iter().for_each(|n| kinds(n, out)),
+                Node::Branch { then_, else_, .. } => {
+                    kinds(then_, out);
+                    kinds(else_, out);
+                }
+                Node::Loop { body, .. } => kinds(body, out),
+            }
+        }
+        let mut ka = Vec::new();
+        let mut kb = Vec::new();
+        kinds(&a.functions[0].body, &mut ka);
+        kinds(&b.functions[0].body, &mut kb);
+        assert!(ka.iter().all(|(h, _)| !h));
+        assert!(kb.iter().all(|(h, _)| *h));
+        let inc_a: Vec<u32> = ka.into_iter().map(|(_, i)| i).collect();
+        let inc_b: Vec<u32> = kb.into_iter().map(|(_, i)| i).collect();
+        assert_eq!(inc_a, inc_b);
+    }
+}

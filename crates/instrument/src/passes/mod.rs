@@ -1,0 +1,90 @@
+//! Instrumentation passes.
+//!
+//! Each pass takes an uninstrumented [`crate::Program`] and returns a copy
+//! with yield probes inserted:
+//!
+//! * [`tq`] — Tiny Quanta's physical-clock placement (§3.1).
+//! * [`ci`] — the instruction-counter baseline (Compiler Interrupt).
+//! * [`ci_cycles`] — the hybrid that gates clock reads on the counter.
+
+pub mod ci;
+pub mod ci_cycles;
+pub mod tq;
+
+#[cfg(test)]
+mod tests {
+    use crate::ir::{Function, Node, Program, TripSpec};
+    use crate::passes;
+
+    fn sample_program() -> Program {
+        let body = Node::Seq(vec![
+            Node::work(50),
+            Node::Loop {
+                trips: TripSpec::Geometric { mean: 100.0 },
+                body: Box::new(Node::work(10)),
+            },
+            Node::Branch {
+                p_then: 0.3,
+                then_: Box::new(Node::work(200)),
+                else_: Box::new(Node::work(20)),
+            },
+        ]);
+        Program::new(
+            "sample",
+            vec![Function {
+                name: "main".into(),
+                body,
+                instrumentable: true,
+            }],
+            0,
+        )
+    }
+
+    #[test]
+    fn all_passes_insert_probes() {
+        let p = sample_program();
+        assert_eq!(p.probe_count(), 0);
+        let tq = passes::tq::instrument(&p, passes::tq::TqPassConfig::default());
+        let ci = passes::ci::instrument(&p);
+        let cc = passes::ci_cycles::instrument(&p);
+        assert!(tq.probe_count() > 0);
+        assert!(ci.probe_count() > 0);
+        assert_eq!(ci.probe_count(), cc.probe_count(), "same placement");
+    }
+
+    #[test]
+    fn tq_places_far_fewer_probes_than_ci() {
+        // The headline §3.1 property: TQ's bounded-max-path placement
+        // needs dramatically fewer probes than per-basic-block counting.
+        // Single tiny kernels compress the ratio, so assert per-program
+        // no-worse and a strong aggregate ratio across all 27 benchmarks.
+        let mut total_ci = 0;
+        let mut total_tq = 0;
+        for p in crate::programs::all() {
+            let tq = passes::tq::instrument(&p, passes::tq::TqPassConfig::default());
+            let ci = passes::ci::instrument(&p);
+            assert!(
+                ci.probe_count() >= tq.probe_count(),
+                "{}: CI {} vs TQ {}",
+                p.name,
+                ci.probe_count(),
+                tq.probe_count()
+            );
+            total_ci += ci.probe_count();
+            total_tq += tq.probe_count();
+        }
+        assert!(
+            total_ci >= 4 * total_tq.max(1),
+            "aggregate: CI {total_ci} vs TQ {total_tq}"
+        );
+    }
+
+    #[test]
+    fn passes_do_not_mutate_input() {
+        let p = sample_program();
+        let copy = p.clone();
+        let _ = passes::tq::instrument(&p, passes::tq::TqPassConfig::default());
+        let _ = passes::ci::instrument(&p);
+        assert_eq!(p, copy);
+    }
+}

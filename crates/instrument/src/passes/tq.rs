@@ -1,0 +1,423 @@
+//! Tiny Quanta's probe-placement pass (§3.1).
+//!
+//! Physical-clock probes "can function correctly in arbitrary program
+//! locations", so unlike a counter they need *not* be placed per basic
+//! block — only densely enough that the longest execution path between
+//! two probes stays under a bound. The pass therefore:
+//!
+//! * walks each function tracking the worst-case instruction gap since
+//!   the last probe on any path, inserting a [`Probe::Clock`] wherever the
+//!   gap would exceed the bound;
+//! * skips loops whose static trip count proves the whole loop fits in
+//!   the remaining budget;
+//! * gives other loops a *gated* probe ([`Probe::GatedClock`]): the clock
+//!   is read once every `period` iterations (`period = bound / body
+//!   path`), the gate driven by the loop's induction variable when one
+//!   exists (static trip counts) or by a maintained iteration counter
+//!   otherwise;
+//! * clones single-basic-block loops so executions with fewer than
+//!   `period` iterations run the uninstrumented copy;
+//! * pads the gap with a callee's worst-case instruction count when
+//!   calling a function the compiler could not instrument.
+//!
+//! Interprocedurally, functions are processed bottom-up (the IR's call
+//! graph is acyclic by construction) and summarized by whether they
+//! contain a probe and their worst-case exit gap.
+
+use crate::ir::{Function, Inst, Node, Probe, Program, TripSpec};
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs of the TQ pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TqPassConfig {
+    /// Maximum instructions allowed on any path between two probes.
+    /// 600 instructions ≈ 285 ns at IPC 1 on the paper's 2.1 GHz testbed,
+    /// comfortably finer than any supported quantum.
+    pub bound: u64,
+    /// Gap charged for a call to a function the compiler cannot see into
+    /// (system call / external library), §3.1.
+    pub external_call_padding: u64,
+}
+
+impl Default for TqPassConfig {
+    fn default() -> Self {
+        TqPassConfig {
+            bound: 600,
+            external_call_padding: 100,
+        }
+    }
+}
+
+/// Per-function interprocedural summary.
+#[derive(Debug, Clone, Copy)]
+struct FuncSummary {
+    has_probe: bool,
+    /// Worst-case instructions from the last probe (or entry) to return.
+    exit_gap: u64,
+}
+
+struct Ctx<'p> {
+    program: &'p Program,
+    cfg: TqPassConfig,
+    summaries: Vec<FuncSummary>,
+    next_site: u32,
+}
+
+/// Instruments `program` with TQ's physical-clock probes.
+///
+/// # Panics
+///
+/// Panics if `cfg.bound` is zero.
+pub fn instrument(program: &Program, cfg: TqPassConfig) -> Program {
+    assert!(cfg.bound > 0, "probe bound must be positive");
+    let mut ctx = Ctx {
+        program,
+        cfg,
+        summaries: Vec::with_capacity(program.functions.len()),
+        next_site: 0,
+    };
+    let mut functions = Vec::with_capacity(program.functions.len());
+    // Bottom-up: function f only calls functions with smaller ids.
+    for (id, f) in program.functions.iter().enumerate() {
+        if f.instrumentable {
+            let (body, gap_out) = place(&mut ctx, &f.body, 0);
+            let has_probe = body.has_probe();
+            ctx.summaries.push(FuncSummary {
+                has_probe,
+                exit_gap: if has_probe {
+                    gap_out
+                } else {
+                    ctx.program.max_func_insns(id).min(u64::MAX / 8)
+                },
+            });
+            functions.push(Function {
+                name: f.name.clone(),
+                body,
+                instrumentable: true,
+            });
+        } else {
+            ctx.summaries.push(FuncSummary {
+                has_probe: false,
+                exit_gap: cfg.external_call_padding,
+            });
+            functions.push(f.clone());
+        }
+    }
+    Program::new(program.name.clone(), functions, program.main)
+}
+
+/// Recursively places probes in `node` given `gap_in` instructions already
+/// accumulated since the last probe on the worst incoming path. Returns
+/// the instrumented node and the worst-case outgoing gap.
+fn place(ctx: &mut Ctx<'_>, node: &Node, gap_in: u64) -> (Node, u64) {
+    match node {
+        Node::Block(insts) => place_block(ctx, insts, gap_in),
+        Node::Seq(children) => {
+            let mut gap = gap_in;
+            let mut out = Vec::with_capacity(children.len());
+            for child in children {
+                let (c, g) = place(ctx, child, gap);
+                out.push(c);
+                gap = g;
+            }
+            (Node::Seq(out), gap)
+        }
+        Node::Branch {
+            p_then,
+            then_,
+            else_,
+        } => {
+            let (t, g1) = place(ctx, then_, gap_in);
+            let (e, g2) = place(ctx, else_, gap_in);
+            (
+                Node::Branch {
+                    p_then: *p_then,
+                    then_: Box::new(t),
+                    else_: Box::new(e),
+                },
+                g1.max(g2),
+            )
+        }
+        Node::Loop { trips, body } => place_loop(ctx, *trips, body, gap_in),
+    }
+}
+
+fn place_block(ctx: &mut Ctx<'_>, insts: &[Inst], gap_in: u64) -> (Node, u64) {
+    let mut gap = gap_in;
+    let mut out = Vec::with_capacity(insts.len() + 2);
+    for inst in insts {
+        match inst {
+            Inst::Work { .. } => {
+                out.push(*inst);
+                gap += 1;
+            }
+            Inst::Call { func } => {
+                out.push(*inst);
+                let s = ctx.summaries[*func];
+                if s.has_probe {
+                    // The callee's own probes bound its interior; only the
+                    // tail after its last probe carries over.
+                    gap = s.exit_gap;
+                } else {
+                    gap += 1 + s.exit_gap;
+                }
+            }
+            Inst::Probe(_) => {
+                // Pre-existing probes would make gap accounting ambiguous.
+                panic!("TQ pass applied to an already-instrumented program");
+            }
+        }
+        if gap >= ctx.cfg.bound {
+            out.push(Inst::Probe(Probe::Clock));
+            gap = 0;
+        }
+    }
+    (Node::Block(out), gap)
+}
+
+fn place_loop(ctx: &mut Ctx<'_>, trips: TripSpec, body: &Node, gap_in: u64) -> (Node, u64) {
+    let body_max = ctx.program.max_node_insns_with_calls(body);
+    // A statically-bounded loop small enough to fit in the remaining
+    // budget needs no instrumentation at all.
+    if let Some(n) = trips.static_trips() {
+        let total = body_max.saturating_mul(n as u64);
+        if gap_in.saturating_add(total) < ctx.cfg.bound {
+            return (
+                Node::Loop {
+                    trips,
+                    body: Box::new(body.clone()),
+                },
+                gap_in + total,
+            );
+        }
+    }
+
+    // The loop needs a probe at the top of its body so the back edge is
+    // covered; interior structure is then placed with the gap reset by
+    // that probe. `iter_insns` is the heuristic per-iteration path length
+    // the gate period is derived from: inner gated loops count as one of
+    // their own iterations because their (persistent) gate counters keep
+    // accumulating across invocations — the same pragmatic stance the
+    // paper takes for its iteration-counter gating.
+    let single_block = body.is_single_block();
+    let (placed_body, iter_residual) = place(ctx, body, 0);
+    let iter_insns = if placed_body.has_probe() {
+        iter_residual.max(1)
+    } else {
+        body_max.max(1)
+    };
+    let probe = if iter_insns >= ctx.cfg.bound {
+        // A single iteration can exceed the bound even after interior
+        // placement: read the clock every iteration.
+        Probe::Clock
+    } else {
+        let period = (ctx.cfg.bound / iter_insns).max(1) as u32;
+        ctx.next_site += 1;
+        Probe::GatedClock {
+            period,
+            // An induction variable exists when the trip count is an
+            // affine loop bound (statically countable); otherwise a
+            // dedicated iteration counter must be maintained.
+            gate_cycles: if trips.static_trips().is_some() { 1 } else { 2 },
+            cloned: single_block,
+            site: ctx.next_site - 1,
+        }
+    };
+    let body_with_probe = Node::Seq(vec![Node::Block(vec![Inst::Probe(probe)]), placed_body]);
+    let gap_out = match probe {
+        Probe::Clock => iter_insns.min(ctx.cfg.bound),
+        // A cloned loop may run entirely uninstrumented (short trips), so
+        // the incoming gap survives one iteration estimate; the persistent
+        // gate counter bounds the accumulated gap across invocations.
+        Probe::GatedClock { cloned: true, .. } => gap_in.saturating_add(iter_insns),
+        Probe::GatedClock { period, .. } => {
+            (period as u64).saturating_mul(iter_insns).min(ctx.cfg.bound)
+        }
+        _ => unreachable!(),
+    };
+    (
+        Node::Loop {
+            trips,
+            body: Box::new(body_with_probe),
+        },
+        gap_out,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn func(body: Node) -> Program {
+        Program::new(
+            "t",
+            vec![Function {
+                name: "main".into(),
+                body,
+                instrumentable: true,
+            }],
+            0,
+        )
+    }
+
+    fn cfg(bound: u64) -> TqPassConfig {
+        TqPassConfig {
+            bound,
+            external_call_padding: 100,
+        }
+    }
+
+    fn collect_probes(node: &Node, out: &mut Vec<Probe>) {
+        match node {
+            Node::Block(insts) => {
+                for i in insts {
+                    if let Inst::Probe(p) = i {
+                        out.push(*p);
+                    }
+                }
+            }
+            Node::Seq(ns) => ns.iter().for_each(|n| collect_probes(n, out)),
+            Node::Branch { then_, else_, .. } => {
+                collect_probes(then_, out);
+                collect_probes(else_, out);
+            }
+            Node::Loop { body, .. } => collect_probes(body, out),
+        }
+    }
+
+    #[test]
+    fn straight_line_probes_every_bound_insns() {
+        let p = func(Node::work(1000));
+        let out = instrument(&p, cfg(300));
+        // 1000 instructions / 300 bound = probes after insn 300, 600, 900.
+        assert_eq!(out.probe_count(), 3);
+    }
+
+    #[test]
+    fn small_static_loop_left_alone() {
+        let p = func(Node::Loop {
+            trips: TripSpec::Static(10),
+            body: Box::new(Node::work(5)),
+        });
+        let out = instrument(&p, cfg(300));
+        assert_eq!(out.probe_count(), 0, "50 insns fit the 300 budget");
+    }
+
+    #[test]
+    fn large_static_loop_gets_gated_probe_with_induction_gate() {
+        let p = func(Node::Loop {
+            trips: TripSpec::Static(1000),
+            body: Box::new(Node::work(10)),
+        });
+        let out = instrument(&p, cfg(300));
+        let mut probes = Vec::new();
+        collect_probes(&out.functions[0].body, &mut probes);
+        assert_eq!(probes.len(), 1);
+        match probes[0] {
+            Probe::GatedClock {
+                period,
+                gate_cycles,
+                cloned,
+                ..
+            } => {
+                assert_eq!(period, 30, "300 bound / 10-insn body");
+                assert_eq!(gate_cycles, 1, "induction variable drives the gate");
+                assert!(cloned, "single-block body is cloned");
+            }
+            other => panic!("expected gated probe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dynamic_loop_uses_iteration_counter() {
+        let p = func(Node::Loop {
+            trips: TripSpec::Geometric { mean: 50.0 },
+            body: Box::new(Node::Seq(vec![Node::work(5), Node::work(5)])),
+        });
+        let out = instrument(&p, cfg(300));
+        let mut probes = Vec::new();
+        collect_probes(&out.functions[0].body, &mut probes);
+        assert_eq!(probes.len(), 1);
+        match probes[0] {
+            Probe::GatedClock {
+                gate_cycles,
+                cloned,
+                ..
+            } => {
+                assert_eq!(gate_cycles, 2, "no induction variable: counter");
+                assert!(!cloned, "multi-block body is not cloned");
+            }
+            other => panic!("expected gated probe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_body_loop_probes_every_iteration() {
+        let p = func(Node::Loop {
+            trips: TripSpec::Geometric { mean: 3.0 },
+            body: Box::new(Node::work(800)),
+        });
+        let out = instrument(&p, cfg(300));
+        let mut probes = Vec::new();
+        collect_probes(&out.functions[0].body, &mut probes);
+        // Interior probes bound the 800-insn block (800/300 → 2 Clocks);
+        // the residual back-edge path is covered by a gate at the top.
+        assert!(probes.iter().filter(|p| matches!(p, Probe::Clock)).count() >= 2);
+        assert!(probes
+            .iter()
+            .any(|p| matches!(p, Probe::GatedClock { .. })));
+    }
+
+    #[test]
+    fn call_to_probed_function_resets_gap() {
+        let callee = Function {
+            name: "big".into(),
+            body: Node::work(1000), // will contain probes
+            instrumentable: true,
+        };
+        let main = Function {
+            name: "main".into(),
+            body: Node::Seq(vec![
+                Node::Block(vec![Inst::Call { func: 0 }]),
+                Node::work(150),
+            ]),
+            instrumentable: true,
+        };
+        let p = Program::new("t", vec![callee, main], 1);
+        let out = instrument(&p, cfg(300));
+        // main: callee exit gap is 1000 - 3*300 = 100, plus 150 after the
+        // call = 250 < 300: no probe needed in main.
+        assert!(!out.functions[1].body.has_probe());
+    }
+
+    #[test]
+    fn external_call_pads_the_gap() {
+        let ext = Function {
+            name: "syscall".into(),
+            body: Node::work(5),
+            instrumentable: false,
+        };
+        let main = Function {
+            name: "main".into(),
+            body: Node::Seq(vec![
+                Node::Block(vec![Inst::Call { func: 0 }]),
+                Node::work(250),
+            ]),
+            instrumentable: true,
+        };
+        let p = Program::new("t", vec![ext, main], 1);
+        let out = instrument(&p, cfg(300));
+        // 1 (call) + 100 (padding) + 250 = 351 ≥ 300 → a probe lands in
+        // the 250-insn block.
+        assert!(out.functions[1].body.has_probe());
+        assert!(!out.functions[0].body.has_probe());
+    }
+
+    #[test]
+    #[should_panic(expected = "already-instrumented")]
+    fn double_instrumentation_rejected() {
+        let p = func(Node::work(1000));
+        let once = instrument(&p, cfg(300));
+        let _ = instrument(&once, cfg(300));
+    }
+}

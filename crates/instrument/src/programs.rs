@@ -1,0 +1,347 @@
+//! The Table 3 benchmark programs.
+//!
+//! Twenty-seven synthetic programs whose control-flow shapes mirror the
+//! SPLASH-2, Phoenix and Parsec applications the paper instruments
+//! (§5.6): tight single-block kernels (`pca`, `linear-regression`),
+//! deeply nested static loops (`matrix-multiply`, `lu-c`), branchy
+//! tree walks (`barnes`, `raytrace`, `radiosity`), pointer-chasing
+//! load-bound loops (`canneal`, `radix`), large straight-line arithmetic
+//! bodies (`blackscholes`, `streamcluster`), and mixed call graphs
+//! (`fmm`, `volrend`).
+//!
+//! Block sizes, load fractions, and loop structures are chosen so the
+//! *mechanisms* produce the paper's qualitative Table 3: per-basic-block
+//! counter probes drown tight kernels (CI up to ~60–90% overhead on
+//! `pca`-like code), while TQ's bounded placement with induction-variable
+//! gates and loop cloning stays far cheaper — and slightly *more*
+//! expensive than CI exactly where CI is at its best (big straight-line
+//! blocks: `blackscholes`, `streamcluster`, `water-*`).
+
+use crate::ir::{Function, Inst, Node, Program, TripSpec};
+
+/// L1-hit load latency in cycles.
+const LOAD: u32 = 3;
+/// Cache-missy load latency for pointer-chasing kernels.
+const MISS: u32 = 12;
+
+fn blk(n: usize, load_frac: f64) -> Node {
+    Node::work_with_loads(n, load_frac, LOAD)
+}
+
+fn miss_blk(n: usize, load_frac: f64) -> Node {
+    Node::work_with_loads(n, load_frac, MISS)
+}
+
+fn loop_static(trips: u32, body: Node) -> Node {
+    Node::Loop {
+        trips: TripSpec::Static(trips),
+        body: Box::new(body),
+    }
+}
+
+fn loop_dyn(mean: f64, body: Node) -> Node {
+    Node::Loop {
+        trips: TripSpec::Geometric { mean },
+        body: Box::new(body),
+    }
+}
+
+fn branch(p: f64, then_: Node, else_: Node) -> Node {
+    Node::Branch {
+        p_then: p,
+        then_: Box::new(then_),
+        else_: Box::new(else_),
+    }
+}
+
+fn seq(nodes: Vec<Node>) -> Node {
+    Node::Seq(nodes)
+}
+
+/// A binary branch tree of depth `d` whose leaves are `leaf`-sized blocks:
+/// the radiosity/raytrace "many tiny basic blocks" shape.
+fn branch_tree(d: u32, leaf: usize, load_frac: f64) -> Node {
+    if d == 0 {
+        blk(leaf, load_frac)
+    } else {
+        seq(vec![
+            blk(leaf, load_frac),
+            branch(
+                0.5,
+                branch_tree(d - 1, leaf, load_frac),
+                branch_tree(d - 1, leaf, load_frac),
+            ),
+        ])
+    }
+}
+
+/// Rarely-taken setup/error-handling code surrounding a hot kernel: `arms`
+/// cold branches, each a pair of small basic blocks. Real applications are
+/// mostly such code — it is why CI, which must probe *every* basic block
+/// to keep its counter correct, inserts orders of magnitude more probes
+/// than TQ's bounded placement (over 1000 for a RocksDB GET, §3.1), while
+/// contributing almost nothing to hot-path runtime.
+fn cold_code(arms: usize) -> Node {
+    seq((0..arms)
+        .map(|_| branch(0.02, blk(12, 0.3), Node::work(2)))
+        .collect())
+}
+
+fn single(name: &str, body: Node) -> Program {
+    Program::new(
+        name,
+        vec![Function {
+            name: "main".into(),
+            body: seq(vec![cold_code(40), body]),
+            instrumentable: true,
+        }],
+        0,
+    )
+}
+
+fn with_helper(name: &str, helper: Node, glue: impl Fn(FuncIdx) -> Node) -> Program {
+    let helper_fn = Function {
+        name: format!("{name}_kernel"),
+        body: helper,
+        instrumentable: true,
+    };
+    let main = Function {
+        name: "main".into(),
+        body: seq(vec![cold_code(40), glue(0)]),
+        instrumentable: true,
+    };
+    Program::new(name, vec![helper_fn, main], 1)
+}
+
+type FuncIdx = usize;
+
+fn call(func: FuncIdx) -> Node {
+    Node::Block(vec![Inst::Call { func }])
+}
+
+/// Builds one benchmark by name. Returns `None` for unknown names.
+pub fn by_name(name: &str) -> Option<Program> {
+    let p = match name {
+        // SPLASH-2 --------------------------------------------------------
+        // Pairwise force loops: medium bodies, dynamic bounds.
+        "water-nsquared" => single(
+            name,
+            loop_dyn(60.0, loop_dyn(60.0, blk(30, 0.2))),
+        ),
+        // Spatial grid: bigger straight-line bodies.
+        "water-spatial" => single(
+            name,
+            loop_dyn(40.0, seq(vec![blk(45, 0.25), blk(40, 0.15)])),
+        ),
+        // Grid relaxation: nested static loops, load-leaning bodies.
+        "ocean-cp" => single(
+            name,
+            loop_static(64, loop_static(64, blk(22, 0.35))),
+        ),
+        "ocean-ncp" => single(
+            name,
+            loop_static(64, loop_dyn(48.0, blk(18, 0.4))),
+        ),
+        // Octree walk: branchy with helper calls.
+        "barnes" => with_helper(
+            name,
+            branch_tree(3, 9, 0.3),
+            |k| loop_dyn(120.0, seq(vec![blk(12, 0.3), call(k), blk(8, 0.3)])),
+        ),
+        // Ray casting through a volume: branch-heavy loop.
+        "volrend" => single(
+            name,
+            loop_dyn(90.0, seq(vec![blk(6, 0.3), branch_tree(2, 6, 0.35)])),
+        ),
+        // Multipole: calls plus medium loops.
+        "fmm" => with_helper(
+            name,
+            loop_static(12, blk(18, 0.3)),
+            |k| loop_dyn(70.0, seq(vec![blk(20, 0.25), call(k)])),
+        ),
+        // Recursive ray tree, flattened: deep branch nest of small blocks.
+        "raytrace" => single(
+            name,
+            loop_dyn(50.0, branch_tree(4, 8, 0.3)),
+        ),
+        // Radiosity: the branchiest — tiny blocks everywhere.
+        "radiosity" => single(
+            name,
+            loop_dyn(80.0, branch_tree(4, 4, 0.3)),
+        ),
+        // Counting sort passes: huge straight-line bodies.
+        "radix" => single(
+            name,
+            loop_static(200, seq(vec![blk(160, 0.45), blk(150, 0.45)])),
+        ),
+        // FFT butterfly stages.
+        "ft" => single(
+            name,
+            loop_static(32, loop_dyn(32.0, blk(24, 0.45))),
+        ),
+        // Dense LU, contiguous blocks: static triangular nests, small body.
+        "lu-c" => single(
+            name,
+            loop_static(48, loop_static(48, blk(9, 0.3))),
+        ),
+        // Non-contiguous LU: dynamic inner bounds.
+        "lu-nc" => single(
+            name,
+            loop_static(48, loop_dyn(40.0, blk(7, 0.35))),
+        ),
+        // Sparse cholesky: irregular tiny single-block loops with short
+        // trips — where TQ's loop cloning shines.
+        "cholesky" => single(
+            name,
+            loop_dyn(
+                200.0,
+                seq(vec![
+                    blk(5, 0.35),
+                    loop_dyn(5.0, blk(5, 0.4)),
+                    branch(0.4, blk(4, 0.3), loop_dyn(4.0, blk(6, 0.35))),
+                ]),
+            ),
+        ),
+        // Phoenix ---------------------------------------------------------
+        // Tight loop with hash-bucket branching.
+        "reverse-index" => single(
+            name,
+            loop_dyn(300.0, seq(vec![blk(6, 0.35), branch(0.3, blk(7, 0.4), blk(5, 0.3))])),
+        ),
+        // Pixel histogram: tight static single-block kernel.
+        "histogram" => single(name, loop_static(4_000, blk(18, 0.45))),
+        // Distance kernel: small dynamic inner loop.
+        "kmeans" => single(
+            name,
+            loop_dyn(150.0, loop_dyn(24.0, blk(7, 0.3))),
+        ),
+        // Covariance accumulation: the tightest kernel of all.
+        "pca" => single(name, loop_static(8_000, blk(4, 0.25))),
+        // Classic triple nest with a ~35-insn fused-multiply body.
+        "matrix-multiply" => single(
+            name,
+            loop_static(24, loop_static(24, loop_static(24, blk(35, 0.3)))),
+        ),
+        // Byte scanner with a match branch per character.
+        "string-match" => single(
+            name,
+            loop_dyn(500.0, seq(vec![blk(5, 0.3), branch(0.2, blk(6, 0.3), blk(4, 0.3))])),
+        ),
+        // Streaming sums: tight static single block.
+        "linear-regression" => single(name, loop_static(6_000, blk(5, 0.4))),
+        // Tokenizer: moderate blocks with a boundary branch.
+        "word-count" => single(
+            name,
+            loop_dyn(400.0, seq(vec![blk(14, 0.35), branch(0.25, blk(12, 0.3), blk(9, 0.3))])),
+        ),
+        // Parsec ----------------------------------------------------------
+        // Big straight-line option-pricing body: CI's best case.
+        "blackscholes" => single(
+            name,
+            loop_static(600, seq(vec![blk(70, 0.1), blk(62, 0.1)])),
+        ),
+        // Particle grid with neighbor branches.
+        "fluidanimate" => single(
+            name,
+            loop_dyn(80.0, seq(vec![blk(55, 0.3), branch(0.5, blk(60, 0.3), blk(48, 0.3))])),
+        ),
+        // HJM path simulation: small static inner loops.
+        "swaptions" => single(
+            name,
+            loop_dyn(100.0, loop_static(64, blk(7, 0.15))),
+        ),
+        // Simulated annealing over a pointer-chased netlist: load-bound.
+        "canneal" => single(
+            name,
+            loop_dyn(250.0, seq(vec![miss_blk(10, 0.3), branch(0.5, miss_blk(8, 0.3), blk(6, 0.2))])),
+        ),
+        // Stream clustering: chains of medium blocks behind branches.
+        "streamcluster" => single(
+            name,
+            loop_dyn(120.0, seq(vec![blk(40, 0.25), branch(0.5, blk(44, 0.25), blk(38, 0.25))])),
+        ),
+        _ => return None,
+    };
+    Some(p)
+}
+
+/// The names of all 27 benchmarks, in Table 3's order.
+pub const ALL_NAMES: [&str; 27] = [
+    "water-nsquared",
+    "water-spatial",
+    "ocean-cp",
+    "ocean-ncp",
+    "barnes",
+    "volrend",
+    "fmm",
+    "raytrace",
+    "radiosity",
+    "radix",
+    "ft",
+    "lu-c",
+    "lu-nc",
+    "cholesky",
+    "reverse-index",
+    "histogram",
+    "kmeans",
+    "pca",
+    "matrix-multiply",
+    "string-match",
+    "linear-regression",
+    "word-count",
+    "blackscholes",
+    "fluidanimate",
+    "swaptions",
+    "canneal",
+    "streamcluster",
+];
+
+/// All 27 benchmark programs.
+pub fn all() -> Vec<Program> {
+    ALL_NAMES
+        .iter()
+        .map(|n| by_name(n).expect("known name"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_27_build() {
+        let ps = all();
+        assert_eq!(ps.len(), 27);
+        for p in &ps {
+            assert_eq!(p.probe_count(), 0, "{} must start uninstrumented", p.name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names = ALL_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 27);
+    }
+
+    #[test]
+    fn programs_have_meaningful_length() {
+        // Each program should run long enough to cross several 2µs quanta
+        // when repeated (≥ 20k worst-case instructions per invocation for
+        // the loopy ones is plenty; check a sample).
+        for name in ["pca", "matrix-multiply", "radix", "histogram"] {
+            let p = by_name(name).unwrap();
+            assert!(
+                p.max_func_insns(p.main) > 20_000,
+                "{name} too short: {}",
+                p.max_func_insns(p.main)
+            );
+        }
+    }
+}

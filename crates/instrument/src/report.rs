@@ -1,0 +1,159 @@
+//! Table 3 assembly: run every benchmark under every pass and collect
+//! probing overhead, yield-timing MAE, and probe counts.
+
+use crate::exec::{execute, ExecConfig};
+use crate::ir::Program;
+use crate::passes;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Probing overhead (%) of the instruction-counter baseline.
+    pub overhead_ci: f64,
+    /// Probing overhead (%) of the CI-Cycles hybrid.
+    pub overhead_ci_cycles: f64,
+    /// Probing overhead (%) of TQ's pass.
+    pub overhead_tq: f64,
+    /// Yield-timing mean absolute error (ns) of CI.
+    pub mae_ci: f64,
+    /// Yield-timing MAE (ns) of CI-Cycles.
+    pub mae_ci_cycles: f64,
+    /// Yield-timing MAE (ns) of TQ.
+    pub mae_tq: f64,
+    /// Static probes inserted by CI (== CI-Cycles).
+    pub probes_ci: u64,
+    /// Static probes inserted by TQ.
+    pub probes_tq: u64,
+}
+
+/// Summary across all rows (Table 3's "mean" line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Summary {
+    /// Per-benchmark rows, in Table 3 order.
+    pub rows: Vec<Table3Row>,
+    /// Mean overheads (%): CI, CI-Cycles, TQ.
+    pub mean_overhead: (f64, f64, f64),
+    /// Mean MAEs (ns): CI, CI-Cycles, TQ.
+    pub mean_mae: (f64, f64, f64),
+}
+
+/// Measures one benchmark at the given quantum configuration.
+pub fn measure(program: &Program, cfg: &ExecConfig, seed: u64) -> Table3Row {
+    let ci = passes::ci::instrument(program);
+    let cc = passes::ci_cycles::instrument(program);
+    let tq = passes::tq::instrument(program, passes::tq::TqPassConfig::default());
+
+    let base = execute(program, cfg, seed);
+    let s_ci = execute(&ci, cfg, seed);
+    let s_cc = execute(&cc, cfg, seed);
+    let s_tq = execute(&tq, cfg, seed);
+
+    Table3Row {
+        name: program.name.clone(),
+        overhead_ci: s_ci.overhead_pct(&base),
+        overhead_ci_cycles: s_cc.overhead_pct(&base),
+        overhead_tq: s_tq.overhead_pct(&base),
+        mae_ci: s_ci.yield_mae_nanos(cfg).unwrap_or(f64::NAN),
+        mae_ci_cycles: s_cc.yield_mae_nanos(cfg).unwrap_or(f64::NAN),
+        mae_tq: s_tq.yield_mae_nanos(cfg).unwrap_or(f64::NAN),
+        probes_ci: ci.probe_count(),
+        probes_tq: tq.probe_count(),
+    }
+}
+
+/// Runs the full Table 3: all 27 benchmarks on a single core with the
+/// given target quantum (the paper uses 2 µs).
+pub fn table3(cfg: &ExecConfig, seed: u64) -> Table3Summary {
+    let rows: Vec<Table3Row> = crate::programs::all()
+        .iter()
+        .map(|p| measure(p, cfg, seed))
+        .collect();
+    let n = rows.len() as f64;
+    let mean = |f: &dyn Fn(&Table3Row) -> f64| rows.iter().map(f).sum::<f64>() / n;
+    Table3Summary {
+        mean_overhead: (
+            mean(&|r| r.overhead_ci),
+            mean(&|r| r.overhead_ci_cycles),
+            mean(&|r| r.overhead_tq),
+        ),
+        mean_mae: (
+            mean(&|r| r.mae_ci),
+            mean(&|r| r.mae_ci_cycles),
+            mean(&|r| r.mae_tq),
+        ),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_core::Nanos;
+
+    fn cfg() -> ExecConfig {
+        let mut c = ExecConfig::default_for_quantum(Nanos::from_micros(2));
+        c.repeats = 10; // keep unit tests quick
+        c
+    }
+
+    #[test]
+    fn pca_shows_ci_blowup_and_tq_relief() {
+        let p = crate::programs::by_name("pca").unwrap();
+        let row = measure(&p, &cfg(), 42);
+        assert!(
+            row.overhead_ci > 30.0,
+            "per-block counters should drown a tight kernel: {}",
+            row.overhead_ci
+        );
+        assert!(
+            row.overhead_tq < 0.75 * row.overhead_ci,
+            "TQ {} vs CI {}",
+            row.overhead_tq,
+            row.overhead_ci
+        );
+    }
+
+    #[test]
+    fn blackscholes_is_ci_friendly() {
+        let p = crate::programs::by_name("blackscholes").unwrap();
+        let row = measure(&p, &cfg(), 42);
+        assert!(row.overhead_ci < 5.0, "CI {}", row.overhead_ci);
+        assert!(
+            row.overhead_tq > row.overhead_ci,
+            "big straight-line blocks favor CI: TQ {} vs CI {}",
+            row.overhead_tq,
+            row.overhead_ci
+        );
+    }
+
+    #[test]
+    fn ci_cycles_costs_at_least_ci() {
+        for name in ["kmeans", "canneal", "histogram"] {
+            let p = crate::programs::by_name(name).unwrap();
+            let row = measure(&p, &cfg(), 7);
+            assert!(
+                row.overhead_ci_cycles >= row.overhead_ci - 0.5,
+                "{name}: hybrid {} below CI {}",
+                row.overhead_ci_cycles,
+                row.overhead_ci
+            );
+        }
+    }
+
+    #[test]
+    fn tq_probe_counts_are_far_smaller() {
+        for name in ["string-match", "cholesky", "kmeans"] {
+            let p = crate::programs::by_name(name).unwrap();
+            let row = measure(&p, &cfg(), 7);
+            assert!(
+                row.probes_ci >= 2 * row.probes_tq.max(1),
+                "{name}: CI {} vs TQ {}",
+                row.probes_ci,
+                row.probes_tq
+            );
+        }
+    }
+}

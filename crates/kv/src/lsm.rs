@@ -1,0 +1,223 @@
+//! Memtable lifecycle: an LSM-style store of one active skip list plus
+//! frozen immutable ones.
+//!
+//! RocksDB's write path fills a skip-list memtable, freezes it when full,
+//! and serves reads by consulting the active table first and progressively
+//! older frozen ones — scans merge across all of them. This module
+//! reproduces that structure (in memory; flushing to SSTs is beyond what
+//! any of the paper's experiments touch), so the `tq-kv` GET/SCAN jobs
+//! exercise the same multi-table code paths real storage engines do.
+
+use crate::skiplist::SkipList;
+
+/// An LSM-style in-memory store: one mutable memtable, many frozen ones.
+///
+/// # Example
+///
+/// ```
+/// use tq_kv::lsm::LsmStore;
+///
+/// let mut store = LsmStore::new(4, 42); // freeze every 4 entries
+/// for i in 0..10u8 {
+///     store.put(vec![i], vec![i * 2]);
+/// }
+/// assert!(store.frozen_tables() >= 2);
+/// assert_eq!(store.get(&[7]), Some(&[14][..]));
+/// let all: Vec<u8> = store.scan(&[], 100).into_iter().map(|(k, _)| k[0]).collect();
+/// assert_eq!(all, (0..10).collect::<Vec<u8>>());
+/// ```
+#[derive(Debug)]
+pub struct LsmStore {
+    active: SkipList,
+    /// Frozen memtables, newest last.
+    frozen: Vec<SkipList>,
+    memtable_cap: usize,
+    next_seed: u64,
+    len_upper_bound: usize,
+}
+
+impl LsmStore {
+    /// Creates a store that freezes the active memtable after
+    /// `memtable_cap` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memtable_cap` is zero.
+    pub fn new(memtable_cap: usize, seed: u64) -> Self {
+        assert!(memtable_cap > 0, "memtable capacity must be positive");
+        LsmStore {
+            active: SkipList::new(seed),
+            frozen: Vec::new(),
+            memtable_cap,
+            next_seed: seed.wrapping_add(1),
+            len_upper_bound: 0,
+        }
+    }
+
+    /// Number of frozen memtables.
+    pub fn frozen_tables(&self) -> usize {
+        self.frozen.len()
+    }
+
+    /// Upper bound on distinct keys (duplicates across tables counted
+    /// once per table; exact counting would require a full merge).
+    pub fn len_upper_bound(&self) -> usize {
+        self.len_upper_bound
+    }
+
+    /// Inserts a key/value pair, freezing the memtable if it filled up.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        if self.active.insert(key, value).is_none() {
+            self.len_upper_bound += 1;
+        }
+        if self.active.len() >= self.memtable_cap {
+            self.freeze();
+        }
+    }
+
+    /// Freezes the active memtable (no-op when empty).
+    pub fn freeze(&mut self) {
+        if self.active.is_empty() {
+            return;
+        }
+        let seed = self.next_seed;
+        self.next_seed = self.next_seed.wrapping_add(1);
+        let full = std::mem::replace(&mut self.active, SkipList::new(seed));
+        self.frozen.push(full);
+    }
+
+    /// Point lookup: newest table containing the key wins.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        if let Some(v) = self.active.get(key) {
+            return Some(v);
+        }
+        self.frozen.iter().rev().find_map(|t| t.get(key))
+    }
+
+    /// Merged range scan: up to `count` entries with keys ≥ `start`, in
+    /// key order, newest value winning for duplicated keys.
+    pub fn scan(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        // K-way merge over per-table ordered iterators. Tables are few
+        // (memtables, not SSTs), so a simple peek-min scan is both clear
+        // and fast enough.
+        let mut iters: Vec<_> = self
+            .frozen
+            .iter()
+            .chain(std::iter::once(&self.active))
+            .map(|t| t.iter_from(start).peekable())
+            .collect();
+        let mut out: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(count);
+        while out.len() < count {
+            // Find the minimal key; among equal keys the newest table
+            // (highest index: active last) wins.
+            let mut best: Option<(usize, &[u8])> = None;
+            for (i, it) in iters.iter_mut().enumerate() {
+                if let Some(&(k, _)) = it.peek() {
+                    best = match best {
+                        None => Some((i, k)),
+                        Some((_, bk)) if k < bk => Some((i, k)),
+                        Some((bi, bk)) if k == bk && i > bi => Some((i, k)),
+                        other => other,
+                    };
+                }
+            }
+            let Some((winner, key)) = best else { break };
+            let key = key.to_vec();
+            // Advance every iterator holding this key (dedup).
+            let mut value = Vec::new();
+            for (i, it) in iters.iter_mut().enumerate() {
+                if it.peek().map(|&(k, _)| k == key.as_slice()) == Some(true) {
+                    let (_, v) = it.next().expect("peeked");
+                    if i == winner {
+                        value = v.to_vec();
+                    }
+                }
+            }
+            out.push((key, value));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn freeze_happens_at_capacity() {
+        let mut s = LsmStore::new(3, 1);
+        for i in 0..9u8 {
+            s.put(vec![i], vec![i]);
+        }
+        assert_eq!(s.frozen_tables(), 3);
+        for i in 0..9u8 {
+            assert_eq!(s.get(&[i]), Some(&[i][..]));
+        }
+    }
+
+    #[test]
+    fn newest_value_wins_across_tables() {
+        let mut s = LsmStore::new(2, 1);
+        s.put(b"k".to_vec(), b"v1".to_vec());
+        s.put(b"x".to_vec(), b"_".to_vec()); // forces a freeze
+        s.put(b"k".to_vec(), b"v2".to_vec()); // newer table
+        assert_eq!(s.get(b"k"), Some(&b"v2"[..]));
+        let scan = s.scan(b"k", 1);
+        assert_eq!(scan[0].1, b"v2".to_vec());
+    }
+
+    #[test]
+    fn scan_merges_in_order_without_duplicates() {
+        let mut s = LsmStore::new(2, 5);
+        // Interleave so adjacent keys land in different tables.
+        for &i in &[0u8, 4, 1, 5, 2, 6, 3, 7] {
+            s.put(vec![i], vec![i]);
+        }
+        let got: Vec<u8> = s.scan(&[], 100).into_iter().map(|(k, _)| k[0]).collect();
+        assert_eq!(got, (0..8).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn manual_freeze_and_empty_freeze() {
+        let mut s = LsmStore::new(100, 1);
+        s.freeze(); // empty: no-op
+        assert_eq!(s.frozen_tables(), 0);
+        s.put(b"a".to_vec(), b"1".to_vec());
+        s.freeze();
+        assert_eq!(s.frozen_tables(), 1);
+        assert_eq!(s.get(b"a"), Some(&b"1"[..]));
+    }
+
+    proptest! {
+        /// The multi-table store behaves exactly like a BTreeMap under
+        /// arbitrary interleavings of writes (including overwrites) and
+        /// freezes.
+        #[test]
+        fn behaves_like_btreemap(
+            ops in prop::collection::vec(
+                (prop::collection::vec(any::<u8>(), 0..4), any::<u8>(), prop::bool::ANY),
+                0..150,
+            ),
+            cap in 1usize..20,
+        ) {
+            let mut s = LsmStore::new(cap, 9);
+            let mut model = BTreeMap::new();
+            for (k, v, do_freeze) in ops {
+                s.put(k.clone(), vec![v]);
+                model.insert(k, vec![v]);
+                if do_freeze {
+                    s.freeze();
+                }
+            }
+            for (k, v) in &model {
+                prop_assert_eq!(s.get(k), Some(v.as_slice()));
+            }
+            let got = s.scan(&[], usize::MAX.min(1_000));
+            let expect: Vec<(Vec<u8>, Vec<u8>)> =
+                model.into_iter().collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! An arena-based probabilistic skip list.
+//!
+//! The classic Pugh structure RocksDB uses for its memtable: towers of
+//! forward pointers with geometrically distributed heights give expected
+//! O(log n) point lookups and O(1)-per-entry ordered iteration — exactly
+//! the access pattern split (short descent vs. long pointer walk) that
+//! makes GETs microsecond-scale and SCANs hundreds of microseconds.
+//!
+//! Nodes live in an arena (`Vec`) and link by index, which keeps the
+//! implementation safe Rust and — useful for the cache study — gives
+//! every node a stable synthetic "address" for access tracing.
+
+use std::fmt;
+
+/// Maximum tower height (enough for billions of entries at p = 1/4).
+pub const MAX_HEIGHT: usize = 16;
+
+/// Sentinel index meaning "no next node".
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: Vec<u8>,
+    value: Vec<u8>,
+    /// Forward pointers, one per level; length = tower height.
+    next: Vec<u32>,
+}
+
+/// An ordered map from byte keys to byte values.
+///
+/// # Example
+///
+/// ```
+/// use tq_kv::SkipList;
+///
+/// let mut sl = SkipList::new(7);
+/// sl.insert(b"b".to_vec(), b"2".to_vec());
+/// sl.insert(b"a".to_vec(), b"1".to_vec());
+/// assert_eq!(sl.get(b"a"), Some(&b"1"[..]));
+/// let keys: Vec<&[u8]> = sl.iter_from(b"a").map(|(k, _)| k).collect();
+/// assert_eq!(keys, vec![&b"a"[..], &b"b"[..]]);
+/// ```
+#[derive(Clone)]
+pub struct SkipList {
+    /// Arena; index 0 is the head sentinel (empty key, full height).
+    nodes: Vec<Node>,
+    /// Current maximum occupied height.
+    height: usize,
+    len: usize,
+    rng: u64,
+}
+
+impl SkipList {
+    /// Creates an empty list whose tower heights derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SkipList {
+            nodes: vec![Node {
+                key: Vec::new(),
+                value: Vec::new(),
+                next: vec![NIL; MAX_HEIGHT],
+            }],
+            height: 1,
+            len: 0,
+            rng: seed | 1,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts or replaces; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) -> Option<Vec<u8>> {
+        let mut update = [0u32; MAX_HEIGHT];
+        let found = self.find_update_path(&key, &mut update);
+        if let Some(idx) = found {
+            let old = std::mem::replace(&mut self.nodes[idx as usize].value, value);
+            return Some(old);
+        }
+        let h = self.random_height();
+        if h > self.height {
+            // Splice from the head at newly-occupied levels.
+            update[self.height..h].fill(0);
+            self.height = h;
+        }
+        let idx = self.nodes.len() as u32;
+        let mut next = Vec::with_capacity(h);
+        for (level, &pred) in update.iter().enumerate().take(h) {
+            next.push(self.nodes[pred as usize].next[level]);
+        }
+        self.nodes.push(Node { key, value, next });
+        for (level, &pred) in update.iter().enumerate().take(h) {
+            self.nodes[pred as usize].next[level] = idx;
+        }
+        self.len += 1;
+        None
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        let idx = self.seek(key, &mut |_| {});
+        match idx {
+            Some(i) if self.nodes[i as usize].key == key => {
+                Some(self.nodes[i as usize].value.as_slice())
+            }
+            _ => None,
+        }
+    }
+
+    /// Point lookup that reports every arena index visited during the
+    /// descent (head excluded) — the raw material for access traces.
+    pub fn get_traced(&self, key: &[u8], visit: &mut impl FnMut(u32)) -> Option<&[u8]> {
+        let idx = self.seek(key, visit);
+        match idx {
+            Some(i) if self.nodes[i as usize].key == key => {
+                Some(self.nodes[i as usize].value.as_slice())
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterates entries with keys ≥ `start`, in order.
+    pub fn iter_from(&self, start: &[u8]) -> IterFrom<'_> {
+        let first = match self.seek(start, &mut |_| {}) {
+            Some(i) => i,
+            None => NIL,
+        };
+        IterFrom { list: self, cur: first }
+    }
+
+    /// Like [`SkipList::iter_from`], reporting each visited arena index.
+    pub fn scan_traced(
+        &self,
+        start: &[u8],
+        count: usize,
+        visit: &mut impl FnMut(u32),
+    ) -> Vec<(&[u8], &[u8])> {
+        let mut out = Vec::with_capacity(count);
+        let mut cur = match self.seek(start, visit) {
+            Some(i) => i,
+            None => NIL,
+        };
+        while cur != NIL && out.len() < count {
+            visit(cur);
+            let node = &self.nodes[cur as usize];
+            out.push((node.key.as_slice(), node.value.as_slice()));
+            cur = node.next[0];
+        }
+        out
+    }
+
+    /// Finds the first node with key ≥ `key`, reporting visited nodes.
+    fn seek(&self, key: &[u8], visit: &mut impl FnMut(u32)) -> Option<u32> {
+        let mut pred = 0u32; // head
+        for level in (0..self.height).rev() {
+            loop {
+                let next = self.nodes[pred as usize].next[level];
+                if next == NIL {
+                    break;
+                }
+                visit(next);
+                if self.nodes[next as usize].key.as_slice() < key {
+                    pred = next;
+                } else {
+                    break;
+                }
+            }
+        }
+        let first = self.nodes[pred as usize].next[0];
+        (first != NIL).then_some(first)
+    }
+
+    /// Finds predecessors at every level; returns the node index if the
+    /// exact key already exists.
+    fn find_update_path(&self, key: &[u8], update: &mut [u32; MAX_HEIGHT]) -> Option<u32> {
+        let mut pred = 0u32;
+        for level in (0..self.height).rev() {
+            loop {
+                let next = self.nodes[pred as usize].next[level];
+                if next == NIL || self.nodes[next as usize].key.as_slice() >= key {
+                    break;
+                }
+                pred = next;
+            }
+            update[level] = pred;
+        }
+        let first = self.nodes[pred as usize].next[0];
+        (first != NIL && self.nodes[first as usize].key == key).then_some(first)
+    }
+
+    /// Geometric tower height with p = 1/4, capped at [`MAX_HEIGHT`].
+    fn random_height(&mut self) -> usize {
+        // SplitMix64 step.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let mut h = 1;
+        // Two random bits per level: promote with probability 1/4.
+        while h < MAX_HEIGHT && (z & 0b11) == 0 {
+            z >>= 2;
+            h += 1;
+        }
+        h
+    }
+
+    /// The number of arena slots (for synthetic address assignment).
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl fmt::Debug for SkipList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SkipList")
+            .field("len", &self.len)
+            .field("height", &self.height)
+            .finish()
+    }
+}
+
+/// Ordered iterator returned by [`SkipList::iter_from`].
+#[derive(Debug)]
+pub struct IterFrom<'a> {
+    list: &'a SkipList,
+    cur: u32,
+}
+
+impl<'a> Iterator for IterFrom<'a> {
+    type Item = (&'a [u8], &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cur as usize];
+        self.cur = node.next[0];
+        Some((node.key.as_slice(), node.value.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut sl = SkipList::new(1);
+        for i in 0..1000u32 {
+            sl.insert(i.to_be_bytes().to_vec(), (i * 2).to_be_bytes().to_vec());
+        }
+        assert_eq!(sl.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(
+                sl.get(&i.to_be_bytes()),
+                Some((i * 2).to_be_bytes().as_slice())
+            );
+        }
+        assert_eq!(sl.get(&1001u32.to_be_bytes()), None);
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut sl = SkipList::new(1);
+        assert_eq!(sl.insert(b"k".to_vec(), b"v1".to_vec()), None);
+        assert_eq!(sl.insert(b"k".to_vec(), b"v2".to_vec()), Some(b"v1".to_vec()));
+        assert_eq!(sl.len(), 1);
+        assert_eq!(sl.get(b"k"), Some(&b"v2"[..]));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut sl = SkipList::new(3);
+        // Insert in reverse to exercise ordering.
+        for i in (0..500u32).rev() {
+            sl.insert(i.to_be_bytes().to_vec(), vec![]);
+        }
+        let keys: Vec<Vec<u8>> = sl.iter_from(&[]).map(|(k, _)| k.to_vec()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), 500);
+    }
+
+    #[test]
+    fn iter_from_seeks_to_lower_bound() {
+        let mut sl = SkipList::new(3);
+        for i in [10u32, 20, 30] {
+            sl.insert(i.to_be_bytes().to_vec(), vec![]);
+        }
+        let first = sl.iter_from(&15u32.to_be_bytes()).next().unwrap();
+        assert_eq!(first.0, 20u32.to_be_bytes().as_slice());
+    }
+
+    #[test]
+    fn get_traced_visits_log_n_nodes() {
+        let mut sl = SkipList::new(5);
+        for i in 0..100_000u32 {
+            sl.insert(i.to_be_bytes().to_vec(), vec![0u8; 8]);
+        }
+        let mut visits = 0usize;
+        sl.get_traced(&54_321u32.to_be_bytes(), &mut |_| visits += 1);
+        assert!(
+            visits < 200,
+            "descent visited {visits} nodes in a 100k list (expected O(log n))"
+        );
+    }
+
+    #[test]
+    fn scan_traced_returns_count_entries() {
+        let mut sl = SkipList::new(5);
+        for i in 0..1_000u32 {
+            sl.insert(i.to_be_bytes().to_vec(), vec![1]);
+        }
+        let mut visits = Vec::new();
+        let got = sl.scan_traced(&100u32.to_be_bytes(), 50, &mut |i| visits.push(i));
+        assert_eq!(got.len(), 50);
+        assert_eq!(got[0].0, 100u32.to_be_bytes().as_slice());
+        assert!(visits.len() >= 50);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            let mut sl = SkipList::new(99);
+            for i in 0..200u32 {
+                sl.insert(i.to_be_bytes().to_vec(), vec![i as u8]);
+            }
+            sl.arena_len()
+        };
+        assert_eq!(build(), build());
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_btreemap(ops in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 0..8), prop::collection::vec(any::<u8>(), 0..8)),
+            0..200,
+        )) {
+            let mut sl = SkipList::new(42);
+            let mut model = BTreeMap::new();
+            for (k, v) in &ops {
+                let expect = model.insert(k.clone(), v.clone());
+                let got = sl.insert(k.clone(), v.clone());
+                prop_assert_eq!(got, expect);
+            }
+            prop_assert_eq!(sl.len(), model.len());
+            for (k, v) in &model {
+                prop_assert_eq!(sl.get(k), Some(v.as_slice()));
+            }
+            // Full iteration matches the model's order.
+            let got: Vec<_> = sl.iter_from(&[]).map(|(k, _)| k.to_vec()).collect();
+            let expect: Vec<_> = model.keys().cloned().collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! In-flight job state shared by both architecture models.
+
+use tq_core::{ClassId, JobId, Nanos};
+
+/// A job admitted into the serving system: its identity plus the mutable
+/// execution state the model tracks (remaining work, quanta received).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ActiveJob {
+    pub id: JobId,
+    pub class: ClassId,
+    pub arrival: Nanos,
+    /// True (uninflated) service demand, kept for slowdown computation.
+    pub service_true: Nanos,
+    /// Remaining *inflated* work (probing overhead applied on admission).
+    pub remaining: Nanos,
+    /// Inflated work received so far (drives least-attained-service).
+    pub attained: Nanos,
+    /// Quanta this job has received so far.
+    pub quanta: u64,
+    /// The quantum this job runs with (honors per-class overrides).
+    pub quantum: Nanos,
+}
+
+impl ActiveJob {
+    /// Length of the next slice: one quantum or whatever work remains.
+    pub fn next_slice(&self) -> Nanos {
+        self.quantum.min(self.remaining)
+    }
+
+    /// Applies a finished slice; returns `true` if the job completed.
+    pub fn apply_slice(&mut self, slice: Nanos) -> bool {
+        debug_assert!(slice <= self.remaining, "slice exceeds remaining work");
+        self.remaining -= slice;
+        self.attained += slice;
+        self.quanta += 1;
+        self.remaining.is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(remaining_ns: u64, quantum_ns: u64) -> ActiveJob {
+        ActiveJob {
+            id: JobId(0),
+            class: ClassId(0),
+            arrival: Nanos::ZERO,
+            service_true: Nanos::from_nanos(remaining_ns),
+            remaining: Nanos::from_nanos(remaining_ns),
+            attained: Nanos::ZERO,
+            quanta: 0,
+            quantum: Nanos::from_nanos(quantum_ns),
+        }
+    }
+
+    #[test]
+    fn slices_until_done() {
+        let mut j = job(2_500, 1_000);
+        assert_eq!(j.next_slice(), Nanos::from_nanos(1_000));
+        assert!(!j.apply_slice(j.next_slice()));
+        assert!(!j.apply_slice(j.next_slice()));
+        assert_eq!(j.next_slice(), Nanos::from_nanos(500));
+        assert!(j.apply_slice(j.next_slice()));
+        assert_eq!(j.quanta, 3);
+        assert_eq!(j.attained, Nanos::from_nanos(2_500));
+    }
+
+    #[test]
+    fn short_job_finishes_in_one_slice() {
+        let mut j = job(400, 1_000);
+        assert_eq!(j.next_slice(), Nanos::from_nanos(400));
+        assert!(j.apply_slice(j.next_slice()));
+        assert_eq!(j.quanta, 1);
+    }
+}

@@ -1,0 +1,329 @@
+//! The centralized scheduling model (Shinjuku and the idealized CT-PS
+//! analysis of §2 / Figure 4).
+//!
+//! A single dispatcher core owns the job queue and performs *all* quantum
+//! scheduling: it is a serial server whose operations are
+//!
+//! * **ingress** — process an arriving packet into a pending job
+//!   ([`SystemConfig::dispatch_per_req`]);
+//! * **assign** — pop the queue head and send it to an idle worker for one
+//!   quantum ([`SystemConfig::dispatch_per_quantum`]).
+//!
+//! Workers pay [`SystemConfig::preempt_overhead`] (the ~1 µs interrupt for
+//! Shinjuku) at each slice boundary and return the job to the central
+//! queue, so the dispatcher's load grows inversely with the quantum size —
+//! the scalability wall of Figure 16.
+
+use crate::active::ActiveJob;
+use crate::config::{Architecture, SystemConfig};
+use std::collections::{BTreeSet, VecDeque};
+use tq_core::job::Completion;
+use tq_core::policy::PsQueue;
+use tq_core::{Nanos, Request};
+use tq_sim::EventQueue;
+use tq_workloads::ArrivalGen;
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrival,
+    OpDone,
+    SliceDone { worker: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Ingress(Request),
+    Assign,
+}
+
+#[derive(Debug)]
+struct State {
+    /// Pending packet-processing work (FIFO). Scheduling work (Assign)
+    /// takes priority: an overloaded dispatcher lets the RX queue back up
+    /// (as a real NIC queue would) rather than idling every worker.
+    ingress_q: VecDeque<Request>,
+    /// Queued Assign operations (count; they carry no payload).
+    assign_q: usize,
+    in_flight: Option<Op>,
+    central: PsQueue<ActiveJob>,
+    idle: BTreeSet<usize>,
+    pending_assigns: usize,
+    running: Vec<Option<(ActiveJob, Nanos)>>,
+    completions: Vec<Completion>,
+    /// Totals for the dispatcher-scalability experiment (Figure 16).
+    quanta_scheduled: u64,
+    first_slice_start: Option<Nanos>,
+    last_slice_end: Nanos,
+}
+
+/// Outcome of a centralized simulation: completions plus the quantum
+/// accounting the dispatcher-scaling experiment needs.
+#[derive(Debug)]
+pub(crate) struct CentralizedOutcome {
+    pub completions: Vec<Completion>,
+    /// Total quanta the dispatcher scheduled (consumed by the accounting
+    /// tests; the Figure 16 experiment uses its own saturated pipeline).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub quanta_scheduled: u64,
+    /// Span from the first slice start to the last slice end.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub busy_span: Nanos,
+}
+
+/// Simulates the centralized system until arrivals stop at `horizon`, then
+/// drains.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or not centralized.
+pub(crate) fn simulate(
+    cfg: &SystemConfig,
+    mut gen: ArrivalGen,
+    horizon: Nanos,
+) -> CentralizedOutcome {
+    cfg.validate();
+    assert!(
+        matches!(cfg.arch, Architecture::Centralized),
+        "{}: not a centralized system",
+        cfg.name
+    );
+    let mut st = State {
+        ingress_q: VecDeque::new(),
+        assign_q: 0,
+        in_flight: None,
+        central: PsQueue::new(),
+        idle: (0..cfg.n_workers).collect(),
+        pending_assigns: 0,
+        running: (0..cfg.n_workers).map(|_| None).collect(),
+        completions: Vec::new(),
+        quanta_scheduled: 0,
+        first_slice_start: None,
+        last_slice_end: Nanos::ZERO,
+    };
+    let mut events: EventQueue<Ev> = EventQueue::with_capacity(1024);
+
+    let mut next_req = Some(gen.next_request());
+    if let Some(r) = &next_req {
+        if r.arrival < horizon {
+            events.push(r.arrival, Ev::Arrival);
+        } else {
+            next_req = None;
+        }
+    }
+
+    while let Some((now, ev)) = events.pop() {
+        match ev {
+            Ev::Arrival => {
+                let req = next_req.take().expect("arrival without request");
+                st.ingress_q.push_back(req);
+                kick_dispatcher(cfg, &mut st, now, &mut events);
+                let r = gen.next_request();
+                if r.arrival < horizon {
+                    next_req = Some(r);
+                    events.push(r.arrival, Ev::Arrival);
+                }
+            }
+            Ev::OpDone => {
+                let op = st.in_flight.take().expect("op done without op");
+                match op {
+                    Op::Ingress(req) => {
+                        let inflation = cfg.inflation_for(req.class.0);
+                        st.central.admit(ActiveJob {
+                            id: req.id,
+                            class: req.class,
+                            arrival: req.arrival,
+                            service_true: req.service,
+                            remaining: req.service.scale(1.0 + inflation),
+                            attained: Nanos::ZERO,
+                            quanta: 0,
+                            quantum: if cfg.worker_policy.preempts() {
+                                cfg.quantum_for(req.class.0)
+                            } else {
+                                Nanos::MAX
+                            },
+                        });
+                    }
+                    Op::Assign => {
+                        st.pending_assigns -= 1;
+                        if let Some(job) = st.central.take_next() {
+                            if let Some(&w) = st.idle.iter().next() {
+                                st.idle.remove(&w);
+                                let slice = job.next_slice();
+                                st.running[w] = Some((job, slice));
+                                st.quanta_scheduled += 1;
+                                st.first_slice_start.get_or_insert(now);
+                                events.push(
+                                    now + slice + cfg.preempt_overhead,
+                                    Ev::SliceDone { worker: w },
+                                );
+                            } else {
+                                // Wasted dispatcher cycle: every worker got
+                                // busy since this op was queued.
+                                st.central.reenter(job);
+                            }
+                        }
+                    }
+                }
+                schedule_assigns(&mut st);
+                kick_dispatcher(cfg, &mut st, now, &mut events);
+            }
+            Ev::SliceDone { worker: w } => {
+                let (mut job, slice) = st.running[w].take().expect("no running slice");
+                st.last_slice_end = now;
+                let done = job.apply_slice(slice);
+                if done {
+                    st.completions.push(Completion {
+                        id: job.id,
+                        class: job.class,
+                        arrival: job.arrival,
+                        service: job.service_true,
+                        finish: now,
+                    });
+                } else {
+                    st.central.reenter(job);
+                }
+                st.idle.insert(w);
+                schedule_assigns(&mut st);
+                kick_dispatcher(cfg, &mut st, now, &mut events);
+            }
+        }
+    }
+
+    let busy_span = match st.first_slice_start {
+        Some(start) => st.last_slice_end.saturating_sub(start),
+        None => Nanos::ZERO,
+    };
+    CentralizedOutcome {
+        completions: st.completions,
+        quanta_scheduled: st.quanta_scheduled,
+        busy_span,
+    }
+}
+
+/// Tops up Assign operations so that one is pending for each (idle worker,
+/// queued job) pair not yet covered.
+fn schedule_assigns(st: &mut State) {
+    while st.pending_assigns < st.idle.len() && st.pending_assigns < st.central.len() {
+        st.assign_q += 1;
+        st.pending_assigns += 1;
+    }
+}
+
+/// Starts the next dispatcher operation if the core is free. Scheduling
+/// (Assign) work runs before packet processing.
+fn kick_dispatcher(cfg: &SystemConfig, st: &mut State, now: Nanos, events: &mut EventQueue<Ev>) {
+    if st.in_flight.is_some() {
+        return;
+    }
+    let op = if st.assign_q > 0 {
+        st.assign_q -= 1;
+        Op::Assign
+    } else if let Some(req) = st.ingress_q.pop_front() {
+        Op::Ingress(req)
+    } else {
+        return;
+    };
+    let cost = match op {
+        Op::Ingress(_) => cfg.dispatch_per_req,
+        Op::Assign => cfg.dispatch_per_quantum,
+    };
+    st.in_flight = Some(op);
+    events.push(now + cost, Ev::OpDone);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use tq_sim::SimRng;
+    use tq_workloads::table1;
+
+    #[test]
+    fn conservation_all_arrivals_complete() {
+        let cfg = presets::shinjuku(4, Nanos::from_micros(5));
+        let wl = table1::high_bimodal();
+        let rate = wl.rate_for_load(4, 0.4);
+        let gen = ArrivalGen::new(wl, rate, SimRng::new(1));
+        let expected = gen.clone().until(Nanos::from_millis(10)).len();
+        let out = simulate(&cfg, gen, Nanos::from_millis(10));
+        assert_eq!(out.completions.len(), expected);
+    }
+
+    #[test]
+    fn ideal_ct_ps_single_long_job_runs_continuously() {
+        // One job, zero overheads: finishes after exactly its service time
+        // (plus nothing), despite being chopped into quanta.
+        let cfg = presets::ideal_centralized_ps(2, Nanos::from_micros(1));
+        let wl = tq_workloads::Workload::new(
+            "one",
+            vec![tq_workloads::JobClass::new(
+                "only",
+                tq_workloads::ClassDist::Deterministic(Nanos::from_micros(100)),
+                1.0,
+            )],
+        );
+        // Rate low enough that concurrent 100µs jobs are vanishingly rare
+        // (utilization 2e-4) but several arrive before the horizon.
+        let gen = ArrivalGen::new(wl, 2_000.0, SimRng::new(3));
+        let out = simulate(&cfg, gen, Nanos::from_millis(20));
+        assert!(!out.completions.is_empty());
+        let c = &out.completions[0];
+        assert_eq!(c.sojourn(), Nanos::from_micros(100));
+        assert!((c.slowdown() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quanta_accounting_matches_service() {
+        let cfg = presets::ideal_centralized_ps(2, Nanos::from_micros(1));
+        let wl = table1::high_bimodal();
+        let gen = ArrivalGen::new(wl, 50_000.0, SimRng::new(5));
+        let out = simulate(&cfg, gen, Nanos::from_millis(4));
+        // Every 100µs job takes 100 quanta at 1µs, every 1µs job takes 1.
+        let expected: u64 = out
+            .completions
+            .iter()
+            .map(|c| c.service.as_nanos().div_ceil(1_000))
+            .sum();
+        assert_eq!(out.quanta_scheduled, expected);
+    }
+
+    #[test]
+    fn interrupt_overhead_slows_completion() {
+        let wl = table1::high_bimodal();
+        let rate = wl.rate_for_load(4, 0.5);
+        let run = |cfg: &SystemConfig| {
+            let gen = ArrivalGen::new(wl.clone(), rate, SimRng::new(9));
+            let out = simulate(cfg, gen, Nanos::from_millis(20));
+            let mut rec = tq_sim::ClassRecorder::new(0.1);
+            for c in out.completions {
+                rec.record(c);
+            }
+            rec.summarize(Nanos::ZERO)[0].p999
+        };
+        let ideal = run(&presets::ideal_centralized_ps(4, Nanos::from_micros(5)));
+        let shinjuku = run(&presets::shinjuku(4, Nanos::from_micros(5)));
+        assert!(
+            shinjuku > ideal,
+            "interrupts must cost something: {shinjuku} <= {ideal}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = presets::shinjuku(4, Nanos::from_micros(5));
+        let wl = table1::extreme_bimodal();
+        let rate = wl.rate_for_load(4, 0.3);
+        let a = simulate(
+            &cfg,
+            ArrivalGen::new(wl.clone(), rate, SimRng::new(2)),
+            Nanos::from_millis(5),
+        );
+        let b = simulate(
+            &cfg,
+            ArrivalGen::new(wl, rate, SimRng::new(2)),
+            Nanos::from_millis(5),
+        );
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.quanta_scheduled, b.quanta_scheduled);
+    }
+}

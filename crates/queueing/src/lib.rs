@@ -1,0 +1,53 @@
+//! # Tiny Quanta serving-system models
+//!
+//! Nanosecond-resolution discrete-event models of the complete serving
+//! systems the paper evaluates (§5):
+//!
+//! * **TQ** — two-level scheduling: a load-balancing-only dispatcher
+//!   (JSQ + MSQ tie-breaking) in front of per-core processor-sharing
+//!   quantum schedulers driven by forced multitasking (coroutine-yield
+//!   preemption cost, probe-inflation of service times).
+//! * **Shinjuku** — centralized single-queue preemptive scheduling: the
+//!   dispatcher core receives packets, schedules *every quantum* of every
+//!   core, and preempts via ~1 µs interrupts.
+//! * **Caladan** — RSS-steered FCFS run-to-completion with work stealing,
+//!   in IOKernel or directpath mode.
+//! * **Ablation variants** — TQ-IC, TQ-SLOW-YIELD, TQ-TIMING, TQ-RAND,
+//!   TQ-POWER-TWO, TQ-FCFS (§5.4).
+//!
+//! The models share the policy code in [`tq_core::policy`] and the event
+//! queue and metrics in `tq_sim`, and are exercised by one regeneration
+//! binary per paper figure in `tq-bench`.
+//!
+//! ## Example
+//!
+//! ```
+//! use tq_core::Nanos;
+//! use tq_queueing::{presets, run::run_once};
+//! use tq_workloads::table1;
+//!
+//! let cfg = presets::tq(16, Nanos::from_micros(2));
+//! let wl = table1::extreme_bimodal();
+//! let rate = wl.rate_for_load(16, 0.4); // 40% load
+//! let result = run_once(&cfg, &wl, rate, Nanos::from_millis(20), 1);
+//! let short = &result.classes[0];
+//! // At 40% load with 2µs quanta, short jobs see little queueing:
+//! assert!(short.p999 < Nanos::from_micros(60));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod centralized;
+pub mod config;
+pub mod presets;
+pub mod run;
+pub mod scaling;
+pub mod theory;
+pub mod twolevel;
+
+mod active;
+mod runq;
+
+pub use config::{Architecture, SystemConfig};
+pub use run::{run_once, sweep, RunResult};

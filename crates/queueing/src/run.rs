@@ -1,0 +1,292 @@
+//! Experiment driver: run one configured system against one workload at
+//! one offered rate, producing the paper's metrics.
+
+use crate::centralized;
+use crate::config::{Architecture, SystemConfig};
+use crate::twolevel;
+use serde::{Deserialize, Serialize};
+use tq_core::costs;
+use tq_core::Nanos;
+use tq_sim::metrics::ClassSummary;
+use tq_sim::{ClassRecorder, SimRng};
+use tq_workloads::{ArrivalGen, Workload};
+
+/// Warm-up fraction discarded from every run (§5.1: "the first 10% samples
+/// are discarded").
+pub const WARMUP_FRAC: f64 = 0.1;
+
+/// The measured outcome of one `(system, workload, rate)` point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// System label (e.g. `"TQ"`).
+    pub system: String,
+    /// Workload name.
+    pub workload: String,
+    /// Offered request rate (requests per second).
+    pub rate_rps: f64,
+    /// Per-class end-to-end latency summaries (sojourn + network RTT),
+    /// ordered by class id — what Figures 5–12 plot.
+    pub classes: Vec<ClassSummary>,
+    /// Per-class server-side sojourn summaries (no RTT), used by the
+    /// within-TQ comparisons.
+    pub classes_sojourn: Vec<ClassSummary>,
+    /// 99.9th percentile slowdown across all classes (Figure 8's TPC-C
+    /// metric, and the §2 analysis metric).
+    pub overall_slowdown_p999: f64,
+    /// Jobs completed after warm-up discarding.
+    pub completed: usize,
+    /// Goodput: completions within the arrival horizon per second.
+    pub achieved_rps: f64,
+}
+
+impl RunResult {
+    /// The end-to-end summary for one class by its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no job of that class completed.
+    pub fn class(&self, idx: usize) -> &ClassSummary {
+        self.classes
+            .iter()
+            .find(|c| c.class.0 as usize == idx)
+            .unwrap_or_else(|| panic!("no completions for class {idx}"))
+    }
+}
+
+/// Runs `cfg` serving `workload` at `rate_rps` for `duration` of simulated
+/// arrivals (the system then drains), with the given seed.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn run_once(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    rate_rps: f64,
+    duration: Nanos,
+    seed: u64,
+) -> RunResult {
+    cfg.validate();
+    let gen = ArrivalGen::new(workload.clone(), rate_rps, SimRng::new(seed));
+    let completions = match cfg.arch {
+        Architecture::TwoLevel { .. } => twolevel::simulate(cfg, gen, duration, seed ^ 0xD15),
+        Architecture::Centralized => centralized::simulate(cfg, gen, duration).completions,
+    };
+    let in_horizon = completions
+        .iter()
+        .filter(|c| c.finish <= duration)
+        .count();
+    let mut rec = ClassRecorder::new(WARMUP_FRAC);
+    for c in completions {
+        rec.record(c);
+    }
+    let classes = rec.summarize(costs::NETWORK_RTT);
+    let classes_sojourn = rec.summarize(Nanos::ZERO);
+    let completed = classes.iter().map(|c| c.count).sum();
+    RunResult {
+        system: cfg.name.clone(),
+        workload: workload.name().to_string(),
+        rate_rps,
+        classes,
+        classes_sojourn,
+        overall_slowdown_p999: rec.overall_slowdown(99.9),
+        completed,
+        achieved_rps: in_horizon as f64 / duration.as_secs_f64(),
+    }
+}
+
+/// Sweeps a list of offered rates, returning one [`RunResult`] per rate.
+pub fn sweep(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    rates_rps: &[f64],
+    duration: Nanos,
+    seed: u64,
+) -> Vec<RunResult> {
+    rates_rps
+        .iter()
+        .map(|&r| run_once(cfg, workload, r, duration, seed))
+        .collect()
+}
+
+/// Finds the highest rate (within `rates`) whose metric stays under a
+/// budget — the paper's "maximum load under a latency SLO" summary. The
+/// metric is extracted per run by `metric`; returns the last rate
+/// satisfying `metric <= budget`, or `None` if even the first violates it.
+pub fn max_rate_under<F>(results: &[RunResult], budget: f64, metric: F) -> Option<f64>
+where
+    F: Fn(&RunResult) -> f64,
+{
+    let mut best = None;
+    for r in results {
+        if metric(r) <= budget {
+            best = Some(r.rate_rps);
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// A metric replicated over independent seeds: mean and sample standard
+/// deviation. Tail percentiles at short simulated durations are noisy;
+/// replication quantifies how much.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Replicated {
+    /// Mean across seeds.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single seed).
+    pub std_dev: f64,
+    /// Number of seeds.
+    pub n: usize,
+}
+
+impl Replicated {
+    fn from_samples(xs: &[f64]) -> Self {
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Replicated {
+            mean,
+            std_dev: var.sqrt(),
+            n,
+        }
+    }
+}
+
+/// Runs the same `(system, workload, rate)` point under several seeds and
+/// returns the replicated per-class p999 (end-to-end) and overall
+/// slowdown statistics, in class-id order.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or class sets differ between seeds (a class
+/// with no completions under some seed — lengthen the duration).
+pub fn run_replicated(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    rate_rps: f64,
+    duration: Nanos,
+    seeds: &[u64],
+) -> (Vec<Replicated>, Replicated) {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let runs: Vec<RunResult> = seeds
+        .iter()
+        .map(|&s| run_once(cfg, workload, rate_rps, duration, s))
+        .collect();
+    let n_classes = runs[0].classes.len();
+    assert!(
+        runs.iter().all(|r| r.classes.len() == n_classes),
+        "class sets differ across seeds; lengthen the duration"
+    );
+    let per_class = (0..n_classes)
+        .map(|c| {
+            let xs: Vec<f64> = runs
+                .iter()
+                .map(|r| r.classes[c].p999.as_nanos() as f64)
+                .collect();
+            Replicated::from_samples(&xs)
+        })
+        .collect();
+    let slowdowns: Vec<f64> = runs.iter().map(|r| r.overall_slowdown_p999).collect();
+    (per_class, Replicated::from_samples(&slowdowns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use tq_core::policy::TieBreak;
+    use tq_workloads::table1;
+
+    #[test]
+    fn low_load_has_low_slowdown() {
+        let cfg = presets::ideal_centralized_ps(8, Nanos::from_micros(1));
+        let wl = table1::extreme_bimodal();
+        let r = run_once(&cfg, &wl, wl.rate_for_load(8, 0.1), Nanos::from_millis(20), 42);
+        assert!(
+            r.overall_slowdown_p999 < 3.0,
+            "slowdown {} at 10% load",
+            r.overall_slowdown_p999
+        );
+    }
+
+    #[test]
+    fn slowdown_grows_with_load() {
+        let cfg = presets::tq(8, Nanos::from_micros(2));
+        let wl = table1::extreme_bimodal();
+        let lo = run_once(&cfg, &wl, wl.rate_for_load(8, 0.2), Nanos::from_millis(20), 1);
+        let hi = run_once(&cfg, &wl, wl.rate_for_load(8, 0.8), Nanos::from_millis(20), 1);
+        assert!(hi.overall_slowdown_p999 > lo.overall_slowdown_p999);
+    }
+
+    #[test]
+    fn e2e_includes_rtt() {
+        let cfg = presets::tq(4, Nanos::from_micros(2));
+        let wl = table1::exp1();
+        let r = run_once(&cfg, &wl, wl.rate_for_load(4, 0.3), Nanos::from_millis(10), 3);
+        let e2e = r.classes[0].p999;
+        let soj = r.classes_sojourn[0].p999;
+        assert_eq!(e2e, soj + costs::NETWORK_RTT);
+    }
+
+    #[test]
+    fn msq_improves_long_job_tail_over_random_tiebreak() {
+        // The Figure 4 phenomenon: with ideal overheads, JSQ-PS with MSQ
+        // tie-breaking beats random tie-breaking on long-job p999 slowdown.
+        let wl = table1::extreme_bimodal();
+        let rate = wl.rate_for_load(16, 0.55);
+        let dur = Nanos::from_millis(60);
+        let msq = run_once(
+            &presets::ideal_two_level(16, Nanos::from_micros(1), TieBreak::MaxServicedQuanta),
+            &wl,
+            rate,
+            dur,
+            7,
+        );
+        let rnd = run_once(
+            &presets::ideal_two_level(16, Nanos::from_micros(1), TieBreak::Random),
+            &wl,
+            rate,
+            dur,
+            7,
+        );
+        let msq_slow = msq.classes_sojourn[1].slowdown_p999;
+        let rnd_slow = rnd.classes_sojourn[1].slowdown_p999;
+        assert!(
+            msq_slow < rnd_slow,
+            "MSQ {msq_slow} should beat random {rnd_slow} for long jobs"
+        );
+    }
+
+    #[test]
+    fn replication_quantifies_noise() {
+        let cfg = presets::tq(8, Nanos::from_micros(2));
+        let wl = table1::extreme_bimodal();
+        let rate = wl.rate_for_load(8, 0.5);
+        let (classes, slowdown) =
+            run_replicated(&cfg, &wl, rate, Nanos::from_millis(15), &[1, 2, 3]);
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].n, 3);
+        assert!(classes[0].mean > 0.0);
+        assert!(classes[0].std_dev >= 0.0);
+        assert!(slowdown.mean >= 1.0);
+        // Single seed ⇒ zero spread.
+        let (single, _) = run_replicated(&cfg, &wl, rate, Nanos::from_millis(15), &[7]);
+        assert_eq!(single[0].std_dev, 0.0);
+    }
+
+    #[test]
+    fn max_rate_under_picks_last_satisfying() {
+        let cfg = presets::tq(4, Nanos::from_micros(2));
+        let wl = table1::exp1();
+        let rates: Vec<f64> = (1..=4).map(|i| wl.rate_for_load(4, 0.2 * i as f64)).collect();
+        let results = sweep(&cfg, &wl, &rates, Nanos::from_millis(8), 5);
+        let cap = max_rate_under(&results, 100_000.0, |r| r.class(0).p999.as_nanos() as f64);
+        assert!(cap.is_some());
+    }
+}

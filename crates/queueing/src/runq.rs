@@ -1,0 +1,117 @@
+//! The worker's run queue, generic over the quantum discipline.
+//!
+//! PS and FCFS share a FIFO rotation ([`PsQueue`]); least-attained-service
+//! orders by attained service ([`LasQueue`]). This enum gives the
+//! two-level model one interface over both.
+
+use crate::active::ActiveJob;
+use tq_core::policy::{LasQueue, PsQueue, WorkerPolicy};
+
+/// A discipline-polymorphic run queue of [`ActiveJob`]s.
+#[derive(Debug)]
+pub(crate) enum RunQueue {
+    /// FIFO rotation: PS and FCFS.
+    Fifo(PsQueue<ActiveJob>),
+    /// Least-attained-service min-heap.
+    Las(LasQueue<ActiveJob>),
+}
+
+impl RunQueue {
+    pub fn new(policy: WorkerPolicy) -> Self {
+        match policy {
+            WorkerPolicy::ProcessorSharing | WorkerPolicy::Fcfs => RunQueue::Fifo(PsQueue::new()),
+            WorkerPolicy::LeastAttainedService => RunQueue::Las(LasQueue::new()),
+        }
+    }
+
+    /// Admits a new or yielded job.
+    pub fn push(&mut self, job: ActiveJob) {
+        match self {
+            RunQueue::Fifo(q) => q.admit(job),
+            RunQueue::Las(q) => {
+                let attained = job.attained;
+                q.admit(job, attained);
+            }
+        }
+    }
+
+    /// Takes the job to run next under the discipline.
+    pub fn take_next(&mut self) -> Option<ActiveJob> {
+        match self {
+            RunQueue::Fifo(q) => q.take_next(),
+            RunQueue::Las(q) => q.take_next().map(|(j, _)| j),
+        }
+    }
+
+    /// Removes the job a work-stealing thief would take (the one that
+    /// would run last).
+    ///
+    /// # Panics
+    ///
+    /// Panics for LAS queues: stealing is only configured with FCFS
+    /// (Caladan), which [`crate::SystemConfig::validate`] enforces.
+    pub fn take_last(&mut self) -> Option<ActiveJob> {
+        match self {
+            RunQueue::Fifo(q) => q.take_last(),
+            RunQueue::Las(_) => panic!("work stealing is not defined for LAS queues"),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            RunQueue::Fifo(q) => q.len(),
+            RunQueue::Las(q) => q.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_core::{ClassId, JobId, Nanos};
+
+    fn job(id: u64, attained_us: u64) -> ActiveJob {
+        ActiveJob {
+            id: JobId(id),
+            class: ClassId(0),
+            arrival: Nanos::ZERO,
+            service_true: Nanos::from_micros(100),
+            remaining: Nanos::from_micros(100),
+            attained: Nanos::from_micros(attained_us),
+            quanta: 0,
+            quantum: Nanos::from_micros(1),
+        }
+    }
+
+    #[test]
+    fn fifo_keeps_order() {
+        let mut q = RunQueue::new(WorkerPolicy::ProcessorSharing);
+        q.push(job(1, 50));
+        q.push(job(2, 0));
+        assert_eq!(q.take_next().unwrap().id.0, 1);
+        assert_eq!(q.take_next().unwrap().id.0, 2);
+    }
+
+    #[test]
+    fn las_prefers_least_attained() {
+        let mut q = RunQueue::new(WorkerPolicy::LeastAttainedService);
+        q.push(job(1, 50));
+        q.push(job(2, 0));
+        q.push(job(3, 10));
+        assert_eq!(q.take_next().unwrap().id.0, 2);
+        assert_eq!(q.take_next().unwrap().id.0, 3);
+        assert_eq!(q.take_next().unwrap().id.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined for LAS")]
+    fn las_rejects_stealing() {
+        let mut q = RunQueue::new(WorkerPolicy::LeastAttainedService);
+        q.push(job(1, 0));
+        let _ = q.take_last();
+    }
+}

@@ -1,0 +1,148 @@
+//! Closed-form queueing-theory oracles.
+//!
+//! The paper leans on known results — processor sharing is tail-optimal
+//! for heavy-tailed service, JSQ-PS is near-optimal for mean sojourn
+//! (M/G/K/JSQ/PS), M/M/1-PS has the FCFS mean — and our simulator must
+//! agree with the closed forms wherever they exist. This module provides
+//! them, both as test oracles and for back-of-envelope analysis next to
+//! simulation results.
+
+/// Mean sojourn time of an M/M/1 queue (FCFS or PS — they coincide):
+/// `1 / (mu - lambda)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < lambda < mu`.
+///
+/// # Example
+///
+/// ```
+/// use tq_queueing::theory::mm1_mean_sojourn;
+/// // mu = 1 job/us, 50% load: mean sojourn 2us.
+/// assert!((mm1_mean_sojourn(0.5, 1.0) - 2.0).abs() < 1e-12);
+/// ```
+pub fn mm1_mean_sojourn(lambda: f64, mu: f64) -> f64 {
+    assert!(lambda > 0.0 && mu > lambda, "need 0 < lambda < mu");
+    1.0 / (mu - lambda)
+}
+
+/// The `q`-quantile of sojourn time in M/M/1-FCFS: sojourn is
+/// exponential with rate `mu - lambda`, so `T_q = -ln(1-q)/(mu-lambda)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < lambda < mu` and `0 < q < 1`.
+pub fn mm1_fcfs_sojourn_quantile(lambda: f64, mu: f64, q: f64) -> f64 {
+    assert!(lambda > 0.0 && mu > lambda, "need 0 < lambda < mu");
+    assert!(q > 0.0 && q < 1.0, "quantile in (0,1)");
+    -(1.0 - q).ln() / (mu - lambda)
+}
+
+/// Mean sojourn of M/G/1-PS: depends on the service distribution only
+/// through its mean — `E[S] / (1 - rho)` (the PS insensitivity property,
+/// the deep reason blind PS handles *any* service distribution well).
+///
+/// # Panics
+///
+/// Panics unless `0 <= rho < 1` and `mean_service > 0`.
+pub fn mg1_ps_mean_sojourn(mean_service: f64, rho: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho), "utilization in [0,1)");
+    assert!(mean_service > 0.0, "positive mean service");
+    mean_service / (1.0 - rho)
+}
+
+/// Conditional mean sojourn of a job of size `x` in M/G/1-PS:
+/// `x / (1 - rho)` — i.e. expected slowdown is the *same* for every job
+/// size, which is why PS never head-of-line-blocks the short jobs.
+pub fn mg1_ps_conditional_sojourn(x: f64, rho: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho), "utilization in [0,1)");
+    x / (1.0 - rho)
+}
+
+/// Erlang-C: probability an arrival waits in an M/M/k queue.
+///
+/// # Panics
+///
+/// Panics unless `k >= 1` and the system is stable (`lambda < k*mu`).
+pub fn erlang_c(lambda: f64, mu: f64, k: usize) -> f64 {
+    assert!(k >= 1, "need at least one server");
+    let a = lambda / mu; // offered load in Erlangs
+    assert!(a < k as f64, "unstable system");
+    // Sum_{n<k} a^n/n! and the k-th term, computed iteratively.
+    let mut term = 1.0; // a^0/0!
+    let mut sum = 0.0;
+    for n in 0..k {
+        if n > 0 {
+            term *= a / n as f64;
+        }
+        sum += term;
+    }
+    let term_k = term * a / k as f64; // a^k/k!
+    let rho = a / k as f64;
+    let pk = term_k / (1.0 - rho);
+    pk / (sum + pk)
+}
+
+/// Mean sojourn time in M/M/k-FCFS via Erlang-C:
+/// `1/mu + C(k, a) / (k*mu - lambda)`.
+///
+/// # Panics
+///
+/// Propagates [`erlang_c`]'s panics.
+pub fn mmk_mean_sojourn(lambda: f64, mu: f64, k: usize) -> f64 {
+    1.0 / mu + erlang_c(lambda, mu, k) / (k as f64 * mu - lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_special_values() {
+        assert!((mm1_mean_sojourn(0.5, 1.0) - 2.0).abs() < 1e-12);
+        assert!((mm1_mean_sojourn(0.9, 1.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mm1_quantiles_are_exponential() {
+        // Median = ln2 * mean.
+        let mean = mm1_mean_sojourn(0.5, 1.0);
+        let median = mm1_fcfs_sojourn_quantile(0.5, 1.0, 0.5);
+        assert!((median - mean * std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ps_insensitivity() {
+        // Same mean regardless of what we call the distribution.
+        assert!((mg1_ps_mean_sojourn(1.0, 0.6) - 2.5).abs() < 1e-12);
+        // Slowdown uniform across sizes.
+        let s1 = mg1_ps_conditional_sojourn(1.0, 0.6) / 1.0;
+        let s2 = mg1_ps_conditional_sojourn(100.0, 0.6) / 100.0;
+        assert!((s1 - s2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_c_limits() {
+        // k=1 reduces to rho.
+        for rho in [0.1, 0.5, 0.9] {
+            assert!((erlang_c(rho, 1.0, 1) - rho).abs() < 1e-12);
+        }
+        // Many servers at low load: waiting probability tiny.
+        assert!(erlang_c(1.0, 1.0, 16) < 1e-10);
+        // Monotone in load.
+        assert!(erlang_c(8.0, 1.0, 16) < erlang_c(14.0, 1.0, 16));
+    }
+
+    #[test]
+    fn mmk_reduces_to_mm1() {
+        let a = mmk_mean_sojourn(0.5, 1.0, 1);
+        let b = mm1_mean_sojourn(0.5, 1.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn erlang_c_rejects_overload() {
+        let _ = erlang_c(17.0, 1.0, 16);
+    }
+}

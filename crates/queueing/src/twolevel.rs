@@ -1,0 +1,405 @@
+//! The two-level scheduling model (TQ, Caladan, and all TQ-* ablations).
+//!
+//! Dynamics (§3, Figure 3):
+//!
+//! 1. Requests arrive at the dispatcher's RX queue; the dispatcher is a
+//!    serial server spending [`SystemConfig::dispatch_per_req`] per request.
+//! 2. On finishing a request it consults the load-balancing policy (with a
+//!    fresh view of each worker's counters) and forwards the job to a
+//!    worker.
+//! 3. The worker interleaves quanta of its resident jobs (PS rotation) or
+//!    runs them to completion (FCFS), paying
+//!    [`SystemConfig::preempt_overhead`] at every slice boundary.
+//! 4. Completed jobs leave directly from the worker (responses bypass the
+//!    dispatcher) and the worker's counters are updated.
+//!
+//! Work stealing (Caladan): a worker going idle raids the longest queue,
+//! paying [`SystemConfig::steal_cost`] before the stolen job's first slice.
+
+use crate::active::ActiveJob;
+use crate::config::{Architecture, SystemConfig};
+use crate::runq::RunQueue;
+use tq_core::job::Completion;
+use tq_core::policy::{Dispatcher, WorkerLoad};
+use tq_core::{Nanos, Request};
+use tq_sim::EventQueue;
+use tq_workloads::ArrivalGen;
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// The pre-drawn next request arrives at the NIC.
+    Arrival,
+    /// Dispatcher core `d` finished forwarding its current request.
+    DispatchDone { dispatcher: usize },
+    /// Worker `w` finished its current slice (quantum or whole job).
+    SliceDone { worker: usize },
+}
+
+#[derive(Debug)]
+struct Worker {
+    queue: RunQueue,
+    /// The job mid-slice and its slice length (work, excluding overheads).
+    running: Option<(ActiveJob, Nanos)>,
+    /// Unfinished jobs resident here (queued + running).
+    resident: u64,
+    /// Quanta serviced for resident jobs — the MSQ signal.
+    current_quanta: u64,
+}
+
+impl Worker {
+    fn new(policy: tq_core::policy::WorkerPolicy) -> Self {
+        Worker {
+            queue: RunQueue::new(policy),
+            running: None,
+            resident: 0,
+            current_quanta: 0,
+        }
+    }
+
+    fn load(&self) -> WorkerLoad {
+        WorkerLoad {
+            queued_jobs: self.resident,
+            serviced_quanta: self.current_quanta,
+        }
+    }
+}
+
+/// Simulates the configured two-level system serving `gen`'s request
+/// stream until `horizon`, then drains. Returns all completions.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or not two-level.
+pub(crate) fn simulate(
+    cfg: &SystemConfig,
+    mut gen: ArrivalGen,
+    horizon: Nanos,
+    seed: u64,
+) -> Vec<Completion> {
+    cfg.validate();
+    let Architecture::TwoLevel { dispatch } = cfg.arch else {
+        panic!("{}: not a two-level system", cfg.name);
+    };
+    let n_disp = cfg.n_dispatchers.max(1);
+    // Each dispatcher core runs the policy independently (own RNG stream)
+    // but reads the same live worker counters — §6's multi-dispatcher
+    // extension.
+    let mut policies: Vec<Dispatcher> = (0..n_disp)
+        .map(|d| Dispatcher::new(dispatch, cfg.n_workers, seed ^ (d as u64) << 32))
+        .collect();
+    let mut workers: Vec<Worker> = (0..cfg.n_workers)
+        .map(|_| Worker::new(cfg.worker_policy))
+        .collect();
+    let mut events: EventQueue<Ev> = EventQueue::with_capacity(1024);
+    let mut completions = Vec::new();
+    let mut loads_buf: Vec<WorkerLoad> = Vec::with_capacity(cfg.n_workers);
+
+    // Per-dispatcher state: FIFO RX queue plus the request in flight.
+    let mut rx: Vec<std::collections::VecDeque<Request>> =
+        (0..n_disp).map(|_| std::collections::VecDeque::new()).collect();
+    let mut forwarding: Vec<Option<Request>> = (0..n_disp).map(|_| None).collect();
+    let mut rr_dispatcher = 0usize;
+
+    // Pre-draw the first arrival.
+    let mut next_req = Some(gen.next_request());
+    if let Some(r) = &next_req {
+        if r.arrival < horizon {
+            events.push(r.arrival, Ev::Arrival);
+        } else {
+            next_req = None;
+        }
+    }
+
+    while let Some((now, ev)) = events.pop() {
+        match ev {
+            Ev::Arrival => {
+                let req = next_req.take().expect("arrival without request");
+                // The NIC sprays packets across dispatcher cores (RSS).
+                let d = rr_dispatcher;
+                rr_dispatcher = (rr_dispatcher + 1) % n_disp;
+                rx[d].push_back(req);
+                if forwarding[d].is_none() {
+                    start_forward(cfg, d, &mut rx[d], &mut forwarding[d], &mut events, now);
+                }
+                let r = gen.next_request();
+                if r.arrival < horizon {
+                    next_req = Some(r);
+                    events.push(r.arrival, Ev::Arrival);
+                }
+            }
+            Ev::DispatchDone { dispatcher: d } => {
+                let req = forwarding[d].take().expect("dispatch done without request");
+                loads_buf.clear();
+                loads_buf.extend(workers.iter().map(Worker::load));
+                let w = policies[d].pick(&loads_buf, flow_hash(req.id.0));
+                admit(cfg, &mut workers[w], w, req, now, &mut events);
+                if cfg.work_stealing {
+                    // Idle workers poll for stealable work continuously;
+                    // a job queued behind a busy worker while another
+                    // core sits idle is taken immediately.
+                    rebalance_to_idle(cfg, &mut workers, w, now, &mut events);
+                }
+                if !rx[d].is_empty() {
+                    start_forward(cfg, d, &mut rx[d], &mut forwarding[d], &mut events, now);
+                }
+            }
+            Ev::SliceDone { worker: w } => {
+                let (mut job, slice) = workers[w].running.take().expect("no running slice");
+                let done = job.apply_slice(slice);
+                workers[w].current_quanta += 1;
+                if done {
+                    workers[w].resident -= 1;
+                    workers[w].current_quanta -= job.quanta;
+                    completions.push(Completion {
+                        id: job.id,
+                        class: job.class,
+                        arrival: job.arrival,
+                        service: job.service_true,
+                        finish: now,
+                    });
+                } else {
+                    workers[w].queue.push(job);
+                }
+                if !workers[w].queue.is_empty() {
+                    start_slice(cfg, &mut workers[w], w, now, Nanos::ZERO, &mut events);
+                } else if cfg.work_stealing {
+                    try_steal(cfg, &mut workers, w, now, &mut events);
+                }
+            }
+        }
+    }
+    completions
+}
+
+fn start_forward(
+    cfg: &SystemConfig,
+    dispatcher: usize,
+    rx: &mut std::collections::VecDeque<Request>,
+    forwarding: &mut Option<Request>,
+    events: &mut EventQueue<Ev>,
+    now: Nanos,
+) {
+    let req = rx.pop_front().expect("empty RX queue");
+    *forwarding = Some(req);
+    events.push(now + cfg.dispatch_per_req, Ev::DispatchDone { dispatcher });
+}
+
+fn admit(
+    cfg: &SystemConfig,
+    worker: &mut Worker,
+    w: usize,
+    req: Request,
+    now: Nanos,
+    events: &mut EventQueue<Ev>,
+) {
+    let inflation = cfg.inflation_for(req.class.0);
+    let job = ActiveJob {
+        id: req.id,
+        class: req.class,
+        arrival: req.arrival,
+        service_true: req.service,
+        // Probe inflation plus any per-request packet processing the
+        // worker performs itself (directpath).
+        remaining: req.service.scale(1.0 + inflation) + cfg.worker_rx_cost,
+        attained: Nanos::ZERO,
+        quanta: 0,
+        quantum: if cfg.worker_policy.preempts() {
+            cfg.quantum_for(req.class.0)
+        } else {
+            Nanos::MAX
+        },
+    };
+    worker.resident += 1;
+    worker.queue.push(job);
+    if worker.running.is_none() {
+        start_slice(cfg, worker, w, now, Nanos::ZERO, events);
+    }
+}
+
+fn start_slice(
+    cfg: &SystemConfig,
+    worker: &mut Worker,
+    w: usize,
+    now: Nanos,
+    extra: Nanos,
+    events: &mut EventQueue<Ev>,
+) {
+    let job = worker.queue.take_next().expect("start_slice on empty queue");
+    let slice = job.next_slice();
+    let wall = slice + cfg.preempt_overhead + extra;
+    worker.running = Some((job, slice));
+    events.push(now + wall, Ev::SliceDone { worker: w });
+}
+
+fn try_steal(
+    cfg: &SystemConfig,
+    workers: &mut [Worker],
+    thief: usize,
+    now: Nanos,
+    events: &mut EventQueue<Ev>,
+) {
+    debug_assert!(workers[thief].queue.is_empty() && workers[thief].running.is_none());
+    // Raid the longest queue; ties break to the lowest index for
+    // determinism.
+    let victim = (0..workers.len())
+        .filter(|&v| v != thief)
+        .max_by_key(|&v| (workers[v].queue.len(), core::cmp::Reverse(v)));
+    let Some(v) = victim else { return };
+    if workers[v].queue.is_empty() {
+        return;
+    }
+    let job = workers[v].queue.take_last().expect("victim queue non-empty");
+    workers[v].resident -= 1;
+    workers[v].current_quanta -= job.quanta;
+    workers[thief].resident += 1;
+    workers[thief].current_quanta += job.quanta;
+    workers[thief].queue.push(job);
+    start_slice(cfg, &mut workers[thief], thief, now, cfg.steal_cost, events);
+}
+
+/// Moves the newest queued job on `from` (busy, with queued work) to an
+/// idle worker, if one exists — the continuous-polling side of work
+/// stealing.
+fn rebalance_to_idle(
+    cfg: &SystemConfig,
+    workers: &mut [Worker],
+    from: usize,
+    now: Nanos,
+    events: &mut EventQueue<Ev>,
+) {
+    if workers[from].running.is_none() || workers[from].queue.is_empty() {
+        return;
+    }
+    let Some(thief) = (0..workers.len())
+        .find(|&v| v != from && workers[v].running.is_none() && workers[v].queue.is_empty())
+    else {
+        return;
+    };
+    let job = workers[from].queue.take_last().expect("checked non-empty");
+    workers[from].resident -= 1;
+    workers[from].current_quanta -= job.quanta;
+    workers[thief].resident += 1;
+    workers[thief].current_quanta += job.quanta;
+    workers[thief].queue.push(job);
+    start_slice(cfg, &mut workers[thief], thief, now, cfg.steal_cost, events);
+}
+
+/// Deterministic 64-bit mix standing in for the NIC's RSS hash of a
+/// request's flow (the open-loop client sends each request on a fresh
+/// ephemeral flow, so per-request hashing matches the testbed behavior).
+fn flow_hash(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use tq_sim::SimRng;
+    use tq_workloads::table1;
+
+    fn run(cfg: &SystemConfig, rate: f64, millis: u64, seed: u64) -> Vec<Completion> {
+        let gen = ArrivalGen::new(table1::extreme_bimodal(), rate, SimRng::new(seed));
+        simulate(cfg, gen, Nanos::from_millis(millis), seed)
+    }
+
+    #[test]
+    fn conservation_all_arrivals_complete() {
+        let cfg = presets::tq(4, Nanos::from_micros(2));
+        let rate = table1::extreme_bimodal().rate_for_load(4, 0.5);
+        let mut gen = ArrivalGen::new(table1::extreme_bimodal(), rate, SimRng::new(7));
+        let expected = {
+            let mut g = gen.clone();
+            g.until(Nanos::from_millis(5)).len()
+        };
+        let completions = simulate(&cfg, gen.clone(), Nanos::from_millis(5), 7);
+        assert_eq!(completions.len(), expected);
+        // No duplicates.
+        let mut ids: Vec<u64> = completions.iter().map(|c| c.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), completions.len());
+    }
+
+    #[test]
+    fn sojourn_at_least_service() {
+        let cfg = presets::tq(4, Nanos::from_micros(2));
+        for c in run(&cfg, 1.0e6, 5, 3) {
+            assert!(
+                c.sojourn() >= c.service,
+                "job {} finished faster than its service time",
+                c.id
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = presets::tq(4, Nanos::from_micros(2));
+        let a = run(&cfg, 1.0e6, 5, 11);
+        let b = run(&cfg, 1.0e6, 5, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fcfs_never_preempts() {
+        let cfg = presets::tq_fcfs(4);
+        for c in run(&cfg, 0.5e6, 5, 5) {
+            // Under FCFS a job's sojourn is waiting + one uninterrupted
+            // run; with probe inflation 3% the run is ≤ 1.03×service, so
+            // any job that started immediately finishes within that.
+            assert!(c.sojourn() >= c.service);
+        }
+    }
+
+    #[test]
+    fn stealing_rebalances_random_dispatch() {
+        // FCFS + RSS with stealing (Caladan) should complete everything
+        // and far outperform FCFS + RSS without stealing at the tail.
+        let wl = table1::extreme_bimodal();
+        let rate = wl.rate_for_load(8, 0.6);
+        let steal_cfg = presets::caladan_directpath(8);
+        let mut nosteal_cfg = steal_cfg.clone();
+        nosteal_cfg.work_stealing = false;
+
+        let p999 = |cfg: &SystemConfig| {
+            let gen = ArrivalGen::new(wl.clone(), rate, SimRng::new(2));
+            let comps = simulate(cfg, gen, Nanos::from_millis(30), 2);
+            let mut rec = tq_sim::ClassRecorder::new(0.1);
+            for c in comps {
+                rec.record(c);
+            }
+            rec.summarize(Nanos::ZERO)[0].p999
+        };
+        let with = p999(&steal_cfg);
+        let without = p999(&nosteal_cfg);
+        assert!(
+            with < without,
+            "stealing should cut short-job tail: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn ps_beats_fcfs_for_short_jobs_under_bimodal() {
+        let wl = table1::extreme_bimodal();
+        let rate = wl.rate_for_load(8, 0.6);
+        let run_p999 = |cfg: &SystemConfig| {
+            let gen = ArrivalGen::new(wl.clone(), rate, SimRng::new(4));
+            let comps = simulate(cfg, gen, Nanos::from_millis(30), 4);
+            let mut rec = tq_sim::ClassRecorder::new(0.1);
+            for c in comps {
+                rec.record(c);
+            }
+            rec.summarize(Nanos::ZERO)[0].p999
+        };
+        let ps = run_p999(&presets::tq(8, Nanos::from_micros(2)));
+        let fcfs = run_p999(&presets::caladan_directpath(8));
+        assert!(
+            ps * 5 < fcfs,
+            "PS should avoid head-of-line blocking: PS {ps}, FCFS {fcfs}"
+        );
+    }
+}

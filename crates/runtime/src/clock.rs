@@ -1,0 +1,142 @@
+//! The physical clock behind forced multitasking.
+//!
+//! TQ's probes read the hardware cycle counter (`RDTSC` on x86, §3.1).
+//! [`TscClock`] wraps that read and a one-time calibration of cycles per
+//! nanosecond; on non-x86 targets it falls back to `Instant`, preserving
+//! semantics at a coarser cost.
+
+use std::time::Instant;
+use tq_core::{CpuFreq, Cycles, Nanos};
+
+/// A calibrated cycle clock.
+///
+/// # Example
+///
+/// ```
+/// use tq_runtime::TscClock;
+///
+/// let clock = TscClock::calibrated();
+/// let a = clock.now();
+/// let b = clock.now();
+/// assert!(b >= a, "cycle counter must be monotonic");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TscClock {
+    freq: CpuFreq,
+    origin: Instant,
+}
+
+impl TscClock {
+    /// Calibrates the cycle counter against the monotonic clock
+    /// (~10 ms of sampling, done once at server start).
+    pub fn calibrated() -> Self {
+        let origin = Instant::now();
+        #[cfg(target_arch = "x86_64")]
+        {
+            let t0 = Instant::now();
+            let c0 = raw_cycles();
+            // Busy-wait a calibration window.
+            while t0.elapsed().as_millis() < 10 {
+                std::hint::spin_loop();
+            }
+            let c1 = raw_cycles();
+            let dt = t0.elapsed().as_nanos() as f64;
+            let dc = c1.wrapping_sub(c0) as f64;
+            let hz = dc / dt * 1e9;
+            if hz.is_finite() && hz > 1e8 {
+                return TscClock {
+                    freq: CpuFreq::from_hz(hz),
+                    origin,
+                };
+            }
+        }
+        TscClock {
+            // Fallback: treat the nanosecond clock as a 1 GHz counter.
+            freq: CpuFreq::from_ghz(1.0),
+            origin,
+        }
+    }
+
+    /// The calibrated frequency.
+    pub fn freq(&self) -> CpuFreq {
+        self.freq
+    }
+
+    /// Reads the cycle counter (the probe's `RDTSC`).
+    #[inline]
+    pub fn now(&self) -> Cycles {
+        #[cfg(target_arch = "x86_64")]
+        {
+            Cycles(raw_cycles())
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Cycles(self.origin.elapsed().as_nanos() as u64)
+        }
+    }
+
+    /// Converts a cycle delta to nanoseconds.
+    #[inline]
+    pub fn to_nanos(&self, delta: Cycles) -> Nanos {
+        self.freq.cycles_to_nanos(delta)
+    }
+
+    /// Converts a duration to cycles (e.g. the quantum).
+    #[inline]
+    pub fn to_cycles(&self, d: Nanos) -> Cycles {
+        self.freq.nanos_to_cycles(d)
+    }
+
+    /// Elapsed wall time since the clock was created (for request
+    /// timestamps; one clock is shared server-wide).
+    #[inline]
+    pub fn wall_nanos(&self) -> Nanos {
+        Nanos::from_nanos(self.origin.elapsed().as_nanos() as u64)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn raw_cycles() -> u64 {
+    // SAFETY: RDTSC has no memory effects and is available on all x86-64.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn calibration_is_sane() {
+        let clock = TscClock::calibrated();
+        let ghz = clock.freq().hz() / 1e9;
+        assert!(
+            (0.5..=7.0).contains(&ghz),
+            "calibrated {ghz} GHz looks wrong"
+        );
+    }
+
+    #[test]
+    fn cycle_deltas_track_wall_time() {
+        let clock = TscClock::calibrated();
+        let a = clock.now();
+        std::thread::sleep(Duration::from_millis(5));
+        let b = clock.now();
+        let measured = clock.to_nanos(b.wrapping_sub(a)).as_nanos();
+        assert!(
+            (3_000_000..60_000_000).contains(&measured),
+            "5ms sleep measured as {measured}ns"
+        );
+    }
+
+    #[test]
+    fn quantum_conversion_round_trips() {
+        let clock = TscClock::calibrated();
+        let q = Nanos::from_micros(2);
+        let cycles = clock.to_cycles(q);
+        let back = clock.to_nanos(cycles);
+        let err = back.as_nanos().abs_diff(q.as_nanos());
+        assert!(err <= 2, "round trip error {err}ns");
+    }
+}

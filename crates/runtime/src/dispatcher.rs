@@ -1,0 +1,107 @@
+//! The dispatcher thread (§4 "Dispatcher").
+//!
+//! Performs *only* job load balancing: it never parses requests for
+//! scheduling hints and never schedules quanta. Per request it snapshots
+//! each worker's load from the shared counters (unfinished jobs for JSQ,
+//! current serviced quanta for MSQ tie-breaking) and pushes the request
+//! into the chosen worker's ring. A full ring is backpressure: the
+//! dispatcher re-picks among the other workers and retries.
+
+use crate::ring::Producer;
+use crate::server::{RtRequest, ServerConfig};
+use crossbeam::channel::Receiver;
+use crossbeam::queue::ArrayQueue;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tq_core::counters::{DispatcherLedger, SharedCounters};
+use tq_core::policy::{Dispatcher, WorkerLoad};
+
+/// Counters the dispatcher reports at exit.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DispatcherStats {
+    /// Requests forwarded to workers.
+    pub forwarded: u64,
+    /// Push retries due to full rings (backpressure events).
+    pub ring_full_retries: u64,
+}
+
+/// The dispatcher's outbound path: private SPSC rings, or the shared
+/// stealable queues of work-stealing mode.
+pub(crate) enum DispatchTx {
+    /// One private ring per worker.
+    Spsc(Vec<Producer<RtRequest>>),
+    /// One stealable MPMC queue per worker.
+    Shared(Vec<Arc<ArrayQueue<RtRequest>>>),
+}
+
+impl DispatchTx {
+    fn push(&self, worker: usize, req: RtRequest) -> Result<(), RtRequest> {
+        match self {
+            DispatchTx::Spsc(rings) => rings[worker].push(req),
+            DispatchTx::Shared(queues) => queues[worker].push(req),
+        }
+    }
+}
+
+impl std::fmt::Debug for DispatchTx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispatchTx::Spsc(r) => write!(f, "DispatchTx::Spsc({})", r.len()),
+            DispatchTx::Shared(q) => write!(f, "DispatchTx::Shared({})", q.len()),
+        }
+    }
+}
+
+/// Spawns the dispatcher thread. It exits — after forwarding everything —
+/// once the submit channel disconnects, setting `drain` so workers can
+/// finish and stop.
+pub(crate) fn spawn(
+    config: &ServerConfig,
+    rx: Receiver<RtRequest>,
+    rings: DispatchTx,
+    counters: Arc<Vec<SharedCounters>>,
+    drain: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<DispatcherStats> {
+    let policy = config.dispatch;
+    let n_workers = config.workers;
+    let seed = config.seed;
+    std::thread::Builder::new()
+        .name("tq-dispatcher".into())
+        .spawn(move || {
+            let mut dispatcher = Dispatcher::new(policy, n_workers, seed);
+            let mut ledger = DispatcherLedger::new(n_workers);
+            let mut loads: Vec<WorkerLoad> = Vec::with_capacity(n_workers);
+            let mut stats = DispatcherStats::default();
+            // Blocking recv: returns Err only when every sender is gone
+            // and the channel is drained — the shutdown signal.
+            while let Ok(mut req) = rx.recv() {
+                loop {
+                    ledger.snapshot(&counters, &mut loads);
+                    let w = dispatcher.pick(&loads, flow_hash(req.id.0));
+                    match rings.push(w, req) {
+                        Ok(()) => {
+                            ledger.on_assigned(w);
+                            stats.forwarded += 1;
+                            break;
+                        }
+                        Err(back) => {
+                            req = back;
+                            stats.ring_full_retries += 1;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+            drain.store(true, Ordering::Release);
+            stats
+        })
+        .expect("spawn dispatcher thread")
+}
+
+/// Stand-in for the NIC's RSS hash of the request's flow.
+fn flow_hash(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

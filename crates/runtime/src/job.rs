@@ -1,0 +1,226 @@
+//! The forced-multitasking job model.
+//!
+//! A TQ job is a *stackless coroutine*: [`Job::run`] executes real work,
+//! polling [`QuantumCtx::probe`] at probe points; when the probe observes
+//! quantum expiry the job saves its progress in `self` and returns
+//! [`JobStatus::Yielded`]. The scheduler later calls `run` again and the
+//! job resumes where it left off.
+//!
+//! In the paper these probe points are inserted by an LLVM pass over C
+//! code; the Rust toolchain offers no equivalent plug-in point, so a job
+//! expresses them directly through this API (the placement *policy* — how
+//! sparse probes may be — is studied faithfully in `tq-instrument`).
+//! The probe semantics are identical: read the physical clock, compare
+//! against the quantum deadline, yield cooperatively.
+//!
+//! Critical sections are supported the way §4 describes: a flag that
+//! makes probes report "keep running" until the section exits.
+
+use crate::clock::TscClock;
+use tq_core::Cycles;
+
+/// What a quantum of execution produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Quantum expired; the job saved its state and yielded.
+    Yielded,
+    /// The job finished; its slot can be recycled.
+    Done,
+}
+
+/// A preemptible job.
+pub trait Job: Send {
+    /// Runs until the next probe observes quantum expiry (return
+    /// [`JobStatus::Yielded`]) or the work completes (return
+    /// [`JobStatus::Done`]). Implementations must call
+    /// [`QuantumCtx::probe`] frequently enough to honor the quantum —
+    /// the equivalent of being compiled with TQ's pass.
+    fn run(&mut self, ctx: &mut QuantumCtx) -> JobStatus;
+}
+
+/// Per-quantum execution context handed to jobs: the physical clock, the
+/// quantum deadline, and the critical-section flag.
+#[derive(Debug)]
+pub struct QuantumCtx {
+    clock: TscClock,
+    deadline: Cycles,
+    critical_depth: u32,
+    probes: u64,
+}
+
+impl QuantumCtx {
+    /// Creates a context (one per worker; the deadline is re-armed before
+    /// every resume).
+    pub fn new(clock: TscClock) -> Self {
+        QuantumCtx {
+            clock,
+            deadline: Cycles::ZERO,
+            critical_depth: 0,
+            probes: 0,
+        }
+    }
+
+    /// Arms the deadline for the next quantum (scheduler side).
+    pub fn arm(&mut self, quantum_cycles: Cycles) {
+        self.deadline = Cycles(self.clock.now().0.wrapping_add(quantum_cycles.0));
+    }
+
+    /// The probe: reads the cycle counter and reports whether the job
+    /// should yield. Always `false` inside a critical section.
+    #[inline]
+    pub fn probe(&mut self) -> bool {
+        self.probes += 1;
+        if self.critical_depth > 0 {
+            return false;
+        }
+        self.clock.now().0.wrapping_sub(self.deadline.0) as i64 >= 0
+    }
+
+    /// Enters a critical section: probes stop requesting yields until the
+    /// matching [`QuantumCtx::exit_critical`] (§4). Nestable.
+    pub fn enter_critical(&mut self) {
+        self.critical_depth += 1;
+    }
+
+    /// Leaves a critical section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a matching [`QuantumCtx::enter_critical`].
+    pub fn exit_critical(&mut self) {
+        assert!(self.critical_depth > 0, "unbalanced critical section");
+        self.critical_depth -= 1;
+    }
+
+    /// The clock, for jobs that time their own work.
+    pub fn clock(&self) -> &TscClock {
+        &self.clock
+    }
+
+    /// Probes executed so far (diagnostics).
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+}
+
+/// A CPU-bound job that spins for a requested service time, probing at a
+/// fine grain — the synthetic-workload job used by the examples, tests,
+/// and benches (the stand-in for the paper's spin-server requests).
+#[derive(Debug)]
+pub struct SpinJob {
+    remaining_cycles: u64,
+    /// Work between probes, in cycles (~50 ns at 2 GHz: far finer than
+    /// any quantum, as TQ's instrumentation guarantees).
+    grain_cycles: u64,
+}
+
+impl SpinJob {
+    /// A job that will consume `service_cycles` of CPU.
+    pub fn new(service_cycles: Cycles) -> Self {
+        SpinJob {
+            remaining_cycles: service_cycles.0,
+            grain_cycles: 100,
+        }
+    }
+
+    /// Builds from a server request whose payload carries the service
+    /// time in nanoseconds (see [`crate::server::RtRequest::service`]).
+    /// Calibrates a process-wide clock once on first use.
+    pub fn from_request(req: &crate::server::RtRequest) -> Self {
+        static CLOCK: std::sync::OnceLock<TscClock> = std::sync::OnceLock::new();
+        let clock = CLOCK.get_or_init(TscClock::calibrated);
+        SpinJob::new(clock.to_cycles(req.service))
+    }
+
+    /// Builds with the service time converted by the given clock (avoids
+    /// re-calibration; preferred inside job factories).
+    pub fn with_clock(req: &crate::server::RtRequest, clock: &TscClock) -> Self {
+        SpinJob::new(clock.to_cycles(req.service))
+    }
+}
+
+impl Job for SpinJob {
+    fn run(&mut self, ctx: &mut QuantumCtx) -> JobStatus {
+        while self.remaining_cycles > 0 {
+            // One grain of "work": spin on the cycle counter.
+            let start = ctx.clock().now().0;
+            let target = self.grain_cycles.min(self.remaining_cycles);
+            while ctx.clock().now().0.wrapping_sub(start) < target {
+                std::hint::spin_loop();
+            }
+            self.remaining_cycles -= target;
+            if self.remaining_cycles > 0 && ctx.probe() {
+                return JobStatus::Yielded;
+            }
+        }
+        JobStatus::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_core::Nanos;
+
+    fn ctx() -> QuantumCtx {
+        QuantumCtx::new(TscClock::calibrated())
+    }
+
+    #[test]
+    fn probe_false_before_deadline_true_after() {
+        let mut c = ctx();
+        let q = c.clock.to_cycles(Nanos::from_millis(50));
+        c.arm(q);
+        assert!(!c.probe(), "deadline 50ms away");
+        c.arm(Cycles(0));
+        // Deadline is "now": the next read must be at or past it.
+        assert!(c.probe());
+    }
+
+    #[test]
+    fn critical_section_suppresses_yields() {
+        let mut c = ctx();
+        c.arm(Cycles(0));
+        c.enter_critical();
+        assert!(!c.probe(), "critical section must not yield");
+        c.enter_critical();
+        c.exit_critical();
+        assert!(!c.probe(), "still nested");
+        c.exit_critical();
+        assert!(c.probe(), "yieldable again");
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced critical section")]
+    fn unbalanced_exit_panics() {
+        ctx().exit_critical();
+    }
+
+    #[test]
+    fn spin_job_yields_on_small_quantum_and_finishes() {
+        let mut c = ctx();
+        let service = c.clock.to_cycles(Nanos::from_micros(200));
+        let mut job = SpinJob::new(service);
+        let quantum = c.clock.to_cycles(Nanos::from_micros(10));
+        let mut quanta = 0;
+        loop {
+            c.arm(quantum);
+            match job.run(&mut c) {
+                JobStatus::Yielded => quanta += 1,
+                JobStatus::Done => break,
+            }
+            assert!(quanta < 10_000, "job never finishes");
+        }
+        // 200µs of work at 10µs quanta: needs many quanta (scheduling
+        // noise on a busy CI box allows slack, but ≫ 1).
+        assert!(quanta >= 5, "only {quanta} quanta for a 20-quantum job");
+    }
+
+    #[test]
+    fn spin_job_runs_to_completion_with_huge_quantum() {
+        let mut c = ctx();
+        let mut job = SpinJob::new(c.clock.to_cycles(Nanos::from_micros(50)));
+        c.arm(c.clock.to_cycles(Nanos::from_millis(100)));
+        assert_eq!(job.run(&mut c), JobStatus::Done);
+    }
+}

@@ -1,0 +1,57 @@
+//! # Tiny Quanta runtime
+//!
+//! The executable TQ system (§3/§4): a dispatcher thread load-balancing
+//! incoming requests over worker threads whose scheduler loops interleave
+//! *forced-multitasking* job coroutines at microsecond quanta.
+//!
+//! * [`clock`] — the physical clock: `RDTSC` on x86-64 (calibrated
+//!   against wall time), a monotonic fallback elsewhere.
+//! * [`ring`] — the lock-free single-producer single-consumer rings the
+//!   dispatcher pushes jobs through (§4's "lockless ring buffer").
+//! * [`job`] — the stackless-coroutine job model: [`Job::run`] executes
+//!   until [`QuantumCtx::probe`] reports quantum expiry, then saves state
+//!   and yields (what the paper's LLVM pass automates for C code, a Rust
+//!   job expresses with explicit probe points; see DESIGN.md).
+//! * [`worker`] — the per-core scheduler coroutine: PS rotation over task
+//!   slots, completion counters in a shared cache line.
+//! * [`dispatcher`] — JSQ with Maximum-Serviced-Quanta tie-breaking over
+//!   the workers' counters.
+//! * [`server`] — the [`TinyQuanta`] facade tying it together.
+//! * [`net`] — a UDP front-end speaking the paper's client protocol.
+//!
+//! ## Example
+//!
+//! ```
+//! use tq_runtime::{ServerConfig, TinyQuanta, SpinJob};
+//! use tq_core::Nanos;
+//!
+//! let server = TinyQuanta::start(
+//!     ServerConfig {
+//!         workers: 2,
+//!         quantum: Nanos::from_micros(5),
+//!         ..ServerConfig::default()
+//!     },
+//!     // Job factory: a CPU-spinning job of the requested duration.
+//!     |req| Box::new(SpinJob::from_request(req)),
+//! );
+//! for i in 0..64 {
+//!     server.submit(i % 4, Nanos::from_micros(3));
+//! }
+//! let completions = server.shutdown();
+//! assert_eq!(completions.len(), 64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod clock;
+pub mod dispatcher;
+pub mod job;
+pub mod net;
+pub mod ring;
+pub mod server;
+pub mod worker;
+
+pub use clock::TscClock;
+pub use job::{Job, JobStatus, QuantumCtx, SpinJob};
+pub use server::{Completion, RtRequest, ServerConfig, TinyQuanta};

@@ -1,0 +1,212 @@
+//! A UDP front-end for the server.
+//!
+//! The paper's client "transmits requests … over UDP" (§5.1). This module
+//! provides the matching wire interface: a receive loop that parses
+//! datagrams into submissions, and response delivery straight back to the
+//! client's source address — workers' completions bypass the dispatcher
+//! exactly as §3.2 prescribes (the serve loop plays the per-worker TX
+//! queues' role, since worker threads must not block on sockets).
+//!
+//! ## Wire format
+//!
+//! Request datagram (little-endian): `class: u16 | service_ns: u64 |
+//! tag: u64` — 18 bytes. Response: `tag: u64 | sojourn_ns: u64 |
+//! quanta: u64` — 24 bytes. The tag is opaque to the server and lets the
+//! client match responses to requests.
+
+use crate::server::{Completion, TinyQuanta};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tq_core::Nanos;
+
+/// Size of a request datagram.
+pub const REQUEST_BYTES: usize = 18;
+/// Size of a response datagram.
+pub const RESPONSE_BYTES: usize = 24;
+
+/// Encodes a request datagram.
+pub fn encode_request(class: u16, service: Nanos, tag: u64) -> [u8; REQUEST_BYTES] {
+    let mut buf = [0u8; REQUEST_BYTES];
+    buf[0..2].copy_from_slice(&class.to_le_bytes());
+    buf[2..10].copy_from_slice(&service.as_nanos().to_le_bytes());
+    buf[10..18].copy_from_slice(&tag.to_le_bytes());
+    buf
+}
+
+/// Decodes a request datagram; `None` if malformed.
+pub fn decode_request(buf: &[u8]) -> Option<(u16, Nanos, u64)> {
+    if buf.len() < REQUEST_BYTES {
+        return None;
+    }
+    let class = u16::from_le_bytes(buf[0..2].try_into().ok()?);
+    let service = u64::from_le_bytes(buf[2..10].try_into().ok()?);
+    let tag = u64::from_le_bytes(buf[10..18].try_into().ok()?);
+    Some((class, Nanos::from_nanos(service), tag))
+}
+
+/// Encodes a response datagram.
+pub fn encode_response(tag: u64, sojourn: Nanos, quanta: u64) -> [u8; RESPONSE_BYTES] {
+    let mut buf = [0u8; RESPONSE_BYTES];
+    buf[0..8].copy_from_slice(&tag.to_le_bytes());
+    buf[8..16].copy_from_slice(&sojourn.as_nanos().to_le_bytes());
+    buf[16..24].copy_from_slice(&quanta.to_le_bytes());
+    buf
+}
+
+/// Decodes a response datagram; `None` if malformed.
+pub fn decode_response(buf: &[u8]) -> Option<(u64, Nanos, u64)> {
+    if buf.len() < RESPONSE_BYTES {
+        return None;
+    }
+    let tag = u64::from_le_bytes(buf[0..8].try_into().ok()?);
+    let sojourn = u64::from_le_bytes(buf[8..16].try_into().ok()?);
+    let quanta = u64::from_le_bytes(buf[16..24].try_into().ok()?);
+    Some((tag, Nanos::from_nanos(sojourn), quanta))
+}
+
+/// Statistics of a finished UDP serving session.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct UdpStats {
+    /// Requests received and submitted.
+    pub received: u64,
+    /// Responses sent.
+    pub responded: u64,
+    /// Malformed datagrams dropped.
+    pub malformed: u64,
+}
+
+/// Serves `server` over the given UDP socket until `stop` is set *and*
+/// all in-flight jobs have been answered. Returns session statistics and
+/// the shut-down server's remaining completions (normally empty — they
+/// were all answered over the wire).
+///
+/// The loop runs in the calling thread; spawn it yourself if you need it
+/// in the background (see `examples/udp_server.rs`).
+///
+/// # Errors
+///
+/// Propagates socket errors other than timeouts.
+pub fn serve_udp(
+    server: TinyQuanta,
+    socket: UdpSocket,
+    stop: Arc<AtomicBool>,
+) -> io::Result<UdpStats> {
+    socket.set_read_timeout(Some(Duration::from_millis(1)))?;
+    let mut stats = UdpStats::default();
+    let mut buf = [0u8; 64];
+    // tag/addr of each in-flight job, keyed by the server-assigned id.
+    let mut in_flight: HashMap<u64, (u64, SocketAddr)> = HashMap::new();
+
+    let deliver =
+        |completions: Vec<Completion>,
+         in_flight: &mut HashMap<u64, (u64, SocketAddr)>,
+         stats: &mut UdpStats|
+         -> io::Result<()> {
+            for c in completions {
+                if let Some((tag, addr)) = in_flight.remove(&c.id.0) {
+                    let resp = encode_response(tag, c.sojourn(), c.quanta);
+                    socket.send_to(&resp, addr)?;
+                    stats.responded += 1;
+                }
+            }
+            Ok(())
+        };
+
+    loop {
+        match socket.recv_from(&mut buf) {
+            Ok((n, addr)) => match decode_request(&buf[..n]) {
+                Some((class, service, tag)) => {
+                    let id = server.submit(class, service);
+                    in_flight.insert(id.0, (tag, addr));
+                    stats.received += 1;
+                }
+                None => stats.malformed += 1,
+            },
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(e),
+        }
+        deliver(server.drain_completions(), &mut in_flight, &mut stats)?;
+        if stop.load(Ordering::Acquire) && in_flight.is_empty() {
+            break;
+        }
+    }
+    // Drain whatever completed between the last poll and shutdown.
+    let rest = server.shutdown();
+    deliver(rest, &mut in_flight, &mut stats)?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServerConfig, SpinJob, TscClock};
+
+    #[test]
+    fn wire_format_round_trips() {
+        let req = encode_request(3, Nanos::from_micros(7), 0xDEAD_BEEF);
+        assert_eq!(
+            decode_request(&req),
+            Some((3, Nanos::from_micros(7), 0xDEAD_BEEF))
+        );
+        let resp = encode_response(0xDEAD_BEEF, Nanos::from_micros(11), 4);
+        assert_eq!(
+            decode_response(&resp),
+            Some((0xDEAD_BEEF, Nanos::from_micros(11), 4))
+        );
+    }
+
+    #[test]
+    fn malformed_datagrams_rejected() {
+        assert_eq!(decode_request(&[0u8; 5]), None);
+        assert_eq!(decode_response(&[0u8; 10]), None);
+    }
+
+    #[test]
+    fn udp_round_trip_against_live_server() {
+        let clock = TscClock::calibrated();
+        let server = TinyQuanta::start(
+            ServerConfig {
+                workers: 1,
+                quantum: Nanos::from_micros(10),
+                ..ServerConfig::default()
+            },
+            move |req| Box::new(SpinJob::with_clock(req, &clock)),
+        );
+        let srv_sock = UdpSocket::bind("127.0.0.1:0").expect("bind server");
+        let srv_addr = srv_sock.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || serve_udp(server, srv_sock, stop2));
+
+        let client = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let n = 32u64;
+        for tag in 0..n {
+            let req = encode_request((tag % 2) as u16, Nanos::from_micros(5), tag);
+            client.send_to(&req, srv_addr).unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut buf = [0u8; 64];
+        while seen.len() < n as usize {
+            let (len, _) = client.recv_from(&mut buf).expect("response");
+            let (tag, sojourn, quanta) = decode_response(&buf[..len]).expect("well-formed");
+            assert!(tag < n);
+            assert!(sojourn >= Nanos::from_micros(3), "sojourn {sojourn}");
+            assert!(quanta >= 1);
+            seen.insert(tag);
+        }
+        stop.store(true, Ordering::Release);
+        let stats = handle.join().unwrap().expect("serve ok");
+        assert_eq!(stats.received, n);
+        assert_eq!(stats.responded, n);
+        assert_eq!(stats.malformed, 0);
+    }
+}

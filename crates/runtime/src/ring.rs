@@ -1,0 +1,254 @@
+//! Lock-free single-producer single-consumer rings.
+//!
+//! The dispatcher forwards each request "to the least loaded worker via a
+//! lockless ring buffer" (§4). One producer (the dispatcher thread) and
+//! one consumer (the worker's scheduler loop) share a fixed-capacity
+//! Lamport queue; head and tail live on separate cache lines so the two
+//! sides never false-share.
+
+use crossbeam::utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Shared<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    cap: usize,
+    /// Next slot the producer writes (monotonically increasing).
+    tail: CachePadded<AtomicUsize>,
+    /// Next slot the consumer reads.
+    head: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the ring transfers T values between exactly two threads; every
+// slot is written by the producer before the tail release-store makes it
+// visible, and read by the consumer before the head release-store recycles
+// it. T only needs Send.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // By the time the last Arc drops, both sides are gone: we have
+        // exclusive access and may drain undelivered items.
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        for i in head..tail {
+            let slot = &self.buf[i % self.cap];
+            // SAFETY: slots in [head, tail) hold initialized values.
+            unsafe { (*slot.get()).assume_init_drop() };
+        }
+    }
+}
+
+/// Producer half; owned by the dispatcher.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consumer half; owned by a worker.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Producer").field("cap", &self.shared.cap).finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer").field("cap", &self.shared.cap).finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Shared<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Spsc").field("cap", &self.cap).finish()
+    }
+}
+
+/// Creates a ring holding up to `cap` in-flight items.
+///
+/// # Panics
+///
+/// Panics if `cap` is zero.
+pub fn spsc<T: Send>(cap: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(cap > 0, "ring capacity must be positive");
+    let shared = Arc::new(Shared {
+        buf: (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect(),
+        cap,
+        tail: CachePadded::new(AtomicUsize::new(0)),
+        head: CachePadded::new(AtomicUsize::new(0)),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared },
+    )
+}
+
+impl<T: Send> Producer<T> {
+    /// Enqueues `item`, or returns it if the ring is full (backpressure —
+    /// the dispatcher retries, which is what bounds worker queues).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let s = &*self.shared;
+        let tail = s.tail.load(Ordering::Relaxed);
+        let head = s.head.load(Ordering::Acquire);
+        if tail - head == s.cap {
+            return Err(item);
+        }
+        let slot = &s.buf[tail % s.cap];
+        // SAFETY: slot index `tail` is not visible to the consumer until
+        // the release store below, and the producer is unique.
+        unsafe { (*slot.get()).write(item) };
+        s.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Items currently in flight.
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.tail.load(Ordering::Relaxed) - s.head.load(Ordering::Acquire)
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Send> Consumer<T> {
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&self) -> Option<T> {
+        let s = &*self.shared;
+        let head = s.head.load(Ordering::Relaxed);
+        let tail = s.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &s.buf[head % s.cap];
+        // SAFETY: the producer's release store published this slot; the
+        // consumer is unique, and the release store below recycles it.
+        let item = unsafe { (*slot.get()).assume_init_read() };
+        s.head.store(head + 1, Ordering::Release);
+        Some(item)
+    }
+
+    /// Items currently in flight.
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.tail.load(Ordering::Acquire) - s.head.load(Ordering::Relaxed)
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let (p, c) = spsc(8);
+        for i in 0..5 {
+            p.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(c.pop(), Some(i));
+        }
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn full_ring_rejects_and_recovers() {
+        let (p, c) = spsc(2);
+        p.push(1).unwrap();
+        p.push(2).unwrap();
+        assert_eq!(p.push(3), Err(3));
+        assert_eq!(c.pop(), Some(1));
+        p.push(3).unwrap();
+        assert_eq!(c.pop(), Some(2));
+        assert_eq!(c.pop(), Some(3));
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let (p, c) = spsc(4);
+        for i in 0..10_000u64 {
+            p.push(i).unwrap();
+            assert_eq!(c.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn len_tracks_in_flight() {
+        let (p, c) = spsc(4);
+        assert!(p.is_empty() && c.is_empty());
+        p.push(1).unwrap();
+        p.push(2).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(c.len(), 2);
+        c.pop();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn cross_thread_transfer_is_lossless() {
+        let (p, c) = spsc(64);
+        const N: u64 = 200_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut item = i;
+                loop {
+                    match p.push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            if let Some(v) = c.pop() {
+                assert_eq!(v, expected, "items must arrive in order");
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn undelivered_items_are_dropped_not_leaked() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let (p, c) = spsc(8);
+            p.push(Counted).unwrap();
+            p.push(Counted).unwrap();
+            drop(c.pop()); // one delivered and dropped
+            drop((p, c)); // one still in the ring
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+}

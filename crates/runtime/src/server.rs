@@ -1,0 +1,345 @@
+//! The [`TinyQuanta`] server facade.
+//!
+//! Wires together the dispatcher thread, worker threads, rings, shared
+//! counters and the clock, exposing a submit/collect API. The real system
+//! polls a NIC; here requests arrive through an in-process channel (the
+//! network was never the paper's bottleneck — see DESIGN.md).
+
+use crate::clock::TscClock;
+use crate::dispatcher;
+use crate::job::Job;
+use crate::ring;
+use crate::worker::{self, WorkerHandle};
+use crossbeam::channel;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tq_core::counters::SharedCounters;
+use tq_core::policy::{DispatchPolicy, TieBreak, WorkerPolicy};
+use tq_core::{ClassId, JobId, Nanos};
+
+/// A request submitted to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtRequest {
+    /// Unique id assigned at submission.
+    pub id: JobId,
+    /// Reporting class (blind to the scheduler, as always).
+    pub class: ClassId,
+    /// Service-time hint consumed by synthetic job factories
+    /// ([`crate::SpinJob`]); real factories may ignore it.
+    pub service: Nanos,
+    /// Server wall-clock time at submission.
+    pub submitted: Nanos,
+}
+
+/// A finished job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The job.
+    pub id: JobId,
+    /// Its class.
+    pub class: ClassId,
+    /// Submission timestamp.
+    pub submitted: Nanos,
+    /// Completion timestamp (same clock).
+    pub finished: Nanos,
+    /// Quanta the job consumed.
+    pub quanta: u64,
+    /// Which worker ran it.
+    pub worker: usize,
+}
+
+impl Completion {
+    /// Sojourn time: submission to completion.
+    pub fn sojourn(&self) -> Nanos {
+        self.finished.saturating_sub(self.submitted)
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (the paper uses 16 dedicated cores; on a small
+    /// host these are oversubscribed OS threads).
+    pub workers: usize,
+    /// Scheduling quantum.
+    pub quantum: Nanos,
+    /// Task-coroutine slots per worker (§5.1: eight).
+    pub task_slots: usize,
+    /// Dispatch-ring capacity per worker.
+    pub ring_capacity: usize,
+    /// Load-balancing policy.
+    pub dispatch: DispatchPolicy,
+    /// Worker quantum discipline: PS (default), FCFS (never preempt), or
+    /// least-attained-service (the §3.1 dynamic-quanta extension).
+    pub discipline: WorkerPolicy,
+    /// Whether idle workers steal queued jobs from siblings (the Caladan
+    /// configuration; pairs naturally with FCFS + RSS dispatch).
+    pub work_stealing: bool,
+    /// Seed for policy randomness.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            quantum: Nanos::from_micros(5),
+            task_slots: tq_core::costs::TASK_COROUTINES_PER_WORKER,
+            ring_capacity: 1024,
+            dispatch: DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta),
+            discipline: WorkerPolicy::ProcessorSharing,
+            work_stealing: false,
+            seed: 42,
+        }
+    }
+}
+
+/// A job factory: builds the coroutine for each arriving request.
+pub type JobFactory = dyn Fn(&RtRequest) -> Box<dyn Job> + Send + Sync;
+
+/// A running Tiny Quanta server.
+#[derive(Debug)]
+pub struct TinyQuanta {
+    submit_tx: Option<channel::Sender<RtRequest>>,
+    completion_rx: channel::Receiver<Completion>,
+    dispatcher: Option<std::thread::JoinHandle<dispatcher::DispatcherStats>,>,
+    workers: Vec<WorkerHandle>,
+    drain: Arc<AtomicBool>,
+    clock: TscClock,
+    next_id: std::sync::atomic::AtomicU64,
+}
+
+impl TinyQuanta {
+    /// Starts the server: spawns the dispatcher and worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (zero workers or slots).
+    pub fn start<F>(config: ServerConfig, factory: F) -> TinyQuanta
+    where
+        F: Fn(&RtRequest) -> Box<dyn Job> + Send + Sync + 'static,
+    {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.task_slots > 0, "need at least one task slot");
+        let clock = TscClock::calibrated();
+        let factory: Arc<JobFactory> = Arc::new(factory);
+        let counters: Arc<Vec<SharedCounters>> = Arc::new(
+            (0..config.workers).map(|_| SharedCounters::new()).collect(),
+        );
+        let drain = Arc::new(AtomicBool::new(false));
+        let (submit_tx, submit_rx) = channel::unbounded::<RtRequest>();
+        let (completion_tx, completion_rx) = channel::unbounded::<Completion>();
+
+        let mut workers = Vec::with_capacity(config.workers);
+        let tx = if config.work_stealing {
+            let queues: Vec<Arc<crossbeam::queue::ArrayQueue<RtRequest>>> = (0..config.workers)
+                .map(|_| Arc::new(crossbeam::queue::ArrayQueue::new(config.ring_capacity)))
+                .collect();
+            for w in 0..config.workers {
+                workers.push(worker::spawn(
+                    w,
+                    &config,
+                    worker::WorkerRx::Shared {
+                        index: w,
+                        queues: queues.clone(),
+                    },
+                    Arc::clone(&factory),
+                    Arc::clone(&counters),
+                    completion_tx.clone(),
+                    Arc::clone(&drain),
+                    clock.clone(),
+                ));
+            }
+            dispatcher::DispatchTx::Shared(queues)
+        } else {
+            let mut producers = Vec::with_capacity(config.workers);
+            for w in 0..config.workers {
+                let (p, c) = ring::spsc::<RtRequest>(config.ring_capacity);
+                producers.push(p);
+                workers.push(worker::spawn(
+                    w,
+                    &config,
+                    worker::WorkerRx::Spsc(c),
+                    Arc::clone(&factory),
+                    Arc::clone(&counters),
+                    completion_tx.clone(),
+                    Arc::clone(&drain),
+                    clock.clone(),
+                ));
+            }
+            dispatcher::DispatchTx::Spsc(producers)
+        };
+        drop(completion_tx);
+
+        let dispatcher = dispatcher::spawn(
+            &config,
+            submit_rx,
+            tx,
+            Arc::clone(&counters),
+            Arc::clone(&drain),
+        );
+
+        TinyQuanta {
+            submit_tx: Some(submit_tx),
+            completion_rx,
+            dispatcher: Some(dispatcher),
+            workers,
+            drain,
+            clock,
+            next_id: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Submits a synthetic request of the given class and service time.
+    /// Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`TinyQuanta::shutdown`].
+    pub fn submit(&self, class: u16, service: Nanos) -> JobId {
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let req = RtRequest {
+            id,
+            class: ClassId(class),
+            service,
+            submitted: self.clock.wall_nanos(),
+        };
+        self.submit_tx
+            .as_ref()
+            .expect("server is shut down")
+            .send(req)
+            .expect("dispatcher exited early");
+        id
+    }
+
+    /// The server's wall clock (for aligning external measurements).
+    pub fn clock(&self) -> &TscClock {
+        &self.clock
+    }
+
+    /// Completions received so far, without shutting down.
+    pub fn drain_completions(&self) -> Vec<Completion> {
+        self.completion_rx.try_iter().collect()
+    }
+
+    /// Stops accepting requests, drains all in-flight work, joins every
+    /// thread, and returns all remaining completions.
+    pub fn shutdown(self) -> Vec<Completion> {
+        self.shutdown_with_stats().0
+    }
+
+    /// Like [`TinyQuanta::shutdown`], additionally returning the
+    /// dispatcher's and each worker's internal statistics (forwarded
+    /// counts, ring backpressure events, quanta, steals, idle spins).
+    pub fn shutdown_with_stats(
+        mut self,
+    ) -> (
+        Vec<Completion>,
+        crate::dispatcher::DispatcherStats,
+        Vec<crate::worker::WorkerStats>,
+    ) {
+        self.submit_tx.take(); // dispatcher sees disconnect after drain
+        let dispatcher_stats = self
+            .dispatcher
+            .take()
+            .map(|d| d.join().expect("dispatcher panicked"))
+            .unwrap_or_default();
+        // The dispatcher sets `drain` once every pending request has been
+        // forwarded; workers then exit when their queues empty.
+        let worker_stats: Vec<_> = self.workers.drain(..).map(|w| w.join()).collect();
+        let completions = self.completion_rx.try_iter().collect();
+        (completions, dispatcher_stats, worker_stats)
+    }
+}
+
+impl Drop for TinyQuanta {
+    fn drop(&mut self) {
+        // A dropped (not shut down) server must still unblock its threads.
+        self.submit_tx.take();
+        self.drain.store(true, Ordering::Release);
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+        for w in self.workers.drain(..) {
+            w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::SpinJob;
+
+    fn spin_server(workers: usize, quantum_us: u64) -> TinyQuanta {
+        let clock = TscClock::calibrated();
+        TinyQuanta::start(
+            ServerConfig {
+                workers,
+                quantum: Nanos::from_micros(quantum_us),
+                ..ServerConfig::default()
+            },
+            move |req| Box::new(SpinJob::with_clock(req, &clock)),
+        )
+    }
+
+    #[test]
+    fn all_submitted_jobs_complete() {
+        let server = spin_server(2, 10);
+        let n = 200;
+        for i in 0..n {
+            server.submit((i % 3) as u16, Nanos::from_micros(5));
+        }
+        let completions = server.shutdown();
+        assert_eq!(completions.len(), n);
+        let mut ids: Vec<u64> = completions.iter().map(|c| c.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "every job exactly once");
+    }
+
+    #[test]
+    fn long_jobs_are_sliced_into_many_quanta() {
+        let server = spin_server(1, 5);
+        server.submit(0, Nanos::from_micros(200));
+        let completions = server.shutdown();
+        assert_eq!(completions.len(), 1);
+        assert!(
+            completions[0].quanta >= 10,
+            "200µs at 5µs quanta got only {} quanta",
+            completions[0].quanta
+        );
+    }
+
+    #[test]
+    fn sojourn_at_least_service() {
+        let server = spin_server(2, 10);
+        for _ in 0..20 {
+            server.submit(0, Nanos::from_micros(50));
+        }
+        for c in server.shutdown() {
+            assert!(c.sojourn() >= Nanos::from_micros(40), "sojourn {}", c.sojourn());
+        }
+    }
+
+    #[test]
+    fn drop_without_shutdown_terminates() {
+        let server = spin_server(2, 10);
+        server.submit(0, Nanos::from_micros(5));
+        drop(server); // must not hang
+    }
+
+    #[test]
+    fn completions_spread_across_workers() {
+        let server = spin_server(2, 5);
+        for _ in 0..100 {
+            server.submit(0, Nanos::from_micros(20));
+        }
+        let completions = server.shutdown();
+        let on_zero = completions.iter().filter(|c| c.worker == 0).count();
+        assert!(
+            on_zero > 0 && on_zero < 100,
+            "JSQ should spread load: {on_zero}/100 on worker 0"
+        );
+    }
+}

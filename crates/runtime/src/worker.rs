@@ -1,0 +1,253 @@
+//! The per-core scheduler loop (§4 "Workers").
+//!
+//! Each worker thread owns a set of task slots (the pre-allocated
+//! coroutines), a PS rotation over the busy ones, and the consumer end of
+//! its dispatch ring. Per iteration it (i) admits pending requests into
+//! idle slots, (ii) resumes the rotation head for one quantum, (iii) on
+//! completion sends the response directly (bypassing the dispatcher) and
+//! updates the shared counters the dispatcher's JSQ/MSQ reads.
+
+use crate::clock::TscClock;
+use crate::job::{Job, JobStatus, QuantumCtx};
+use crate::ring::Consumer;
+use crate::server::{Completion, JobFactory, RtRequest, ServerConfig};
+use crossbeam::channel::Sender;
+use crossbeam::queue::ArrayQueue;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tq_core::counters::SharedCounters;
+use tq_core::policy::{PsQueue, WorkerPolicy};
+use tq_core::Cycles;
+
+/// Handle to a spawned worker thread.
+#[derive(Debug)]
+pub struct WorkerHandle {
+    thread: std::thread::JoinHandle<WorkerStats>,
+}
+
+impl WorkerHandle {
+    /// Joins the worker, returning its statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread panicked.
+    pub fn join(self) -> WorkerStats {
+        self.thread.join().expect("worker panicked")
+    }
+}
+
+/// Counters a worker reports at exit.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs completed.
+    pub completed: u64,
+    /// Quanta executed.
+    pub quanta: u64,
+    /// Scheduler-loop iterations that found nothing to run.
+    pub idle_iterations: u64,
+    /// Jobs stolen from siblings (work-stealing mode).
+    pub steals: u64,
+}
+
+struct Task {
+    job: Box<dyn Job>,
+    req: RtRequest,
+    quanta: u64,
+}
+
+/// A worker's inbound job source: its private SPSC ring (TQ's default),
+/// or — in work-stealing mode (the Caladan configuration) — a shared
+/// MPMC queue per worker from which idle siblings may steal.
+pub(crate) enum WorkerRx {
+    /// Private lock-free ring (dispatcher is the sole producer).
+    Spsc(Consumer<RtRequest>),
+    /// Stealable per-worker queues; `index` is this worker's own.
+    Shared {
+        index: usize,
+        queues: Vec<Arc<ArrayQueue<RtRequest>>>,
+    },
+}
+
+impl std::fmt::Debug for WorkerRx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerRx::Spsc(_) => f.write_str("WorkerRx::Spsc"),
+            WorkerRx::Shared { index, .. } => {
+                write!(f, "WorkerRx::Shared {{ index: {index} }}")
+            }
+        }
+    }
+}
+
+impl WorkerRx {
+    /// Pops from this worker's own queue.
+    fn pop_local(&self) -> Option<RtRequest> {
+        match self {
+            WorkerRx::Spsc(c) => c.pop(),
+            WorkerRx::Shared { index, queues } => queues[*index].pop(),
+        }
+    }
+
+    /// Whether this worker's own queue is empty.
+    fn local_is_empty(&self) -> bool {
+        match self {
+            WorkerRx::Spsc(c) => c.is_empty(),
+            WorkerRx::Shared { index, queues } => queues[*index].is_empty(),
+        }
+    }
+
+    /// Steals one pending request from the most-loaded sibling (stealing
+    /// mode only; `None` otherwise or when every sibling is idle too).
+    fn steal(&self) -> Option<RtRequest> {
+        let WorkerRx::Shared { index, queues } = self else {
+            return None;
+        };
+        let victim = queues
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i != index)
+            .max_by_key(|(_, q)| q.len())?;
+        victim.1.pop()
+    }
+}
+
+/// Spawns one worker thread.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spawn(
+    index: usize,
+    config: &ServerConfig,
+    rx: WorkerRx,
+    factory: Arc<JobFactory>,
+    counters: Arc<Vec<SharedCounters>>,
+    completions: Sender<Completion>,
+    drain: Arc<AtomicBool>,
+    clock: TscClock,
+) -> WorkerHandle {
+    let slots = config.task_slots;
+    let quantum = config.quantum;
+    let discipline = config.discipline;
+    let thread = std::thread::Builder::new()
+        .name(format!("tq-worker-{index}"))
+        .spawn(move || {
+            run_worker(
+                index, slots, quantum, discipline, rx, factory, counters, completions, drain,
+                clock,
+            )
+        })
+        .expect("spawn worker thread");
+    WorkerHandle { thread }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    index: usize,
+    n_slots: usize,
+    quantum: tq_core::Nanos,
+    discipline: WorkerPolicy,
+    rx: WorkerRx,
+    factory: Arc<JobFactory>,
+    counters: Arc<Vec<SharedCounters>>,
+    completions: Sender<Completion>,
+    drain: Arc<AtomicBool>,
+    clock: TscClock,
+) -> WorkerStats {
+    // FCFS never preempts: arm an effectively-infinite deadline.
+    let quantum_cycles: Cycles = if discipline.preempts() {
+        clock.to_cycles(quantum)
+    } else {
+        Cycles(u64::MAX / 2)
+    };
+    let mut ctx = QuantumCtx::new(clock.clone());
+    let mut slots: Vec<Option<Task>> = (0..n_slots).map(|_| None).collect();
+    let mut free: Vec<usize> = (0..n_slots).rev().collect();
+    let mut rotation: PsQueue<usize> = PsQueue::with_capacity(n_slots);
+    let mut stats = WorkerStats::default();
+    let my_counters = &counters[index];
+
+    loop {
+        // Admit pending requests into idle coroutine slots.
+        while !free.is_empty() {
+            match rx.pop_local() {
+                Some(req) => {
+                    let slot = free.pop().expect("checked non-empty");
+                    let job = factory(&req);
+                    slots[slot] = Some(Task {
+                        job,
+                        req,
+                        quanta: 0,
+                    });
+                    if !matches!(discipline, WorkerPolicy::LeastAttainedService) {
+                        rotation.admit(slot);
+                    }
+                }
+                None => break,
+            }
+        }
+
+        // Pick the next slot per the discipline: the rotation head (PS,
+        // FCFS) or the busy task with the least attained service (LAS).
+        let next_slot = match discipline {
+            WorkerPolicy::ProcessorSharing | WorkerPolicy::Fcfs => rotation.take_next(),
+            WorkerPolicy::LeastAttainedService => slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| t.as_ref().map(|t| (t.quanta, i)))
+                .min()
+                .map(|(_, i)| i),
+        };
+        if let Some(slot) = next_slot {
+            let task = slots[slot].as_mut().expect("rotation holds busy slots");
+            ctx.arm(quantum_cycles);
+            let status = task.job.run(&mut ctx);
+            task.quanta += 1;
+            stats.quanta += 1;
+            my_counters.on_quantum();
+            match status {
+                JobStatus::Yielded => {
+                    if !matches!(discipline, WorkerPolicy::LeastAttainedService) {
+                        rotation.reenter(slot);
+                    }
+                }
+                JobStatus::Done => {
+                    let task = slots[slot].take().expect("just ran it");
+                    my_counters.on_finished(task.quanta);
+                    stats.completed += 1;
+                    let _ = completions.send(Completion {
+                        id: task.req.id,
+                        class: task.req.class,
+                        submitted: task.req.submitted,
+                        finished: ctx.clock().wall_nanos(),
+                        quanta: task.quanta,
+                        worker: index,
+                    });
+                    free.push(slot);
+                }
+            }
+        } else {
+            // Idle: in stealing mode, raid the most-loaded sibling before
+            // giving up the core (the Caladan behavior).
+            if !free.is_empty() {
+                if let Some(req) = rx.steal() {
+                    stats.steals += 1;
+                    let slot = free.pop().expect("checked non-empty");
+                    let job = factory(&req);
+                    slots[slot] = Some(Task {
+                        job,
+                        req,
+                        quanta: 0,
+                    });
+                    if !matches!(discipline, WorkerPolicy::LeastAttainedService) {
+                        rotation.admit(slot);
+                    }
+                    continue;
+                }
+            }
+            stats.idle_iterations += 1;
+            if drain.load(Ordering::Acquire) && rx.local_is_empty() {
+                return stats;
+            }
+            // Idle: let other (oversubscribed) threads run.
+            std::thread::yield_now();
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The virtual-time event queue.
+//!
+//! A binary min-heap keyed by `(time, sequence)`. The monotonically
+//! increasing sequence number makes simultaneous events pop in insertion
+//! order, which is what makes whole simulations bit-for-bit reproducible
+//! across runs and platforms.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use tq_core::Nanos;
+
+struct Entry<E> {
+    time: Nanos,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic future-event list for discrete-event simulation.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were pushed (FIFO tie-breaking).
+///
+/// # Example
+///
+/// ```
+/// use tq_core::Nanos;
+/// use tq_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Nanos::from_nanos(5), "b");
+/// q.push(Nanos::from_nanos(5), "c");
+/// q.push(Nanos::from_nanos(1), "a");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+/// assert_eq!(order, vec!["a", "b", "c"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    last_popped: Nanos,
+}
+
+impl<E: std::fmt::Debug> std::fmt::Debug for Entry<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry")
+            .field("time", &self.time)
+            .field("seq", &self.seq)
+            .field("event", &self.event)
+            .finish()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: Nanos::ZERO,
+        }
+    }
+
+    /// Creates an empty queue with capacity for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            last_popped: Nanos::ZERO,
+        }
+    }
+
+    /// Schedules `event` at absolute virtual time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last popped time: scheduling
+    /// into the past is always a model bug and silently reordering it would
+    /// corrupt causality.
+    pub fn push(&mut self, time: Nanos, event: E) {
+        assert!(
+            time >= self.last_popped,
+            "event scheduled into the past: {time} < now {}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event with its timestamp, advancing
+    /// the queue's notion of "now".
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        self.heap.pop().map(|e| {
+            debug_assert!(e.time >= self.last_popped, "heap violated time order");
+            self.last_popped = e.time;
+            (e.time, e.event)
+        })
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The virtual time of the most recently popped event.
+    pub fn now(&self) -> Nanos {
+        self.last_popped
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending (the simulation has quiesced).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Nanos::from_nanos(30), 3);
+        q.push(Nanos::from_nanos(10), 1);
+        q.push(Nanos::from_nanos(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = Nanos::from_nanos(7);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        q.push(Nanos::from_nanos(5), ());
+        assert_eq!(q.now(), Nanos::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Nanos::from_nanos(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(Nanos::from_nanos(10), ());
+        q.pop();
+        q.push(Nanos::from_nanos(9), ());
+    }
+
+    #[test]
+    fn same_instant_as_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.push(Nanos::from_nanos(10), 1);
+        q.pop();
+        q.push(Nanos::from_nanos(10), 2); // zero-delay follow-up event
+        assert_eq!(q.pop(), Some((Nanos::from_nanos(10), 2)));
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Nanos::from_nanos(3), ());
+        q.push(Nanos::from_nanos(1), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Nanos::from_nanos(1)));
+    }
+}

@@ -1,0 +1,473 @@
+//! Tail-latency metrics.
+//!
+//! The paper reports the 99.9th percentile of end-to-end latency (or
+//! server-side sojourn time) per job class, and slowdown (sojourn ÷ service)
+//! for multi-modal workloads, discarding the first 10% of samples as warm-up
+//! (§5.1). This module implements exactly that pipeline.
+
+use serde::{Deserialize, Serialize};
+use tq_core::job::Completion;
+use tq_core::{ClassId, Nanos};
+
+/// A sample collector with percentile queries (nearest-rank definition).
+///
+/// # Example
+///
+/// ```
+/// use tq_sim::TailStats;
+///
+/// let mut s = TailStats::new();
+/// for v in 1..=100u64 {
+///     s.record(v);
+/// }
+/// assert_eq!(s.percentile(50.0), 50);
+/// assert_eq!(s.percentile(99.0), 99);
+/// assert_eq!(s.percentile(100.0), 100);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TailStats {
+    samples: Vec<u64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl TailStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        TailStats::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&v| v as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Largest sample, or 0 with no samples.
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Nearest-rank percentile: the smallest sample such that at least
+    /// `p`% of samples are ≤ it. Returns 0 with no samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64 - 1e-9).ceil() as usize;
+        self.samples[rank.clamp(1, n) - 1]
+    }
+
+    /// Convenience: the 99.9th percentile the paper reports everywhere.
+    pub fn p999(&mut self) -> u64 {
+        self.percentile(99.9)
+    }
+}
+
+impl FromIterator<u64> for TailStats {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        TailStats {
+            samples: iter.into_iter().collect(),
+            sorted: false,
+        }
+    }
+}
+
+impl Extend<u64> for TailStats {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+        self.sorted = false;
+    }
+}
+
+/// Per-class summary produced by [`ClassRecorder::summarize`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// The class summarized.
+    pub class: ClassId,
+    /// Completions counted after warm-up discarding.
+    pub count: usize,
+    /// Median latency (sojourn + any fixed extra) in nanoseconds.
+    pub p50: Nanos,
+    /// 99th percentile latency.
+    pub p99: Nanos,
+    /// 99.9th percentile latency — the paper's headline metric.
+    pub p999: Nanos,
+    /// Mean latency.
+    pub mean: Nanos,
+    /// 99.9th percentile slowdown (sojourn ÷ service; the fixed extra is
+    /// *not* included, matching how the paper computes server slowdown).
+    pub slowdown_p999: f64,
+    /// Mean slowdown.
+    pub slowdown_mean: f64,
+}
+
+/// Collects [`Completion`]s and produces the paper's metrics: per-class
+/// latency percentiles with warm-up discarding and optional fixed
+/// network RTT added (end-to-end vs. sojourn reporting).
+///
+/// # Example
+///
+/// ```
+/// use tq_core::job::Completion;
+/// use tq_core::{ClassId, JobId, Nanos};
+/// use tq_sim::ClassRecorder;
+///
+/// let mut rec = ClassRecorder::new(0.0);
+/// rec.record(Completion {
+///     id: JobId(0), class: ClassId(0),
+///     arrival: Nanos::ZERO,
+///     service: Nanos::from_nanos(500),
+///     finish: Nanos::from_micros(1),
+/// });
+/// let all = rec.summarize(Nanos::ZERO);
+/// assert_eq!(all[0].p999, Nanos::from_micros(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClassRecorder {
+    completions: Vec<Completion>,
+    warmup_frac: f64,
+}
+
+impl ClassRecorder {
+    /// Creates a recorder that discards the earliest-arriving
+    /// `warmup_frac` fraction of samples (the paper uses 0.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup_frac` is not within `[0, 1)`.
+    pub fn new(warmup_frac: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&warmup_frac),
+            "warm-up fraction out of range: {warmup_frac}"
+        );
+        ClassRecorder {
+            completions: Vec::new(),
+            warmup_frac,
+        }
+    }
+
+    /// Records a completed job.
+    pub fn record(&mut self, c: Completion) {
+        self.completions.push(c);
+    }
+
+    /// Total completions recorded (before warm-up discarding).
+    pub fn count(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Summarizes every class present, ordered by class id. `extra` is a
+    /// fixed latency added to each sojourn (e.g. the network RTT when
+    /// reporting end-to-end latency; pass [`Nanos::ZERO`] for sojourn).
+    pub fn summarize(&self, extra: Nanos) -> Vec<ClassSummary> {
+        let kept = self.after_warmup();
+        let mut classes: Vec<ClassId> = kept.iter().map(|c| c.class).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        classes
+            .into_iter()
+            .map(|class| {
+                let mut lat = TailStats::new();
+                let mut slow = Vec::new();
+                for c in kept.iter().filter(|c| c.class == class) {
+                    lat.record((c.sojourn() + extra).as_nanos());
+                    slow.push(c.slowdown());
+                }
+                let slowdown_p999 = percentile_f64(&mut slow, 99.9);
+                let slowdown_mean = slow.iter().sum::<f64>() / slow.len() as f64;
+                ClassSummary {
+                    class,
+                    count: lat.count(),
+                    p50: Nanos::from_nanos(lat.percentile(50.0)),
+                    p99: Nanos::from_nanos(lat.percentile(99.0)),
+                    p999: Nanos::from_nanos(lat.percentile(99.9)),
+                    mean: Nanos::from_nanos(lat.mean().round() as u64),
+                    slowdown_p999,
+                    slowdown_mean,
+                }
+            })
+            .collect()
+    }
+
+    /// The overall (class-blind) slowdown percentile, as Figure 8 reports
+    /// for TPC-C.
+    pub fn overall_slowdown(&self, p: f64) -> f64 {
+        let mut slow: Vec<f64> = self.after_warmup().iter().map(|c| c.slowdown()).collect();
+        percentile_f64(&mut slow, p)
+    }
+
+    /// The overall latency percentile across all classes.
+    pub fn overall_latency(&self, p: f64, extra: Nanos) -> Nanos {
+        let mut lat: TailStats = self
+            .after_warmup()
+            .iter()
+            .map(|c| (c.sojourn() + extra).as_nanos())
+            .collect();
+        Nanos::from_nanos(if lat.is_empty() { 0 } else { lat.percentile(p) })
+    }
+
+    /// Completions surviving warm-up discarding, ordered by arrival.
+    fn after_warmup(&self) -> Vec<Completion> {
+        let mut by_arrival = self.completions.clone();
+        by_arrival.sort_unstable_by_key(|c| (c.arrival, c.id));
+        let skip = (by_arrival.len() as f64 * self.warmup_frac).floor() as usize;
+        by_arrival.split_off(skip.min(by_arrival.len()))
+    }
+}
+
+/// A log₂-bucketed histogram of nanosecond samples — the compact way to
+/// eyeball a latency distribution's whole body and tail at once.
+///
+/// # Example
+///
+/// ```
+/// use tq_sim::metrics::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// h.record(700);      // bucket [512, 1024)
+/// h.record(900);
+/// h.record(100_000);  // far tail
+/// assert_eq!(h.count(), 3);
+/// let rows = h.buckets();
+/// assert_eq!(rows[0], (512, 1024, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    counts: Vec<u64>, // always 64 buckets
+    total: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            counts: vec![0; 64],
+            total: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Records one sample (nanoseconds; 0 lands in the first bucket).
+    pub fn record(&mut self, v: u64) {
+        let bucket = 63 - v.max(1).leading_zeros() as usize;
+        self.counts[bucket] += 1;
+        self.total += 1;
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Non-empty buckets as `(lower_bound, upper_bound, count)`, in order.
+    pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, 1u64 << (i + 1).min(63), c))
+            .collect()
+    }
+
+    /// The sample value below which at least `p`% of samples fall,
+    /// resolved to its bucket's upper bound (a coarse percentile for
+    /// quick looks; use [`TailStats`] for exact ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn approx_percentile(&self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+}
+
+impl Extend<u64> for LogHistogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+/// Nearest-rank percentile of a float slice (sorts in place). Returns 0
+/// for an empty slice.
+fn percentile_f64(v: &mut [f64], p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN slowdown"));
+    let rank = ((p / 100.0) * v.len() as f64 - 1e-9).ceil() as usize;
+    v[rank.clamp(1, v.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tq_core::JobId;
+
+    fn comp(id: u64, class: u16, arrival_ns: u64, service_ns: u64, finish_ns: u64) -> Completion {
+        Completion {
+            id: JobId(id),
+            class: ClassId(class),
+            arrival: Nanos::from_nanos(arrival_ns),
+            service: Nanos::from_nanos(service_ns),
+            finish: Nanos::from_nanos(finish_ns),
+        }
+    }
+
+    #[test]
+    fn log_histogram_buckets_and_percentiles() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 1, 3, 900, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        let rows = h.buckets();
+        assert_eq!(rows[0], (1, 2, 3)); // 0, 1, 1 clamp into [1,2)
+        assert_eq!(rows[1], (2, 4, 1));
+        // 50% of 6 = 3rd sample → the [1,2) bucket, upper bound 2.
+        assert_eq!(h.approx_percentile(50.0), 2);
+        assert!(h.approx_percentile(100.0) >= 1_000_000);
+    }
+
+    #[test]
+    fn log_histogram_empty() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.buckets().is_empty());
+        assert_eq!(h.approx_percentile(99.9), 0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s: TailStats = (1..=1000u64).collect();
+        assert_eq!(s.percentile(99.9), 999);
+        assert_eq!(s.percentile(0.1), 1);
+        assert_eq!(s.percentile(100.0), 1000);
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        let mut s = TailStats::new();
+        s.record(42);
+        assert_eq!(s.percentile(50.0), 42);
+        assert_eq!(s.p999(), 42);
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        let mut s = TailStats::new();
+        assert_eq!(s.p999(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn recording_after_query_resorts() {
+        let mut s = TailStats::new();
+        s.record(10);
+        assert_eq!(s.p999(), 10);
+        s.record(5);
+        assert_eq!(s.percentile(50.0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_zero() {
+        let mut s = TailStats::new();
+        s.record(1);
+        let _ = s.percentile(0.0);
+    }
+
+    #[test]
+    fn recorder_separates_classes() {
+        let mut rec = ClassRecorder::new(0.0);
+        rec.record(comp(0, 0, 0, 500, 1_000));
+        rec.record(comp(1, 1, 0, 1_000, 5_000));
+        rec.record(comp(2, 0, 10, 500, 600));
+        let sums = rec.summarize(Nanos::ZERO);
+        assert_eq!(sums.len(), 2);
+        assert_eq!(sums[0].class, ClassId(0));
+        assert_eq!(sums[0].count, 2);
+        assert_eq!(sums[1].count, 1);
+        assert_eq!(sums[1].p999, Nanos::from_nanos(5_000));
+    }
+
+    #[test]
+    fn warmup_discards_earliest_arrivals() {
+        let mut rec = ClassRecorder::new(0.5);
+        rec.record(comp(0, 0, 0, 100, 10_000)); // slow warm-up sample
+        rec.record(comp(1, 0, 100, 100, 300));
+        let sums = rec.summarize(Nanos::ZERO);
+        assert_eq!(sums[0].count, 1);
+        assert_eq!(sums[0].p999, Nanos::from_nanos(200));
+    }
+
+    #[test]
+    fn extra_latency_added_to_latency_not_slowdown() {
+        let mut rec = ClassRecorder::new(0.0);
+        rec.record(comp(0, 0, 0, 500, 1_000));
+        let sums = rec.summarize(Nanos::from_micros(10));
+        assert_eq!(sums[0].p999, Nanos::from_nanos(11_000));
+        assert!((sums[0].slowdown_p999 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overall_metrics() {
+        let mut rec = ClassRecorder::new(0.0);
+        rec.record(comp(0, 0, 0, 100, 200)); // slowdown 2
+        rec.record(comp(1, 1, 0, 100, 500)); // slowdown 5
+        assert!((rec.overall_slowdown(99.9) - 5.0).abs() < 1e-12);
+        assert_eq!(
+            rec.overall_latency(99.9, Nanos::ZERO),
+            Nanos::from_nanos(500)
+        );
+    }
+}

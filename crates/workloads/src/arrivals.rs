@@ -1,0 +1,147 @@
+//! Open-loop Poisson load generation.
+//!
+//! The paper's client "transmits requests under a Poisson process centered
+//! at the workload's average service time over UDP" (§5.1) — i.e. an
+//! *open-loop* generator: arrivals keep coming at the configured rate no
+//! matter how far behind the server falls, which is what exposes tail
+//! collapse at saturation.
+
+use crate::spec::Workload;
+use tq_core::{JobId, Nanos, Request};
+use tq_sim::SimRng;
+
+/// Generates an open-loop Poisson stream of [`Request`]s for a workload.
+///
+/// Deterministic given its seed; separate RNG streams drive inter-arrival
+/// gaps and service draws so rate changes don't reshuffle job sizes.
+///
+/// # Example
+///
+/// ```
+/// use tq_sim::SimRng;
+/// use tq_workloads::{table1, ArrivalGen};
+///
+/// let mut gen = ArrivalGen::new(table1::exp1(), 2.0e6, SimRng::new(7));
+/// let a = gen.next_request();
+/// let b = gen.next_request();
+/// assert!(b.arrival >= a.arrival);
+/// assert_eq!(b.id.0, a.id.0 + 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    workload: Workload,
+    mean_gap_nanos: f64,
+    gap_rng: SimRng,
+    service_rng: SimRng,
+    next_id: u64,
+    clock: Nanos,
+}
+
+impl ArrivalGen {
+    /// Creates a generator emitting `rate_rps` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_rps` is not strictly positive and finite.
+    pub fn new(workload: Workload, rate_rps: f64, mut rng: SimRng) -> Self {
+        assert!(
+            rate_rps.is_finite() && rate_rps > 0.0,
+            "invalid rate: {rate_rps} rps"
+        );
+        let gap_rng = rng.fork(1);
+        let service_rng = rng.fork(2);
+        ArrivalGen {
+            workload,
+            mean_gap_nanos: 1e9 / rate_rps,
+            gap_rng,
+            service_rng,
+            next_id: 0,
+            clock: Nanos::ZERO,
+        }
+    }
+
+    /// The workload being generated.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Draws the next request; arrival times are strictly non-decreasing.
+    pub fn next_request(&mut self) -> Request {
+        self.clock += self.gap_rng.exp_nanos(self.mean_gap_nanos);
+        let (class, service) = self.workload.sample(&mut self.service_rng);
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        Request::new(id, class, self.clock, service)
+    }
+
+    /// Generates every request arriving before `horizon`.
+    pub fn until(&mut self, horizon: Nanos) -> Vec<Request> {
+        let mut out = Vec::new();
+        loop {
+            let r = self.next_request();
+            if r.arrival >= horizon {
+                break;
+            }
+            out.push(r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table1;
+
+    #[test]
+    fn rate_is_respected() {
+        let rate = 1.0e6; // 1 Mrps
+        let mut gen = ArrivalGen::new(table1::exp1(), rate, SimRng::new(11));
+        let reqs = gen.until(Nanos::from_millis(100));
+        let expected = rate * 0.1;
+        let got = reqs.len() as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.02,
+            "got {got} requests, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn ids_are_sequential_and_times_monotone() {
+        let mut gen = ArrivalGen::new(table1::extreme_bimodal(), 1.0e6, SimRng::new(3));
+        let mut last = Nanos::ZERO;
+        for i in 0..1_000 {
+            let r = gen.next_request();
+            assert_eq!(r.id.0, i);
+            assert!(r.arrival >= last);
+            last = r.arrival;
+        }
+    }
+
+    #[test]
+    fn service_draws_independent_of_rate() {
+        // Same seed, different rates ⇒ identical class/service sequences.
+        let mut a = ArrivalGen::new(table1::extreme_bimodal(), 1.0e6, SimRng::new(5));
+        let mut b = ArrivalGen::new(table1::extreme_bimodal(), 3.0e6, SimRng::new(5));
+        for _ in 0..1_000 {
+            let ra = a.next_request();
+            let rb = b.next_request();
+            assert_eq!(ra.class, rb.class);
+            assert_eq!(ra.service, rb.service);
+        }
+    }
+
+    #[test]
+    fn until_respects_horizon() {
+        let mut gen = ArrivalGen::new(table1::exp1(), 1.0e6, SimRng::new(5));
+        let horizon = Nanos::from_micros(100);
+        let reqs = gen.until(horizon);
+        assert!(reqs.iter().all(|r| r.arrival < horizon));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn rejects_zero_rate() {
+        let _ = ArrivalGen::new(table1::exp1(), 0.0, SimRng::new(5));
+    }
+}

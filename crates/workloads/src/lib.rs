@@ -1,0 +1,38 @@
+//! # Tiny Quanta workloads
+//!
+//! The µs-scale workload catalogue the paper evaluates (Table 1) and the
+//! open-loop Poisson load generator that drives it (§5.1).
+//!
+//! * [`spec`] — workload descriptions: named job classes, their service-time
+//!   distributions, and mixture ratios ([`Workload`], [`JobClass`]).
+//! * [`table1`] — constructors for every workload in the paper's Table 1:
+//!   Extreme Bimodal, High Bimodal, TPC-C, Exp(1), and the RocksDB-style
+//!   GET/SCAN mixes.
+//! * [`arrivals`] — the open-loop Poisson request generator
+//!   ([`ArrivalGen`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use tq_workloads::{table1, ArrivalGen};
+//! use tq_sim::SimRng;
+//! use tq_core::Nanos;
+//!
+//! let wl = table1::extreme_bimodal();
+//! assert_eq!(wl.classes().len(), 2);
+//!
+//! // 1 Mrps of Poisson arrivals.
+//! let mut gen = ArrivalGen::new(wl, 1.0e6, SimRng::new(42));
+//! let first = gen.next_request();
+//! assert!(first.arrival >= Nanos::ZERO);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arrivals;
+pub mod spec;
+pub mod table1;
+
+pub use arrivals::ArrivalGen;
+pub use spec::{ClassDist, EmpiricalDist, JobClass, Workload};

@@ -1,0 +1,379 @@
+//! Workload specifications.
+//!
+//! A [`Workload`] is a named mixture of [`JobClass`]es, each with a
+//! service-time distribution and a mixture ratio. The simulators draw
+//! `(class, service_time)` pairs from it; the schedulers — being blind —
+//! only ever see the opaque request.
+
+use serde::{Deserialize, Serialize};
+use tq_core::{ClassId, Nanos};
+use tq_sim::SimRng;
+
+/// The service-time distribution of one job class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClassDist {
+    /// Every job of the class takes exactly this long (the bimodal and
+    /// TPC-C workloads use fixed per-type times, Table 1).
+    Deterministic(Nanos),
+    /// Exponentially distributed with the given mean (the Exp(1) workload).
+    Exponential(Nanos),
+    /// Sampled from measured data — the "evolving workloads" case the
+    /// paper's blind-scheduling stance is designed for: no knob needs
+    /// retuning when the measured mix changes.
+    Empirical(EmpiricalDist),
+}
+
+impl ClassDist {
+    /// Draws one service time.
+    pub fn sample(&self, rng: &mut SimRng) -> Nanos {
+        match self {
+            ClassDist::Deterministic(t) => *t,
+            ClassDist::Exponential(mean) => {
+                // Clamp to ≥1 ns: a zero-length job would make slowdown
+                // undefined, and real requests always do *some* work.
+                Nanos::from_nanos(rng.exp_nanos(mean.as_nanos() as f64).as_nanos().max(1))
+            }
+            ClassDist::Empirical(d) => d.sample(rng),
+        }
+    }
+
+    /// The distribution's mean in nanoseconds.
+    pub fn mean_nanos(&self) -> f64 {
+        match self {
+            ClassDist::Deterministic(t) | ClassDist::Exponential(t) => t.as_nanos() as f64,
+            ClassDist::Empirical(d) => d.mean_nanos(),
+        }
+    }
+}
+
+/// A service-time distribution built from measured samples: draws are
+/// uniform over the sample set (the bootstrap/resampling view of a
+/// trace).
+///
+/// # Example
+///
+/// ```
+/// use tq_core::Nanos;
+/// use tq_sim::SimRng;
+/// use tq_workloads::spec::EmpiricalDist;
+///
+/// let d = EmpiricalDist::from_samples(&[
+///     Nanos::from_micros(1),
+///     Nanos::from_micros(1),
+///     Nanos::from_micros(100),
+/// ]);
+/// assert!((d.mean_nanos() - 34_000.0).abs() < 1.0);
+/// let mut rng = SimRng::new(1);
+/// let v = d.sample(&mut rng);
+/// assert!(v == Nanos::from_micros(1) || v == Nanos::from_micros(100));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalDist {
+    /// Sorted sample values in nanoseconds.
+    samples: Vec<u64>,
+    mean: f64,
+}
+
+impl EmpiricalDist {
+    /// Builds a distribution from measured service times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains a zero duration.
+    pub fn from_samples(samples: &[Nanos]) -> Self {
+        assert!(!samples.is_empty(), "empirical distribution needs samples");
+        assert!(
+            samples.iter().all(|s| !s.is_zero()),
+            "zero-length service times make slowdown undefined"
+        );
+        let mut v: Vec<u64> = samples.iter().map(|s| s.as_nanos()).collect();
+        v.sort_unstable();
+        let mean = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        EmpiricalDist { samples: v, mean }
+    }
+
+    /// Draws one sample (uniform over the measured values).
+    pub fn sample(&self, rng: &mut SimRng) -> Nanos {
+        Nanos::from_nanos(self.samples[rng.index(self.samples.len())])
+    }
+
+    /// The sample mean in nanoseconds.
+    pub fn mean_nanos(&self) -> f64 {
+        self.mean
+    }
+
+    /// The `p`-th percentile of the measured values (nearest rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> Nanos {
+        assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64 - 1e-9).ceil().max(1.0) as usize;
+        Nanos::from_nanos(self.samples[rank.min(n) - 1])
+    }
+}
+
+/// One job class within a workload: a human-readable name (used in
+/// reports), its distribution, and its share of arrivals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobClass {
+    /// Report label, e.g. `"GET"` or `"NewOrder"`.
+    pub name: String,
+    /// Service-time distribution.
+    pub dist: ClassDist,
+    /// Fraction of arrivals belonging to this class, in `(0, 1]`.
+    pub ratio: f64,
+}
+
+impl JobClass {
+    /// Creates a class.
+    pub fn new(name: impl Into<String>, dist: ClassDist, ratio: f64) -> Self {
+        JobClass {
+            name: name.into(),
+            dist,
+            ratio,
+        }
+    }
+}
+
+/// A named mixture of job classes — one row group of the paper's Table 1.
+///
+/// # Example
+///
+/// ```
+/// use tq_core::Nanos;
+/// use tq_sim::SimRng;
+/// use tq_workloads::{ClassDist, JobClass, Workload};
+///
+/// let wl = Workload::new(
+///     "toy",
+///     vec![
+///         JobClass::new("short", ClassDist::Deterministic(Nanos::from_nanos(500)), 0.9),
+///         JobClass::new("long", ClassDist::Deterministic(Nanos::from_micros(100)), 0.1),
+///     ],
+/// );
+/// let mut rng = SimRng::new(1);
+/// let (_class, service) = wl.sample(&mut rng);
+/// assert!(service >= Nanos::from_nanos(500));
+/// assert!((wl.mean_service_nanos() - (0.9 * 500.0 + 0.1 * 100_000.0)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    name: String,
+    classes: Vec<JobClass>,
+    cum_ratio: Vec<f64>,
+}
+
+impl Workload {
+    /// Creates a workload from its classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty, any ratio is non-positive, or the
+    /// ratios do not sum to 1 (±1e-6).
+    pub fn new(name: impl Into<String>, classes: Vec<JobClass>) -> Self {
+        assert!(!classes.is_empty(), "workload needs at least one class");
+        let total: f64 = classes.iter().map(|c| c.ratio).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "class ratios sum to {total}, expected 1"
+        );
+        let mut cum = 0.0;
+        let cum_ratio = classes
+            .iter()
+            .map(|c| {
+                assert!(c.ratio > 0.0, "class {:?} has non-positive ratio", c.name);
+                cum += c.ratio;
+                cum
+            })
+            .collect();
+        Workload {
+            name: name.into(),
+            classes,
+            cum_ratio,
+        }
+    }
+
+    /// The workload's name (e.g. `"Extreme Bimodal"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The classes in declaration order; index `i` is [`ClassId`]`(i)`.
+    pub fn classes(&self) -> &[JobClass] {
+        &self.classes
+    }
+
+    /// Resolves a class id back to its definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this workload.
+    pub fn class(&self, id: ClassId) -> &JobClass {
+        &self.classes[id.0 as usize]
+    }
+
+    /// Draws one job: which class arrived and how much service it needs.
+    pub fn sample(&self, rng: &mut SimRng) -> (ClassId, Nanos) {
+        let idx = rng.weighted_index(&self.cum_ratio);
+        let service = self.classes[idx].dist.sample(rng);
+        (ClassId(idx as u16), service)
+    }
+
+    /// Mean service time across the mixture, in nanoseconds. The load
+    /// generator centers its Poisson process on this (§5.1), and
+    /// `offered load = rate × mean_service / n_cores`.
+    pub fn mean_service_nanos(&self) -> f64 {
+        self.classes
+            .iter()
+            .map(|c| c.ratio * c.dist.mean_nanos())
+            .sum()
+    }
+
+    /// The request rate (requests/second) that produces utilization `rho`
+    /// on `n_cores` worker cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is not positive or `n_cores` is zero.
+    pub fn rate_for_load(&self, n_cores: usize, rho: f64) -> f64 {
+        assert!(rho > 0.0, "utilization must be positive");
+        assert!(n_cores > 0, "need at least one core");
+        rho * n_cores as f64 / (self.mean_service_nanos() * 1e-9)
+    }
+
+    /// Ratio between the longest and shortest class means — the paper's
+    /// "dispersion ratio" (§5.3). Returns 1.0 for single-class workloads.
+    pub fn dispersion_ratio(&self) -> f64 {
+        let means: Vec<f64> = self.classes.iter().map(|c| c.dist.mean_nanos()).collect();
+        let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = means.iter().cloned().fold(0.0, f64::max);
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Workload {
+        Workload::new(
+            "toy",
+            vec![
+                JobClass::new(
+                    "short",
+                    ClassDist::Deterministic(Nanos::from_nanos(500)),
+                    0.995,
+                ),
+                JobClass::new(
+                    "long",
+                    ClassDist::Deterministic(Nanos::from_micros(500)),
+                    0.005,
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn sample_ratios_converge() {
+        let wl = toy();
+        let mut rng = SimRng::new(9);
+        let n = 100_000;
+        let longs = (0..n)
+            .filter(|_| wl.sample(&mut rng).0 == ClassId(1))
+            .count();
+        let frac = longs as f64 / n as f64;
+        assert!((frac - 0.005).abs() < 0.002, "long fraction {frac}");
+    }
+
+    #[test]
+    fn mean_service_weighted() {
+        let wl = toy();
+        let expect = 0.995 * 500.0 + 0.005 * 500_000.0;
+        assert!((wl.mean_service_nanos() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_for_load_inverts_mean() {
+        let wl = toy();
+        let rate = wl.rate_for_load(16, 0.5);
+        // offered work = rate * mean = 8 core-seconds per second.
+        let offered = rate * wl.mean_service_nanos() * 1e-9;
+        assert!((offered - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dispersion_ratio_is_max_over_min() {
+        assert!((toy().dispersion_ratio() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_class_sampling() {
+        let dist = ClassDist::Exponential(Nanos::from_micros(1));
+        let mut rng = SimRng::new(4);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| dist.sample(&mut rng).as_nanos()).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 20.0, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_never_zero() {
+        let dist = ClassDist::Exponential(Nanos::from_nanos(1));
+        let mut rng = SimRng::new(4);
+        for _ in 0..10_000 {
+            assert!(dist.sample(&mut rng).as_nanos() >= 1);
+        }
+    }
+
+    #[test]
+    fn empirical_resampling_statistics() {
+        let samples: Vec<Nanos> = (1..=1_000).map(Nanos::from_nanos).collect();
+        let d = EmpiricalDist::from_samples(&samples);
+        assert!((d.mean_nanos() - 500.5).abs() < 1e-9);
+        assert_eq!(d.percentile(50.0), Nanos::from_nanos(500));
+        assert_eq!(d.percentile(100.0), Nanos::from_nanos(1_000));
+        let mut rng = SimRng::new(3);
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| d.sample(&mut rng).as_nanos()).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 500.5).abs() < 10.0, "resampled mean {mean}");
+    }
+
+    #[test]
+    fn empirical_workload_composes() {
+        let d = EmpiricalDist::from_samples(&[Nanos::from_micros(2), Nanos::from_micros(4)]);
+        let wl = Workload::new(
+            "trace",
+            vec![JobClass::new("measured", ClassDist::Empirical(d), 1.0)],
+        );
+        assert!((wl.mean_service_nanos() - 3_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn empirical_rejects_empty() {
+        let _ = EmpiricalDist::from_samples(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratios sum")]
+    fn rejects_bad_ratios() {
+        let _ = Workload::new(
+            "bad",
+            vec![JobClass::new(
+                "x",
+                ClassDist::Deterministic(Nanos::from_nanos(1)),
+                0.5,
+            )],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn rejects_empty() {
+        let _ = Workload::new("bad", vec![]);
+    }
+}

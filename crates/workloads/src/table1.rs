@@ -1,0 +1,189 @@
+//! The paper's Table 1 workload catalogue.
+//!
+//! Service times follow §2/§5.1 and Table 1. Two notes:
+//!
+//! * For Extreme Bimodal we use the §2 definition (0.5 µs / 500 µs at
+//!   99.5% / 0.5%), which is also what the analysis figures use; Table 1's
+//!   "runtime" column lists the *measured* instrumented runtimes of the
+//!   same jobs (0.3/509), which only make sense on the authors' testbed.
+//! * RocksDB GET/SCAN times are Table 1's measured means (1.2 µs / 675 µs);
+//!   `tq-kv` provides the executable analogue for runtime experiments.
+
+use crate::spec::{ClassDist, JobClass, Workload};
+use tq_core::Nanos;
+
+/// Extreme Bimodal: 99.5% × 0.5 µs, 0.5% × 500 µs (dispersion ratio 1000).
+pub fn extreme_bimodal() -> Workload {
+    Workload::new(
+        "Extreme Bimodal",
+        vec![
+            JobClass::new(
+                "Short",
+                ClassDist::Deterministic(Nanos::from_nanos(500)),
+                0.995,
+            ),
+            JobClass::new(
+                "Long",
+                ClassDist::Deterministic(Nanos::from_micros(500)),
+                0.005,
+            ),
+        ],
+    )
+}
+
+/// High Bimodal: 50% × 1 µs, 50% × 100 µs.
+pub fn high_bimodal() -> Workload {
+    Workload::new(
+        "High Bimodal",
+        vec![
+            JobClass::new("Short", ClassDist::Deterministic(Nanos::from_micros(1)), 0.5),
+            JobClass::new(
+                "Long",
+                ClassDist::Deterministic(Nanos::from_micros(100)),
+                0.5,
+            ),
+        ],
+    )
+}
+
+/// TPC-C transaction mix (Table 1): Payment 5.7 µs ×44%, OrderStatus 6 µs
+/// ×4%, NewOrder 20 µs ×44%, Delivery 88 µs ×4%, StockLevel 100 µs ×4%.
+pub fn tpcc() -> Workload {
+    Workload::new(
+        "TPC-C",
+        vec![
+            JobClass::new(
+                "Payment",
+                ClassDist::Deterministic(Nanos::from_nanos(5_700)),
+                0.44,
+            ),
+            JobClass::new(
+                "OrderStatus",
+                ClassDist::Deterministic(Nanos::from_micros(6)),
+                0.04,
+            ),
+            JobClass::new(
+                "NewOrder",
+                ClassDist::Deterministic(Nanos::from_micros(20)),
+                0.44,
+            ),
+            JobClass::new(
+                "Delivery",
+                ClassDist::Deterministic(Nanos::from_micros(88)),
+                0.04,
+            ),
+            JobClass::new(
+                "StockLevel",
+                ClassDist::Deterministic(Nanos::from_micros(100)),
+                0.04,
+            ),
+        ],
+    )
+}
+
+/// Exp(1): exponential service times with a 1 µs mean.
+pub fn exp1() -> Workload {
+    Workload::new(
+        "Exp(1)",
+        vec![JobClass::new(
+            "Exp",
+            ClassDist::Exponential(Nanos::from_micros(1)),
+            1.0,
+        )],
+    )
+}
+
+/// RocksDB-style GET/SCAN mix: GET 1.2 µs, SCAN 675 µs, with the given
+/// SCAN fraction (the paper evaluates 0.5% and 50%).
+///
+/// # Panics
+///
+/// Panics if `scan_fraction` is not in `(0, 1)`.
+pub fn rocksdb(scan_fraction: f64) -> Workload {
+    assert!(
+        scan_fraction > 0.0 && scan_fraction < 1.0,
+        "SCAN fraction out of range: {scan_fraction}"
+    );
+    Workload::new(
+        format!("RocksDB ({:.1}% SCAN)", scan_fraction * 100.0),
+        vec![
+            JobClass::new(
+                "GET",
+                ClassDist::Deterministic(Nanos::from_nanos(1_200)),
+                1.0 - scan_fraction,
+            ),
+            JobClass::new(
+                "SCAN",
+                ClassDist::Deterministic(Nanos::from_micros(675)),
+                scan_fraction,
+            ),
+        ],
+    )
+}
+
+/// RocksDB with 0.5% SCANs (the breakdown workload of §5.4).
+pub fn rocksdb_low_scan() -> Workload {
+    rocksdb(0.005)
+}
+
+/// RocksDB with 50% SCANs.
+pub fn rocksdb_high_scan() -> Workload {
+    rocksdb(0.5)
+}
+
+/// All Table 1 workloads in the order the paper lists them.
+pub fn all() -> Vec<Workload> {
+    vec![
+        extreme_bimodal(),
+        high_bimodal(),
+        tpcc(),
+        exp1(),
+        rocksdb_low_scan(),
+        rocksdb_high_scan(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_complete() {
+        let names: Vec<String> = all().iter().map(|w| w.name().to_string()).collect();
+        assert_eq!(names.len(), 6);
+        assert!(names.contains(&"TPC-C".to_string()));
+        assert!(names.contains(&"RocksDB (0.5% SCAN)".to_string()));
+    }
+
+    #[test]
+    fn extreme_bimodal_dispersion_is_1000() {
+        assert!((extreme_bimodal().dispersion_ratio() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tpcc_ratios_sum_to_one() {
+        // Construction would panic otherwise; also check the mean
+        // against the hand-computed mixture mean.
+        let wl = tpcc();
+        let mean = 0.44 * 5_700.0 + 0.04 * 6_000.0 + 0.44 * 20_000.0 + 0.04 * 88_000.0
+            + 0.04 * 100_000.0;
+        assert!((wl.mean_service_nanos() - mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rocksdb_scan_fraction_labels() {
+        assert_eq!(rocksdb(0.005).name(), "RocksDB (0.5% SCAN)");
+        assert_eq!(rocksdb(0.5).name(), "RocksDB (50.0% SCAN)");
+    }
+
+    #[test]
+    #[should_panic(expected = "SCAN fraction")]
+    fn rocksdb_rejects_degenerate_mix() {
+        let _ = rocksdb(1.0);
+    }
+
+    #[test]
+    fn exp1_mean_is_one_micro() {
+        assert!((exp1().mean_service_nanos() - 1_000.0).abs() < 1e-9);
+    }
+}

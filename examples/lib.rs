@@ -1,0 +1,1 @@
+// Tiny Quanta examples helper library (intentionally minimal).

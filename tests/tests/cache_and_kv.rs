@@ -1,0 +1,134 @@
+//! Cross-crate tests tying the KV store's access traces to the cache
+//! model — the Figure 15 pipeline — plus the §5.5 findings as
+//! regressions.
+
+use tq_cache::chase::{run, ChaseConfig, Placement};
+use tq_cache::reuse::ReuseHistogram;
+use tq_cache::{reuse_distances, CacheSystem, Level};
+use tq_core::Nanos;
+use tq_kv::{AccessTrace, KvStore};
+
+fn filled_store() -> KvStore {
+    let mut s = KvStore::new(17);
+    s.populate(100_000, 100);
+    s
+}
+
+/// Figure 15's headline: only a few percent of GET/SCAN accesses have
+/// reuse distances above 8 KB — both operations are dominated by small
+/// intra-job reuse, so shrinking quanta barely hurts them.
+#[test]
+fn kv_ops_have_small_reuse_distances() {
+    let store = filled_store();
+
+    let mut get_trace = AccessTrace::new();
+    for i in 0..100u64 {
+        store.get_with_trace(&KvStore::nth_key((i * 997) % 100_000), &mut get_trace);
+    }
+    let mut scan_trace = AccessTrace::new();
+    store.scan_with_trace(&KvStore::nth_key(10_000), 10_000, &mut scan_trace);
+
+    for (name, trace, limit) in [
+        ("GET", &get_trace, 0.25),
+        ("SCAN", &scan_trace, 0.10),
+    ] {
+        let h = ReuseHistogram::from_trace(trace.lines(), ReuseHistogram::figure15_bounds());
+        let frac = h.fraction_above(8 * 1024);
+        assert!(
+            frac < limit,
+            "{name}: {:.1}% of accesses above 8KB reuse distance (limit {:.0}%)",
+            frac * 100.0,
+            limit * 100.0
+        );
+    }
+}
+
+/// Replaying a SCAN trace through the cache hierarchy: the reused
+/// staging/iterator lines hit L1 while the streamed values miss — the
+/// mix that makes SCAN latency hierarchy-friendly despite its size.
+#[test]
+fn scan_trace_is_mostly_l1_hits_in_the_hierarchy() {
+    let store = filled_store();
+    let mut trace = AccessTrace::new();
+    store.scan_with_trace(&KvStore::nth_key(0), 20_000, &mut trace);
+    let mut sys = CacheSystem::new(1);
+    let mut l1_hits = 0u64;
+    for &line in trace.lines() {
+        if sys.access(0, line) == Level::L1 {
+            l1_hits += 1;
+        }
+    }
+    let frac = l1_hits as f64 / trace.len() as f64;
+    assert!(
+        frac > 0.45,
+        "only {:.1}% of SCAN accesses hit L1",
+        frac * 100.0
+    );
+}
+
+/// The paper's Figure 13 findings as regressions on the paper-sized
+/// configuration (16 cores, 4 jobs each).
+#[test]
+fn fig13_findings_hold() {
+    let seed = 1;
+    let lat = |kb: usize, q_us: f64| {
+        let mut cfg = ChaseConfig::paper(kb * 1024, Nanos::from_micros_f64(q_us));
+        cfg.passes = 4; // CI-friendly
+        run(Placement::TwoLevel, &cfg, seed).avg_cycles
+    };
+    // (i) ≤4KB arrays: insensitive to quantum (all ~L1).
+    assert!((lat(4, 0.5) - lat(4, 16.0)).abs() < 1.0);
+    // (ii) 16KB arrays: 16us quanta mostly L1, small quanta miss.
+    assert!(lat(16, 0.5) > lat(16, 16.0) + 1.0);
+    // (iii) once the array is large enough that even 2us quanta fully
+    // amplify reuse distances, further shrinking changes nothing.
+    assert!((lat(64, 0.5) - lat(64, 2.0)).abs() < 1.0);
+    // (iv) for 256KB+ arrays even 16us is "small": quanta don't matter.
+    assert!((lat(256, 2.0) - lat(256, 16.0)).abs() < 1.0);
+}
+
+/// Figure 14: centralized placement hurts from the size where the ×64
+/// amplification spills the private L2 while TLS's ×4 does not.
+#[test]
+fn fig14_ct_worse_than_tls() {
+    let mut cfg = ChaseConfig::paper(64 * 1024, Nanos::from_micros(2));
+    cfg.passes = 3;
+    let tls = run(Placement::TwoLevel, &cfg, 2);
+    let ct = run(Placement::Centralized, &cfg, 2);
+    assert!(
+        ct.avg_cycles > tls.avg_cycles,
+        "CT {} should exceed TLS {}",
+        ct.avg_cycles,
+        tls.avg_cycles
+    );
+}
+
+/// Reuse-distance analyzer agrees with an independently-computed LRU
+/// cache simulation on a real (KV-derived) trace, not just random ones.
+#[test]
+fn reuse_distance_predicts_lru_on_kv_trace() {
+    let store = filled_store();
+    let mut trace = AccessTrace::new();
+    for i in 0..50u64 {
+        store.get_with_trace(&KvStore::nth_key(i * 123), &mut trace);
+    }
+    let lines = trace.lines();
+    let dists = reuse_distances(lines);
+    // Fully associative LRU with 512-line capacity.
+    let cap = 512usize;
+    let mut lru: Vec<u64> = Vec::new();
+    for (i, &line) in lines.iter().enumerate() {
+        let hit = if let Some(pos) = lru.iter().position(|&l| l == line) {
+            lru.remove(pos);
+            true
+        } else {
+            if lru.len() == cap {
+                lru.remove(0);
+            }
+            false
+        };
+        lru.push(line);
+        let predicted = matches!(dists[i], Some(d) if (d as usize) < cap);
+        assert_eq!(hit, predicted, "access {i}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Cross-module properties of the instrumentation pipeline, including
+//! property-based tests over randomly generated program shapes.
+
+use proptest::prelude::*;
+use tq_core::Nanos;
+use tq_instrument::exec::{execute, ExecConfig};
+use tq_instrument::ir::{Function, Node, Program, TripSpec};
+use tq_instrument::{passes, programs};
+
+fn cfg(repeats: u32) -> ExecConfig {
+    let mut c = ExecConfig::default_for_quantum(Nanos::from_micros(2));
+    c.repeats = repeats;
+    c
+}
+
+/// Every benchmark, every pass: instrumentation must never change the
+/// program's control flow (instruction counts identical) and must only
+/// add cycles.
+#[test]
+fn all_benchmarks_all_passes_preserve_control_flow() {
+    let c = cfg(3);
+    for p in programs::all() {
+        let base = execute(&p, &c, 1);
+        for (label, instrumented) in [
+            ("ci", passes::ci::instrument(&p)),
+            ("cc", passes::ci_cycles::instrument(&p)),
+            (
+                "tq",
+                passes::tq::instrument(&p, passes::tq::TqPassConfig::default()),
+            ),
+        ] {
+            let s = execute(&instrumented, &c, 1);
+            assert_eq!(s.insns, base.insns, "{}/{label}: control flow changed", p.name);
+            assert!(
+                s.total_cycles >= base.total_cycles,
+                "{}/{label}: negative overhead",
+                p.name
+            );
+        }
+    }
+}
+
+/// Table 3's aggregate shape, as a regression test: TQ cheaper than CI
+/// on average, TQ far more accurate, CI-Cycles at least as expensive as
+/// CI.
+#[test]
+fn table3_aggregate_shape() {
+    let c = cfg(12);
+    let t = tq_instrument::report::table3(&c, 42);
+    let (ci, cc, tq) = t.mean_overhead;
+    assert!(tq < ci * 0.8, "TQ mean overhead {tq}% vs CI {ci}%");
+    assert!(cc >= ci - 0.1, "CI-Cycles {cc}% below CI {ci}%");
+    let (mae_ci, _mae_cc, mae_tq) = t.mean_mae;
+    assert!(
+        mae_tq * 2.0 < mae_ci,
+        "TQ MAE {mae_tq}ns vs CI {mae_ci}ns"
+    );
+    let probes_ci: u64 = t.rows.iter().map(|r| r.probes_ci).sum();
+    let probes_tq: u64 = t.rows.iter().map(|r| r.probes_tq).sum();
+    assert!(probes_ci >= 10 * probes_tq, "CI {probes_ci} vs TQ {probes_tq}");
+}
+
+/// Strategy: random structured programs with bounded size.
+fn arb_node(depth: u32) -> BoxedStrategy<Node> {
+    if depth == 0 {
+        (1usize..40, 0.0f64..0.6)
+            .prop_map(|(n, lf)| Node::work_with_loads(n, lf, 3))
+            .boxed()
+    } else {
+        prop_oneof![
+            (1usize..40, 0.0f64..0.6).prop_map(|(n, lf)| Node::work_with_loads(n, lf, 3)),
+            prop::collection::vec(arb_node(depth - 1), 1..4).prop_map(Node::Seq),
+            (0.05f64..0.95, arb_node(depth - 1), arb_node(depth - 1)).prop_map(
+                |(p, a, b)| Node::Branch {
+                    p_then: p,
+                    then_: Box::new(a),
+                    else_: Box::new(b),
+                }
+            ),
+            (1u32..60, arb_node(depth - 1)).prop_map(|(n, b)| Node::Loop {
+                trips: TripSpec::Static(n),
+                body: Box::new(b),
+            }),
+            (1.5f64..40.0, arb_node(depth - 1)).prop_map(|(m, b)| Node::Loop {
+                trips: TripSpec::Geometric { mean: m },
+                body: Box::new(b),
+            }),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any program shape, TQ's pass keeps the dynamic gap between
+    /// clock reads bounded: the bound, plus one cloned-loop window, plus
+    /// the re-entry path (see the pass docs for why 3x is the honest
+    /// envelope of the paper's heuristics).
+    #[test]
+    fn tq_gap_bound_holds_for_random_programs(body in arb_node(3)) {
+        let program = Program::new(
+            "random",
+            vec![Function { name: "main".into(), body, instrumentable: true }],
+            0,
+        );
+        let pass_cfg = passes::tq::TqPassConfig::default();
+        let instrumented = passes::tq::instrument(&program, pass_cfg);
+        let stats = execute(&instrumented, &cfg(4), 11);
+        // Only meaningful if the program is long enough to need probes.
+        if instrumented.probe_count() > 0 {
+            // The envelope of the paper's cloning heuristic: every cloned
+            // gate site can contribute up to one `bound` of uncovered
+            // instructions between clock reads (its persistent counter
+            // caps the accumulation per site, but distinct sites
+            // compose), plus the exit residual and re-entry path, plus
+            // block-granularity overshoot.
+            fn cloned_sites(n: &Node) -> u64 {
+                use tq_instrument::ir::{Inst, Probe};
+                match n {
+                    Node::Block(insts) => insts
+                        .iter()
+                        .filter(|i| {
+                            matches!(i, Inst::Probe(Probe::GatedClock { cloned: true, .. }))
+                        })
+                        .count() as u64,
+                    Node::Seq(ns) => ns.iter().map(cloned_sites).sum(),
+                    Node::Branch { then_, else_, .. } => {
+                        cloned_sites(then_) + cloned_sites(else_)
+                    }
+                    Node::Loop { body, .. } => cloned_sites(body),
+                }
+            }
+            let c = cloned_sites(&instrumented.functions[0].body);
+            let envelope = (2 + c) * pass_cfg.bound + 200;
+            prop_assert!(
+                stats.max_clock_gap_insns <= envelope,
+                "gap {} exceeds envelope {} (bound {}, cloned sites {})",
+                stats.max_clock_gap_insns,
+                envelope,
+                pass_cfg.bound,
+                c
+            );
+        }
+    }
+
+    /// CI's counter stays exact on every path: running the instrumented
+    /// program with an unreachable target must never yield, and the
+    /// instrumented instruction count must match the base run.
+    #[test]
+    fn ci_counter_exactness(body in arb_node(3)) {
+        let program = Program::new(
+            "random",
+            vec![Function { name: "main".into(), body, instrumentable: true }],
+            0,
+        );
+        let ci = passes::ci::instrument(&program);
+        let mut c = cfg(2);
+        c.quantum = Nanos::from_secs(1); // unreachable target
+        let base = execute(&program, &c, 5);
+        let s = execute(&ci, &c, 5);
+        prop_assert_eq!(s.insns, base.insns);
+        prop_assert!(s.yields.is_empty(), "yielded with a 1s quantum");
+    }
+
+    /// The CFG lowering agrees with the structured IR: back-edge
+    /// analysis finds exactly one natural loop per `Loop` node, and on
+    /// loop-free programs the DAG longest path equals the structured
+    /// worst-case path.
+    #[test]
+    fn cfg_cross_validates_structured_ir(body in arb_node(3)) {
+        fn count_loops(n: &Node) -> usize {
+            match n {
+                Node::Block(_) => 0,
+                Node::Seq(ns) => ns.iter().map(count_loops).sum(),
+                Node::Branch { then_, else_, .. } => count_loops(then_) + count_loops(else_),
+                Node::Loop { body, .. } => 1 + count_loops(body),
+            }
+        }
+        let program = Program::new(
+            "random",
+            vec![Function { name: "main".into(), body: body.clone(), instrumentable: true }],
+            0,
+        );
+        let cfg = tq_instrument::cfg::lower(&program, 0);
+        prop_assert_eq!(cfg.natural_loops().len(), count_loops(&body));
+        if count_loops(&body) == 0 {
+            prop_assert_eq!(
+                cfg.longest_acyclic_path_insns(),
+                program.max_path_insns(&body)
+            );
+        }
+        // Lowering conserves static instruction count.
+        fn count_insns(n: &Node) -> u64 {
+            match n {
+                Node::Block(_) => n.block_insn_count(),
+                Node::Seq(ns) => ns.iter().map(count_insns).sum(),
+                Node::Branch { then_, else_, .. } => count_insns(then_) + count_insns(else_),
+                Node::Loop { body, .. } => count_insns(body),
+            }
+        }
+        prop_assert_eq!(cfg.total_insns(), count_insns(&body));
+    }
+
+    /// Instrumented programs still compute the same control flow for any
+    /// seed (probes draw no randomness).
+    #[test]
+    fn probes_never_perturb_randomness(seed in 0u64..1_000) {
+        let p = programs::by_name("raytrace").unwrap();
+        let tq = passes::tq::instrument(&p, passes::tq::TqPassConfig::default());
+        let c = cfg(2);
+        let a = execute(&p, &c, seed);
+        let b = execute(&tq, &c, seed);
+        prop_assert_eq!(a.insns, b.insns);
+    }
+}
