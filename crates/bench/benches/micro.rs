@@ -96,6 +96,67 @@ fn bench_reuse_distance(c: &mut Criterion) {
     });
 }
 
+fn bench_summarize(c: &mut Criterion) {
+    // Synthetic completions with the extreme-bimodal class/size mix, the
+    // shape run_once hands to the single-pass metrics pipeline.
+    let mut gen = tq_workloads::ArrivalGen::new(
+        tq_workloads::table1::extreme_bimodal(),
+        4.0e6,
+        SimRng::new(7),
+    );
+    let mut jitter = SimRng::new(0xFEED);
+    let completions: Vec<tq_core::job::Completion> = (0..50_000)
+        .map(|_| {
+            let r = gen.next_request();
+            let wait = r.service.scale(20.0 * jitter.f64());
+            tq_core::job::Completion {
+                id: r.id,
+                class: r.class,
+                arrival: r.arrival,
+                service: r.service,
+                finish: r.arrival + r.service + wait,
+            }
+        })
+        .collect();
+    c.bench_function("summarize_all_50k_single_pass", |b| {
+        b.iter(|| {
+            let mut rec = tq_sim::ClassRecorder::with_capacity(0.1, completions.len());
+            for c in &completions {
+                rec.record(*c);
+            }
+            black_box(rec.summarize_all(tq_core::costs::NETWORK_RTT))
+        });
+    });
+    c.bench_function("summarize_all_50k_multi_pass_reference", |b| {
+        b.iter(|| {
+            black_box(tq_sim::metrics::reference::summarize_all(
+                &completions,
+                0.1,
+                tq_core::costs::NETWORK_RTT,
+            ))
+        });
+    });
+}
+
+fn bench_twolevel_point(c: &mut Criterion) {
+    // One full TQ simulation point at toy horizon: event loop, incremental
+    // load tracking, dispatch, and the metrics pipeline end to end.
+    let cfg = tq_queueing::presets::tq(8, Nanos::from_micros(2));
+    let wl = tq_workloads::table1::extreme_bimodal();
+    let rate = wl.rate_for_load(8, 0.6);
+    c.bench_function("twolevel_point_8w_2ms", |b| {
+        b.iter(|| {
+            black_box(tq_queueing::run_once(
+                &cfg,
+                &wl,
+                rate,
+                Nanos::from_millis(2),
+                1,
+            ))
+        });
+    });
+}
+
 fn bench_instrument_pass(c: &mut Criterion) {
     let p = tq_instrument::programs::by_name("cholesky").unwrap();
     c.bench_function("tq_pass_cholesky", |b| {
@@ -127,6 +188,8 @@ criterion_group! {
     bench_event_queue,
     bench_skiplist,
     bench_reuse_distance,
+    bench_summarize,
+    bench_twolevel_point,
     bench_instrument_pass,
 }
 criterion_main!(benches);

@@ -1,0 +1,260 @@
+//! Perf-regression harness for the simulation engine itself.
+//!
+//! Times two things the experiment pipeline spends nearly all its time
+//! on and writes a machine-readable baseline to `BENCH_sim.json`:
+//!
+//! 1. **Sweep throughput** — a canonical two-system sweep over the
+//!    standard load grid (TQ and Shinjuku on extreme-bimodal), serial
+//!    and with the parallel harness, reported as points/sec and
+//!    simulator events/sec.
+//! 2. **Summarize cost** — `ClassRecorder::summarize_all` on a large
+//!    synthetic completion set, in ns/completion, against the seed's
+//!    multi-pass implementation (`tq_sim::metrics::reference`), whose
+//!    ratio is the pipeline's speedup and the number the acceptance
+//!    gate checks (≥2x).
+//!
+//! ```text
+//! cargo run --release -p tq-bench --bin bench_sim             # full baseline
+//! cargo run --release -p tq-bench --bin bench_sim -- --quick  # CI smoke (~seconds)
+//! ```
+//!
+//! `TQ_SIM_MILLIS`, `TQ_SEED`, and `TQ_JOBS` apply as everywhere else.
+//! Comparing two checkouts: run with the same settings and diff the
+//! JSON; points/sec and ns/completion are the regression signals.
+
+use std::time::Instant;
+use tq_core::{costs, Nanos};
+use tq_queueing::{presets, sweep_jobs, RunResult, SystemConfig};
+use tq_sim::metrics::reference;
+use tq_sim::{ClassRecorder, SimRng};
+use tq_workloads::{table1, ArrivalGen, Workload};
+
+struct SweepMeasure {
+    label: &'static str,
+    jobs: usize,
+    points: usize,
+    elapsed_s: f64,
+    events: u64,
+    completions: u64,
+}
+
+impl SweepMeasure {
+    fn points_per_sec(&self) -> f64 {
+        self.points as f64 / self.elapsed_s
+    }
+
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed_s
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"label\": \"{}\", \"jobs\": {}, \"points\": {}, ",
+                "\"elapsed_s\": {:.6}, \"sim_events\": {}, \"completions\": {}, ",
+                "\"points_per_sec\": {:.2}, \"events_per_sec\": {:.0}}}"
+            ),
+            self.label,
+            self.jobs,
+            self.points,
+            self.elapsed_s,
+            self.events,
+            self.completions,
+            self.points_per_sec(),
+            self.events_per_sec(),
+        )
+    }
+}
+
+fn measure_sweep(
+    label: &'static str,
+    systems: &[SystemConfig],
+    workload: &Workload,
+    loads: &[f64],
+    jobs: usize,
+) -> SweepMeasure {
+    let duration = tq_bench::sim_duration();
+    let start = Instant::now();
+    let mut results: Vec<RunResult> = Vec::new();
+    for cfg in systems {
+        let rates = tq_bench::rate_grid(workload, cfg.n_workers, loads);
+        results.extend(sweep_jobs(cfg, workload, &rates, duration, tq_bench::seed(), jobs));
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    SweepMeasure {
+        label,
+        jobs,
+        points: results.len(),
+        elapsed_s,
+        events: results.iter().map(|r| r.sim_events).sum(),
+        completions: results.iter().map(|r| r.completed as u64).sum(),
+    }
+}
+
+/// Synthetic completion set with the workload's true class/size mix and
+/// dispersed finish times — what the summarizer sees after a real run.
+fn synthetic_completions(n: usize, seed: u64) -> Vec<tq_core::job::Completion> {
+    let mut gen = ArrivalGen::new(table1::extreme_bimodal(), 4.0e6, SimRng::new(seed));
+    let mut jitter = SimRng::new(seed ^ 0xFEED);
+    (0..n)
+        .map(|_| {
+            let r = gen.next_request();
+            // Sojourn between 1x and ~21x the service time.
+            let wait = r.service.scale(20.0 * jitter.f64());
+            tq_core::job::Completion {
+                id: r.id,
+                class: r.class,
+                arrival: r.arrival,
+                service: r.service,
+                finish: r.arrival + r.service + wait,
+            }
+        })
+        .collect()
+}
+
+struct SummarizeMeasure {
+    completions: usize,
+    reps: usize,
+    single_pass_ns: f64,
+    multi_pass_ns: f64,
+}
+
+impl SummarizeMeasure {
+    fn speedup(&self) -> f64 {
+        self.multi_pass_ns / self.single_pass_ns
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"completions\": {}, \"reps\": {}, ",
+                "\"single_pass_ns_per_completion\": {:.2}, ",
+                "\"multi_pass_ns_per_completion\": {:.2}, \"speedup\": {:.2}}}"
+            ),
+            self.completions,
+            self.reps,
+            self.single_pass_ns,
+            self.multi_pass_ns,
+            self.speedup(),
+        )
+    }
+}
+
+fn measure_summarize(n: usize, reps: usize) -> SummarizeMeasure {
+    let completions = synthetic_completions(n, tq_bench::seed());
+    let warmup = tq_queueing::run::WARMUP_FRAC;
+
+    // Reps interleave the two implementations and the best rep is kept:
+    // on a shared/oversubscribed host the minimum is the measurement
+    // least polluted by scheduler noise and first-touch page faults.
+    let mut single_best = f64::INFINITY;
+    let mut multi_best = f64::INFINITY;
+    for _ in 0..reps {
+        // Single pass: record + summarize_all, exactly run_once's usage.
+        let start = Instant::now();
+        let mut rec = ClassRecorder::with_capacity(warmup, completions.len());
+        for c in &completions {
+            rec.record(*c);
+        }
+        std::hint::black_box(rec.summarize_all(costs::NETWORK_RTT));
+        single_best = single_best.min(start.elapsed().as_nanos() as f64 / n as f64);
+
+        // The seed pipeline: two summaries plus the overall slowdown,
+        // each cloning, sorting, and filtering from scratch.
+        let start = Instant::now();
+        std::hint::black_box(reference::summarize_all(
+            &completions,
+            warmup,
+            costs::NETWORK_RTT,
+        ));
+        multi_best = multi_best.min(start.elapsed().as_nanos() as f64 / n as f64);
+    }
+
+    SummarizeMeasure {
+        completions: n,
+        reps,
+        single_pass_ns: single_best,
+        multi_pass_ns: multi_best,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    for a in std::env::args().skip(1) {
+        if a != "--quick" {
+            eprintln!("unknown argument {a:?} (supported: --quick)");
+            std::process::exit(2);
+        }
+    }
+    let jobs = tq_queueing::default_jobs();
+    let loads: &[f64] = if quick {
+        &[0.5, 0.8]
+    } else {
+        &tq_bench::LOAD_SWEEP
+    };
+    let systems = [
+        presets::tq(16, Nanos::from_micros(2)),
+        presets::shinjuku(16, Nanos::from_micros(5)),
+    ];
+    let workload = table1::extreme_bimodal();
+
+    println!("bench_sim ({})", if quick { "quick" } else { "full" });
+    println!(
+        "sim horizon {} per point, seed {}, {jobs} jobs",
+        tq_bench::sim_duration(),
+        tq_bench::seed()
+    );
+    println!();
+
+    let serial = measure_sweep("sweep_serial", &systems, &workload, loads, 1);
+    println!(
+        "sweep serial:   {:>3} points in {:.2}s — {:.2} points/s, {:.2}M events/s",
+        serial.points,
+        serial.elapsed_s,
+        serial.points_per_sec(),
+        serial.events_per_sec() / 1e6
+    );
+    let parallel = measure_sweep("sweep_parallel", &systems, &workload, loads, jobs);
+    println!(
+        "sweep {:>2} jobs:  {:>3} points in {:.2}s — {:.2} points/s, {:.2}M events/s",
+        parallel.jobs,
+        parallel.points,
+        parallel.elapsed_s,
+        parallel.points_per_sec(),
+        parallel.events_per_sec() / 1e6
+    );
+
+    let (n, reps) = if quick { (200_000, 3) } else { (2_000_000, 5) };
+    let s = measure_summarize(n, reps);
+    println!();
+    println!(
+        "summarize_all:  {:.1} ns/completion single-pass vs {:.1} ns/completion multi-pass — {:.2}x",
+        s.single_pass_ns,
+        s.multi_pass_ns,
+        s.speedup()
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"tq-bench-sim/v1\",\n",
+            "  \"quick\": {},\n",
+            "  \"sim_millis\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"jobs\": {},\n",
+            "  \"sweeps\": [\n    {},\n    {}\n  ],\n",
+            "  \"summarize\": {}\n",
+            "}}\n"
+        ),
+        quick,
+        tq_bench::sim_duration().as_nanos() / 1_000_000,
+        tq_bench::seed(),
+        jobs,
+        serial.json(),
+        parallel.json(),
+        s.json(),
+    );
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!();
+    println!("wrote BENCH_sim.json");
+}

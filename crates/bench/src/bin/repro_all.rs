@@ -1,16 +1,23 @@
-//! Reproduce everything: runs every figure/table binary in sequence,
-//! writing each one's output under `results/`.
+//! Reproduce everything: runs every figure/table binary, writing each
+//! one's output under `results/`.
 //!
 //! ```text
 //! cargo run --release -p tq-bench --bin repro_all            # default horizons
 //! TQ_SIM_MILLIS=500 cargo run --release -p tq-bench --bin repro_all
+//! cargo run --release -p tq-bench --bin repro_all -- --jobs 4
 //! ```
+//!
+//! Experiments run as child processes, up to `--jobs` (or `TQ_JOBS`,
+//! default: all cores) at a time; completion is reported — and outputs
+//! written — in the fixed index order regardless of which child finishes
+//! first, so logs and `results/` are identical at any parallelism.
 //!
 //! Binaries are located next to this executable (the cargo target dir),
 //! so build the whole package first: `cargo build --release -p tq-bench`.
 
+use std::collections::VecDeque;
 use std::path::PathBuf;
-use std::process::Command;
+use std::process::{Child, Command, Stdio};
 
 /// Every regeneration binary, in DESIGN.md's experiment-index order.
 pub const ALL_BINARIES: [&str; 23] = [
@@ -39,21 +46,60 @@ pub const ALL_BINARIES: [&str; 23] = [
     "related_concord",
 ];
 
+fn parse_jobs() -> usize {
+    let mut jobs = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" || a == "-j" {
+            let v = args.next().unwrap_or_else(|| {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            });
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer, got {v:?}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            eprintln!("unknown argument {a:?} (supported: --jobs N)");
+            std::process::exit(2);
+        }
+    }
+    jobs.unwrap_or_else(tq_queueing::default_jobs)
+}
+
 fn main() {
     let me = std::env::current_exe().expect("own path");
     let bin_dir = me.parent().expect("target dir").to_path_buf();
     let out_dir = PathBuf::from("results");
     std::fs::create_dir_all(&out_dir).expect("create results/");
-    let mut failures = Vec::new();
-    for name in ALL_BINARIES {
-        let exe = bin_dir.join(name);
-        if !exe.exists() {
-            eprintln!("missing {name} — run `cargo build --release -p tq-bench` first");
-            failures.push(name);
-            continue;
+    let jobs = parse_jobs();
+    let mut failures: Vec<&str> = Vec::new();
+    // Sliding window of spawned children: keep up to `jobs` in flight,
+    // but always harvest the oldest first, so output order is fixed.
+    let mut in_flight: VecDeque<(&str, Child)> = VecDeque::new();
+    let mut pending = ALL_BINARIES.iter();
+    loop {
+        while in_flight.len() < jobs {
+            let Some(&name) = pending.next() else { break };
+            let exe = bin_dir.join(name);
+            if !exe.exists() {
+                eprintln!("missing {name} — run `cargo build --release -p tq-bench` first");
+                failures.push(name);
+                continue;
+            }
+            let child = Command::new(&exe)
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .expect("spawn");
+            in_flight.push_back((name, child));
         }
+        let Some((name, child)) = in_flight.pop_front() else { break };
         print!("{name:<28}");
-        let out = Command::new(&exe).output().expect("spawn");
+        let out = child.wait_with_output().expect("wait");
         let path = out_dir.join(format!("{name}.txt"));
         std::fs::write(&path, &out.stdout).expect("write output");
         if out.status.success() {

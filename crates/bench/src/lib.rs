@@ -8,6 +8,9 @@
 //!   (default 80 ms; the paper runs 10 s — larger values sharpen the
 //!   99.9th percentiles at proportional cost).
 //! * `TQ_SEED` — the run seed (default 42).
+//! * `TQ_JOBS` — worker threads for independent sweep points (default:
+//!   all cores). Results are identical at any setting; see
+//!   [`tq_queueing::default_jobs`].
 
 use tq_core::Nanos;
 use tq_workloads::Workload;
@@ -83,18 +86,8 @@ pub fn compare_systems_with_loads(
     let results: Vec<Vec<tq_queueing::RunResult>> = systems
         .iter()
         .map(|cfg| {
-            loads
-                .iter()
-                .map(|&l| {
-                    tq_queueing::run_once(
-                        cfg,
-                        workload,
-                        workload.rate_for_load(cfg.n_workers, l),
-                        duration,
-                        seed(),
-                    )
-                })
-                .collect()
+            let rates = rate_grid(workload, cfg.n_workers, loads);
+            tq_queueing::sweep(cfg, workload, &rates, duration, seed())
         })
         .collect();
     for (class_idx, class) in workload.classes().iter().enumerate() {

@@ -214,7 +214,7 @@ mod tests {
             for (k, v) in &model {
                 prop_assert_eq!(s.get(k), Some(v.as_slice()));
             }
-            let got = s.scan(&[], usize::MAX.min(1_000));
+            let got = s.scan(&[], 1_000);
             let expect: Vec<(Vec<u8>, Vec<u8>)> =
                 model.into_iter().collect();
             prop_assert_eq!(got, expect);

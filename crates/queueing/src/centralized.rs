@@ -68,6 +68,9 @@ pub(crate) struct CentralizedOutcome {
     /// Span from the first slice start to the last slice end.
     #[cfg_attr(not(test), allow(dead_code))]
     pub busy_span: Nanos,
+    /// Events delivered by the virtual-time queue — the simulation's
+    /// work counter.
+    pub events: u64,
 }
 
 /// Simulates the centralized system until arrivals stop at `horizon`, then
@@ -95,12 +98,14 @@ pub(crate) fn simulate(
         idle: (0..cfg.n_workers).collect(),
         pending_assigns: 0,
         running: (0..cfg.n_workers).map(|_| None).collect(),
-        completions: Vec::new(),
+        completions: Vec::with_capacity(gen.expected_arrivals(horizon)),
         quanta_scheduled: 0,
         first_slice_start: None,
         last_slice_end: Nanos::ZERO,
     };
-    let mut events: EventQueue<Ev> = EventQueue::with_capacity(1024);
+    // At most one pending event per worker, plus the dispatcher op in
+    // flight and the next arrival.
+    let mut events: EventQueue<Ev> = EventQueue::with_capacity(cfg.n_workers + 2);
 
     let mut next_req = Some(gen.next_request());
     if let Some(r) = &next_req {
@@ -197,6 +202,7 @@ pub(crate) fn simulate(
         completions: st.completions,
         quanta_scheduled: st.quanta_scheduled,
         busy_span,
+        events: events.popped(),
     }
 }
 
@@ -247,6 +253,8 @@ mod tests {
         let expected = gen.clone().until(Nanos::from_millis(10)).len();
         let out = simulate(&cfg, gen, Nanos::from_millis(10));
         assert_eq!(out.completions.len(), expected);
+        assert!(out.busy_span > Nanos::ZERO);
+        assert!(out.events as usize >= expected, "every job takes events");
     }
 
     #[test]

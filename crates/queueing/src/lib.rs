@@ -50,4 +50,7 @@ mod active;
 mod runq;
 
 pub use config::{Architecture, SystemConfig};
-pub use run::{run_once, sweep, RunResult};
+pub use run::{
+    default_jobs, run_once, run_replicated, run_replicated_jobs, sweep, sweep_jobs, Replicated,
+    RunResult,
+};

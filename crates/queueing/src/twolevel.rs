@@ -40,10 +40,6 @@ struct Worker {
     queue: RunQueue,
     /// The job mid-slice and its slice length (work, excluding overheads).
     running: Option<(ActiveJob, Nanos)>,
-    /// Unfinished jobs resident here (queued + running).
-    resident: u64,
-    /// Quanta serviced for resident jobs — the MSQ signal.
-    current_quanta: u64,
 }
 
 impl Worker {
@@ -51,21 +47,22 @@ impl Worker {
         Worker {
             queue: RunQueue::new(policy),
             running: None,
-            resident: 0,
-            current_quanta: 0,
-        }
-    }
-
-    fn load(&self) -> WorkerLoad {
-        WorkerLoad {
-            queued_jobs: self.resident,
-            serviced_quanta: self.current_quanta,
         }
     }
 }
 
+/// What a two-level simulation produces.
+#[derive(Debug)]
+pub(crate) struct TwoLevelOutcome {
+    /// Every job completion, in finish order.
+    pub completions: Vec<Completion>,
+    /// Events delivered by the virtual-time queue — the simulation's
+    /// work counter.
+    pub events: u64,
+}
+
 /// Simulates the configured two-level system serving `gen`'s request
-/// stream until `horizon`, then drains. Returns all completions.
+/// stream until `horizon`, then drains.
 ///
 /// # Panics
 ///
@@ -75,7 +72,7 @@ pub(crate) fn simulate(
     mut gen: ArrivalGen,
     horizon: Nanos,
     seed: u64,
-) -> Vec<Completion> {
+) -> TwoLevelOutcome {
     cfg.validate();
     let Architecture::TwoLevel { dispatch } = cfg.arch else {
         panic!("{}: not a two-level system", cfg.name);
@@ -90,9 +87,14 @@ pub(crate) fn simulate(
     let mut workers: Vec<Worker> = (0..cfg.n_workers)
         .map(|_| Worker::new(cfg.worker_policy))
         .collect();
-    let mut events: EventQueue<Ev> = EventQueue::with_capacity(1024);
-    let mut completions = Vec::new();
-    let mut loads_buf: Vec<WorkerLoad> = Vec::with_capacity(cfg.n_workers);
+    // At most one pending event per worker, per dispatcher, plus the
+    // next arrival — the queue never grows past that.
+    let mut events: EventQueue<Ev> = EventQueue::with_capacity(cfg.n_workers + n_disp + 1);
+    let mut completions: Vec<Completion> = Vec::with_capacity(gen.expected_arrivals(horizon));
+    // Live per-worker counters (resident jobs, serviced quanta — the MSQ
+    // signal), updated at each admit/complete/steal instead of being
+    // rebuilt for every dispatch decision.
+    let mut loads: Vec<WorkerLoad> = vec![WorkerLoad::default(); cfg.n_workers];
 
     // Per-dispatcher state: FIFO RX queue plus the request in flight.
     let mut rx: Vec<std::collections::VecDeque<Request>> =
@@ -129,15 +131,13 @@ pub(crate) fn simulate(
             }
             Ev::DispatchDone { dispatcher: d } => {
                 let req = forwarding[d].take().expect("dispatch done without request");
-                loads_buf.clear();
-                loads_buf.extend(workers.iter().map(Worker::load));
-                let w = policies[d].pick(&loads_buf, flow_hash(req.id.0));
-                admit(cfg, &mut workers[w], w, req, now, &mut events);
+                let w = policies[d].pick(&loads, flow_hash(req.id.0));
+                admit(cfg, &mut workers[w], &mut loads[w], w, req, now, &mut events);
                 if cfg.work_stealing {
                     // Idle workers poll for stealable work continuously;
                     // a job queued behind a busy worker while another
                     // core sits idle is taken immediately.
-                    rebalance_to_idle(cfg, &mut workers, w, now, &mut events);
+                    rebalance_to_idle(cfg, &mut workers, &mut loads, w, now, &mut events);
                 }
                 if !rx[d].is_empty() {
                     start_forward(cfg, d, &mut rx[d], &mut forwarding[d], &mut events, now);
@@ -146,10 +146,10 @@ pub(crate) fn simulate(
             Ev::SliceDone { worker: w } => {
                 let (mut job, slice) = workers[w].running.take().expect("no running slice");
                 let done = job.apply_slice(slice);
-                workers[w].current_quanta += 1;
+                loads[w].serviced_quanta += 1;
                 if done {
-                    workers[w].resident -= 1;
-                    workers[w].current_quanta -= job.quanta;
+                    loads[w].queued_jobs -= 1;
+                    loads[w].serviced_quanta -= job.quanta;
                     completions.push(Completion {
                         id: job.id,
                         class: job.class,
@@ -163,12 +163,19 @@ pub(crate) fn simulate(
                 if !workers[w].queue.is_empty() {
                     start_slice(cfg, &mut workers[w], w, now, Nanos::ZERO, &mut events);
                 } else if cfg.work_stealing {
-                    try_steal(cfg, &mut workers, w, now, &mut events);
+                    try_steal(cfg, &mut workers, &mut loads, w, now, &mut events);
                 }
             }
         }
     }
-    completions
+    debug_assert!(
+        loads.iter().all(|l| *l == WorkerLoad::default()),
+        "drained simulation left non-zero worker counters: {loads:?}"
+    );
+    TwoLevelOutcome {
+        completions,
+        events: events.popped(),
+    }
 }
 
 fn start_forward(
@@ -187,6 +194,7 @@ fn start_forward(
 fn admit(
     cfg: &SystemConfig,
     worker: &mut Worker,
+    load: &mut WorkerLoad,
     w: usize,
     req: Request,
     now: Nanos,
@@ -209,7 +217,7 @@ fn admit(
             Nanos::MAX
         },
     };
-    worker.resident += 1;
+    load.queued_jobs += 1;
     worker.queue.push(job);
     if worker.running.is_none() {
         start_slice(cfg, worker, w, now, Nanos::ZERO, events);
@@ -234,6 +242,7 @@ fn start_slice(
 fn try_steal(
     cfg: &SystemConfig,
     workers: &mut [Worker],
+    loads: &mut [WorkerLoad],
     thief: usize,
     now: Nanos,
     events: &mut EventQueue<Ev>,
@@ -249,10 +258,10 @@ fn try_steal(
         return;
     }
     let job = workers[v].queue.take_last().expect("victim queue non-empty");
-    workers[v].resident -= 1;
-    workers[v].current_quanta -= job.quanta;
-    workers[thief].resident += 1;
-    workers[thief].current_quanta += job.quanta;
+    loads[v].queued_jobs -= 1;
+    loads[v].serviced_quanta -= job.quanta;
+    loads[thief].queued_jobs += 1;
+    loads[thief].serviced_quanta += job.quanta;
     workers[thief].queue.push(job);
     start_slice(cfg, &mut workers[thief], thief, now, cfg.steal_cost, events);
 }
@@ -263,6 +272,7 @@ fn try_steal(
 fn rebalance_to_idle(
     cfg: &SystemConfig,
     workers: &mut [Worker],
+    loads: &mut [WorkerLoad],
     from: usize,
     now: Nanos,
     events: &mut EventQueue<Ev>,
@@ -276,10 +286,10 @@ fn rebalance_to_idle(
         return;
     };
     let job = workers[from].queue.take_last().expect("checked non-empty");
-    workers[from].resident -= 1;
-    workers[from].current_quanta -= job.quanta;
-    workers[thief].resident += 1;
-    workers[thief].current_quanta += job.quanta;
+    loads[from].queued_jobs -= 1;
+    loads[from].serviced_quanta -= job.quanta;
+    loads[thief].queued_jobs += 1;
+    loads[thief].serviced_quanta += job.quanta;
     workers[thief].queue.push(job);
     start_slice(cfg, &mut workers[thief], thief, now, cfg.steal_cost, events);
 }
@@ -303,20 +313,22 @@ mod tests {
 
     fn run(cfg: &SystemConfig, rate: f64, millis: u64, seed: u64) -> Vec<Completion> {
         let gen = ArrivalGen::new(table1::extreme_bimodal(), rate, SimRng::new(seed));
-        simulate(cfg, gen, Nanos::from_millis(millis), seed)
+        simulate(cfg, gen, Nanos::from_millis(millis), seed).completions
     }
 
     #[test]
     fn conservation_all_arrivals_complete() {
         let cfg = presets::tq(4, Nanos::from_micros(2));
         let rate = table1::extreme_bimodal().rate_for_load(4, 0.5);
-        let mut gen = ArrivalGen::new(table1::extreme_bimodal(), rate, SimRng::new(7));
+        let gen = ArrivalGen::new(table1::extreme_bimodal(), rate, SimRng::new(7));
         let expected = {
             let mut g = gen.clone();
             g.until(Nanos::from_millis(5)).len()
         };
-        let completions = simulate(&cfg, gen.clone(), Nanos::from_millis(5), 7);
+        let outcome = simulate(&cfg, gen.clone(), Nanos::from_millis(5), 7);
+        let completions = outcome.completions;
         assert_eq!(completions.len(), expected);
+        assert!(outcome.events as usize >= expected, "every job takes events");
         // No duplicates.
         let mut ids: Vec<u64> = completions.iter().map(|c| c.id.0).collect();
         ids.sort_unstable();
@@ -367,7 +379,7 @@ mod tests {
 
         let p999 = |cfg: &SystemConfig| {
             let gen = ArrivalGen::new(wl.clone(), rate, SimRng::new(2));
-            let comps = simulate(cfg, gen, Nanos::from_millis(30), 2);
+            let comps = simulate(cfg, gen, Nanos::from_millis(30), 2).completions;
             let mut rec = tq_sim::ClassRecorder::new(0.1);
             for c in comps {
                 rec.record(c);
@@ -388,7 +400,7 @@ mod tests {
         let rate = wl.rate_for_load(8, 0.6);
         let run_p999 = |cfg: &SystemConfig| {
             let gen = ArrivalGen::new(wl.clone(), rate, SimRng::new(4));
-            let comps = simulate(cfg, gen, Nanos::from_millis(30), 4);
+            let comps = simulate(cfg, gen, Nanos::from_millis(30), 4).completions;
             let mut rec = tq_sim::ClassRecorder::new(0.1);
             for c in comps {
                 rec.record(c);

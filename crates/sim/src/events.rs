@@ -59,6 +59,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     last_popped: Nanos,
+    popped: u64,
 }
 
 impl<E: std::fmt::Debug> std::fmt::Debug for Entry<E> {
@@ -74,11 +75,7 @@ impl<E: std::fmt::Debug> std::fmt::Debug for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            last_popped: Nanos::ZERO,
-        }
+        EventQueue::with_capacity(0)
     }
 
     /// Creates an empty queue with capacity for `cap` pending events.
@@ -87,6 +84,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             last_popped: Nanos::ZERO,
+            popped: 0,
         }
     }
 
@@ -114,8 +112,15 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|e| {
             debug_assert!(e.time >= self.last_popped, "heap violated time order");
             self.last_popped = e.time;
+            self.popped += 1;
             (e.time, e.event)
         })
+    }
+
+    /// Total events delivered over the queue's lifetime — the
+    /// simulation's work counter (events/sec in the perf harness).
+    pub fn popped(&self) -> u64 {
+        self.popped
     }
 
     /// Timestamp of the next event without removing it.

@@ -40,5 +40,5 @@ pub mod metrics;
 pub mod rng;
 
 pub use events::EventQueue;
-pub use metrics::{ClassRecorder, LogHistogram, TailStats};
+pub use metrics::{ClassRecorder, ClassSummary, LogHistogram, RunSummary, TailStats};
 pub use rng::SimRng;

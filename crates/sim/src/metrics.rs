@@ -4,8 +4,18 @@
 //! server-side sojourn time) per job class, and slowdown (sojourn ÷ service)
 //! for multi-modal workloads, discarding the first 10% of samples as warm-up
 //! (§5.1). This module implements exactly that pipeline.
+//!
+//! The recorder is a *single-pass* pipeline: one warm-up sort of the
+//! completion vector is amortized across every query, classes are
+//! bucketed in one scan, and [`ClassRecorder::summarize_all`] produces
+//! end-to-end, sojourn, and overall-slowdown statistics together — the
+//! end-to-end and sojourn summaries even share one sorted latency array
+//! per class, since adding a constant RTT commutes with nearest-rank
+//! percentiles. The pre-optimization multi-pass implementation survives
+//! in [`reference`] as the differential-testing oracle.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use tq_core::job::Completion;
 use tq_core::{ClassId, Nanos};
 
@@ -108,6 +118,21 @@ impl Extend<u64> for TailStats {
     }
 }
 
+/// Everything [`ClassRecorder::summarize_all`] produces in one pass:
+/// the per-class end-to-end summaries, the per-class sojourn-only
+/// summaries, and the class-blind overall slowdown tail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Per-class summaries with the fixed extra latency (network RTT)
+    /// added to every sojourn, ordered by class id.
+    pub classes_e2e: Vec<ClassSummary>,
+    /// Per-class summaries of bare sojourn time (extra = 0), ordered by
+    /// class id.
+    pub classes_sojourn: Vec<ClassSummary>,
+    /// The overall (class-blind) 99.9th-percentile slowdown.
+    pub overall_slowdown_p999: f64,
+}
+
 /// Per-class summary produced by [`ClassRecorder::summarize`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClassSummary {
@@ -155,6 +180,9 @@ pub struct ClassSummary {
 pub struct ClassRecorder {
     completions: Vec<Completion>,
     warmup_frac: f64,
+    /// Whether `completions` is currently sorted by `(arrival, id)`.
+    sorted: bool,
+    arrival_sorts: u64,
 }
 
 impl ClassRecorder {
@@ -165,19 +193,32 @@ impl ClassRecorder {
     ///
     /// Panics if `warmup_frac` is not within `[0, 1)`.
     pub fn new(warmup_frac: f64) -> Self {
+        ClassRecorder::with_capacity(warmup_frac, 0)
+    }
+
+    /// Like [`ClassRecorder::new`], preallocating room for `expected`
+    /// completions so a simulation never reallocates on the record path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup_frac` is not within `[0, 1)`.
+    pub fn with_capacity(warmup_frac: f64, expected: usize) -> Self {
         assert!(
             (0.0..1.0).contains(&warmup_frac),
             "warm-up fraction out of range: {warmup_frac}"
         );
         ClassRecorder {
-            completions: Vec::new(),
+            completions: Vec::with_capacity(expected),
             warmup_frac,
+            sorted: false,
+            arrival_sorts: 0,
         }
     }
 
     /// Records a completed job.
     pub fn record(&mut self, c: Completion) {
         self.completions.push(c);
+        self.sorted = false;
     }
 
     /// Total completions recorded (before warm-up discarding).
@@ -185,11 +226,201 @@ impl ClassRecorder {
         self.completions.len()
     }
 
+    /// The raw recorded completions, in unspecified order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// How many times the completion vector has actually been sorted by
+    /// arrival. Queries after the first reuse the sorted order, so a
+    /// recorder that is filled once and then queried — however many
+    /// times — reports exactly 1. Diagnostic for perf tests.
+    pub fn arrival_sorts(&self) -> u64 {
+        self.arrival_sorts
+    }
+
+    /// Produces every metric [`crate::metrics`] knows in a single pass
+    /// over the completions: one amortized arrival sort, one bucketing
+    /// scan, and O(n) order-statistic selections per class in place of
+    /// full value sorts. The end-to-end and sojourn summaries share each
+    /// selection — adding the constant `extra` commutes with
+    /// nearest-rank percentiles.
+    ///
+    /// `extra` is the fixed latency added to each sojourn for the
+    /// end-to-end view (e.g. the network RTT); the sojourn view always
+    /// uses zero. Every percentile equals the multi-pass
+    /// [`reference::summarize_all`] exactly; the means can differ from
+    /// it in the last ULP because they are accumulated in scan order
+    /// instead of ascending order.
+    pub fn summarize_all(&mut self, extra: Nanos) -> RunSummary {
+        let kept = self.kept();
+
+        // One scan: bucket sojourns and slowdowns per class, and collect
+        // the class-blind slowdowns for the overall tail.
+        let mut buckets: BTreeMap<ClassId, (Vec<u64>, Vec<f64>)> = BTreeMap::new();
+        let mut all_slow: Vec<f64> = Vec::with_capacity(kept.len());
+        for c in kept {
+            let slowdown = c.slowdown();
+            let (soj, slow) = buckets.entry(c.class).or_default();
+            soj.push(c.sojourn().as_nanos());
+            slow.push(slowdown);
+            all_slow.push(slowdown);
+        }
+
+        let extra_ns = extra.as_nanos();
+        let mut classes_e2e = Vec::with_capacity(buckets.len());
+        let mut classes_sojourn = Vec::with_capacity(buckets.len());
+        for (class, (mut soj, mut slow)) in buckets {
+            let n = soj.len();
+            // Order-statistic selection instead of full sorts: each
+            // percentile is an exact k-th smallest, found in O(n) rather
+            // than O(n log n). Values are identical to sorting; only the
+            // means (summed in scan order rather than ascending) can
+            // differ from [`reference`] in the last ULP.
+            let [p50, p99, p999] =
+                select_ranks_u64(&mut soj, [rank_index(n, 50.0), rank_index(n, 99.0), rank_index(n, 99.9)]);
+            let soj_mean = soj.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+            let e2e_mean = soj.iter().map(|&v| (v + extra_ns) as f64).sum::<f64>() / n as f64;
+            let slowdown_mean = slow.iter().sum::<f64>() / n as f64;
+            let slowdown_p999 = select_rank_f64(&mut slow, rank_index(n, 99.9));
+            classes_e2e.push(ClassSummary {
+                class,
+                count: n,
+                p50: Nanos::from_nanos(p50 + extra_ns),
+                p99: Nanos::from_nanos(p99 + extra_ns),
+                p999: Nanos::from_nanos(p999 + extra_ns),
+                mean: Nanos::from_nanos(e2e_mean.round() as u64),
+                slowdown_p999,
+                slowdown_mean,
+            });
+            classes_sojourn.push(ClassSummary {
+                class,
+                count: n,
+                p50: Nanos::from_nanos(p50),
+                p99: Nanos::from_nanos(p99),
+                p999: Nanos::from_nanos(p999),
+                mean: Nanos::from_nanos(soj_mean.round() as u64),
+                slowdown_p999,
+                slowdown_mean,
+            });
+        }
+
+        let overall_slowdown_p999 = if all_slow.is_empty() {
+            0.0
+        } else {
+            let rank = rank_index(all_slow.len(), 99.9);
+            select_rank_f64(&mut all_slow, rank)
+        };
+        RunSummary {
+            classes_e2e,
+            classes_sojourn,
+            overall_slowdown_p999,
+        }
+    }
+
     /// Summarizes every class present, ordered by class id. `extra` is a
     /// fixed latency added to each sojourn (e.g. the network RTT when
     /// reporting end-to-end latency; pass [`Nanos::ZERO`] for sojourn).
-    pub fn summarize(&self, extra: Nanos) -> Vec<ClassSummary> {
-        let kept = self.after_warmup();
+    ///
+    /// Needing only one view? This still computes the slowdown columns
+    /// (they are shared work); use [`ClassRecorder::summarize_all`] when
+    /// you need more than one.
+    pub fn summarize(&mut self, extra: Nanos) -> Vec<ClassSummary> {
+        self.summarize_all(extra).classes_e2e
+    }
+
+    /// The overall (class-blind) slowdown percentile, as Figure 8 reports
+    /// for TPC-C.
+    pub fn overall_slowdown(&mut self, p: f64) -> f64 {
+        let mut slow: Vec<f64> = self.kept().iter().map(|c| c.slowdown()).collect();
+        percentile_f64(&mut slow, p)
+    }
+
+    /// The overall latency percentile across all classes.
+    pub fn overall_latency(&mut self, p: f64, extra: Nanos) -> Nanos {
+        let mut lat: Vec<u64> = self
+            .kept()
+            .iter()
+            .map(|c| (c.sojourn() + extra).as_nanos())
+            .collect();
+        if lat.is_empty() {
+            return Nanos::ZERO;
+        }
+        lat.sort_unstable();
+        Nanos::from_nanos(lat[rank_index(lat.len(), p)])
+    }
+
+    /// Completions surviving warm-up discarding, ordered by arrival.
+    /// Sorts in place at most once between mutations.
+    fn kept(&mut self) -> &[Completion] {
+        if !self.sorted {
+            self.completions
+                .sort_unstable_by_key(|c| (c.arrival, c.id));
+            self.sorted = true;
+            self.arrival_sorts += 1;
+        }
+        let skip = (self.completions.len() as f64 * self.warmup_frac).floor() as usize;
+        &self.completions[skip.min(self.completions.len())..]
+    }
+}
+
+/// Index of the nearest-rank `p`th percentile in a sorted slice of
+/// length `n ≥ 1`.
+fn rank_index(n: usize, p: f64) -> usize {
+    debug_assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
+    let rank = ((p / 100.0) * n as f64 - 1e-9).ceil() as usize;
+    rank.clamp(1, n) - 1
+}
+
+/// The k-th smallest values of `v` for ascending ranks, via repeated
+/// `select_nth_unstable` on the shrinking right partition — O(n)
+/// expected total, and each result equals `sorted(v)[rank]` exactly.
+fn select_ranks_u64<const K: usize>(v: &mut [u64], ranks: [usize; K]) -> [u64; K] {
+    let mut out = [0u64; K];
+    let mut base = 0;
+    for (i, &rank) in ranks.iter().enumerate() {
+        debug_assert!(i == 0 || rank >= ranks[i - 1], "ranks must be ascending");
+        let rel = rank - base;
+        out[i] = *v[base..].select_nth_unstable(rel).1;
+        base = rank;
+    }
+    out
+}
+
+/// The k-th smallest of `v` (exactly `sorted(v)[rank]`), in O(n).
+///
+/// # Panics
+///
+/// Panics if any value is NaN.
+fn select_rank_f64(v: &mut [f64], rank: usize) -> f64 {
+    *v.select_nth_unstable_by(rank, |a, b| a.partial_cmp(b).expect("NaN slowdown"))
+        .1
+}
+
+/// The seed's multi-pass metrics implementation, preserved verbatim as
+/// the differential-testing oracle: property tests assert the
+/// single-pass [`ClassRecorder::summarize_all`] reproduces these
+/// results exactly, and `bench_sim` measures its speedup against them.
+pub mod reference {
+    use super::{percentile_f64, ClassSummary, RunSummary, TailStats};
+    use tq_core::job::Completion;
+    use tq_core::{ClassId, Nanos};
+
+    /// Multi-pass equivalent of [`super::ClassRecorder::summarize_all`]:
+    /// two independent `summarize` passes plus an `overall_slowdown`
+    /// pass, each re-sorting and re-filtering from scratch.
+    pub fn summarize_all(completions: &[Completion], warmup_frac: f64, extra: Nanos) -> RunSummary {
+        RunSummary {
+            classes_e2e: summarize(completions, warmup_frac, extra),
+            classes_sojourn: summarize(completions, warmup_frac, Nanos::ZERO),
+            overall_slowdown_p999: overall_slowdown(completions, warmup_frac, 99.9),
+        }
+    }
+
+    /// The seed's `ClassRecorder::summarize`: clones and sorts the
+    /// completions, then filters the kept slice once per class.
+    pub fn summarize(completions: &[Completion], warmup_frac: f64, extra: Nanos) -> Vec<ClassSummary> {
+        let kept = after_warmup(completions, warmup_frac);
         let mut classes: Vec<ClassId> = kept.iter().map(|c| c.class).collect();
         classes.sort_unstable();
         classes.dedup();
@@ -218,28 +449,19 @@ impl ClassRecorder {
             .collect()
     }
 
-    /// The overall (class-blind) slowdown percentile, as Figure 8 reports
-    /// for TPC-C.
-    pub fn overall_slowdown(&self, p: f64) -> f64 {
-        let mut slow: Vec<f64> = self.after_warmup().iter().map(|c| c.slowdown()).collect();
+    /// The seed's `ClassRecorder::overall_slowdown`.
+    pub fn overall_slowdown(completions: &[Completion], warmup_frac: f64, p: f64) -> f64 {
+        let mut slow: Vec<f64> = after_warmup(completions, warmup_frac)
+            .iter()
+            .map(|c| c.slowdown())
+            .collect();
         percentile_f64(&mut slow, p)
     }
 
-    /// The overall latency percentile across all classes.
-    pub fn overall_latency(&self, p: f64, extra: Nanos) -> Nanos {
-        let mut lat: TailStats = self
-            .after_warmup()
-            .iter()
-            .map(|c| (c.sojourn() + extra).as_nanos())
-            .collect();
-        Nanos::from_nanos(if lat.is_empty() { 0 } else { lat.percentile(p) })
-    }
-
-    /// Completions surviving warm-up discarding, ordered by arrival.
-    fn after_warmup(&self) -> Vec<Completion> {
-        let mut by_arrival = self.completions.clone();
+    fn after_warmup(completions: &[Completion], warmup_frac: f64) -> Vec<Completion> {
+        let mut by_arrival = completions.to_vec();
         by_arrival.sort_unstable_by_key(|c| (c.arrival, c.id));
-        let skip = (by_arrival.len() as f64 * self.warmup_frac).floor() as usize;
+        let skip = (by_arrival.len() as f64 * warmup_frac).floor() as usize;
         by_arrival.split_off(skip.min(by_arrival.len()))
     }
 }
@@ -457,6 +679,105 @@ mod tests {
         let sums = rec.summarize(Nanos::from_micros(10));
         assert_eq!(sums[0].p999, Nanos::from_nanos(11_000));
         assert!((sums[0].slowdown_p999 - 2.0).abs() < 1e-12);
+    }
+
+    /// Asserts the single-pass summary matches the multi-pass reference:
+    /// percentiles exactly, means within the ULP slack the different
+    /// summation order permits (±1 ns latency, 1e-9 relative slowdown).
+    pub(super) fn assert_matches_reference(fast: &RunSummary, slow: &RunSummary) {
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+        let check = |f: &[ClassSummary], s: &[ClassSummary]| {
+            assert_eq!(f.len(), s.len(), "class sets differ");
+            for (a, b) in f.iter().zip(s) {
+                assert_eq!((a.class, a.count), (b.class, b.count));
+                assert_eq!((a.p50, a.p99, a.p999), (b.p50, b.p99, b.p999), "class {}", a.class);
+                assert!(
+                    a.mean.as_nanos().abs_diff(b.mean.as_nanos()) <= 1,
+                    "mean {} vs {}",
+                    a.mean,
+                    b.mean
+                );
+                assert_eq!(a.slowdown_p999, b.slowdown_p999, "class {}", a.class);
+                assert!(
+                    close(a.slowdown_mean, b.slowdown_mean),
+                    "slowdown mean {} vs {}",
+                    a.slowdown_mean,
+                    b.slowdown_mean
+                );
+            }
+        };
+        check(&fast.classes_e2e, &slow.classes_e2e);
+        check(&fast.classes_sojourn, &slow.classes_sojourn);
+        assert_eq!(fast.overall_slowdown_p999, slow.overall_slowdown_p999);
+    }
+
+    #[test]
+    fn summarize_all_matches_reference() {
+        let mut rec = ClassRecorder::new(0.1);
+        // A mix of classes, out-of-order arrivals, and duplicate arrival
+        // times (id breaks the tie).
+        let raw = [
+            comp(3, 1, 40, 200, 900),
+            comp(0, 0, 0, 100, 350),
+            comp(1, 0, 20, 100, 150),
+            comp(5, 2, 20, 400, 2_000),
+            comp(2, 1, 10, 300, 700),
+            comp(4, 0, 80, 100, 1_000),
+            comp(6, 0, 80, 50, 210),
+        ];
+        for c in raw {
+            rec.record(c);
+        }
+        let extra = Nanos::from_micros(5);
+        let fast = rec.summarize_all(extra);
+        let slow = reference::summarize_all(rec.completions(), 0.1, extra);
+        assert_matches_reference(&fast, &slow);
+    }
+
+    #[test]
+    fn one_arrival_sort_amortized_over_all_queries() {
+        let mut rec = ClassRecorder::new(0.1);
+        for i in 0..100u64 {
+            rec.record(comp(i, (i % 3) as u16, 1_000 - i * 10, 50, 2_000));
+        }
+        assert_eq!(rec.arrival_sorts(), 0);
+        let _ = rec.summarize_all(Nanos::from_micros(5));
+        let _ = rec.summarize(Nanos::ZERO);
+        let _ = rec.overall_slowdown(99.9);
+        let _ = rec.overall_latency(50.0, Nanos::ZERO);
+        assert_eq!(rec.arrival_sorts(), 1);
+        // New data invalidates the order; exactly one more sort follows.
+        rec.record(comp(200, 0, 5, 50, 100));
+        let _ = rec.summarize_all(Nanos::ZERO);
+        assert_eq!(rec.arrival_sorts(), 2);
+    }
+
+    #[test]
+    fn summarize_all_views_are_consistent() {
+        let mut rec = ClassRecorder::new(0.0);
+        rec.record(comp(0, 0, 0, 500, 1_000));
+        rec.record(comp(1, 0, 10, 500, 1_200));
+        let s = rec.summarize_all(Nanos::from_micros(10));
+        assert_eq!(s.classes_e2e.len(), 1);
+        assert_eq!(
+            s.classes_e2e[0].p999,
+            s.classes_sojourn[0].p999 + Nanos::from_micros(10)
+        );
+        // Slowdown never includes the extra latency.
+        assert_eq!(
+            s.classes_e2e[0].slowdown_p999,
+            s.classes_sojourn[0].slowdown_p999
+        );
+        assert!((s.overall_slowdown_p999 - 1_190.0 / 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_all_empty_recorder() {
+        let mut rec = ClassRecorder::new(0.1);
+        let s = rec.summarize_all(Nanos::from_micros(5));
+        assert!(s.classes_e2e.is_empty());
+        assert!(s.classes_sojourn.is_empty());
+        assert_eq!(s.overall_slowdown_p999, 0.0);
     }
 
     #[test]

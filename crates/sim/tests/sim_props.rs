@@ -1,10 +1,84 @@
 //! Property-based tests of the simulation engine's invariants.
 
 use proptest::prelude::*;
-use tq_core::Nanos;
-use tq_sim::{EventQueue, SimRng, TailStats};
+use tq_core::job::Completion;
+use tq_core::{ClassId, JobId, Nanos};
+use tq_sim::{ClassRecorder, EventQueue, SimRng, TailStats};
 
 proptest! {
+    /// The single-pass `summarize_all` reproduces the seed's multi-pass
+    /// pipeline (kept in `tq_sim::metrics::reference`) on arbitrary
+    /// completion sets: percentiles bit-for-bit, means within the ULP
+    /// slack a different summation order permits.
+    #[test]
+    fn summarize_all_matches_multipass_reference(
+        jobs in prop::collection::vec(
+            // (arrival, service − 1, extra wait, class)
+            (0u64..1_000_000, 0u64..100_000, 0u64..1_000_000, 0u16..3),
+            0..300,
+        ),
+        warmup_choice in 0usize..3,
+        extra_us in 0u64..10,
+    ) {
+        let warmup = [0.0, 0.1, 0.5][warmup_choice];
+        let extra = Nanos::from_micros(extra_us);
+        let mut rec = ClassRecorder::new(warmup);
+        for (i, &(arrival, service, wait, class)) in jobs.iter().enumerate() {
+            let arrival = Nanos::from_nanos(arrival);
+            let service = Nanos::from_nanos(service + 1);
+            rec.record(Completion {
+                id: JobId(i as u64),
+                class: ClassId(class),
+                arrival,
+                service,
+                finish: arrival + service + Nanos::from_nanos(wait),
+            });
+        }
+        let fast = rec.summarize_all(extra);
+        let slow = tq_sim::metrics::reference::summarize_all(rec.completions(), warmup, extra);
+
+        prop_assert_eq!(fast.overall_slowdown_p999, slow.overall_slowdown_p999);
+        for (f, s) in [(&fast.classes_e2e, &slow.classes_e2e),
+                       (&fast.classes_sojourn, &slow.classes_sojourn)] {
+            prop_assert_eq!(f.len(), s.len());
+            for (a, b) in f.iter().zip(s.iter()) {
+                prop_assert_eq!(a.class, b.class);
+                prop_assert_eq!(a.count, b.count);
+                prop_assert_eq!(a.p50, b.p50);
+                prop_assert_eq!(a.p99, b.p99);
+                prop_assert_eq!(a.p999, b.p999);
+                prop_assert_eq!(a.slowdown_p999, b.slowdown_p999);
+                prop_assert!(a.mean.as_nanos().abs_diff(b.mean.as_nanos()) <= 1);
+                let tol = 1e-9 * a.slowdown_mean.abs().max(b.slowdown_mean.abs()).max(1.0);
+                prop_assert!((a.slowdown_mean - b.slowdown_mean).abs() <= tol);
+            }
+        }
+    }
+
+    /// However queries interleave, the completion vector is sorted at
+    /// most once per batch of recordings.
+    #[test]
+    fn at_most_one_sort_per_recording_batch(
+        batches in prop::collection::vec(prop::collection::vec(0u64..10_000, 1..20), 1..8),
+    ) {
+        let mut rec = ClassRecorder::new(0.1);
+        let mut id = 0u64;
+        for (bi, batch) in batches.iter().enumerate() {
+            for &arrival in batch {
+                rec.record(Completion {
+                    id: JobId(id),
+                    class: ClassId(0),
+                    arrival: Nanos::from_nanos(arrival),
+                    service: Nanos::from_nanos(100),
+                    finish: Nanos::from_nanos(arrival + 500),
+                });
+                id += 1;
+            }
+            let _ = rec.summarize_all(Nanos::ZERO);
+            let _ = rec.overall_slowdown(99.9);
+            prop_assert_eq!(rec.arrival_sorts(), bi as u64 + 1);
+        }
+    }
     /// Popping returns events sorted by time, FIFO among equal times.
     #[test]
     fn event_queue_total_order(times in prop::collection::vec(0u64..1000, 0..300)) {

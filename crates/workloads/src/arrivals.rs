@@ -65,6 +65,12 @@ impl ArrivalGen {
         &self.workload
     }
 
+    /// Expected number of arrivals before `horizon` (`horizon ÷ mean
+    /// gap`), for sizing completion buffers up front.
+    pub fn expected_arrivals(&self, horizon: Nanos) -> usize {
+        (horizon.as_nanos() as f64 / self.mean_gap_nanos).ceil() as usize
+    }
+
     /// Draws the next request; arrival times are strictly non-decreasing.
     pub fn next_request(&mut self) -> Request {
         self.clock += self.gap_rng.exp_nanos(self.mean_gap_nanos);

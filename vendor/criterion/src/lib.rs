@@ -1,0 +1,160 @@
+//! Offline stand-in for the `criterion` API subset this workspace uses.
+//!
+//! Provides [`Criterion::bench_function`] with warm-up and measurement
+//! windows, median-of-samples reporting, [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros. No statistical
+//! regression analysis, HTML reports, or CLI filtering — each benchmark
+//! prints one summary line.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque identity function preventing the optimizer from deleting a
+/// computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark harness.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Untimed warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total duration budgeted for timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints `name ... median ns/iter`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: also discovers how many iterations fit in a sample.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut per_iter = Duration::from_nanos(1);
+        while Instant::now() < warm_deadline {
+            b.iters = 1_000.min(1 + (Duration::from_millis(1).as_nanos() / per_iter.as_nanos().max(1)) as u64);
+            f(&mut b);
+            per_iter = b.elapsed / b.iters as u32;
+        }
+        let per_iter_ns = per_iter.as_nanos().max(1);
+
+        // Size samples so all of them fit the measurement window.
+        let budget_ns = self.measurement_time.as_nanos() / self.sample_size as u128;
+        let iters_per_sample = (budget_ns / per_iter_ns).clamp(1, u64::MAX as u128) as u64;
+
+        let mut samples_ns: Vec<u128> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters_per_sample;
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() / iters_per_sample as u128);
+        }
+        samples_ns.sort_unstable();
+        let median = samples_ns[samples_ns.len() / 2];
+        let lo = samples_ns[samples_ns.len() / 20];
+        let hi = samples_ns[samples_ns.len() - 1 - samples_ns.len() / 20];
+        println!(
+            "{name:<40} time: [{} ns {} ns {} ns] ({} samples x {} iters)",
+            lo, median, hi, self.sample_size, iters_per_sample
+        );
+        self
+    }
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Groups benchmark functions, mirroring criterion's two invocation
+/// forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+}

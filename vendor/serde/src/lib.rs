@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! Nothing in this workspace actually serializes (there is no
+//! `serde_json` or similar in the dependency graph); the derives on
+//! domain types exist so downstream users *could* wire up serialization.
+//! This stand-in keeps those annotations compiling without the real
+//! crate: the traits are satisfied by blanket impls and the derive
+//! macros are no-ops that swallow `#[serde(...)]` attributes.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; satisfied by every
+/// type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

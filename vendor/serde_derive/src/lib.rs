@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The offline `serde` stand-in implements its traits for every type via
+//! blanket impls, so these derives only need to exist (and to register
+//! the `#[serde(...)]` helper attribute) — they emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts (and ignores) the derive input and its `#[serde(...)]`
+/// attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts (and ignores) the derive input and its `#[serde(...)]`
+/// attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
