@@ -8,7 +8,7 @@ use tq_core::policy::{DispatchPolicy, Dispatcher, TieBreak, WorkerLoad};
 use tq_core::{Cycles, Nanos};
 use tq_runtime::job::{Job, JobStatus, QuantumCtx};
 use tq_runtime::{SpinJob, TscClock};
-use tq_sim::{EventQueue, SimRng};
+use tq_sim::{EventQueue, SimRng, TagQueue};
 
 fn bench_probe(c: &mut Criterion) {
     let clock = TscClock::calibrated();
@@ -54,6 +54,17 @@ fn bench_jsq_pick(c: &mut Criterion) {
     c.bench_function("jsq_msq_pick_16_workers", |b| {
         b.iter(|| black_box(d.pick(&loads, 12345)));
     });
+
+    // The engines' struct-of-arrays variant: the argmin scans flat u64
+    // arrays, at the worker counts the paper's figures use.
+    for n in [16usize, 64] {
+        let mut d = Dispatcher::new(DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta), n, 1);
+        let queued: Vec<u64> = (0..n).map(|i| (i % 5) as u64).collect();
+        let quanta: Vec<u64> = (0..n).map(|i| (i * 3) as u64).collect();
+        c.bench_function(&format!("jsq_msq_pick_split_{n}_workers"), |b| {
+            b.iter(|| black_box(d.pick_split(&queued, &quanta, 12345)));
+        });
+    }
 }
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -68,6 +79,36 @@ fn bench_event_queue(c: &mut Criterion) {
             }
         });
     });
+
+    // Steady-state pop-then-push at a fixed fill level — the engines'
+    // regime (the queue holds at most one event per worker/dispatcher).
+    // Pushed times jump pseudo-randomly ahead of the popped time so both
+    // the front-slot fast path and real heap sifts are exercised.
+    for fill in [8u64, 64, 512] {
+        let mut q = EventQueue::with_capacity(fill as usize);
+        for i in 0..fill {
+            q.push(Nanos::from_nanos(1_000 + (i * 7919) % 4_096), i);
+        }
+        c.bench_function(&format!("event_queue_steady_fill_{fill}"), |b| {
+            b.iter(|| {
+                let (t, payload) = q.pop().expect("steady queue never empties");
+                q.push(t + Nanos::from_nanos((payload * 7919) % 4_096 + 1), payload);
+                black_box(payload)
+            });
+        });
+
+        let mut q = TagQueue::with_capacity(fill as usize);
+        for i in 0..fill {
+            q.push(Nanos::from_nanos(1_000 + (i * 7919) % 4_096), i as u16);
+        }
+        c.bench_function(&format!("tag_queue_steady_fill_{fill}"), |b| {
+            b.iter(|| {
+                let (t, tag) = q.pop().expect("steady queue never empties");
+                q.push(t + Nanos::from_nanos((u64::from(tag) * 7919) % 4_096 + 1), tag);
+                black_box(tag)
+            });
+        });
+    }
 }
 
 fn bench_skiplist(c: &mut Criterion) {

@@ -139,6 +139,98 @@ impl Dispatcher {
         }
     }
 
+    /// [`Dispatcher::pick`] over struct-of-arrays load counters — the
+    /// simulators' hot path. `queued_jobs[w]` and `serviced_quanta[w]`
+    /// are the two [`WorkerLoad`] fields kept in flat cache-line-friendly
+    /// arrays so the JSQ scan reads one contiguous `u64` stream.
+    ///
+    /// Decisions and RNG consumption are exactly those of
+    /// [`Dispatcher::pick`] on the equivalent `&[WorkerLoad]` snapshot:
+    /// interleaving the two entry points on the same dispatcher keeps the
+    /// random streams bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length is not `n_workers`.
+    pub fn pick_split(
+        &mut self,
+        queued_jobs: &[u64],
+        serviced_quanta: &[u64],
+        flow_hash: u64,
+    ) -> usize {
+        assert_eq!(
+            queued_jobs.len(),
+            self.n_workers,
+            "load snapshot size mismatch"
+        );
+        assert_eq!(
+            serviced_quanta.len(),
+            self.n_workers,
+            "load snapshot size mismatch"
+        );
+        match self.policy {
+            DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta) => {
+                // Single forward argmin on (queued asc, quanta desc); the
+                // forward scan keeps the lowest index among full ties,
+                // matching `pick_jsq`'s third-level rule.
+                let mut best = 0usize;
+                let (mut bq, mut bs) = (queued_jobs[0], serviced_quanta[0]);
+                for w in 1..queued_jobs.len() {
+                    let (q, s) = (queued_jobs[w], serviced_quanta[w]);
+                    if q < bq || (q == bq && s > bs) {
+                        (best, bq, bs) = (w, q, s);
+                    }
+                }
+                best
+            }
+            DispatchPolicy::Jsq(TieBreak::Random) => {
+                let min_q = *queued_jobs.iter().min().expect("non-empty loads");
+                let ties = queued_jobs.iter().filter(|&&q| q == min_q).count();
+                if ties == 1 {
+                    // No RNG draw on a unique minimum, same as `pick_jsq`.
+                    return queued_jobs
+                        .iter()
+                        .position(|&q| q == min_q)
+                        .expect("minimum exists");
+                }
+                let i = self.rng.index(ties);
+                queued_jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &q)| q == min_q)
+                    .nth(i)
+                    .expect("tie index in range")
+                    .0
+            }
+            DispatchPolicy::PowerOfTwo => {
+                if self.n_workers == 1 {
+                    return 0;
+                }
+                let a = self.rng.index(self.n_workers);
+                let mut b = self.rng.index(self.n_workers - 1);
+                if b >= a {
+                    b += 1;
+                }
+                if queued_jobs[b] < queued_jobs[a] {
+                    b
+                } else {
+                    a
+                }
+            }
+            DispatchPolicy::Random => self.rng.index(self.n_workers),
+            DispatchPolicy::RoundRobin => {
+                let w = self.rr_cursor;
+                self.rr_cursor = (self.rr_cursor + 1) % self.n_workers;
+                w
+            }
+            DispatchPolicy::RssHash => (flow_hash % self.n_workers as u64) as usize,
+            DispatchPolicy::Pinned(w) => {
+                assert!(w < self.n_workers, "pinned worker out of range");
+                w
+            }
+        }
+    }
+
     fn pick_jsq(&mut self, loads: &[WorkerLoad], tie: TieBreak) -> usize {
         let min_q = loads
             .iter()
@@ -337,5 +429,58 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn new_rejects_zero_workers() {
         let _ = Dispatcher::new(DispatchPolicy::Random, 0, 0);
+    }
+
+    /// Drives `pick` and `pick_split` on twin dispatchers over a
+    /// deterministic pseudo-random load sequence and asserts identical
+    /// decisions — i.e. identical RNG/cursor state evolution too.
+    fn assert_split_matches(policy: DispatchPolicy, n: usize) {
+        let mut a = Dispatcher::new(policy, n, 42);
+        let mut b = Dispatcher::new(policy, n, 42);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..500u64 {
+            let queued: Vec<u64> = (0..n).map(|_| rng() % 4).collect();
+            let quanta: Vec<u64> = (0..n).map(|_| rng() % 6).collect();
+            let loads: Vec<WorkerLoad> = queued
+                .iter()
+                .zip(&quanta)
+                .map(|(&q, &s)| WorkerLoad {
+                    queued_jobs: q,
+                    serviced_quanta: s,
+                })
+                .collect();
+            let flow = rng();
+            assert_eq!(
+                a.pick(&loads, flow),
+                b.pick_split(&queued, &quanta, flow),
+                "{policy:?} diverged at round {round} on {loads:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pick_split_matches_pick_for_every_policy() {
+        for n in [1, 2, 3, 16, 64] {
+            assert_split_matches(DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta), n);
+            assert_split_matches(DispatchPolicy::Jsq(TieBreak::Random), n);
+            assert_split_matches(DispatchPolicy::Random, n);
+            assert_split_matches(DispatchPolicy::PowerOfTwo, n);
+            assert_split_matches(DispatchPolicy::RoundRobin, n);
+            assert_split_matches(DispatchPolicy::RssHash, n);
+            assert_split_matches(DispatchPolicy::Pinned(0), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn pick_split_rejects_wrong_snapshot_len() {
+        let mut d = Dispatcher::new(DispatchPolicy::Random, 4, 5);
+        let _ = d.pick_split(&[0; 3], &[0; 3], 0);
     }
 }

@@ -35,6 +35,17 @@ use serde::{Deserialize, Serialize};
 #[serde(transparent)]
 pub struct Nanos(pub u64);
 
+/// `x.round() as u64` for non-negative finite `x`, without the libm
+/// `round` call: `floor` lowers to a single rounding instruction, and the
+/// fractional part `x - floor(x)` is exact in f64 (the operands are within
+/// a factor of two for x >= 1, and floor is 0 below that), so the
+/// half-away-from-zero tie behaviour matches `round` bit for bit.
+#[inline]
+fn round_nonneg(x: f64) -> u64 {
+    let f = x.floor();
+    f as u64 + u64::from(x - f >= 0.5)
+}
+
 impl Nanos {
     /// The zero duration / simulation epoch.
     pub const ZERO: Nanos = Nanos(0);
@@ -74,7 +85,20 @@ impl Nanos {
     #[inline]
     pub fn from_micros_f64(us: f64) -> Self {
         assert!(us.is_finite() && us >= 0.0, "invalid duration: {us}");
-        Nanos((us * 1_000.0).round() as u64)
+        Nanos(round_nonneg(us * 1_000.0))
+    }
+
+    /// Creates a `Nanos` from fractional nanoseconds, rounding to the
+    /// nearest (half away from zero) without a libm `round` call — for
+    /// per-event hot paths like the arrival samplers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or non-finite.
+    #[inline]
+    pub fn from_nanos_f64(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "invalid duration: {ns}");
+        Nanos(round_nonneg(ns))
     }
 
     /// Returns the raw nanosecond count.
@@ -139,7 +163,16 @@ impl Nanos {
             factor.is_finite() && factor >= 0.0,
             "invalid scale factor: {factor}"
         );
-        Nanos((self.0 as f64 * factor).round() as u64)
+        // `floor(x) + (x - floor(x) >= 0.5)` is exactly `x.round()` for
+        // every non-negative x below 2^52 (durations under ~52 simulated
+        // days): the fractional part is computed exactly (Sterbenz), so
+        // unlike `(x + 0.5).floor()` there is no 1-ULP tie drift — and
+        // `floor` compiles to an inline rounding instruction instead of
+        // the libm `round` call. This runs once per admitted job in the
+        // serving engines.
+        let scaled = self.0 as f64 * factor;
+        debug_assert!(scaled < (1u64 << 52) as f64, "scale overflows exact f64 range");
+        Nanos(round_nonneg(scaled))
     }
 }
 
@@ -367,6 +400,26 @@ mod tests {
         assert_eq!(Nanos::from_millis(1), Nanos::from_micros(1_000));
         assert_eq!(Nanos::from_secs(1), Nanos::from_millis(1_000));
         assert_eq!(Nanos::from_micros_f64(0.5), Nanos::from_nanos(500));
+    }
+
+    #[test]
+    fn round_nonneg_is_bit_identical_to_round() {
+        // The case `(x + 0.5).floor()` gets wrong: the largest f64 below
+        // 0.5 rounds to 0, but adding 0.5 to it already lands on 1.0.
+        let below_half = 0.5_f64.next_down();
+        assert_eq!(round_nonneg(below_half), 0);
+        assert_eq!((below_half + 0.5).floor() as u64, 1, "trap this test guards against");
+        for x in [
+            0.0, 0.25, 0.5, 0.75, 1.5, 2.5, 1e9 + 0.5, 123_456.499_999,
+            below_half, 1e15 + 0.5, (1u64 << 53) as f64,
+        ] {
+            assert_eq!(round_nonneg(x), x.round() as u64, "x = {x:?}");
+        }
+        // Dense sweep around ties.
+        for i in 0..10_000u64 {
+            let x = i as f64 * 0.083;
+            assert_eq!(round_nonneg(x), x.round() as u64, "x = {x:?}");
+        }
     }
 
     #[test]

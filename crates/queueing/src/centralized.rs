@@ -13,22 +13,37 @@
 //! Shinjuku) at each slice boundary and return the job to the central
 //! queue, so the dispatcher's load grows inversely with the quantum size —
 //! the scalability wall of Figure 16.
+//!
+//! Like [`crate::twolevel`], this is the optimized engine (job slab +
+//! index queue + idle bitmask, allocation-free in steady state); the seed
+//! implementation is preserved in [`crate::reference`] and pinned
+//! bit-identical by differential tests.
 
 use crate::active::ActiveJob;
 use crate::config::{Architecture, SystemConfig};
-use std::collections::{BTreeSet, VecDeque};
+use crate::mask::WorkerMask;
+use crate::slab::{JobIdx, JobSlab};
+use crate::twolevel::RX_RING_CAPACITY;
+use std::collections::VecDeque;
 use tq_core::job::Completion;
-use tq_core::policy::PsQueue;
 use tq_core::{Nanos, Request};
-use tq_sim::EventQueue;
+use tq_sim::TagQueue;
 use tq_workloads::ArrivalGen;
 
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    Arrival,
-    OpDone,
-    SliceDone { worker: usize },
-}
+/// Sentinel for "no job occupies this running slot".
+const NO_JOB: JobIdx = JobIdx::MAX;
+
+/// Event tags for the [`TagQueue`]: the kind lives in the top two bits,
+/// the worker index in the low 14.
+///
+/// * `TAG_ARRIVAL` — the pre-drawn next request arrives at the NIC.
+/// * `TAG_OP` — the dispatcher finished its in-flight operation.
+/// * `TAG_SLICE | w` — worker `w` finished its current slice.
+const TAG_ARRIVAL: u16 = 0;
+const TAG_OP: u16 = 0x4000;
+const TAG_SLICE: u16 = 0x8000;
+const TAG_KIND: u16 = 0xC000;
+const TAG_INDEX: u16 = 0x3FFF;
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -45,11 +60,19 @@ struct State {
     /// Queued Assign operations (count; they carry no payload).
     assign_q: usize,
     in_flight: Option<Op>,
-    central: PsQueue<ActiveJob>,
-    idle: BTreeSet<usize>,
+    /// Every in-flight job, indexed by the slots `central`/`running` hold.
+    slab: JobSlab,
+    /// The central PS rotation: both admit and quantum re-entry enqueue
+    /// at the tail (`PsQueue` semantics on slab indices).
+    central: VecDeque<JobIdx>,
+    idle: WorkerMask,
+    /// Cached `idle.count()`, maintained at every set/clear.
+    n_idle: usize,
     pending_assigns: usize,
-    running: Vec<Option<(ActiveJob, Nanos)>>,
-    completions: Vec<Completion>,
+    /// Slab index of the job mid-slice per worker (`NO_JOB` when none).
+    running: Vec<JobIdx>,
+    /// Slice length (work, excluding overheads) of the running job.
+    slices: Vec<Nanos>,
     /// Totals for the dispatcher-scalability experiment (Figure 16).
     quanta_scheduled: u64,
     first_slice_start: Option<Nanos>,
@@ -59,18 +82,31 @@ struct State {
 /// Outcome of a centralized simulation: completions plus the quantum
 /// accounting the dispatcher-scaling experiment needs.
 #[derive(Debug)]
-pub(crate) struct CentralizedOutcome {
+pub struct CentralizedOutcome {
+    /// Every job completion, in finish order.
     pub completions: Vec<Completion>,
-    /// Total quanta the dispatcher scheduled (consumed by the accounting
-    /// tests; the Figure 16 experiment uses its own saturated pipeline).
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Total quanta the dispatcher scheduled.
     pub quanta_scheduled: u64,
     /// Span from the first slice start to the last slice end.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub busy_span: Nanos,
     /// Events delivered by the virtual-time queue — the simulation's
     /// work counter.
     pub events: u64,
+}
+
+/// Everything [`simulate_into`] produces besides the completion stream.
+#[derive(Debug, Clone, Copy)]
+pub struct CentralizedStats {
+    /// Total quanta the dispatcher scheduled.
+    pub quanta_scheduled: u64,
+    /// Span from the first slice start to the last slice end.
+    pub busy_span: Nanos,
+    /// Events delivered by the virtual-time queue.
+    pub events: u64,
+    /// Completions that finished within the arrival horizon (the rest
+    /// drained afterwards), counted during the run so callers computing
+    /// achieved throughput need no extra pass.
+    pub in_horizon: u64,
 }
 
 /// Simulates the centralized system until arrivals stop at `horizon`, then
@@ -79,11 +115,29 @@ pub(crate) struct CentralizedOutcome {
 /// # Panics
 ///
 /// Panics if the configuration is invalid or not centralized.
-pub(crate) fn simulate(
+pub fn simulate(cfg: &SystemConfig, gen: ArrivalGen, horizon: Nanos) -> CentralizedOutcome {
+    let mut completions = Vec::new();
+    let stats = simulate_into(cfg, gen, horizon, &mut completions);
+    CentralizedOutcome {
+        completions,
+        quanta_scheduled: stats.quanta_scheduled,
+        busy_span: stats.busy_span,
+        events: stats.events,
+    }
+}
+
+/// [`simulate`] writing completions into a caller-provided buffer
+/// (cleared first), so sweeps can reuse one allocation across points.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or not centralized.
+pub fn simulate_into(
     cfg: &SystemConfig,
     mut gen: ArrivalGen,
     horizon: Nanos,
-) -> CentralizedOutcome {
+    completions: &mut Vec<Completion>,
+) -> CentralizedStats {
     cfg.validate();
     assert!(
         matches!(cfg.arch, Architecture::Centralized),
@@ -91,49 +145,59 @@ pub(crate) fn simulate(
         cfg.name
     );
     let mut st = State {
-        ingress_q: VecDeque::new(),
+        ingress_q: VecDeque::with_capacity(RX_RING_CAPACITY),
         assign_q: 0,
         in_flight: None,
-        central: PsQueue::new(),
-        idle: (0..cfg.n_workers).collect(),
+        slab: JobSlab::with_capacity(4 * cfg.n_workers),
+        central: VecDeque::with_capacity(4 * cfg.n_workers),
+        idle: WorkerMask::full(cfg.n_workers),
+        n_idle: cfg.n_workers,
         pending_assigns: 0,
-        running: (0..cfg.n_workers).map(|_| None).collect(),
-        completions: Vec::with_capacity(gen.expected_arrivals(horizon)),
+        running: vec![NO_JOB; cfg.n_workers],
+        slices: vec![Nanos::ZERO; cfg.n_workers],
         quanta_scheduled: 0,
         first_slice_start: None,
         last_slice_end: Nanos::ZERO,
     };
+    completions.clear();
+    completions.reserve(gen.expected_arrivals(horizon));
+    assert!(
+        cfg.n_workers <= TAG_INDEX as usize,
+        "{}: worker index exceeds the 14-bit event-tag space",
+        cfg.name
+    );
     // At most one pending event per worker, plus the dispatcher op in
     // flight and the next arrival.
-    let mut events: EventQueue<Ev> = EventQueue::with_capacity(cfg.n_workers + 2);
+    let mut events = TagQueue::with_capacity(cfg.n_workers + 2);
 
     let mut next_req = Some(gen.next_request());
+    let mut in_horizon = 0u64;
     if let Some(r) = &next_req {
         if r.arrival < horizon {
-            events.push(r.arrival, Ev::Arrival);
+            events.push(r.arrival, TAG_ARRIVAL);
         } else {
             next_req = None;
         }
     }
 
-    while let Some((now, ev)) = events.pop() {
-        match ev {
-            Ev::Arrival => {
+    while let Some((now, tag)) = events.pop() {
+        match tag & TAG_KIND {
+            TAG_ARRIVAL => {
                 let req = next_req.take().expect("arrival without request");
                 st.ingress_q.push_back(req);
                 kick_dispatcher(cfg, &mut st, now, &mut events);
                 let r = gen.next_request();
                 if r.arrival < horizon {
                     next_req = Some(r);
-                    events.push(r.arrival, Ev::Arrival);
+                    events.push(r.arrival, TAG_ARRIVAL);
                 }
             }
-            Ev::OpDone => {
+            TAG_OP => {
                 let op = st.in_flight.take().expect("op done without op");
                 match op {
                     Op::Ingress(req) => {
                         let inflation = cfg.inflation_for(req.class.0);
-                        st.central.admit(ActiveJob {
+                        let idx = st.slab.insert(ActiveJob {
                             id: req.id,
                             class: req.class,
                             arrival: req.arrival,
@@ -147,24 +211,27 @@ pub(crate) fn simulate(
                                 Nanos::MAX
                             },
                         });
+                        st.central.push_back(idx);
                     }
                     Op::Assign => {
                         st.pending_assigns -= 1;
-                        if let Some(job) = st.central.take_next() {
-                            if let Some(&w) = st.idle.iter().next() {
-                                st.idle.remove(&w);
-                                let slice = job.next_slice();
-                                st.running[w] = Some((job, slice));
+                        if let Some(idx) = st.central.pop_front() {
+                            if let Some(w) = st.idle.first() {
+                                st.idle.clear(w);
+                                st.n_idle -= 1;
+                                let slice = st.slab.get(idx).next_slice();
+                                st.running[w] = idx;
+                                st.slices[w] = slice;
                                 st.quanta_scheduled += 1;
                                 st.first_slice_start.get_or_insert(now);
                                 events.push(
                                     now + slice + cfg.preempt_overhead,
-                                    Ev::SliceDone { worker: w },
+                                    TAG_SLICE | w as u16,
                                 );
                             } else {
                                 // Wasted dispatcher cycle: every worker got
                                 // busy since this op was queued.
-                                st.central.reenter(job);
+                                st.central.push_back(idx);
                             }
                         }
                     }
@@ -172,12 +239,17 @@ pub(crate) fn simulate(
                 schedule_assigns(&mut st);
                 kick_dispatcher(cfg, &mut st, now, &mut events);
             }
-            Ev::SliceDone { worker: w } => {
-                let (mut job, slice) = st.running[w].take().expect("no running slice");
+            _ => {
+                let w = (tag & TAG_INDEX) as usize;
+                let idx = st.running[w];
+                debug_assert_ne!(idx, NO_JOB, "no running slice");
+                st.running[w] = NO_JOB;
                 st.last_slice_end = now;
-                let done = job.apply_slice(slice);
+                let done = st.slab.get_mut(idx).apply_slice(st.slices[w]);
                 if done {
-                    st.completions.push(Completion {
+                    let job = st.slab.remove(idx);
+                    in_horizon += u64::from(now <= horizon);
+                    completions.push(Completion {
                         id: job.id,
                         class: job.class,
                         arrival: job.arrival,
@@ -185,9 +257,10 @@ pub(crate) fn simulate(
                         finish: now,
                     });
                 } else {
-                    st.central.reenter(job);
+                    st.central.push_back(idx);
                 }
-                st.idle.insert(w);
+                st.idle.set(w);
+                st.n_idle += 1;
                 schedule_assigns(&mut st);
                 kick_dispatcher(cfg, &mut st, now, &mut events);
             }
@@ -198,18 +271,19 @@ pub(crate) fn simulate(
         Some(start) => st.last_slice_end.saturating_sub(start),
         None => Nanos::ZERO,
     };
-    CentralizedOutcome {
-        completions: st.completions,
+    CentralizedStats {
         quanta_scheduled: st.quanta_scheduled,
         busy_span,
         events: events.popped(),
+        in_horizon,
     }
 }
 
 /// Tops up Assign operations so that one is pending for each (idle worker,
 /// queued job) pair not yet covered.
 fn schedule_assigns(st: &mut State) {
-    while st.pending_assigns < st.idle.len() && st.pending_assigns < st.central.len() {
+    debug_assert_eq!(st.n_idle, st.idle.count());
+    while st.pending_assigns < st.n_idle && st.pending_assigns < st.central.len() {
         st.assign_q += 1;
         st.pending_assigns += 1;
     }
@@ -217,7 +291,7 @@ fn schedule_assigns(st: &mut State) {
 
 /// Starts the next dispatcher operation if the core is free. Scheduling
 /// (Assign) work runs before packet processing.
-fn kick_dispatcher(cfg: &SystemConfig, st: &mut State, now: Nanos, events: &mut EventQueue<Ev>) {
+fn kick_dispatcher(cfg: &SystemConfig, st: &mut State, now: Nanos, events: &mut TagQueue) {
     if st.in_flight.is_some() {
         return;
     }
@@ -234,7 +308,7 @@ fn kick_dispatcher(cfg: &SystemConfig, st: &mut State, now: Nanos, events: &mut 
         Op::Assign => cfg.dispatch_per_quantum,
     };
     st.in_flight = Some(op);
-    events.push(now + cost, Ev::OpDone);
+    events.push(now + cost, TAG_OP);
 }
 
 #[cfg(test)]
@@ -333,5 +407,25 @@ mod tests {
         );
         assert_eq!(a.completions, b.completions);
         assert_eq!(a.quanta_scheduled, b.quanta_scheduled);
+    }
+
+    /// Engine-vs-seed contract at unit level (the exhaustive version
+    /// lives in the integration proptests).
+    #[test]
+    fn matches_reference_engine() {
+        let wl = table1::high_bimodal();
+        let rate = wl.rate_for_load(4, 0.6);
+        for cfg in [
+            presets::shinjuku(4, Nanos::from_micros(5)),
+            presets::ideal_centralized_ps(4, Nanos::from_micros(1)),
+        ] {
+            let gen = ArrivalGen::new(wl.clone(), rate, SimRng::new(13));
+            let fast = simulate(&cfg, gen.clone(), Nanos::from_millis(10));
+            let slow = crate::reference::centralized(&cfg, gen, Nanos::from_millis(10));
+            assert_eq!(fast.completions, slow.completions, "{} diverged", cfg.name);
+            assert_eq!(fast.quanta_scheduled, slow.quanta_scheduled);
+            assert_eq!(fast.busy_span, slow.busy_span);
+            assert_eq!(fast.events, slow.events);
+        }
     }
 }

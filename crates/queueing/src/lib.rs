@@ -41,13 +41,16 @@
 pub mod centralized;
 pub mod config;
 pub mod presets;
+pub mod reference;
 pub mod run;
 pub mod scaling;
 pub mod theory;
 pub mod twolevel;
 
 mod active;
+mod mask;
 mod runq;
+mod slab;
 
 pub use config::{Architecture, SystemConfig};
 pub use run::{

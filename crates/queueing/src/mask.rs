@@ -1,0 +1,144 @@
+//! Worker-state bitmasks for the hot-path engines.
+//!
+//! Idle/backlog membership queries that the seed models answered with
+//! O(W) scans over `Vec<Worker>` become single trailing-zeros or
+//! popcount-style word walks here: a worker per bit, `u64` words, so 64
+//! workers (the ext-MD regime) fit in one word and the Figure 16 scan is
+//! one `tzcnt`.
+
+/// A fixed-size set of worker indices backed by `u64` words.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkerMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl WorkerMask {
+    /// An empty mask over `n` workers.
+    pub fn empty(n: usize) -> Self {
+        WorkerMask {
+            words: vec![0; n.div_ceil(64).max(1)],
+            len: n,
+        }
+    }
+
+    /// A full mask: every worker in `0..n` is set.
+    pub fn full(n: usize) -> Self {
+        let mut m = WorkerMask::empty(n);
+        for w in 0..n {
+            m.set(w);
+        }
+        m
+    }
+
+    /// Adds worker `w` to the set.
+    #[inline]
+    pub fn set(&mut self, w: usize) {
+        debug_assert!(w < self.len);
+        self.words[w / 64] |= 1u64 << (w % 64);
+    }
+
+    /// Removes worker `w` from the set.
+    #[inline]
+    pub fn clear(&mut self, w: usize) {
+        debug_assert!(w < self.len);
+        self.words[w / 64] &= !(1u64 << (w % 64));
+    }
+
+    /// Whether worker `w` is in the set.
+    #[inline]
+    pub fn contains(&self, w: usize) -> bool {
+        debug_assert!(w < self.len);
+        self.words[w / 64] & (1u64 << (w % 64)) != 0
+    }
+
+    /// The lowest-index worker in the set (`None` when empty) — one
+    /// trailing-zeros per word.
+    #[inline]
+    pub fn first(&self) -> Option<usize> {
+        for (i, &word) in self.words.iter().enumerate() {
+            if word != 0 {
+                return Some(i * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of workers in the set — one popcount per word.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates set workers in ascending index order by peeling trailing
+    /// set bits word by word.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &word)| {
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(i * 64 + bit)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_contains() {
+        let mut m = WorkerMask::empty(130);
+        assert!(m.is_empty());
+        for w in [0, 1, 63, 64, 65, 127, 128, 129] {
+            m.set(w);
+            assert!(m.contains(w));
+        }
+        m.clear(64);
+        assert!(!m.contains(64));
+        assert!(m.contains(65));
+    }
+
+    #[test]
+    fn first_is_lowest_index() {
+        let mut m = WorkerMask::empty(200);
+        assert_eq!(m.first(), None);
+        m.set(150);
+        assert_eq!(m.first(), Some(150));
+        m.set(70);
+        assert_eq!(m.first(), Some(70));
+        m.set(3);
+        assert_eq!(m.first(), Some(3));
+        m.clear(3);
+        assert_eq!(m.first(), Some(70));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut m = WorkerMask::empty(100);
+        for w in [99, 0, 64, 63, 31] {
+            m.set(w);
+        }
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 31, 63, 64, 99]);
+    }
+
+    #[test]
+    fn full_covers_all() {
+        let m = WorkerMask::full(67);
+        assert_eq!(m.iter().count(), 67);
+        assert_eq!(m.count(), 67);
+        assert_eq!(m.first(), Some(0));
+    }
+}

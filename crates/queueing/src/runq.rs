@@ -1,11 +1,17 @@
 //! The worker's run queue, generic over the quantum discipline.
 //!
 //! PS and FCFS share a FIFO rotation ([`PsQueue`]); least-attained-service
-//! orders by attained service ([`LasQueue`]). This enum gives the
-//! two-level model one interface over both.
+//! orders by attained service ([`LasQueue`]). [`RunQueue`] holds jobs by
+//! value and serves the reference model; [`IndexQueue`] is its hot-path
+//! counterpart holding 32-bit [`JobIdx`] slots into the
+//! [`crate::slab::JobSlab`], so rotation and stealing move 4-byte indices
+//! instead of whole job structs.
 
 use crate::active::ActiveJob;
+use crate::slab::JobIdx;
+use std::collections::VecDeque;
 use tq_core::policy::{LasQueue, PsQueue, WorkerPolicy};
+use tq_core::Nanos;
 
 /// A discipline-polymorphic run queue of [`ActiveJob`]s.
 #[derive(Debug)]
@@ -69,6 +75,76 @@ impl RunQueue {
     }
 }
 
+/// A discipline-polymorphic run queue of slab indices — the engines' hot
+/// path. Discipline semantics are identical to [`RunQueue`]; the LAS
+/// ordering key (attained service) is passed in at push time because the
+/// queue does not own the jobs.
+#[derive(Debug)]
+pub(crate) enum IndexQueue {
+    /// FIFO rotation: PS and FCFS.
+    Fifo(VecDeque<JobIdx>),
+    /// Least-attained-service min-heap.
+    Las(LasQueue<JobIdx>),
+}
+
+impl IndexQueue {
+    pub fn new(policy: WorkerPolicy, cap: usize) -> Self {
+        match policy {
+            WorkerPolicy::ProcessorSharing | WorkerPolicy::Fcfs => {
+                IndexQueue::Fifo(VecDeque::with_capacity(cap))
+            }
+            WorkerPolicy::LeastAttainedService => IndexQueue::Las(LasQueue::new()),
+        }
+    }
+
+    /// Admits a new or yielded job by its slab index; `attained` is the
+    /// job's attained service (the LAS ordering key, ignored by FIFO).
+    #[inline]
+    pub fn push(&mut self, idx: JobIdx, attained: Nanos) {
+        match self {
+            IndexQueue::Fifo(q) => q.push_back(idx),
+            IndexQueue::Las(q) => q.admit(idx, attained),
+        }
+    }
+
+    /// Takes the job to run next under the discipline.
+    #[inline]
+    pub fn take_next(&mut self) -> Option<JobIdx> {
+        match self {
+            IndexQueue::Fifo(q) => q.pop_front(),
+            IndexQueue::Las(q) => q.take_next().map(|(i, _)| i),
+        }
+    }
+
+    /// Removes the job a work-stealing thief would take (the one that
+    /// would run last).
+    ///
+    /// # Panics
+    ///
+    /// Panics for LAS queues: stealing is only configured with FIFO
+    /// disciplines, which [`crate::SystemConfig::validate`] enforces.
+    #[inline]
+    pub fn take_last(&mut self) -> Option<JobIdx> {
+        match self {
+            IndexQueue::Fifo(q) => q.pop_back(),
+            IndexQueue::Las(_) => panic!("work stealing is not defined for LAS queues"),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            IndexQueue::Fifo(q) => q.len(),
+            IndexQueue::Las(q) => q.len(),
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +189,138 @@ mod tests {
         let mut q = RunQueue::new(WorkerPolicy::LeastAttainedService);
         q.push(job(1, 0));
         let _ = q.take_last();
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One step of a random queue workload: push a job with the given
+        /// attained-service key, or pop from either end.
+        #[derive(Debug, Clone, Copy)]
+        enum Op {
+            Push(u64),
+            TakeNext,
+            TakeLast,
+        }
+
+        fn op_strategy(allow_take_last: bool) -> BoxedStrategy<Op> {
+            // Pushes outnumber pops so queues actually grow (the vendored
+            // prop_oneof! has no weight syntax; repetition stands in).
+            if allow_take_last {
+                prop_oneof![
+                    (0u64..500).prop_map(Op::Push),
+                    (0u64..500).prop_map(Op::Push),
+                    (0u64..500).prop_map(Op::Push),
+                    Just(Op::TakeNext),
+                    Just(Op::TakeNext),
+                    Just(Op::TakeLast),
+                ]
+                .boxed()
+            } else {
+                prop_oneof![
+                    (0u64..500).prop_map(Op::Push),
+                    (0u64..500).prop_map(Op::Push),
+                    (0u64..500).prop_map(Op::Push),
+                    Just(Op::TakeNext),
+                    Just(Op::TakeNext),
+                ]
+                .boxed()
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// FIFO queues conserve jobs: every pushed id comes out
+            /// exactly once (between takes and the final drain), in the
+            /// same order for the by-value and by-index variants.
+            #[test]
+            fn fifo_conserves_jobs_and_index_queue_matches(
+                ops in prop::collection::vec(op_strategy(true), 1..120),
+            ) {
+                let mut by_value = RunQueue::new(WorkerPolicy::ProcessorSharing);
+                let mut by_index = IndexQueue::new(WorkerPolicy::ProcessorSharing, 4);
+                let mut next_id = 0u64;
+                let mut pushed = vec![];
+                let mut taken = vec![];
+                for op in ops {
+                    match op {
+                        Op::Push(att) => {
+                            by_value.push(job(next_id, att));
+                            by_index.push(next_id as JobIdx, Nanos::from_micros(att));
+                            pushed.push(next_id);
+                            next_id += 1;
+                        }
+                        Op::TakeNext => {
+                            let a = by_value.take_next().map(|j| j.id.0);
+                            let b = by_index.take_next().map(u64::from);
+                            prop_assert_eq!(a, b);
+                            taken.extend(a);
+                        }
+                        Op::TakeLast => {
+                            let a = by_value.take_last().map(|j| j.id.0);
+                            let b = by_index.take_last().map(u64::from);
+                            prop_assert_eq!(a, b);
+                            taken.extend(a);
+                        }
+                    }
+                    prop_assert_eq!(by_value.len(), by_index.len());
+                }
+                while let Some(j) = by_value.take_next() {
+                    prop_assert_eq!(Some(j.id.0), by_index.take_next().map(u64::from));
+                    taken.push(j.id.0);
+                }
+                prop_assert!(by_index.is_empty());
+                // Conservation: out = in, no loss, no duplication.
+                taken.sort_unstable();
+                prop_assert_eq!(taken, pushed);
+            }
+
+            /// LAS queues always pop a job with the minimum attained
+            /// service among those queued, and conserve jobs.
+            #[test]
+            fn las_pops_minimum_attained_and_conserves(
+                ops in prop::collection::vec(op_strategy(false), 1..120),
+            ) {
+                let mut by_value = RunQueue::new(WorkerPolicy::LeastAttainedService);
+                let mut by_index = IndexQueue::new(WorkerPolicy::LeastAttainedService, 4);
+                let mut next_id = 0u64;
+                let mut resident: Vec<(u64, u64)> = vec![]; // (id, attained µs)
+                let mut pushed = vec![];
+                let mut taken = vec![];
+                for op in ops {
+                    match op {
+                        Op::Push(att) => {
+                            by_value.push(job(next_id, att));
+                            by_index.push(next_id as JobIdx, Nanos::from_micros(att));
+                            resident.push((next_id, att));
+                            pushed.push(next_id);
+                            next_id += 1;
+                        }
+                        Op::TakeNext | Op::TakeLast => {
+                            let a = by_value.take_next().map(|j| (j.id.0, j.attained));
+                            let b = by_index.take_next().map(u64::from);
+                            prop_assert_eq!(a.map(|(id, _)| id), b);
+                            if let Some((id, att)) = a {
+                                let min = resident.iter().map(|&(_, a)| a).min().expect("resident non-empty");
+                                prop_assert_eq!(att, Nanos::from_micros(min), "LAS must pop minimum attained");
+                                let pos = resident.iter().position(|&(i, _)| i == id).expect("popped a resident job");
+                                resident.remove(pos);
+                                taken.push(id);
+                            }
+                        }
+                    }
+                    prop_assert_eq!(by_value.len(), by_index.len());
+                    prop_assert_eq!(by_value.len(), resident.len());
+                }
+                while let Some(j) = by_value.take_next() {
+                    prop_assert_eq!(Some(j.id.0), by_index.take_next().map(u64::from));
+                    taken.push(j.id.0);
+                }
+                taken.sort_unstable();
+                prop_assert_eq!(taken, pushed);
+            }
+        }
     }
 }

@@ -15,50 +15,112 @@
 //!
 //! Work stealing (Caladan): a worker going idle raids the longest queue,
 //! paying [`SystemConfig::steal_cost`] before the stolen job's first slice.
+//!
+//! ## Hot-path layout
+//!
+//! This is the optimized engine; the seed implementation is preserved in
+//! [`crate::reference`] and differential proptests pin the two to
+//! bit-identical completion streams. Worker state is struct-of-arrays:
+//! `queued_jobs`/`serviced_quanta` live in flat `u64` arrays scanned
+//! directly by [`Dispatcher::pick_split`], idle/backlog membership is a
+//! bit per worker ([`crate::mask::WorkerMask`]), jobs live in a recycling
+//! [`JobSlab`] with run queues holding 32-bit slot indices, and the
+//! future-event list is `tq_sim`'s packed 4-ary queue. Steady-state
+//! simulation allocates nothing.
 
 use crate::active::ActiveJob;
 use crate::config::{Architecture, SystemConfig};
-use crate::runq::RunQueue;
+use crate::mask::WorkerMask;
+use crate::runq::IndexQueue;
+use crate::slab::{JobIdx, JobSlab};
+use std::collections::VecDeque;
 use tq_core::job::Completion;
-use tq_core::policy::{Dispatcher, WorkerLoad};
+use tq_core::policy::Dispatcher;
 use tq_core::{Nanos, Request};
-use tq_sim::EventQueue;
+use tq_sim::TagQueue;
 use tq_workloads::ArrivalGen;
 
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    /// The pre-drawn next request arrives at the NIC.
-    Arrival,
-    /// Dispatcher core `d` finished forwarding its current request.
-    DispatchDone { dispatcher: usize },
-    /// Worker `w` finished its current slice (quantum or whole job).
-    SliceDone { worker: usize },
-}
+/// Initial capacity of each dispatcher's RX ring. Arrival bursts deeper
+/// than this grow the ring (amortized, retained for the rest of the run);
+/// the common case never reallocates.
+pub(crate) const RX_RING_CAPACITY: usize = 1024;
 
+/// Sentinel for "no job occupies this running slot".
+const NO_JOB: JobIdx = JobIdx::MAX;
+
+/// Event tags for the [`TagQueue`]: the kind lives in the top two bits,
+/// the worker/dispatcher index in the low 14.
+///
+/// * `TAG_ARRIVAL` — the pre-drawn next request arrives at the NIC.
+/// * `TAG_DISPATCH | d` — dispatcher core `d` finished forwarding its
+///   current request.
+/// * `TAG_SLICE | w` — worker `w` finished its current slice (quantum or
+///   whole job).
+const TAG_ARRIVAL: u16 = 0;
+const TAG_DISPATCH: u16 = 0x4000;
+const TAG_SLICE: u16 = 0x8000;
+const TAG_KIND: u16 = 0xC000;
+const TAG_INDEX: u16 = 0x3FFF;
+
+/// Struct-of-arrays worker state: parallel per-worker arrays instead of a
+/// `Vec<Worker>` of structs, so the JSQ+MSQ argmin reads contiguous `u64`
+/// streams and idle/backlog queries are single bitmask lookups.
 #[derive(Debug)]
-struct Worker {
-    queue: RunQueue,
-    /// The job mid-slice and its slice length (work, excluding overheads).
-    running: Option<(ActiveJob, Nanos)>,
+struct Workers {
+    /// Every in-flight job, indexed by the `JobIdx` the queues carry.
+    slab: JobSlab,
+    /// Per-worker run queue of slab indices.
+    queues: Vec<IndexQueue>,
+    /// Slab index of the job mid-slice (`NO_JOB` when none).
+    running: Vec<JobIdx>,
+    /// Slice length (work, excluding overheads) of the running job.
+    slices: Vec<Nanos>,
+    /// Resident jobs per worker — the JSQ signal.
+    queued_jobs: Vec<u64>,
+    /// Quanta serviced for current jobs per worker — the MSQ signal.
+    serviced_quanta: Vec<u64>,
+    /// Workers with no running job and an empty queue.
+    idle: WorkerMask,
+    /// Workers with a non-empty run queue (steal victims).
+    backlog: WorkerMask,
 }
 
-impl Worker {
-    fn new(policy: tq_core::policy::WorkerPolicy) -> Self {
-        Worker {
-            queue: RunQueue::new(policy),
-            running: None,
+impl Workers {
+    fn new(cfg: &SystemConfig) -> Self {
+        let n = cfg.n_workers;
+        Workers {
+            slab: JobSlab::with_capacity(4 * n),
+            queues: (0..n).map(|_| IndexQueue::new(cfg.worker_policy, 32)).collect(),
+            running: vec![NO_JOB; n],
+            slices: vec![Nanos::ZERO; n],
+            queued_jobs: vec![0; n],
+            serviced_quanta: vec![0; n],
+            idle: WorkerMask::full(n),
+            backlog: WorkerMask::empty(n),
         }
     }
 }
 
 /// What a two-level simulation produces.
 #[derive(Debug)]
-pub(crate) struct TwoLevelOutcome {
+pub struct TwoLevelOutcome {
     /// Every job completion, in finish order.
     pub completions: Vec<Completion>,
     /// Events delivered by the virtual-time queue — the simulation's
     /// work counter.
     pub events: u64,
+}
+
+/// Counters [`simulate_into`] produces besides the completion stream.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoLevelStats {
+    /// Events delivered by the virtual-time queue — the simulation's
+    /// work counter.
+    pub events: u64,
+    /// Completions that finished within the arrival horizon (the rest
+    /// drained afterwards), counted during the run so callers computing
+    /// achieved throughput need no extra pass.
+    pub in_horizon: u64,
 }
 
 /// Simulates the configured two-level system serving `gen`'s request
@@ -67,12 +129,29 @@ pub(crate) struct TwoLevelOutcome {
 /// # Panics
 ///
 /// Panics if the configuration is invalid or not two-level.
-pub(crate) fn simulate(
+pub fn simulate(cfg: &SystemConfig, gen: ArrivalGen, horizon: Nanos, seed: u64) -> TwoLevelOutcome {
+    let mut completions = Vec::new();
+    let stats = simulate_into(cfg, gen, horizon, seed, &mut completions);
+    TwoLevelOutcome {
+        completions,
+        events: stats.events,
+    }
+}
+
+/// [`simulate`] writing completions into a caller-provided buffer
+/// (cleared first), so sweeps can reuse one allocation across points.
+/// Returns the run's counters.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or not two-level.
+pub fn simulate_into(
     cfg: &SystemConfig,
     mut gen: ArrivalGen,
     horizon: Nanos,
     seed: u64,
-) -> TwoLevelOutcome {
+    completions: &mut Vec<Completion>,
+) -> TwoLevelStats {
     cfg.validate();
     let Architecture::TwoLevel { dispatch } = cfg.arch else {
         panic!("{}: not a two-level system", cfg.name);
@@ -84,72 +163,107 @@ pub(crate) fn simulate(
     let mut policies: Vec<Dispatcher> = (0..n_disp)
         .map(|d| Dispatcher::new(dispatch, cfg.n_workers, seed ^ (d as u64) << 32))
         .collect();
-    let mut workers: Vec<Worker> = (0..cfg.n_workers)
-        .map(|_| Worker::new(cfg.worker_policy))
-        .collect();
+    assert!(
+        cfg.n_workers <= TAG_INDEX as usize && n_disp <= TAG_INDEX as usize,
+        "{}: worker/dispatcher index exceeds the 14-bit event-tag space",
+        cfg.name
+    );
+    let mut ws = Workers::new(cfg);
     // At most one pending event per worker, per dispatcher, plus the
     // next arrival — the queue never grows past that.
-    let mut events: EventQueue<Ev> = EventQueue::with_capacity(cfg.n_workers + n_disp + 1);
-    let mut completions: Vec<Completion> = Vec::with_capacity(gen.expected_arrivals(horizon));
-    // Live per-worker counters (resident jobs, serviced quanta — the MSQ
-    // signal), updated at each admit/complete/steal instead of being
-    // rebuilt for every dispatch decision.
-    let mut loads: Vec<WorkerLoad> = vec![WorkerLoad::default(); cfg.n_workers];
+    let mut events = TagQueue::with_capacity(cfg.n_workers + n_disp + 1);
+    completions.clear();
+    completions.reserve(gen.expected_arrivals(horizon));
 
-    // Per-dispatcher state: FIFO RX queue plus the request in flight.
-    let mut rx: Vec<std::collections::VecDeque<Request>> =
-        (0..n_disp).map(|_| std::collections::VecDeque::new()).collect();
+    // Per-dispatcher state: preallocated FIFO RX ring plus the request in
+    // flight.
+    let mut rx: Vec<VecDeque<Request>> = (0..n_disp)
+        .map(|_| VecDeque::with_capacity(RX_RING_CAPACITY))
+        .collect();
     let mut forwarding: Vec<Option<Request>> = (0..n_disp).map(|_| None).collect();
     let mut rr_dispatcher = 0usize;
+    let mut in_horizon = 0u64;
 
     // Pre-draw the first arrival.
     let mut next_req = Some(gen.next_request());
     if let Some(r) = &next_req {
         if r.arrival < horizon {
-            events.push(r.arrival, Ev::Arrival);
+            events.push(r.arrival, TAG_ARRIVAL);
         } else {
             next_req = None;
         }
     }
 
-    while let Some((now, ev)) = events.pop() {
-        match ev {
-            Ev::Arrival => {
+    while let Some((now, tag)) = events.pop() {
+        match tag & TAG_KIND {
+            TAG_ARRIVAL => {
                 let req = next_req.take().expect("arrival without request");
                 // The NIC sprays packets across dispatcher cores (RSS).
                 let d = rr_dispatcher;
-                rr_dispatcher = (rr_dispatcher + 1) % n_disp;
-                rx[d].push_back(req);
-                if forwarding[d].is_none() {
-                    start_forward(cfg, d, &mut rx[d], &mut forwarding[d], &mut events, now);
+                if n_disp > 1 {
+                    rr_dispatcher = (rr_dispatcher + 1) % n_disp;
+                }
+                if forwarding[d].is_none() && rx[d].is_empty() {
+                    // Idle dispatcher, empty ring: forwarding starts now
+                    // either way, so skip the ring round-trip.
+                    forwarding[d] = Some(req);
+                    events.push(now + cfg.dispatch_per_req, TAG_DISPATCH | d as u16);
+                } else {
+                    rx[d].push_back(req);
+                    if forwarding[d].is_none() {
+                        start_forward(cfg, d, &mut rx[d], &mut forwarding[d], &mut events, now);
+                    }
                 }
                 let r = gen.next_request();
                 if r.arrival < horizon {
                     next_req = Some(r);
-                    events.push(r.arrival, Ev::Arrival);
+                    events.push(r.arrival, TAG_ARRIVAL);
                 }
             }
-            Ev::DispatchDone { dispatcher: d } => {
+            TAG_DISPATCH => {
+                let d = (tag & TAG_INDEX) as usize;
                 let req = forwarding[d].take().expect("dispatch done without request");
-                let w = policies[d].pick(&loads, flow_hash(req.id.0));
-                admit(cfg, &mut workers[w], &mut loads[w], w, req, now, &mut events);
+                let w = policies[d].pick_split(
+                    &ws.queued_jobs,
+                    &ws.serviced_quanta,
+                    flow_hash(req.id.0),
+                );
+                admit(cfg, &mut ws, w, req, now, &mut events);
                 if cfg.work_stealing {
                     // Idle workers poll for stealable work continuously;
                     // a job queued behind a busy worker while another
                     // core sits idle is taken immediately.
-                    rebalance_to_idle(cfg, &mut workers, &mut loads, w, now, &mut events);
+                    rebalance_to_idle(cfg, &mut ws, w, now, &mut events);
                 }
                 if !rx[d].is_empty() {
                     start_forward(cfg, d, &mut rx[d], &mut forwarding[d], &mut events, now);
                 }
             }
-            Ev::SliceDone { worker: w } => {
-                let (mut job, slice) = workers[w].running.take().expect("no running slice");
+            _ => {
+                let w = (tag & TAG_INDEX) as usize;
+                let idx = ws.running[w];
+                debug_assert_ne!(idx, NO_JOB, "no running slice");
+                let slice = ws.slices[w];
+                let job = ws.slab.get_mut(idx);
                 let done = job.apply_slice(slice);
-                loads[w].serviced_quanta += 1;
+                let (next, attained) = (job.next_slice(), job.attained);
+                ws.serviced_quanta[w] += 1;
+                if !done && ws.queues[w].is_empty() {
+                    // Sole resident job: rerunning it is what the queue
+                    // round-trip (push, take_next of a one-element queue)
+                    // would produce under every discipline, so skip the
+                    // queue, the backlog-mask churn, and the second slab
+                    // lookup. `running`/`idle` are already correct.
+                    ws.slices[w] = next;
+                    events.push(now + next + cfg.preempt_overhead, TAG_SLICE | w as u16);
+                    continue;
+                }
+                ws.running[w] = NO_JOB;
                 if done {
-                    loads[w].queued_jobs -= 1;
-                    loads[w].serviced_quanta -= job.quanta;
+                    let job = ws.slab.remove(idx);
+                    ws.queued_jobs[w] -= 1;
+                    ws.serviced_quanta[w] -= job.quanta;
+                    in_horizon += u64::from(now <= horizon);
                     completions.push(Completion {
                         id: job.id,
                         class: job.class,
@@ -158,47 +272,50 @@ pub(crate) fn simulate(
                         finish: now,
                     });
                 } else {
-                    workers[w].queue.push(job);
+                    ws.queues[w].push(idx, attained);
+                    ws.backlog.set(w);
                 }
-                if !workers[w].queue.is_empty() {
-                    start_slice(cfg, &mut workers[w], w, now, Nanos::ZERO, &mut events);
-                } else if cfg.work_stealing {
-                    try_steal(cfg, &mut workers, &mut loads, w, now, &mut events);
+                if !ws.queues[w].is_empty() {
+                    start_slice(cfg, &mut ws, w, now, Nanos::ZERO, &mut events);
+                } else {
+                    ws.idle.set(w);
+                    if cfg.work_stealing {
+                        try_steal(cfg, &mut ws, w, now, &mut events);
+                    }
                 }
             }
         }
     }
     debug_assert!(
-        loads.iter().all(|l| *l == WorkerLoad::default()),
-        "drained simulation left non-zero worker counters: {loads:?}"
+        ws.queued_jobs.iter().all(|&q| q == 0) && ws.serviced_quanta.iter().all(|&s| s == 0),
+        "drained simulation left non-zero worker counters"
     );
-    TwoLevelOutcome {
-        completions,
+    TwoLevelStats {
         events: events.popped(),
+        in_horizon,
     }
 }
 
 fn start_forward(
     cfg: &SystemConfig,
     dispatcher: usize,
-    rx: &mut std::collections::VecDeque<Request>,
+    rx: &mut VecDeque<Request>,
     forwarding: &mut Option<Request>,
-    events: &mut EventQueue<Ev>,
+    events: &mut TagQueue,
     now: Nanos,
 ) {
     let req = rx.pop_front().expect("empty RX queue");
     *forwarding = Some(req);
-    events.push(now + cfg.dispatch_per_req, Ev::DispatchDone { dispatcher });
+    events.push(now + cfg.dispatch_per_req, TAG_DISPATCH | dispatcher as u16);
 }
 
 fn admit(
     cfg: &SystemConfig,
-    worker: &mut Worker,
-    load: &mut WorkerLoad,
+    ws: &mut Workers,
     w: usize,
     req: Request,
     now: Nanos,
-    events: &mut EventQueue<Ev>,
+    events: &mut TagQueue,
 ) {
     let inflation = cfg.inflation_for(req.class.0);
     let job = ActiveJob {
@@ -217,53 +334,63 @@ fn admit(
             Nanos::MAX
         },
     };
-    load.queued_jobs += 1;
-    worker.queue.push(job);
-    if worker.running.is_none() {
-        start_slice(cfg, worker, w, now, Nanos::ZERO, events);
+    ws.queued_jobs[w] += 1;
+    let idx = ws.slab.insert(job);
+    ws.queues[w].push(idx, Nanos::ZERO);
+    ws.backlog.set(w);
+    ws.idle.clear(w);
+    if ws.running[w] == NO_JOB {
+        start_slice(cfg, ws, w, now, Nanos::ZERO, events);
     }
 }
 
 fn start_slice(
     cfg: &SystemConfig,
-    worker: &mut Worker,
+    ws: &mut Workers,
     w: usize,
     now: Nanos,
     extra: Nanos,
-    events: &mut EventQueue<Ev>,
+    events: &mut TagQueue,
 ) {
-    let job = worker.queue.take_next().expect("start_slice on empty queue");
-    let slice = job.next_slice();
+    let idx = ws.queues[w].take_next().expect("start_slice on empty queue");
+    if ws.queues[w].is_empty() {
+        ws.backlog.clear(w);
+    }
+    let slice = ws.slab.get(idx).next_slice();
     let wall = slice + cfg.preempt_overhead + extra;
-    worker.running = Some((job, slice));
-    events.push(now + wall, Ev::SliceDone { worker: w });
+    ws.running[w] = idx;
+    ws.slices[w] = slice;
+    ws.idle.clear(w);
+    events.push(now + wall, TAG_SLICE | w as u16);
 }
 
 fn try_steal(
     cfg: &SystemConfig,
-    workers: &mut [Worker],
-    loads: &mut [WorkerLoad],
+    ws: &mut Workers,
     thief: usize,
     now: Nanos,
-    events: &mut EventQueue<Ev>,
+    events: &mut TagQueue,
 ) {
-    debug_assert!(workers[thief].queue.is_empty() && workers[thief].running.is_none());
-    // Raid the longest queue; ties break to the lowest index for
-    // determinism.
-    let victim = (0..workers.len())
-        .filter(|&v| v != thief)
-        .max_by_key(|&v| (workers[v].queue.len(), core::cmp::Reverse(v)));
-    let Some(v) = victim else { return };
-    if workers[v].queue.is_empty() {
+    debug_assert!(ws.idle.contains(thief), "thief must be idle");
+    if ws.backlog.is_empty() {
         return;
     }
-    let job = workers[v].queue.take_last().expect("victim queue non-empty");
-    loads[v].queued_jobs -= 1;
-    loads[v].serviced_quanta -= job.quanta;
-    loads[thief].queued_jobs += 1;
-    loads[thief].serviced_quanta += job.quanta;
-    workers[thief].queue.push(job);
-    start_slice(cfg, &mut workers[thief], thief, now, cfg.steal_cost, events);
+    // Raid the longest queue; ties break to the lowest index for
+    // determinism (ascending bitmask walk + strict `>`). The thief's own
+    // queue is empty, so it is never in the backlog set.
+    let mut victim = usize::MAX;
+    let mut best_len = 0usize;
+    for v in ws.backlog.iter() {
+        let len = ws.queues[v].len();
+        if len > best_len {
+            best_len = len;
+            victim = v;
+        }
+    }
+    if victim == usize::MAX {
+        return;
+    }
+    transfer_tail_job(cfg, ws, victim, thief, now, events);
 }
 
 /// Moves the newest queued job on `from` (busy, with queued work) to an
@@ -271,33 +398,51 @@ fn try_steal(
 /// stealing.
 fn rebalance_to_idle(
     cfg: &SystemConfig,
-    workers: &mut [Worker],
-    loads: &mut [WorkerLoad],
+    ws: &mut Workers,
     from: usize,
     now: Nanos,
-    events: &mut EventQueue<Ev>,
+    events: &mut TagQueue,
 ) {
-    if workers[from].running.is_none() || workers[from].queue.is_empty() {
+    if ws.running[from] == NO_JOB || ws.queues[from].is_empty() {
         return;
     }
-    let Some(thief) = (0..workers.len())
-        .find(|&v| v != from && workers[v].running.is_none() && workers[v].queue.is_empty())
-    else {
-        return;
-    };
-    let job = workers[from].queue.take_last().expect("checked non-empty");
-    loads[from].queued_jobs -= 1;
-    loads[from].serviced_quanta -= job.quanta;
-    loads[thief].queued_jobs += 1;
-    loads[thief].serviced_quanta += job.quanta;
-    workers[thief].queue.push(job);
-    start_slice(cfg, &mut workers[thief], thief, now, cfg.steal_cost, events);
+    // `from` is mid-slice, hence never idle itself; the mask's lowest set
+    // bit is the seed's "first worker with nothing running and nothing
+    // queued".
+    let Some(thief) = ws.idle.first() else { return };
+    transfer_tail_job(cfg, ws, from, thief, now, events);
+}
+
+/// Takes the tail job of `victim`'s queue, re-homes it (and its counter
+/// contributions) to `thief`, and starts it there after the steal cost.
+fn transfer_tail_job(
+    cfg: &SystemConfig,
+    ws: &mut Workers,
+    victim: usize,
+    thief: usize,
+    now: Nanos,
+    events: &mut TagQueue,
+) {
+    let idx = ws.queues[victim].take_last().expect("victim queue non-empty");
+    if ws.queues[victim].is_empty() {
+        ws.backlog.clear(victim);
+    }
+    let job = ws.slab.get(idx);
+    let (quanta, attained) = (job.quanta, job.attained);
+    ws.queued_jobs[victim] -= 1;
+    ws.serviced_quanta[victim] -= quanta;
+    ws.queued_jobs[thief] += 1;
+    ws.serviced_quanta[thief] += quanta;
+    ws.queues[thief].push(idx, attained);
+    ws.backlog.set(thief);
+    ws.idle.clear(thief);
+    start_slice(cfg, ws, thief, now, cfg.steal_cost, events);
 }
 
 /// Deterministic 64-bit mix standing in for the NIC's RSS hash of a
 /// request's flow (the open-loop client sends each request on a fresh
 /// ephemeral flow, so per-request hashing matches the testbed behavior).
-fn flow_hash(x: u64) -> u64 {
+pub(crate) fn flow_hash(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -413,5 +558,26 @@ mod tests {
             ps * 5 < fcfs,
             "PS should avoid head-of-line blocking: PS {ps}, FCFS {fcfs}"
         );
+    }
+
+    /// The engine-vs-seed contract, pinned here at unit level too (the
+    /// exhaustive version lives in the integration proptests): identical
+    /// completion streams on a mid-load stealing configuration.
+    #[test]
+    fn matches_reference_engine() {
+        let wl = table1::extreme_bimodal();
+        let rate = wl.rate_for_load(8, 0.7);
+        for cfg in [
+            presets::tq(8, Nanos::from_micros(2)),
+            presets::caladan_directpath(8),
+            presets::tq_las(8, Nanos::from_micros(2)),
+            presets::tq_multi_dispatcher(8, Nanos::from_micros(2), 3),
+        ] {
+            let gen = ArrivalGen::new(wl.clone(), rate, SimRng::new(21));
+            let fast = simulate(&cfg, gen.clone(), Nanos::from_millis(10), 21);
+            let slow = crate::reference::two_level(&cfg, gen, Nanos::from_millis(10), 21);
+            assert_eq!(fast.completions, slow.completions, "{} diverged", cfg.name);
+            assert_eq!(fast.events, slow.events);
+        }
     }
 }

@@ -39,6 +39,6 @@ pub mod events;
 pub mod metrics;
 pub mod rng;
 
-pub use events::EventQueue;
+pub use events::{EventQueue, TagQueue};
 pub use metrics::{ClassRecorder, ClassSummary, LogHistogram, RunSummary, TailStats};
 pub use rng::SimRng;

@@ -5,8 +5,9 @@
 //! for multi-modal workloads, discarding the first 10% of samples as warm-up
 //! (§5.1). This module implements exactly that pipeline.
 //!
-//! The recorder is a *single-pass* pipeline: one warm-up sort of the
-//! completion vector is amortized across every query, classes are
+//! The recorder is a *single-pass* pipeline: the warm-up cutoff is found
+//! by an O(n) selection (no full arrival sort on the summary path; the
+//! slower per-query accessors amortize one sort), classes are
 //! bucketed in one scan, and [`ClassRecorder::summarize_all`] produces
 //! end-to-end, sojourn, and overall-slowdown statistics together — the
 //! end-to-end and sojourn summaries even share one sorted latency array
@@ -15,7 +16,6 @@
 //! in [`reference`] as the differential-testing oracle.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use tq_core::job::Completion;
 use tq_core::{ClassId, Nanos};
 
@@ -221,6 +221,27 @@ impl ClassRecorder {
         self.sorted = false;
     }
 
+    /// Records a whole simulation's completions at once by taking the
+    /// vector's contents (leaving `batch` empty, capacity intact). Into
+    /// an empty recorder this is a pointer swap — no per-completion
+    /// copying — which is how `run_once` feeds each sweep point's
+    /// completions in; [`ClassRecorder::into_completions`] hands the
+    /// buffer back for reuse.
+    pub fn record_all(&mut self, batch: &mut Vec<Completion>) {
+        if self.completions.is_empty() {
+            std::mem::swap(&mut self.completions, batch);
+        } else {
+            self.completions.append(batch);
+        }
+        self.sorted = false;
+    }
+
+    /// Consumes the recorder, returning the recorded completions (in
+    /// unspecified order) so a caller can reuse the allocation.
+    pub fn into_completions(self) -> Vec<Completion> {
+        self.completions
+    }
+
     /// Total completions recorded (before warm-up discarding).
     pub fn count(&self) -> usize {
         self.completions.len()
@@ -232,36 +253,71 @@ impl ClassRecorder {
     }
 
     /// How many times the completion vector has actually been sorted by
-    /// arrival. Queries after the first reuse the sorted order, so a
-    /// recorder that is filled once and then queried — however many
-    /// times — reports exactly 1. Diagnostic for perf tests.
+    /// arrival. [`ClassRecorder::summarize_all`] needs no sort (it
+    /// partitions), so a recorder driven only through it reports 0; the
+    /// per-query accessors sort at most once per batch of recordings.
+    /// Diagnostic for perf tests.
     pub fn arrival_sorts(&self) -> u64 {
         self.arrival_sorts
     }
 
     /// Produces every metric [`crate::metrics`] knows in a single pass
-    /// over the completions: one amortized arrival sort, one bucketing
-    /// scan, and O(n) order-statistic selections per class in place of
-    /// full value sorts. The end-to-end and sojourn summaries share each
-    /// selection — adding the constant `extra` commutes with
-    /// nearest-rank percentiles.
+    /// over the completions: one O(n) warm-up partition (no arrival
+    /// sort), one bucketing scan, and O(n) order-statistic selections
+    /// per class in place of full value sorts. The end-to-end and
+    /// sojourn summaries share each selection — adding the constant
+    /// `extra` commutes with nearest-rank percentiles.
     ///
     /// `extra` is the fixed latency added to each sojourn for the
     /// end-to-end view (e.g. the network RTT); the sojourn view always
     /// uses zero. Every percentile equals the multi-pass
-    /// [`reference::summarize_all`] exactly; the means can differ from
-    /// it in the last ULP because they are accumulated in scan order
-    /// instead of ascending order.
+    /// [`reference::summarize_all`] exactly: the warm-up cutoff is found
+    /// by selecting the k-th smallest `(arrival, id)` key, so the kept
+    /// *set* matches the sorted reference while the full completion sort
+    /// (the dominant cost on big runs) never happens. The means can
+    /// differ from the reference in the last ULP because they are
+    /// accumulated in scan order instead of ascending order.
     pub fn summarize_all(&mut self, extra: Nanos) -> RunSummary {
-        let kept = self.kept();
+        let kept: &[Completion] = if self.sorted {
+            self.kept()
+        } else {
+            let len = self.completions.len();
+            let skip = (len as f64 * self.warmup_frac).floor() as usize;
+            if skip > 0 {
+                // Partition around the skip-th smallest key: everything
+                // before index `skip` is the discarded warm-up set —
+                // exactly the elements an arrival sort would discard.
+                self.completions
+                    .select_nth_unstable_by_key(skip, |c| (c.arrival, c.id));
+            }
+            &self.completions[skip..]
+        };
+
+        // A cheap counting pass sizes every bucket exactly, so the fill
+        // pass below never reallocates. Runs have a handful of classes at
+        // most, so a linear probe over a sorted flat vec beats a map.
+        let mut counts: Vec<(ClassId, usize)> = Vec::new();
+        for c in kept {
+            match counts.iter_mut().find(|&&mut (id, _)| id == c.class) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((c.class, 1)),
+            }
+        }
+        counts.sort_unstable_by_key(|&(id, _)| id);
 
         // One scan: bucket sojourns and slowdowns per class, and collect
         // the class-blind slowdowns for the overall tail.
-        let mut buckets: BTreeMap<ClassId, (Vec<u64>, Vec<f64>)> = BTreeMap::new();
+        let mut buckets: Vec<(ClassId, Vec<u64>, Vec<f64>)> = counts
+            .iter()
+            .map(|&(id, n)| (id, Vec::with_capacity(n), Vec::with_capacity(n)))
+            .collect();
         let mut all_slow: Vec<f64> = Vec::with_capacity(kept.len());
         for c in kept {
             let slowdown = c.slowdown();
-            let (soj, slow) = buckets.entry(c.class).or_default();
+            let (_, soj, slow) = buckets
+                .iter_mut()
+                .find(|&&mut (id, _, _)| id == c.class)
+                .expect("every class was counted");
             soj.push(c.sojourn().as_nanos());
             slow.push(slowdown);
             all_slow.push(slowdown);
@@ -270,7 +326,7 @@ impl ClassRecorder {
         let extra_ns = extra.as_nanos();
         let mut classes_e2e = Vec::with_capacity(buckets.len());
         let mut classes_sojourn = Vec::with_capacity(buckets.len());
-        for (class, (mut soj, mut slow)) in buckets {
+        for (class, mut soj, mut slow) in buckets {
             let n = soj.len();
             // Order-statistic selection instead of full sorts: each
             // percentile is an exact k-th smallest, found in O(n) rather
@@ -741,14 +797,20 @@ mod tests {
             rec.record(comp(i, (i % 3) as u16, 1_000 - i * 10, 50, 2_000));
         }
         assert_eq!(rec.arrival_sorts(), 0);
+        // The summary path partitions instead of sorting.
         let _ = rec.summarize_all(Nanos::from_micros(5));
         let _ = rec.summarize(Nanos::ZERO);
+        assert_eq!(rec.arrival_sorts(), 0);
+        // The per-query accessors sort once, then reuse the order.
         let _ = rec.overall_slowdown(99.9);
         let _ = rec.overall_latency(50.0, Nanos::ZERO);
+        let _ = rec.summarize_all(Nanos::ZERO);
         assert_eq!(rec.arrival_sorts(), 1);
         // New data invalidates the order; exactly one more sort follows.
         rec.record(comp(200, 0, 5, 50, 100));
         let _ = rec.summarize_all(Nanos::ZERO);
+        assert_eq!(rec.arrival_sorts(), 1);
+        let _ = rec.overall_slowdown(99.9);
         assert_eq!(rec.arrival_sorts(), 2);
     }
 

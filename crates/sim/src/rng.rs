@@ -93,7 +93,7 @@ impl SimRng {
         );
         // 1 - u in (0, 1] avoids ln(0).
         let u = 1.0 - self.rng.gen::<f64>();
-        Nanos::from_nanos((-mean_nanos * u.ln()).round() as u64)
+        Nanos::from_nanos_f64(-mean_nanos * u.ln())
     }
 
     /// Picks an index from a discrete distribution given cumulative weights

@@ -120,6 +120,38 @@ proptest! {
         }
     }
 
+    /// The packed 4-ary event queue delivers the exact same
+    /// `(time, event)` stream, lengths, and peeks as the seed's
+    /// `BinaryHeap` queue (kept in `tq_sim::events::reference`) under an
+    /// arbitrary interleaving of pushes and pops.
+    #[test]
+    fn event_queue_matches_reference(
+        ops in prop::collection::vec((any::<bool>(), 0u64..200), 1..400),
+    ) {
+        let mut fast = EventQueue::new();
+        let mut slow = tq_sim::events::reference::EventQueue::new();
+        let mut now = 0u64;
+        for (i, &(pop, delta)) in ops.iter().enumerate() {
+            if pop && !fast.is_empty() {
+                let a = fast.pop();
+                prop_assert_eq!(a, slow.pop());
+                now = fast.now().as_nanos();
+            } else {
+                let t = Nanos::from_nanos(now + delta);
+                fast.push(t, i);
+                slow.push(t, i);
+            }
+            prop_assert_eq!(fast.len(), slow.len());
+            prop_assert_eq!(fast.peek_time(), slow.peek_time());
+        }
+        loop {
+            let a = fast.pop();
+            prop_assert_eq!(a, slow.pop());
+            if a.is_none() { break; }
+        }
+        prop_assert_eq!(fast.popped(), slow.popped());
+    }
+
     /// The percentile estimator matches the naive sorted definition.
     #[test]
     fn percentile_matches_naive(
