@@ -1,0 +1,208 @@
+//! The [`Engine`] abstraction: one run contract over every way this
+//! repository can execute a workload.
+//!
+//! An engine consumes an open-loop arrival stream and produces the jobs'
+//! completions plus its internal counters. The discrete-event models
+//! ([`crate::SimEngine`]) interpret arrival times as *virtual* time; the
+//! live runtime ([`crate::RtEngine`]) paces the same stream against the
+//! wall clock and normalizes its `TscClock` timestamps back onto the
+//! stream's time base. Either way the output feeds the identical
+//! `ClassRecorder::summarize_all` pipeline via [`run_to_record`], so a
+//! policy change can be evaluated in both worlds with one command (see
+//! DESIGN.md "The Engine abstraction").
+
+use tq_core::job::Completion;
+use tq_core::{costs, Nanos};
+use tq_sim::{ClassRecorder, SimRng};
+use tq_sim::metrics::{ClassSummary, RunSummary};
+use tq_workloads::{ArrivalGen, Workload};
+
+/// Which world an engine executes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Discrete-event model: virtual time, deterministic, no threads.
+    Sim,
+    /// Live multithreaded runtime: real time, measured with `TscClock`.
+    Rt,
+}
+
+impl EngineKind {
+    /// The `engine` field value written into result JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineKind::Sim => "sim",
+            EngineKind::Rt => "rt",
+        }
+    }
+}
+
+/// One experiment point: a workload served at a rate for a horizon of
+/// arrivals, under a seed that fixes both the arrival stream and any
+/// policy randomness.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The workload (class mix and service distributions).
+    pub workload: Workload,
+    /// Offered load in requests per second.
+    pub rate_rps: f64,
+    /// Arrivals stop at this (stream-time) horizon; the system then
+    /// drains every in-flight job.
+    pub horizon: Nanos,
+    /// Seed for the arrival stream and policy randomness.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// The arrival stream this spec describes (deterministic per seed).
+    pub fn arrivals(&self) -> ArrivalGen {
+        ArrivalGen::new(self.workload.clone(), self.rate_rps, SimRng::new(self.seed))
+    }
+}
+
+/// Per-worker counters, identical in shape for both worlds. Fields a
+/// world cannot observe are zero (the sims have no dispatch rings, the
+/// runtime's centralized analogue has no steals) — see each engine's
+/// docs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerCounters {
+    /// Quanta (slices) this worker executed.
+    pub quanta: u64,
+    /// Jobs that finished on this worker.
+    pub completed: u64,
+    /// Jobs this worker gained by stealing from siblings.
+    pub steals: u64,
+    /// High-water mark of the worker's dispatch ring (live runtime only;
+    /// 0 under the sims, which model the ring as unbounded).
+    pub max_ring_occupancy: u64,
+}
+
+/// Counters an engine reports alongside its completion stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Events delivered by the virtual-time queue (0 for the live
+    /// runtime, which has no event queue).
+    pub sim_events: u64,
+    /// Requests the dispatcher forwarded to workers.
+    pub dispatcher_forwarded: u64,
+    /// Dispatcher push retries due to full rings (live runtime only).
+    pub ring_full_retries: u64,
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerCounters>,
+}
+
+/// What [`Engine::run`] produces: the completion stream on the arrival
+/// stream's time base, plus conservation and internal counters.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Every completion, with `arrival`/`finish` on the arrival stream's
+    /// time base (virtual time for sims; wall time minus the pacing
+    /// origin for the live runtime).
+    pub completions: Vec<Completion>,
+    /// Requests submitted to the system (= arrivals before the horizon).
+    pub submitted: u64,
+    /// Completions that finished within the arrival horizon — the
+    /// goodput numerator.
+    pub in_horizon: u64,
+    /// The engine's internal counters.
+    pub counters: EngineCounters,
+}
+
+/// An execution engine: anything that can serve a [`RunSpec`]'s arrival
+/// stream and report completions plus counters in the common shape.
+pub trait Engine {
+    /// Which world this engine runs in (the `engine` JSON field).
+    fn kind(&self) -> EngineKind;
+    /// The scheduler model: `"two_level"`, `"centralized"`, or
+    /// `"runtime"`.
+    fn model(&self) -> &'static str;
+    /// Human-readable system label (e.g. `"TQ"`).
+    fn system(&self) -> String;
+    /// Number of worker cores/threads.
+    fn workers(&self) -> usize;
+    /// Serves `arrivals` until `horizon`, then drains; `spec` supplies
+    /// the seed for policy randomness and the run's metadata.
+    fn run(&mut self, spec: &RunSpec, arrivals: ArrivalGen, horizon: Nanos) -> RunOutput;
+}
+
+/// One engine run summarized through the same metrics path as
+/// `tq_queueing::run::run_once`: warm-up discarding, per-class
+/// percentiles, and the overall slowdown tail, all in one recorder pass.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// `"sim"` or `"rt"`.
+    pub engine: &'static str,
+    /// `"two_level"`, `"centralized"`, or `"runtime"`.
+    pub model: &'static str,
+    /// System label.
+    pub system: String,
+    /// Workload name.
+    pub workload: String,
+    /// Worker cores/threads.
+    pub workers: usize,
+    /// Offered rate (requests per second).
+    pub rate_rps: f64,
+    /// Arrival horizon.
+    pub horizon: Nanos,
+    /// Seed used.
+    pub seed: u64,
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Completions recorded (conservation: must equal `submitted`).
+    pub completed: u64,
+    /// Completions inside the arrival horizon.
+    pub in_horizon: u64,
+    /// Goodput: in-horizon completions over the horizon.
+    pub achieved_rps: f64,
+    /// Per-class end-to-end summaries (sojourn + network RTT).
+    pub classes: Vec<ClassSummary>,
+    /// Per-class bare-sojourn summaries.
+    pub classes_sojourn: Vec<ClassSummary>,
+    /// The class-blind 99.9th-percentile slowdown.
+    pub overall_slowdown_p999: f64,
+    /// The engine's internal counters.
+    pub counters: EngineCounters,
+}
+
+impl RunRecord {
+    /// Whether every submitted job completed exactly once (ids unique is
+    /// checked by the conservation tests; here just the count).
+    pub fn conserved(&self) -> bool {
+        self.submitted == self.completed
+    }
+}
+
+/// Runs `spec` on `engine` and summarizes the completions through the
+/// exact pipeline `run_once` uses: `ClassRecorder::summarize_all` with
+/// the repo-standard warm-up fraction and network RTT.
+pub fn run_to_record(engine: &mut dyn Engine, spec: &RunSpec) -> RunRecord {
+    let mut out = engine.run(spec, spec.arrivals(), spec.horizon);
+    let completed = out.completions.len() as u64;
+    let summary = summarize(&mut out.completions);
+    RunRecord {
+        engine: engine.kind().as_str(),
+        model: engine.model(),
+        system: engine.system(),
+        workload: spec.workload.name().to_string(),
+        workers: engine.workers(),
+        rate_rps: spec.rate_rps,
+        horizon: spec.horizon,
+        seed: spec.seed,
+        submitted: out.submitted,
+        completed,
+        in_horizon: out.in_horizon,
+        achieved_rps: out.in_horizon as f64 / spec.horizon.as_secs_f64(),
+        classes: summary.classes_e2e,
+        classes_sojourn: summary.classes_sojourn,
+        overall_slowdown_p999: summary.overall_slowdown_p999,
+        counters: out.counters,
+    }
+}
+
+/// The shared metrics tail: takes a completion buffer (consumed via the
+/// recorder's zero-copy hand-off) and produces the run summary with the
+/// same warm-up fraction and fixed network RTT as every sim experiment.
+pub fn summarize(completions: &mut Vec<Completion>) -> RunSummary {
+    let mut rec = ClassRecorder::with_capacity(tq_queueing::run::WARMUP_FRAC, 0);
+    rec.record_all(completions);
+    rec.summarize_all(costs::NETWORK_RTT)
+}

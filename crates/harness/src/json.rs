@@ -1,0 +1,160 @@
+//! Hand-rolled JSON output for [`RunRecord`]s (schema `tq-run/v1`).
+//!
+//! The build environment vendors `serde` but not `serde_json`, so —
+//! like `bench_sim`'s `BENCH_sim.json` — records are formatted by hand.
+//! Both engines pass through this one code path, which is what makes
+//! the sim and runtime schemas identical by construction: downstream
+//! tooling distinguishes them only by the `engine` field.
+
+use crate::engine::RunRecord;
+use tq_sim::metrics::ClassSummary;
+
+/// The schema identifier written into every document.
+pub const SCHEMA: &str = "tq-run/v1";
+
+/// Formats an `f64` as a JSON value (`null` for non-finite, which JSON
+/// cannot represent).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn class_json(c: &ClassSummary) -> String {
+    format!(
+        concat!(
+            "{{\"class\": {}, \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, ",
+            "\"p999_ns\": {}, \"mean_ns\": {}, \"slowdown_p999\": {}, ",
+            "\"slowdown_mean\": {}}}"
+        ),
+        c.class.0,
+        c.count,
+        c.p50.as_nanos(),
+        c.p99.as_nanos(),
+        c.p999.as_nanos(),
+        c.mean.as_nanos(),
+        json_f64(c.slowdown_p999),
+        json_f64(c.slowdown_mean),
+    )
+}
+
+/// One record as a JSON object.
+pub fn record_json(r: &RunRecord) -> String {
+    let classes: Vec<String> = r.classes.iter().map(class_json).collect();
+    let sojourn: Vec<String> = r.classes_sojourn.iter().map(class_json).collect();
+    let workers: Vec<String> = r
+        .counters
+        .workers
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            format!(
+                concat!(
+                    "{{\"worker\": {}, \"quanta\": {}, \"completed\": {}, ",
+                    "\"steals\": {}, \"max_ring_occupancy\": {}}}"
+                ),
+                i, w.quanta, w.completed, w.steals, w.max_ring_occupancy,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"engine\": \"{}\", \"model\": \"{}\", \"system\": \"{}\", ",
+            "\"workload\": \"{}\", \"workers\": {}, \"rate_rps\": {}, ",
+            "\"horizon_ns\": {}, \"seed\": {},\n",
+            "     \"submitted\": {}, \"completed\": {}, \"in_horizon\": {}, ",
+            "\"achieved_rps\": {}, \"overall_slowdown_p999\": {},\n",
+            "     \"classes_e2e\": [{}],\n",
+            "     \"classes_sojourn\": [{}],\n",
+            "     \"counters\": {{\"sim_events\": {}, \"dispatcher_forwarded\": {}, ",
+            "\"ring_full_retries\": {},\n",
+            "      \"workers\": [{}]}}}}"
+        ),
+        r.engine,
+        r.model,
+        r.system,
+        r.workload,
+        r.workers,
+        json_f64(r.rate_rps),
+        r.horizon.as_nanos(),
+        r.seed,
+        r.submitted,
+        r.completed,
+        r.in_horizon,
+        json_f64(r.achieved_rps),
+        json_f64(r.overall_slowdown_p999),
+        classes.join(", "),
+        sojourn.join(", "),
+        r.counters.sim_events,
+        r.counters.dispatcher_forwarded,
+        r.counters.ring_full_retries,
+        workers.join(", "),
+    )
+}
+
+/// A full `tq-run/v1` document holding any mix of sim and rt records.
+pub fn document(records: &[RunRecord]) -> String {
+    let runs: Vec<String> = records.iter().map(record_json).collect();
+    format!(
+        "{{\n  \"schema\": \"{}\",\n  \"runs\": [\n    {}\n  ]\n}}\n",
+        SCHEMA,
+        runs.join(",\n    "),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.500000");
+    }
+
+    /// Minimal structural lint: balanced braces/brackets and no bare NaN
+    /// tokens — a stand-in for a parser the vendored deps don't provide.
+    #[test]
+    fn document_is_structurally_balanced() {
+        use crate::engine::{EngineCounters, RunRecord, WorkerCounters};
+        let rec = RunRecord {
+            engine: "sim",
+            model: "two_level",
+            system: "TQ".into(),
+            workload: "wl".into(),
+            workers: 2,
+            rate_rps: 1e6,
+            horizon: tq_core::Nanos::from_millis(5),
+            seed: 42,
+            submitted: 10,
+            completed: 10,
+            in_horizon: 9,
+            achieved_rps: 1800.0,
+            classes: vec![],
+            classes_sojourn: vec![],
+            overall_slowdown_p999: f64::NAN,
+            counters: EngineCounters {
+                sim_events: 100,
+                dispatcher_forwarded: 10,
+                ring_full_retries: 0,
+                workers: vec![WorkerCounters::default(); 2],
+            },
+        };
+        let doc = document(&[rec.clone(), rec]);
+        let mut depth: i64 = 0;
+        for ch in doc.chars() {
+            match ch {
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced JSON: {doc}");
+        }
+        assert_eq!(depth, 0, "unbalanced JSON: {doc}");
+        assert!(!doc.contains("NaN"), "bare NaN leaked into JSON");
+        assert!(doc.contains("\"schema\": \"tq-run/v1\""));
+    }
+}

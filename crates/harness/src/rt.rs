@@ -1,0 +1,164 @@
+//! [`Engine`] over the live [`TinyQuanta`] runtime.
+//!
+//! The adapter closes the gap between the two time bases. The arrival
+//! stream is *virtual* (nanosecond offsets from a zero origin); the
+//! runtime runs in *real* time measured by its `TscClock`. A pacing loop
+//! replays the stream against the wall clock: it records the server
+//! clock's value `t0` at the start, submits each request when the clock
+//! reaches `t0 + arrival`, and stays open-loop — if the pacer falls
+//! behind it submits immediately and never re-times later arrivals, so
+//! overload backlogs build up exactly as the paper's client would cause.
+//! Completion timestamps (stamped by the server on the same clock) are
+//! normalized by subtracting `t0`, putting the output on the stream's
+//! time base, directly comparable with a sim run of the same spec.
+//!
+//! Jobs are synthetic [`SpinJob`]s burning the request's service-time
+//! hint on the CPU — the runtime analogue of the paper's spin-server
+//! requests. See EXPERIMENTS.md for the caveats of interpreting these
+//! numbers on a shared or oversubscribed host.
+
+use crate::engine::{Engine, EngineCounters, EngineKind, RunOutput, RunSpec, WorkerCounters};
+use tq_core::job::Completion;
+use tq_core::Nanos;
+use tq_runtime::{ServerConfig, SpinJob, TinyQuanta, TscClock};
+use tq_workloads::ArrivalGen;
+
+/// Gaps longer than this are mostly slept through (OS timer); the rest
+/// is spun away on the TSC for microsecond-accurate release times.
+const SLEEP_THRESHOLD_NANOS: u64 = 200_000;
+/// Margin left to spin after a sleep, absorbing OS wakeup latency.
+const SLEEP_MARGIN_NANOS: u64 = 100_000;
+
+/// The live-runtime engine: paces an arrival stream into a freshly
+/// started [`TinyQuanta`] server and collects its completions.
+#[derive(Debug, Clone)]
+pub struct RtEngine {
+    config: ServerConfig,
+}
+
+impl RtEngine {
+    /// Wraps a server configuration. The server itself is started (and
+    /// torn down) inside each [`Engine::run`] call, so one engine value
+    /// can serve many runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (zero workers or slots).
+    pub fn new(config: ServerConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.task_slots > 0, "need at least one task slot");
+        RtEngine { config }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+}
+
+impl Engine for RtEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Rt
+    }
+
+    fn model(&self) -> &'static str {
+        "runtime"
+    }
+
+    fn system(&self) -> String {
+        format!(
+            "TinyQuanta/{:?}{}",
+            self.config.dispatch,
+            if self.config.work_stealing { "+steal" } else { "" }
+        )
+    }
+
+    fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    fn run(&mut self, spec: &RunSpec, mut arrivals: ArrivalGen, horizon: Nanos) -> RunOutput {
+        // The spec's seed drives policy randomness, as in the sims.
+        let mut config = self.config.clone();
+        config.seed = spec.seed;
+
+        // Pre-draw the whole schedule so the pacing loop does no RNG or
+        // allocation between submissions.
+        let schedule = arrivals.until(horizon);
+        let services: Vec<Nanos> = schedule.iter().map(|r| r.service).collect();
+
+        let job_clock = TscClock::calibrated();
+        let server = TinyQuanta::start(config, move |req| {
+            Box::new(SpinJob::with_clock(req, &job_clock))
+        });
+        let clock = server.clock().clone();
+
+        let mut raw = Vec::with_capacity(schedule.len());
+        let t0 = clock.wall_nanos();
+        for r in &schedule {
+            let target = t0 + r.arrival;
+            loop {
+                let now = clock.wall_nanos();
+                if now >= target {
+                    break; // behind schedule: open loop, submit now
+                }
+                let gap = (target - now).as_nanos();
+                if gap > SLEEP_THRESHOLD_NANOS {
+                    std::thread::sleep(std::time::Duration::from_nanos(
+                        gap - SLEEP_MARGIN_NANOS,
+                    ));
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            let id = server.submit(r.class.0, r.service);
+            // The server numbers submissions sequentially from zero, in
+            // lock-step with the stream's ids — the invariant that lets
+            // completions be joined back to their service-time draws.
+            debug_assert_eq!(id, r.id, "submission order must match stream ids");
+            // Keep the completion channel short while pacing.
+            raw.extend(server.drain_completions());
+        }
+        let (rest, stats) = server.shutdown_with_stats();
+        raw.extend(rest);
+
+        // Normalize onto the stream's time base and re-attach the true
+        // service times (the scheduler itself stays blind to them).
+        let mut in_horizon = 0u64;
+        let completions: Vec<Completion> = raw
+            .iter()
+            .map(|c| {
+                let finish = c.finished.saturating_sub(t0);
+                in_horizon += u64::from(finish <= horizon);
+                Completion {
+                    id: c.id,
+                    class: c.class,
+                    arrival: c.submitted.saturating_sub(t0),
+                    service: services[c.id.0 as usize],
+                    finish,
+                }
+            })
+            .collect();
+
+        RunOutput {
+            completions,
+            submitted: schedule.len() as u64,
+            in_horizon,
+            counters: EngineCounters {
+                sim_events: 0,
+                dispatcher_forwarded: stats.dispatcher.forwarded,
+                ring_full_retries: stats.dispatcher.ring_full_retries,
+                workers: stats
+                    .workers
+                    .iter()
+                    .map(|w| WorkerCounters {
+                        quanta: w.quanta,
+                        completed: w.completed,
+                        steals: w.steals,
+                        max_ring_occupancy: w.max_ring_occupancy,
+                    })
+                    .collect(),
+            },
+        }
+    }
+}

@@ -77,6 +77,10 @@ struct State {
     quanta_scheduled: u64,
     first_slice_start: Option<Nanos>,
     last_slice_end: Nanos,
+    /// Cumulative quanta assigned to each worker.
+    worker_quanta: Vec<u64>,
+    /// Jobs that finished on each worker.
+    worker_completed: Vec<u64>,
 }
 
 /// Outcome of a centralized simulation: completions plus the quantum
@@ -95,7 +99,7 @@ pub struct CentralizedOutcome {
 }
 
 /// Everything [`simulate_into`] produces besides the completion stream.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CentralizedStats {
     /// Total quanta the dispatcher scheduled.
     pub quanta_scheduled: u64,
@@ -107,6 +111,10 @@ pub struct CentralizedStats {
     /// drained afterwards), counted during the run so callers computing
     /// achieved throughput need no extra pass.
     pub in_horizon: u64,
+    /// Cumulative quanta assigned to each worker.
+    pub worker_quanta: Vec<u64>,
+    /// Jobs that finished on each worker.
+    pub worker_completed: Vec<u64>,
 }
 
 /// Simulates the centralized system until arrivals stop at `horizon`, then
@@ -158,6 +166,8 @@ pub fn simulate_into(
         quanta_scheduled: 0,
         first_slice_start: None,
         last_slice_end: Nanos::ZERO,
+        worker_quanta: vec![0; cfg.n_workers],
+        worker_completed: vec![0; cfg.n_workers],
     };
     completions.clear();
     completions.reserve(gen.expected_arrivals(horizon));
@@ -223,6 +233,7 @@ pub fn simulate_into(
                                 st.running[w] = idx;
                                 st.slices[w] = slice;
                                 st.quanta_scheduled += 1;
+                                st.worker_quanta[w] += 1;
                                 st.first_slice_start.get_or_insert(now);
                                 events.push(
                                     now + slice + cfg.preempt_overhead,
@@ -248,6 +259,7 @@ pub fn simulate_into(
                 let done = st.slab.get_mut(idx).apply_slice(st.slices[w]);
                 if done {
                     let job = st.slab.remove(idx);
+                    st.worker_completed[w] += 1;
                     in_horizon += u64::from(now <= horizon);
                     completions.push(Completion {
                         id: job.id,
@@ -276,6 +288,8 @@ pub fn simulate_into(
         busy_span,
         events: events.popped(),
         in_horizon,
+        worker_quanta: st.worker_quanta,
+        worker_completed: st.worker_completed,
     }
 }
 

@@ -83,6 +83,14 @@ struct Workers {
     idle: WorkerMask,
     /// Workers with a non-empty run queue (steal victims).
     backlog: WorkerMask,
+    /// Cumulative quanta executed per worker (never decremented, unlike
+    /// the live `serviced_quanta` MSQ signal) — mirrors the runtime's
+    /// `WorkerStats::quanta`.
+    quanta_total: Vec<u64>,
+    /// Cumulative jobs completed per worker.
+    completed_total: Vec<u64>,
+    /// Cumulative jobs this worker gained through stealing/rebalancing.
+    steals_total: Vec<u64>,
 }
 
 impl Workers {
@@ -97,6 +105,9 @@ impl Workers {
             serviced_quanta: vec![0; n],
             idle: WorkerMask::full(n),
             backlog: WorkerMask::empty(n),
+            quanta_total: vec![0; n],
+            completed_total: vec![0; n],
+            steals_total: vec![0; n],
         }
     }
 }
@@ -112,7 +123,7 @@ pub struct TwoLevelOutcome {
 }
 
 /// Counters [`simulate_into`] produces besides the completion stream.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TwoLevelStats {
     /// Events delivered by the virtual-time queue — the simulation's
     /// work counter.
@@ -121,6 +132,14 @@ pub struct TwoLevelStats {
     /// drained afterwards), counted during the run so callers computing
     /// achieved throughput need no extra pass.
     pub in_horizon: u64,
+    /// Cumulative quanta executed per worker — the virtual-time analogue
+    /// of the runtime's `WorkerStats::quanta`.
+    pub worker_quanta: Vec<u64>,
+    /// Jobs completed per worker.
+    pub worker_completed: Vec<u64>,
+    /// Jobs each worker gained by stealing (thief-side count, including
+    /// dispatcher-triggered rebalances to idle workers).
+    pub worker_steals: Vec<u64>,
 }
 
 /// Simulates the configured two-level system serving `gen`'s request
@@ -248,6 +267,7 @@ pub fn simulate_into(
                 let done = job.apply_slice(slice);
                 let (next, attained) = (job.next_slice(), job.attained);
                 ws.serviced_quanta[w] += 1;
+                ws.quanta_total[w] += 1;
                 if !done && ws.queues[w].is_empty() {
                     // Sole resident job: rerunning it is what the queue
                     // round-trip (push, take_next of a one-element queue)
@@ -263,6 +283,7 @@ pub fn simulate_into(
                     let job = ws.slab.remove(idx);
                     ws.queued_jobs[w] -= 1;
                     ws.serviced_quanta[w] -= job.quanta;
+                    ws.completed_total[w] += 1;
                     in_horizon += u64::from(now <= horizon);
                     completions.push(Completion {
                         id: job.id,
@@ -293,6 +314,9 @@ pub fn simulate_into(
     TwoLevelStats {
         events: events.popped(),
         in_horizon,
+        worker_quanta: ws.quanta_total,
+        worker_completed: ws.completed_total,
+        worker_steals: ws.steals_total,
     }
 }
 
@@ -433,6 +457,7 @@ fn transfer_tail_job(
     ws.serviced_quanta[victim] -= quanta;
     ws.queued_jobs[thief] += 1;
     ws.serviced_quanta[thief] += quanta;
+    ws.steals_total[thief] += 1;
     ws.queues[thief].push(idx, attained);
     ws.backlog.set(thief);
     ws.idle.clear(thief);

@@ -54,4 +54,6 @@ pub mod worker;
 
 pub use clock::TscClock;
 pub use job::{Job, JobStatus, QuantumCtx, SpinJob};
-pub use server::{Completion, RtRequest, ServerConfig, TinyQuanta};
+pub use dispatcher::DispatcherStats;
+pub use server::{Completion, RtRequest, ServerConfig, ServerStats, TinyQuanta};
+pub use worker::WorkerStats;

@@ -97,6 +97,43 @@ impl Default for ServerConfig {
 /// A job factory: builds the coroutine for each arriving request.
 pub type JobFactory = dyn Fn(&RtRequest) -> Box<dyn Job> + Send + Sync;
 
+/// Internal statistics collected at shutdown: the dispatcher's counters
+/// plus each worker's, in worker-index order. Previously these were
+/// dropped at shutdown; the harness now surfaces them in `RunOutput`.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Dispatcher-thread counters (forwarded requests, ring backpressure).
+    pub dispatcher: dispatcher::DispatcherStats,
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<worker::WorkerStats>,
+}
+
+impl ServerStats {
+    /// Total jobs completed across all workers.
+    pub fn total_completed(&self) -> u64 {
+        self.workers.iter().map(|w| w.completed).sum()
+    }
+
+    /// Total quanta executed across all workers.
+    pub fn total_quanta(&self) -> u64 {
+        self.workers.iter().map(|w| w.quanta).sum()
+    }
+
+    /// Total jobs stolen across all workers (work-stealing mode).
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Highest dispatch-ring occupancy observed on any worker.
+    pub fn max_ring_occupancy(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.max_ring_occupancy)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// A running Tiny Quanta server.
 #[derive(Debug)]
 pub struct TinyQuanta {
@@ -230,14 +267,8 @@ impl TinyQuanta {
 
     /// Like [`TinyQuanta::shutdown`], additionally returning the
     /// dispatcher's and each worker's internal statistics (forwarded
-    /// counts, ring backpressure events, quanta, steals, idle spins).
-    pub fn shutdown_with_stats(
-        mut self,
-    ) -> (
-        Vec<Completion>,
-        crate::dispatcher::DispatcherStats,
-        Vec<crate::worker::WorkerStats>,
-    ) {
+    /// counts, ring backpressure events, quanta, steals, ring occupancy).
+    pub fn shutdown_with_stats(mut self) -> (Vec<Completion>, ServerStats) {
         self.submit_tx.take(); // dispatcher sees disconnect after drain
         let dispatcher_stats = self
             .dispatcher
@@ -248,7 +279,13 @@ impl TinyQuanta {
         // forwarded; workers then exit when their queues empty.
         let worker_stats: Vec<_> = self.workers.drain(..).map(|w| w.join()).collect();
         let completions = self.completion_rx.try_iter().collect();
-        (completions, dispatcher_stats, worker_stats)
+        (
+            completions,
+            ServerStats {
+                dispatcher: dispatcher_stats,
+                workers: worker_stats,
+            },
+        )
     }
 }
 

@@ -47,6 +47,10 @@ pub struct WorkerStats {
     pub idle_iterations: u64,
     /// Jobs stolen from siblings (work-stealing mode).
     pub steals: u64,
+    /// High-water mark of the worker's dispatch ring (requests waiting
+    /// to be admitted into task slots), sampled at each admit pass —
+    /// the live system's analogue of the simulators' queue depth.
+    pub max_ring_occupancy: u64,
 }
 
 struct Task {
@@ -93,6 +97,14 @@ impl WorkerRx {
         match self {
             WorkerRx::Spsc(c) => c.is_empty(),
             WorkerRx::Shared { index, queues } => queues[*index].is_empty(),
+        }
+    }
+
+    /// Requests currently waiting in this worker's own queue.
+    fn local_len(&self) -> usize {
+        match self {
+            WorkerRx::Spsc(c) => c.len(),
+            WorkerRx::Shared { index, queues } => queues[*index].len(),
         }
     }
 
@@ -165,6 +177,8 @@ fn run_worker(
     let my_counters = &counters[index];
 
     loop {
+        // Ring high-water mark, sampled before admission drains it.
+        stats.max_ring_occupancy = stats.max_ring_occupancy.max(rx.local_len() as u64);
         // Admit pending requests into idle coroutine slots.
         while !free.is_empty() {
             match rx.pop_local() {

@@ -138,6 +138,62 @@ mod tests {
     }
 
     #[test]
+    fn same_seed_yields_identical_stream() {
+        // The engine harness relies on this: the live runtime pre-draws
+        // the schedule with `until` while tests re-derive it request by
+        // request — both must see the exact same stream.
+        let mut a = ArrivalGen::new(table1::extreme_bimodal(), 2.0e6, SimRng::new(77));
+        let mut b = ArrivalGen::new(table1::extreme_bimodal(), 2.0e6, SimRng::new(77));
+        let horizon = Nanos::from_millis(5);
+        let batch = a.until(horizon);
+        assert!(!batch.is_empty());
+        for r in &batch {
+            let s = b.next_request();
+            assert_eq!(r.id, s.id);
+            assert_eq!(r.class, s.class);
+            assert_eq!(r.arrival, s.arrival);
+            assert_eq!(r.service, s.service);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ArrivalGen::new(table1::extreme_bimodal(), 2.0e6, SimRng::new(77));
+        let mut b = ArrivalGen::new(table1::extreme_bimodal(), 2.0e6, SimRng::new(78));
+        let same = (0..1_000)
+            .filter(|_| {
+                let (ra, rb) = (a.next_request(), b.next_request());
+                ra.arrival == rb.arrival && ra.service == rb.service
+            })
+            .count();
+        assert!(same < 10, "{same} of 1000 draws collided across seeds");
+    }
+
+    #[test]
+    fn empirical_rate_converges_over_long_horizon() {
+        // A long-horizon, tighter-tolerance companion to
+        // `rate_is_respected`: 2M expected arrivals, and both the count
+        // and the mean inter-arrival gap within 0.5% of configured.
+        let rate = 2.0e6;
+        let horizon = Nanos::from_millis(1_000);
+        let mut gen = ArrivalGen::new(table1::exp1(), rate, SimRng::new(9));
+        let reqs = gen.until(horizon);
+        let expected = rate * horizon.as_secs_f64();
+        let got = reqs.len() as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.005,
+            "got {got} requests, expected ~{expected}"
+        );
+        let span = (reqs.last().unwrap().arrival - reqs[0].arrival).as_nanos() as f64;
+        let mean_gap = span / (reqs.len() - 1) as f64;
+        let configured_gap = 1e9 / rate;
+        assert!(
+            (mean_gap - configured_gap).abs() / configured_gap < 0.005,
+            "mean gap {mean_gap:.1}ns vs configured {configured_gap:.1}ns"
+        );
+    }
+
+    #[test]
     fn until_respects_horizon() {
         let mut gen = ArrivalGen::new(table1::exp1(), 1.0e6, SimRng::new(5));
         let horizon = Nanos::from_micros(100);

@@ -1,75 +1,83 @@
-//! Quickstart: serve a microsecond-scale bimodal workload with the Tiny
-//! Quanta runtime.
+//! Quickstart: one pipeline from a workload spec to a per-class tail
+//! summary, on both the *model* and the *real runtime*.
 //!
-//! Starts a TQ server (dispatcher + workers + forced-multitasking jobs),
-//! submits an Extreme-Bimodal-style mix of 5 µs and 500 µs CPU-bound
-//! requests, and prints per-class tail latency. Even with the 500 µs
-//! stragglers in the mix, the short jobs' tail stays a few quanta long —
-//! that is preemptive processor sharing at work.
+//! The same `RunSpec` — Extreme Bimodal (Table 1: 99.5% × 1 µs, 0.5% ×
+//! 100 µs), open-loop Poisson arrivals, fixed seed — is run twice
+//! through the engine harness:
+//!
+//! - `SimEngine`: the discrete-event model of the TQ system in virtual
+//!   time (deterministic, host-independent);
+//! - `RtEngine`: the real `TinyQuanta` server — dispatcher thread,
+//!   worker threads, forced-multitasking spin jobs, TSC timestamps —
+//!   with arrivals paced at wall-clock time.
+//!
+//! Both drain into the identical metrics path, so the printed rows are
+//! directly comparable. On a quiet many-core host the rt rows approach
+//! the model; on a loaded or small host they blow up — the model rows
+//! are what the paper's numbers look like, the rt rows are what *your
+//! machine* does (see EXPERIMENTS.md, "Live-runtime runs").
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use tq_core::Nanos;
-use tq_runtime::{ServerConfig, SpinJob, TinyQuanta, TscClock};
-use tq_sim::TailStats;
+use tq_harness::{run_to_record, RtEngine, RunRecord, RunSpec, SimEngine};
+use tq_runtime::ServerConfig;
+use tq_workloads::table1;
 
-fn main() {
-    let clock = TscClock::calibrated();
-    println!("calibrated clock: {}", clock.freq());
-
-    let server = TinyQuanta::start(
-        ServerConfig {
-            workers: 2,
-            quantum: Nanos::from_micros(5),
-            ..ServerConfig::default()
-        },
-        {
-            let clock = clock.clone();
-            move |req| Box::new(SpinJob::with_clock(req, &clock))
-        },
+fn print_record(r: &RunRecord) {
+    println!(
+        "[{}] {} — {} workers, offered {:.2} Mrps, achieved {:.2} Mrps, {} jobs",
+        r.engine,
+        r.system,
+        r.workers,
+        r.rate_rps / 1e6,
+        r.achieved_rps / 1e6,
+        r.completed,
     );
-
-    // 990 short jobs (5µs), 10 long (500µs), interleaved.
-    let mut submitted = 0;
-    for i in 0..1_000u64 {
-        if i % 100 == 99 {
-            server.submit(1, Nanos::from_micros(500));
-        } else {
-            server.submit(0, Nanos::from_micros(5));
-        }
-        submitted += 1;
-        // Pace submissions slightly so the oversubscribed workers aren't
-        // instantly saturated on a small host.
-        if i % 50 == 0 {
-            std::thread::sleep(std::time::Duration::from_micros(200));
-        }
-    }
-
-    let completions = server.shutdown();
-    assert_eq!(completions.len(), submitted);
-
-    for (class, name) in [(0u16, "short (5us)"), (1u16, "long (500us)")] {
-        let mut lat: TailStats = completions
-            .iter()
-            .filter(|c| c.class.0 == class)
-            .map(|c| c.sojourn().as_nanos())
-            .collect();
-        if lat.is_empty() {
-            continue;
-        }
-        let quanta: u64 = completions
-            .iter()
-            .filter(|c| c.class.0 == class)
-            .map(|c| c.quanta)
-            .sum();
+    for c in &r.classes {
         println!(
-            "{name:<14} n={:<5} p50={:<12} p99={:<12} max={:<12} quanta/job={:.1}",
-            lat.count(),
-            Nanos::from_nanos(lat.percentile(50.0)).to_string(),
-            Nanos::from_nanos(lat.percentile(99.0)).to_string(),
-            Nanos::from_nanos(lat.max()).to_string(),
-            quanta as f64 / lat.count() as f64,
+            "      class {}: n={:<6} p50={:<10} p999={:<10} slowdown_p999={:.1}",
+            c.class.0,
+            c.count,
+            c.p50.to_string(),
+            c.p999.to_string(),
+            c.slowdown_p999,
         );
     }
-    println!("done: {submitted} jobs served");
+    let steals: u64 = r.counters.workers.iter().map(|w| w.steals).sum();
+    let quanta: u64 = r.counters.workers.iter().map(|w| w.quanta).sum();
+    println!("      {} quanta serviced, {} steals\n", quanta, steals);
+}
+
+fn main() {
+    let workers = 2;
+    let quantum = Nanos::from_micros(5);
+    let workload = table1::extreme_bimodal();
+    let spec = RunSpec {
+        // 20% of the 2-worker capacity: low enough that even an
+        // oversubscribed laptop/CI host keeps up with the pacer.
+        rate_rps: workload.rate_for_load(workers, 0.2),
+        workload,
+        horizon: Nanos::from_millis(50),
+        seed: 42,
+    };
+
+    let mut sim = SimEngine::new(tq_queueing::presets::tq(workers, quantum));
+    let model = run_to_record(&mut sim, &spec);
+    print_record(&model);
+
+    let mut rt = RtEngine::new(ServerConfig {
+        workers,
+        quantum,
+        ..ServerConfig::default()
+    });
+    let live = run_to_record(&mut rt, &spec);
+    print_record(&live);
+
+    assert!(model.conserved() && live.conserved());
+    println!(
+        "same spec, same metrics path: model predicted, runtime measured \
+         ({} vs {} completions).",
+        model.completed, live.completed
+    );
 }

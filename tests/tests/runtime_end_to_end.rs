@@ -212,20 +212,21 @@ fn work_stealing_rescues_a_pinned_dispatcher() {
     for _ in 0..200 {
         server.submit(0, Nanos::from_micros(30));
     }
-    let (completions, dispatcher, workers) = server.shutdown_with_stats();
+    let (completions, stats) = server.shutdown_with_stats();
     assert_eq!(completions.len(), 200);
-    assert_eq!(dispatcher.forwarded, 200);
+    assert_eq!(stats.dispatcher.forwarded, 200);
     let stolen = completions.iter().filter(|c| c.worker == 1).count();
     assert!(
         stolen > 0,
         "worker 1 should have stolen some of worker 0's backlog"
     );
     assert!(
-        workers[1].steals > 0,
-        "worker 1's steal counter should agree: {workers:?}"
+        stats.workers[1].steals > 0,
+        "worker 1's steal counter should agree: {:?}",
+        stats.workers
     );
     assert_eq!(
-        workers.iter().map(|w| w.completed).sum::<u64>(),
+        stats.total_completed(),
         200,
         "worker stats must reconcile with completions"
     );
