@@ -21,7 +21,12 @@
 //! host-independent; that is what the smoke mode asserts.
 //!
 //! Knobs: `TQ_RT_WORKERS` (default 2), `TQ_RT_MILLIS` (arrival horizon,
-//! default 80 full / 40 smoke), `TQ_SEED` as everywhere else.
+//! default 80 full / 40 smoke), `TQ_SEED` as everywhere else, and
+//! `TQ_AUDIT` (default on; `TQ_AUDIT=0` disables the invariant auditor).
+//! With auditing on, every run also carries a `tq_audit` report —
+//! conservation with named drops, exactly-once ids, per-ring FIFO,
+//! timestamp monotonicity, counter agreement — and any violation fails
+//! the process just like the built-in checks.
 //!
 //! [`TinyQuanta`]: tq_runtime::TinyQuanta
 
@@ -64,6 +69,10 @@ fn parse_args() -> (EngineChoice, bool) {
         }
     }
     (engine, smoke)
+}
+
+fn audit_enabled() -> bool {
+    std::env::var("TQ_AUDIT").map_or(true, |v| v != "0")
 }
 
 fn rt_workers() -> usize {
@@ -117,6 +126,7 @@ fn run_and_report(engine: &mut dyn Engine, spec: &RunSpec, load: f64) -> (RunRec
     let mut out = engine.run(spec, spec.arrivals(), spec.horizon);
     let ids: Vec<u64> = out.completions.iter().map(|c| c.id.0).collect();
     let completed = out.completions.len() as u64;
+    let audit = out.audit.take();
     let summary = tq_harness::summarize(&mut out.completions);
     let record = RunRecord {
         engine: engine.kind().as_str(),
@@ -135,8 +145,14 @@ fn run_and_report(engine: &mut dyn Engine, spec: &RunSpec, load: f64) -> (RunRec
         classes_sojourn: summary.classes_sojourn,
         overall_slowdown_p999: summary.overall_slowdown_p999,
         counters: out.counters,
+        audit,
     };
-    let violations = check_record(&record, &ids);
+    let mut violations = check_record(&record, &ids);
+    if let Some(report) = &record.audit {
+        for v in &report.violations {
+            violations.push(format!("audit[{}] {v}", report.context));
+        }
+    }
 
     println!(
         "[{}] {:<28} load {:.0}%  rate {} Mrps  achieved {} Mrps  submitted {}  completed {}",
@@ -170,6 +186,9 @@ fn run_and_report(engine: &mut dyn Engine, spec: &RunSpec, load: f64) -> (RunRec
             i, w.quanta, w.completed, w.steals, w.max_ring_occupancy
         );
     }
+    if let Some(report) = &record.audit {
+        println!("      {report}");
+    }
     for v in &violations {
         eprintln!("      INVARIANT VIOLATION: {v}");
     }
@@ -179,6 +198,7 @@ fn run_and_report(engine: &mut dyn Engine, spec: &RunSpec, load: f64) -> (RunRec
 
 fn main() {
     let (choice, smoke) = parse_args();
+    let audit = audit_enabled();
     let workers = rt_workers();
     let horizon = rt_horizon(smoke);
     let seed = tq_bench::seed();
@@ -189,11 +209,12 @@ fn main() {
     let quantum = Nanos::from_micros(5);
 
     println!(
-        "bench_rt ({}): {} workers, horizon {}, seed {}",
+        "bench_rt ({}): {} workers, horizon {}, seed {}, audit {}",
         if smoke { "smoke" } else { "full" },
         workers,
         horizon,
         seed,
+        if audit { "on" } else { "off" },
     );
     println!();
 
@@ -207,7 +228,8 @@ fn main() {
             seed,
         };
         if choice != EngineChoice::Rt {
-            let mut sim = SimEngine::new(tq_queueing::presets::tq(workers, quantum));
+            let mut sim =
+                SimEngine::new(tq_queueing::presets::tq(workers, quantum)).with_audit(audit);
             let (rec, viol) = run_and_report(&mut sim, &spec, load);
             records.push(rec);
             violations.extend(viol);
@@ -218,6 +240,7 @@ fn main() {
                 quantum,
                 dispatch: DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta),
                 seed,
+                audit,
                 ..ServerConfig::default()
             };
             let mut configs = vec![base.clone()];
@@ -248,5 +271,8 @@ fn main() {
         }
         std::process::exit(1);
     }
-    println!("all invariants held (conservation, unique ids, non-empty summaries)");
+    println!(
+        "all invariants held (conservation, unique ids, non-empty summaries{})",
+        if audit { ", audit clean" } else { "" }
+    );
 }

@@ -100,9 +100,12 @@ fn parse_args() -> (usize, EngineChoice) {
 }
 
 /// Spawns one experiment binary, or records it as failed if missing.
+/// `audit` forces the invariant auditor on in the child (the live-runtime
+/// phase runs fully audited; a violation fails that experiment).
 fn spawn_one<'a>(
     bin_dir: &std::path::Path,
     name: &'a str,
+    audit: bool,
     failures: &mut Vec<&'a str>,
 ) -> Option<Child> {
     let exe = bin_dir.join(name);
@@ -111,9 +114,12 @@ fn spawn_one<'a>(
         failures.push(name);
         return None;
     }
+    let mut cmd = Command::new(&exe);
+    if audit {
+        cmd.env("TQ_AUDIT", "1");
+    }
     Some(
-        Command::new(&exe)
-            .stdout(Stdio::piped())
+        cmd.stdout(Stdio::piped())
             .stderr(Stdio::inherit())
             .spawn()
             .expect("spawn"),
@@ -157,7 +163,7 @@ fn main() {
     loop {
         while in_flight.len() < jobs {
             let Some(&name) = pending.next() else { break };
-            if let Some(child) = spawn_one(&bin_dir, name, &mut failures) {
+            if let Some(child) = spawn_one(&bin_dir, name, false, &mut failures) {
                 in_flight.push_back((name, child));
             }
         }
@@ -169,7 +175,7 @@ fn main() {
     // has exited: these measure real time and must not compete with
     // sibling processes for cores.
     for &name in rt {
-        if let Some(child) = spawn_one(&bin_dir, name, &mut failures) {
+        if let Some(child) = spawn_one(&bin_dir, name, true, &mut failures) {
             harvest_one(&out_dir, name, child, &mut failures);
         }
     }

@@ -11,6 +11,7 @@
 //! policy change can be evaluated in both worlds with one command (see
 //! DESIGN.md "The Engine abstraction").
 
+use tq_audit::AuditReport;
 use tq_core::job::Completion;
 use tq_core::{costs, Nanos};
 use tq_sim::{ClassRecorder, SimRng};
@@ -86,6 +87,9 @@ pub struct EngineCounters {
     pub dispatcher_forwarded: u64,
     /// Dispatcher push retries due to full rings (live runtime only).
     pub ring_full_retries: u64,
+    /// Requests the dispatcher dropped instead of forwarding (named-drop
+    /// buckets; nonzero only on the live runtime's abort path).
+    pub dispatcher_dropped: u64,
     /// Per-worker counters, indexed by worker id.
     pub workers: Vec<WorkerCounters>,
 }
@@ -105,6 +109,9 @@ pub struct RunOutput {
     pub in_horizon: u64,
     /// The engine's internal counters.
     pub counters: EngineCounters,
+    /// Invariant-audit verdict, present iff the engine ran with auditing
+    /// enabled (see `tq_audit::InvariantAuditor`).
+    pub audit: Option<AuditReport>,
 }
 
 /// An execution engine: anything that can serve a [`RunSpec`]'s arrival
@@ -161,6 +168,8 @@ pub struct RunRecord {
     pub overall_slowdown_p999: f64,
     /// The engine's internal counters.
     pub counters: EngineCounters,
+    /// Invariant-audit verdict (present iff auditing was enabled).
+    pub audit: Option<AuditReport>,
 }
 
 impl RunRecord {
@@ -177,6 +186,7 @@ impl RunRecord {
 pub fn run_to_record(engine: &mut dyn Engine, spec: &RunSpec) -> RunRecord {
     let mut out = engine.run(spec, spec.arrivals(), spec.horizon);
     let completed = out.completions.len() as u64;
+    let audit = out.audit.take();
     let summary = summarize(&mut out.completions);
     RunRecord {
         engine: engine.kind().as_str(),
@@ -195,6 +205,7 @@ pub fn run_to_record(engine: &mut dyn Engine, spec: &RunSpec) -> RunRecord {
         classes_sojourn: summary.classes_sojourn,
         overall_slowdown_p999: summary.overall_slowdown_p999,
         counters: out.counters,
+        audit,
     }
 }
 

@@ -7,6 +7,7 @@
 //! tooling distinguishes them only by the `engine` field.
 
 use crate::engine::RunRecord;
+use tq_audit::AuditReport;
 use tq_sim::metrics::ClassSummary;
 
 /// The schema identifier written into every document.
@@ -19,6 +20,50 @@ fn json_f64(x: f64) -> String {
         format!("{x:.6}")
     } else {
         "null".to_string()
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal (violation
+/// details are free-form text).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The audit verdict as a JSON value: `null` when auditing was off.
+fn audit_json(a: Option<&AuditReport>) -> String {
+    match a {
+        None => "null".to_string(),
+        Some(r) => {
+            let violations: Vec<String> = r
+                .violations
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{{\"invariant\": \"{}\", \"detail\": \"{}\"}}",
+                        json_str(v.invariant),
+                        json_str(&v.detail)
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"context\": \"{}\", \"checks\": {}, \"clean\": {}, \"violations\": [{}]}}",
+                json_str(&r.context),
+                r.checks,
+                r.is_clean(),
+                violations.join(", ")
+            )
+        }
     }
 }
 
@@ -69,8 +114,9 @@ pub fn record_json(r: &RunRecord) -> String {
             "     \"classes_e2e\": [{}],\n",
             "     \"classes_sojourn\": [{}],\n",
             "     \"counters\": {{\"sim_events\": {}, \"dispatcher_forwarded\": {}, ",
-            "\"ring_full_retries\": {},\n",
-            "      \"workers\": [{}]}}}}"
+            "\"ring_full_retries\": {}, \"dispatcher_dropped\": {},\n",
+            "      \"workers\": [{}]}},\n",
+            "     \"audit\": {}}}"
         ),
         r.engine,
         r.model,
@@ -90,7 +136,9 @@ pub fn record_json(r: &RunRecord) -> String {
         r.counters.sim_events,
         r.counters.dispatcher_forwarded,
         r.counters.ring_full_retries,
+        r.counters.dispatcher_dropped,
         workers.join(", "),
+        audit_json(r.audit.as_ref()),
     )
 }
 
@@ -140,8 +188,17 @@ mod tests {
                 sim_events: 100,
                 dispatcher_forwarded: 10,
                 ring_full_retries: 0,
+                dispatcher_dropped: 0,
                 workers: vec![WorkerCounters::default(); 2],
             },
+            audit: Some(tq_audit::AuditReport {
+                context: "sim two_level".into(),
+                checks: 6,
+                violations: vec![tq_audit::Violation {
+                    invariant: "job_conservation",
+                    detail: "submitted 10 != completed 9 + dropped 0 [\"quoted\"]".into(),
+                }],
+            }),
         };
         let doc = document(&[rec.clone(), rec]);
         let mut depth: i64 = 0;

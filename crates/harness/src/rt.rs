@@ -12,12 +12,19 @@
 //! normalized by subtracting `t0`, putting the output on the stream's
 //! time base, directly comparable with a sim run of the same spec.
 //!
+//! One `TscClock` is calibrated when the engine is built and shared with
+//! every server it starts (via [`TinyQuanta::start_with_clock`]) and
+//! with the spin jobs: pacer, dispatcher, workers and jobs all measure
+//! on the same origin, and a sweep of many runs pays the ~10 ms
+//! calibration window once instead of twice per run.
+//!
 //! Jobs are synthetic [`SpinJob`]s burning the request's service-time
 //! hint on the CPU — the runtime analogue of the paper's spin-server
 //! requests. See EXPERIMENTS.md for the caveats of interpreting these
 //! numbers on a shared or oversubscribed host.
 
 use crate::engine::{Engine, EngineCounters, EngineKind, RunOutput, RunSpec, WorkerCounters};
+use tq_audit::{CompletionFact, InvariantAuditor};
 use tq_core::job::Completion;
 use tq_core::Nanos;
 use tq_runtime::{ServerConfig, SpinJob, TinyQuanta, TscClock};
@@ -34,12 +41,14 @@ const SLEEP_MARGIN_NANOS: u64 = 100_000;
 #[derive(Debug, Clone)]
 pub struct RtEngine {
     config: ServerConfig,
+    clock: TscClock,
 }
 
 impl RtEngine {
-    /// Wraps a server configuration. The server itself is started (and
-    /// torn down) inside each [`Engine::run`] call, so one engine value
-    /// can serve many runs.
+    /// Wraps a server configuration and calibrates the engine's shared
+    /// clock (~10 ms, once). The server itself is started (and torn
+    /// down) inside each [`Engine::run`] call, so one engine value can
+    /// serve many runs — all on this one clock.
     ///
     /// # Panics
     ///
@@ -47,7 +56,10 @@ impl RtEngine {
     pub fn new(config: ServerConfig) -> Self {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.task_slots > 0, "need at least one task slot");
-        RtEngine { config }
+        RtEngine {
+            config,
+            clock: TscClock::calibrated(),
+        }
     }
 
     /// The wrapped configuration.
@@ -81,17 +93,21 @@ impl Engine for RtEngine {
         // The spec's seed drives policy randomness, as in the sims.
         let mut config = self.config.clone();
         config.seed = spec.seed;
+        let audit_on = config.audit;
+        let stealing = config.work_stealing;
 
         // Pre-draw the whole schedule so the pacing loop does no RNG or
         // allocation between submissions.
         let schedule = arrivals.until(horizon);
         let services: Vec<Nanos> = schedule.iter().map(|r| r.service).collect();
 
-        let job_clock = TscClock::calibrated();
-        let server = TinyQuanta::start(config, move |req| {
+        // One clock for everything: server timestamps, job spin loops,
+        // and the pacer below all share the engine's calibration.
+        let clock = self.clock.clone();
+        let job_clock = self.clock.clone();
+        let server = TinyQuanta::start_with_clock(config, clock.clone(), move |req| {
             Box::new(SpinJob::with_clock(req, &job_clock))
         });
-        let clock = server.clock().clone();
 
         let mut raw = Vec::with_capacity(schedule.len());
         let t0 = clock.wall_nanos();
@@ -114,8 +130,11 @@ impl Engine for RtEngine {
             let id = server.submit(r.class.0, r.service);
             // The server numbers submissions sequentially from zero, in
             // lock-step with the stream's ids — the invariant that lets
-            // completions be joined back to their service-time draws.
-            debug_assert_eq!(id, r.id, "submission order must match stream ids");
+            // completions be joined back to their service-time draws. A
+            // mismatch would silently attribute every later completion to
+            // the wrong service draw, so it is checked in release builds
+            // too, not just debug.
+            assert_eq!(id, r.id, "submission order must match stream ids");
             // Keep the completion channel short while pacing.
             raw.extend(server.drain_completions());
         }
@@ -140,14 +159,47 @@ impl Engine for RtEngine {
             })
             .collect();
 
+        let submitted = schedule.len() as u64;
+        let audit = audit_on.then(|| {
+            // Stream-level checks over the raw (un-normalized, collection
+            // order) completions; the server's own counter/ring-level
+            // report is folded in below.
+            let mut a = InvariantAuditor::new(if stealing { "rt+steal" } else { "rt" });
+            a.check_conservation(submitted, raw.len() as u64, &stats.drops());
+            let ids: Vec<u64> = raw.iter().map(|c| c.id.0).collect();
+            a.check_exactly_once(&ids, Some(submitted));
+            let facts: Vec<CompletionFact> = raw
+                .iter()
+                .map(|c| CompletionFact {
+                    id: c.id.0,
+                    worker: c.worker,
+                    submitted: c.submitted,
+                    finished: c.finished,
+                    quanta: c.quanta,
+                })
+                .collect();
+            a.check_rt_timestamps(&facts, stats.workers.len());
+            let worker_completed: Vec<u64> = stats.workers.iter().map(|w| w.completed).collect();
+            let worker_quanta: Vec<u64> = stats.workers.iter().map(|w| w.quanta).collect();
+            a.check_worker_agreement(&facts, &worker_completed, &worker_quanta);
+            let finishes: Vec<Nanos> = completions.iter().map(|c| c.finish).collect();
+            a.check_in_horizon(&finishes, horizon, in_horizon);
+            let mut report = a.finish();
+            if let Some(server_report) = stats.audit.clone() {
+                report.absorb(server_report);
+            }
+            report
+        });
+
         RunOutput {
             completions,
-            submitted: schedule.len() as u64,
+            submitted,
             in_horizon,
             counters: EngineCounters {
                 sim_events: 0,
                 dispatcher_forwarded: stats.dispatcher.forwarded,
                 ring_full_retries: stats.dispatcher.ring_full_retries,
+                dispatcher_dropped: stats.dispatcher.dropped_on_abort,
                 workers: stats
                     .workers
                     .iter()
@@ -159,6 +211,7 @@ impl Engine for RtEngine {
                     })
                     .collect(),
             },
+            audit,
         }
     }
 }

@@ -7,6 +7,7 @@
 //! integration test.
 
 use crate::engine::{Engine, EngineCounters, EngineKind, RunOutput, RunSpec, WorkerCounters};
+use tq_audit::InvariantAuditor;
 use tq_core::Nanos;
 use tq_queueing::{centralized, twolevel, Architecture, SystemConfig};
 use tq_workloads::ArrivalGen;
@@ -16,6 +17,7 @@ use tq_workloads::ArrivalGen;
 #[derive(Debug, Clone)]
 pub struct SimEngine {
     config: SystemConfig,
+    audit: bool,
 }
 
 impl SimEngine {
@@ -26,7 +28,18 @@ impl SimEngine {
     /// Panics if the configuration is invalid.
     pub fn new(config: SystemConfig) -> Self {
         config.validate();
-        SimEngine { config }
+        SimEngine {
+            config,
+            audit: false,
+        }
+    }
+
+    /// Enables (or disables) the invariant auditor: each run then carries
+    /// an `AuditReport` in its output. Costs one pass over the completion
+    /// stream per run; nothing when off.
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
     }
 
     /// The wrapped configuration.
@@ -94,16 +107,55 @@ impl Engine for SimEngine {
         // The models drain every arrival, so the submission count is the
         // completion count; each job crosses the dispatcher exactly once.
         let submitted = completions.len() as u64;
+        let counters = EngineCounters {
+            sim_events,
+            dispatcher_forwarded: submitted,
+            ring_full_retries: 0,
+            dispatcher_dropped: 0,
+            workers,
+        };
+        let audit = self.audit.then(|| {
+            let mut a = InvariantAuditor::new(format!("sim {}", self.model()));
+            // Virtual time drops nothing: conservation has no drop buckets.
+            a.check_conservation(submitted, completions.len() as u64, &[]);
+            let ids: Vec<u64> = completions.iter().map(|c| c.id.0).collect();
+            a.check_exactly_once(&ids, Some(submitted));
+            a.check(
+                "sim_causal_timestamps",
+                completions
+                    .iter()
+                    .all(|c| c.finish >= c.arrival + c.service),
+                || {
+                    let c = completions
+                        .iter()
+                        .find(|c| c.finish < c.arrival + c.service)
+                        .expect("checked");
+                    format!(
+                        "job {} finished at {} before receiving its {} of service from {}",
+                        c.id.0, c.finish, c.service, c.arrival
+                    )
+                },
+            );
+            a.check(
+                "counter_completion_agreement",
+                counters.workers.iter().map(|w| w.completed).sum::<u64>() == submitted,
+                || {
+                    format!(
+                        "per-worker completed counters sum to {}, stream has {submitted}",
+                        counters.workers.iter().map(|w| w.completed).sum::<u64>()
+                    )
+                },
+            );
+            let finishes: Vec<Nanos> = completions.iter().map(|c| c.finish).collect();
+            a.check_in_horizon(&finishes, horizon, in_horizon);
+            a.finish()
+        });
         RunOutput {
             submitted,
             in_horizon,
-            counters: EngineCounters {
-                sim_events,
-                dispatcher_forwarded: submitted,
-                ring_full_retries: 0,
-                workers,
-            },
+            counters,
             completions,
+            audit,
         }
     }
 }

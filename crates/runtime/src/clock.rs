@@ -24,6 +24,14 @@ use tq_core::{CpuFreq, Cycles, Nanos};
 pub struct TscClock {
     freq: CpuFreq,
     origin: Instant,
+    /// Whether `now()` reads the raw TSC. False on non-x86 targets and
+    /// whenever calibration failed: then `now()` reads the monotonic
+    /// clock *as* a 1 GHz counter, so `freq`, quantum deadlines, and
+    /// `to_nanos` stay mutually coherent. (Previously a failed
+    /// calibration fell back to a 1 GHz `freq` while `now()` kept
+    /// returning raw RDTSC — every deadline and conversion was then off
+    /// by the real cycles-per-nanosecond ratio.)
+    use_tsc: bool,
 }
 
 impl TscClock {
@@ -43,17 +51,41 @@ impl TscClock {
             let dt = t0.elapsed().as_nanos() as f64;
             let dc = c1.wrapping_sub(c0) as f64;
             let hz = dc / dt * 1e9;
-            if hz.is_finite() && hz > 1e8 {
-                return TscClock {
-                    freq: CpuFreq::from_hz(hz),
-                    origin,
-                };
+            if let Some(clock) = Self::from_calibration(hz, origin) {
+                return clock;
             }
         }
+        Self::instant_fallback_at(origin)
+    }
+
+    /// Accepts a calibration result if it is sane; `None` sends the
+    /// caller to the [`TscClock::instant_fallback`] path. Split out so
+    /// the failure path is testable without a host whose TSC misbehaves.
+    fn from_calibration(hz: f64, origin: Instant) -> Option<Self> {
+        if hz.is_finite() && hz > 1e8 {
+            Some(TscClock {
+                freq: CpuFreq::from_hz(hz),
+                origin,
+                use_tsc: true,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// A clock that never touches the TSC: the monotonic clock is read as
+    /// a 1 GHz cycle counter (1 cycle == 1 ns), keeping every conversion
+    /// exact by construction. Used when calibration fails and on non-x86
+    /// targets; public so tests and non-TSC hosts can opt in directly.
+    pub fn instant_fallback() -> Self {
+        Self::instant_fallback_at(Instant::now())
+    }
+
+    fn instant_fallback_at(origin: Instant) -> Self {
         TscClock {
-            // Fallback: treat the nanosecond clock as a 1 GHz counter.
             freq: CpuFreq::from_ghz(1.0),
             origin,
+            use_tsc: false,
         }
     }
 
@@ -62,17 +94,22 @@ impl TscClock {
         self.freq
     }
 
-    /// Reads the cycle counter (the probe's `RDTSC`).
+    /// Whether `now()` reads the hardware TSC (false: monotonic-clock
+    /// fallback at 1 GHz).
+    pub fn uses_tsc(&self) -> bool {
+        self.use_tsc
+    }
+
+    /// Reads the cycle counter (the probe's `RDTSC`), or the fallback
+    /// nanosecond counter when the TSC is unavailable/uncalibrated —
+    /// always in the units `freq()` describes.
     #[inline]
     pub fn now(&self) -> Cycles {
         #[cfg(target_arch = "x86_64")]
-        {
-            Cycles(raw_cycles())
+        if self.use_tsc {
+            return Cycles(raw_cycles());
         }
-        #[cfg(not(target_arch = "x86_64"))]
-        {
-            Cycles(self.origin.elapsed().as_nanos() as u64)
-        }
+        Cycles(self.origin.elapsed().as_nanos() as u64)
     }
 
     /// Converts a cycle delta to nanoseconds.
@@ -128,6 +165,44 @@ mod tests {
             (3_000_000..60_000_000).contains(&measured),
             "5ms sleep measured as {measured}ns"
         );
+    }
+
+    /// Regression test for the calibration-failure fallback: a bogus
+    /// calibration (NaN / 0 / absurdly low hz) must yield a clock whose
+    /// `now()` and `freq()` agree — i.e. the Instant-based counter at
+    /// 1 GHz — not raw RDTSC paired with a made-up frequency.
+    #[test]
+    fn failed_calibration_falls_back_coherently() {
+        for bad_hz in [f64::NAN, f64::INFINITY, 0.0, 1e7, -3.0e9] {
+            assert!(
+                TscClock::from_calibration(bad_hz, Instant::now()).is_none(),
+                "calibration accepted bogus {bad_hz} hz"
+            );
+        }
+        let clock = TscClock::instant_fallback();
+        assert!(!clock.uses_tsc());
+        assert!((clock.freq().hz() - 1e9).abs() < 1.0);
+        // The decisive check: a measured wall-clock interval converted
+        // through the clock's own freq must come out as wall time. With
+        // the pre-fix behavior (raw RDTSC at 1 GHz nominal) this is off
+        // by the host's real GHz (~3x on typical hardware).
+        let a = clock.now();
+        std::thread::sleep(Duration::from_millis(5));
+        let b = clock.now();
+        let measured = clock.to_nanos(b.wrapping_sub(a)).as_nanos();
+        assert!(
+            (4_000_000..60_000_000).contains(&measured),
+            "5ms sleep measured as {measured}ns through the fallback clock"
+        );
+    }
+
+    #[test]
+    fn fallback_quantum_conversion_is_exact() {
+        let clock = TscClock::instant_fallback();
+        let q = Nanos::from_micros(2);
+        // 1 cycle == 1 ns by construction: conversions are identities.
+        assert_eq!(clock.to_cycles(q).0, q.as_nanos());
+        assert_eq!(clock.to_nanos(clock.to_cycles(q)), q);
     }
 
     #[test]

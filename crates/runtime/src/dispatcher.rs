@@ -6,13 +6,22 @@
 //! current serviced quanta for MSQ tie-breaking) and pushes the request
 //! into the chosen worker's ring. A full ring is backpressure: the
 //! dispatcher re-picks among the other workers and retries.
+//!
+//! The dispatcher is also phase 1 of the shutdown drain protocol (see
+//! DESIGN.md): it exits only after every request it will ever forward is
+//! in a ring, then sets `dispatcher_done` — the signal workers need
+//! before they may even consider exiting. On an aborted teardown
+//! ([`crate::TinyQuanta`] dropped without `shutdown`) it stops
+//! forwarding and *counts* the remainder as dropped instead of pushing
+//! into rings whose workers may never drain them — conservation then
+//! balances as `submitted = completed + dropped(shutdown_abort)`.
 
 use crate::ring::Producer;
-use crate::server::{RtRequest, ServerConfig};
+use crate::server::{RtRequest, ServerConfig, ShutdownSignal};
 use crossbeam::channel::Receiver;
 use crossbeam::queue::ArrayQueue;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use tq_audit::RingAuditLog;
 use tq_core::counters::{DispatcherLedger, SharedCounters};
 use tq_core::policy::{Dispatcher, WorkerLoad};
 
@@ -23,6 +32,10 @@ pub struct DispatcherStats {
     pub forwarded: u64,
     /// Push retries due to full rings (backpressure events).
     pub ring_full_retries: u64,
+    /// Requests deliberately not forwarded because the server was torn
+    /// down (dropped) before a clean shutdown — the named drop bucket
+    /// that keeps conservation balanced on the abort path.
+    pub dropped_on_abort: u64,
 }
 
 /// The dispatcher's outbound path: private SPSC rings, or the shared
@@ -52,15 +65,17 @@ impl std::fmt::Debug for DispatchTx {
     }
 }
 
-/// Spawns the dispatcher thread. It exits — after forwarding everything —
-/// once the submit channel disconnects, setting `drain` so workers can
-/// finish and stop.
+/// Spawns the dispatcher thread. It exits once the submit channel
+/// disconnects and every received request is either in a ring or counted
+/// as dropped (abort path); only then does it set `dispatcher_done`,
+/// opening phase 2 of the drain protocol for the workers.
 pub(crate) fn spawn(
     config: &ServerConfig,
     rx: Receiver<RtRequest>,
     rings: DispatchTx,
     counters: Arc<Vec<SharedCounters>>,
-    drain: Arc<AtomicBool>,
+    signal: Arc<ShutdownSignal>,
+    audit: Option<Arc<RingAuditLog>>,
 ) -> std::thread::JoinHandle<DispatcherStats> {
     let policy = config.dispatch;
     let n_workers = config.workers;
@@ -74,17 +89,35 @@ pub(crate) fn spawn(
             let mut stats = DispatcherStats::default();
             // Blocking recv: returns Err only when every sender is gone
             // and the channel is drained — the shutdown signal.
-            while let Ok(mut req) = rx.recv() {
+            'recv: while let Ok(mut req) = rx.recv() {
+                if signal.abort_requested() {
+                    // Aborted teardown: drain the channel, accounting
+                    // every undelivered request by name.
+                    stats.dropped_on_abort += 1;
+                    continue 'recv;
+                }
+                let id = req.id.0;
                 loop {
                     ledger.snapshot(&counters, &mut loads);
-                    let w = dispatcher.pick(&loads, flow_hash(req.id.0));
+                    let w = dispatcher.pick(&loads, flow_hash(id));
                     match rings.push(w, req) {
                         Ok(()) => {
+                            if let Some(log) = &audit {
+                                log.on_forward(w, id);
+                            }
                             ledger.on_assigned(w);
                             stats.forwarded += 1;
                             break;
                         }
                         Err(back) => {
+                            if signal.abort_requested() {
+                                // Workers may stop draining at any point
+                                // now; retrying could spin forever against
+                                // permanently-full rings. Account and move
+                                // on.
+                                stats.dropped_on_abort += 1;
+                                continue 'recv;
+                            }
                             req = back;
                             stats.ring_full_retries += 1;
                             std::thread::yield_now();
@@ -92,7 +125,9 @@ pub(crate) fn spawn(
                     }
                 }
             }
-            drain.store(true, Ordering::Release);
+            // Phase 1 complete: nothing will ever be pushed into a ring
+            // again. Workers may now exit once their queues are empty.
+            signal.set_dispatcher_done();
             stats
         })
         .expect("spawn dispatcher thread")

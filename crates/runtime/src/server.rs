@@ -4,6 +4,15 @@
 //! counters and the clock, exposing a submit/collect API. The real system
 //! polls a NIC; here requests arrive through an in-process channel (the
 //! network was never the paper's bottleneck — see DESIGN.md).
+//!
+//! Shutdown follows a two-phase drain protocol (DESIGN.md "Shutdown and
+//! drain"): phase 1, the dispatcher forwards (or, on abort, counts as
+//! dropped) everything it will ever see and sets `dispatcher_done`;
+//! phase 2, each worker exits only once that flag is up *and* every
+//! queue it can receive work from is empty. The two phases make job
+//! conservation — `submitted = completed + dropped`, with every drop
+//! named — hold on every exit path, which the optional
+//! [`tq_audit::InvariantAuditor`] verifies at shutdown.
 
 use crate::clock::TscClock;
 use crate::dispatcher;
@@ -13,6 +22,8 @@ use crate::worker::{self, WorkerHandle};
 use crossbeam::channel;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use tq_audit::fault::FaultPlan;
+use tq_audit::{AuditReport, DropReason, InvariantAuditor, RingAuditLog};
 use tq_core::counters::SharedCounters;
 use tq_core::policy::{DispatchPolicy, TieBreak, WorkerPolicy};
 use tq_core::{ClassId, JobId, Nanos};
@@ -55,6 +66,39 @@ impl Completion {
     }
 }
 
+/// Coordination flags for the two-phase shutdown drain protocol.
+///
+/// `dispatcher_done` is phase 1: set by the dispatcher only after every
+/// request it will ever deliver is in a ring (nothing can appear in any
+/// queue afterwards). Workers use it as the gate for phase 2: exit once
+/// it is up *and* every queue they can receive from is empty. `abort` is
+/// the teardown-without-shutdown path: the dispatcher stops forwarding
+/// and accounts the remainder as [`DropReason::ShutdownAbort`] drops
+/// rather than pushing into rings whose workers may already be gone.
+#[derive(Debug, Default)]
+pub(crate) struct ShutdownSignal {
+    abort: AtomicBool,
+    dispatcher_done: AtomicBool,
+}
+
+impl ShutdownSignal {
+    pub(crate) fn request_abort(&self) {
+        self.abort.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn abort_requested(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set_dispatcher_done(&self) {
+        self.dispatcher_done.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn dispatcher_done(&self) -> bool {
+        self.dispatcher_done.load(Ordering::Acquire)
+    }
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -77,6 +121,13 @@ pub struct ServerConfig {
     pub work_stealing: bool,
     /// Seed for policy randomness.
     pub seed: u64,
+    /// Record ring traffic and run the invariant auditor at shutdown
+    /// (`ServerStats::audit`). Off by default: when false no audit state
+    /// is allocated and the hot paths pay one predictable `None` branch.
+    pub audit: bool,
+    /// Deterministic fault plan (worker stall windows); `None` disables
+    /// injection entirely.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +141,8 @@ impl Default for ServerConfig {
             discipline: WorkerPolicy::ProcessorSharing,
             work_stealing: false,
             seed: 42,
+            audit: false,
+            fault: None,
         }
     }
 }
@@ -102,10 +155,17 @@ pub type JobFactory = dyn Fn(&RtRequest) -> Box<dyn Job> + Send + Sync;
 /// dropped at shutdown; the harness now surfaces them in `RunOutput`.
 #[derive(Debug, Clone, Default)]
 pub struct ServerStats {
-    /// Dispatcher-thread counters (forwarded requests, ring backpressure).
+    /// Dispatcher-thread counters (forwarded requests, ring backpressure,
+    /// abort-path drops).
     pub dispatcher: dispatcher::DispatcherStats,
     /// Per-worker counters, indexed by worker id.
     pub workers: Vec<worker::WorkerStats>,
+    /// Invariant-audit report, present iff `ServerConfig::audit` was set.
+    /// Covers what the server can see on its own: counter-level job
+    /// conservation and the ring traffic log. Stream-level checks
+    /// (exactly-once ids, timestamps) live with whoever holds the full
+    /// completion stream — see `tq-harness`.
+    pub audit: Option<AuditReport>,
 }
 
 impl ServerStats {
@@ -132,6 +192,22 @@ impl ServerStats {
             .max()
             .unwrap_or(0)
     }
+
+    /// Total requests dropped (never delivered to a worker), across all
+    /// named drop reasons.
+    pub fn total_dropped(&self) -> u64 {
+        self.dispatcher.dropped_on_abort
+    }
+
+    /// Drops by named reason, for the conservation ledger. Empty when
+    /// nothing was dropped.
+    pub fn drops(&self) -> Vec<(DropReason, u64)> {
+        let mut drops = Vec::new();
+        if self.dispatcher.dropped_on_abort > 0 {
+            drops.push((DropReason::ShutdownAbort, self.dispatcher.dropped_on_abort));
+        }
+        drops
+    }
 }
 
 /// A running Tiny Quanta server.
@@ -139,15 +215,20 @@ impl ServerStats {
 pub struct TinyQuanta {
     submit_tx: Option<channel::Sender<RtRequest>>,
     completion_rx: channel::Receiver<Completion>,
-    dispatcher: Option<std::thread::JoinHandle<dispatcher::DispatcherStats>,>,
+    dispatcher: Option<std::thread::JoinHandle<dispatcher::DispatcherStats>>,
     workers: Vec<WorkerHandle>,
-    drain: Arc<AtomicBool>,
+    signal: Arc<ShutdownSignal>,
+    audit_log: Option<Arc<RingAuditLog>>,
+    work_stealing: bool,
     clock: TscClock,
     next_id: std::sync::atomic::AtomicU64,
 }
 
 impl TinyQuanta {
-    /// Starts the server: spawns the dispatcher and worker threads.
+    /// Starts the server: spawns the dispatcher and worker threads,
+    /// calibrating a fresh [`TscClock`] (~10 ms). Callers that already
+    /// hold a calibrated clock should use [`TinyQuanta::start_with_clock`]
+    /// so timestamps share one origin and calibration happens once.
     ///
     /// # Panics
     ///
@@ -156,14 +237,31 @@ impl TinyQuanta {
     where
         F: Fn(&RtRequest) -> Box<dyn Job> + Send + Sync + 'static,
     {
+        Self::start_with_clock(config, TscClock::calibrated(), factory)
+    }
+
+    /// Starts the server on an existing clock. All request/completion
+    /// timestamps are measured on `clock`, so a caller that stamps its
+    /// own events on the same clock gets directly comparable numbers —
+    /// and avoids paying a second calibration window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (zero workers or slots).
+    pub fn start_with_clock<F>(config: ServerConfig, clock: TscClock, factory: F) -> TinyQuanta
+    where
+        F: Fn(&RtRequest) -> Box<dyn Job> + Send + Sync + 'static,
+    {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.task_slots > 0, "need at least one task slot");
-        let clock = TscClock::calibrated();
         let factory: Arc<JobFactory> = Arc::new(factory);
         let counters: Arc<Vec<SharedCounters>> = Arc::new(
             (0..config.workers).map(|_| SharedCounters::new()).collect(),
         );
-        let drain = Arc::new(AtomicBool::new(false));
+        let signal = Arc::new(ShutdownSignal::default());
+        let audit_log = config
+            .audit
+            .then(|| Arc::new(RingAuditLog::new(config.workers)));
         let (submit_tx, submit_rx) = channel::unbounded::<RtRequest>();
         let (completion_tx, completion_rx) = channel::unbounded::<Completion>();
 
@@ -183,7 +281,8 @@ impl TinyQuanta {
                     Arc::clone(&factory),
                     Arc::clone(&counters),
                     completion_tx.clone(),
-                    Arc::clone(&drain),
+                    Arc::clone(&signal),
+                    audit_log.clone(),
                     clock.clone(),
                 ));
             }
@@ -200,7 +299,8 @@ impl TinyQuanta {
                     Arc::clone(&factory),
                     Arc::clone(&counters),
                     completion_tx.clone(),
-                    Arc::clone(&drain),
+                    Arc::clone(&signal),
+                    audit_log.clone(),
                     clock.clone(),
                 ));
             }
@@ -208,12 +308,14 @@ impl TinyQuanta {
         };
         drop(completion_tx);
 
+        let work_stealing = config.work_stealing;
         let dispatcher = dispatcher::spawn(
             &config,
             submit_rx,
             tx,
             Arc::clone(&counters),
-            Arc::clone(&drain),
+            Arc::clone(&signal),
+            audit_log.clone(),
         );
 
         TinyQuanta {
@@ -221,7 +323,9 @@ impl TinyQuanta {
             completion_rx,
             dispatcher: Some(dispatcher),
             workers,
-            drain,
+            signal,
+            audit_log,
+            work_stealing,
             clock,
             next_id: std::sync::atomic::AtomicU64::new(0),
         }
@@ -267,7 +371,9 @@ impl TinyQuanta {
 
     /// Like [`TinyQuanta::shutdown`], additionally returning the
     /// dispatcher's and each worker's internal statistics (forwarded
-    /// counts, ring backpressure events, quanta, steals, ring occupancy).
+    /// counts, ring backpressure events, quanta, steals, ring occupancy)
+    /// and — when `ServerConfig::audit` was set — the invariant-audit
+    /// report in `ServerStats::audit`.
     pub fn shutdown_with_stats(mut self) -> (Vec<Completion>, ServerStats) {
         self.submit_tx.take(); // dispatcher sees disconnect after drain
         let dispatcher_stats = self
@@ -275,25 +381,58 @@ impl TinyQuanta {
             .take()
             .map(|d| d.join().expect("dispatcher panicked"))
             .unwrap_or_default();
-        // The dispatcher sets `drain` once every pending request has been
-        // forwarded; workers then exit when their queues empty.
+        // Phase 1 is complete: the dispatcher set `dispatcher_done` after
+        // its last ring push. Phase 2: each worker exits once it confirms
+        // every queue it can receive from is empty.
         let worker_stats: Vec<_> = self.workers.drain(..).map(|w| w.join()).collect();
         let completions = self.completion_rx.try_iter().collect();
-        (
-            completions,
-            ServerStats {
-                dispatcher: dispatcher_stats,
-                workers: worker_stats,
+        let submitted = self.next_id.load(Ordering::Relaxed);
+        let mut stats = ServerStats {
+            dispatcher: dispatcher_stats,
+            workers: worker_stats,
+            audit: None,
+        };
+        if self.audit_log.is_some() {
+            stats.audit = Some(self.audit(submitted, &stats));
+        }
+        (completions, stats)
+    }
+
+    /// Runs the counter- and ring-level invariant checks the server can
+    /// perform without the full completion stream (some completions may
+    /// already have been handed out via [`TinyQuanta::drain_completions`]).
+    fn audit(&self, submitted: u64, stats: &ServerStats) -> AuditReport {
+        let mut auditor = InvariantAuditor::new("server");
+        auditor.check_conservation(submitted, stats.total_completed(), &stats.drops());
+        auditor.check(
+            "dispatcher_accounts_every_submission",
+            stats.dispatcher.forwarded + stats.dispatcher.dropped_on_abort == submitted,
+            || {
+                format!(
+                    "forwarded {} + dropped {} != submitted {submitted}",
+                    stats.dispatcher.forwarded, stats.dispatcher.dropped_on_abort
+                )
             },
-        )
+        );
+        if let Some(log) = &self.audit_log {
+            auditor.check_ring_log(log, self.work_stealing);
+        }
+        auditor.finish()
     }
 }
 
 impl Drop for TinyQuanta {
     fn drop(&mut self) {
-        // A dropped (not shut down) server must still unblock its threads.
+        // A dropped (not shut down) server must still terminate cleanly:
+        // request an abort so the dispatcher drains the submit channel
+        // *accounting* undelivered requests as drops instead of pushing
+        // them into rings, then runs phase 1/2 of the drain protocol as
+        // usual. (Previously this path raised the workers' drain flag
+        // before the dispatcher finished: requests could land in rings
+        // whose workers had already exited — silently lost — or the
+        // dispatcher could retry a full ring forever and hang the join.)
         self.submit_tx.take();
-        self.drain.store(true, Ordering::Release);
+        self.signal.request_abort();
         if let Some(d) = self.dispatcher.take() {
             let _ = d.join();
         }
@@ -310,12 +449,13 @@ mod tests {
 
     fn spin_server(workers: usize, quantum_us: u64) -> TinyQuanta {
         let clock = TscClock::calibrated();
-        TinyQuanta::start(
+        TinyQuanta::start_with_clock(
             ServerConfig {
                 workers,
                 quantum: Nanos::from_micros(quantum_us),
                 ..ServerConfig::default()
             },
+            clock.clone(),
             move |req| Box::new(SpinJob::with_clock(req, &clock)),
         )
     }
@@ -378,5 +518,28 @@ mod tests {
             on_zero > 0 && on_zero < 100,
             "JSQ should spread load: {on_zero}/100 on worker 0"
         );
+    }
+
+    #[test]
+    fn audited_shutdown_reports_clean() {
+        let clock = TscClock::calibrated();
+        let server = TinyQuanta::start_with_clock(
+            ServerConfig {
+                workers: 2,
+                quantum: Nanos::from_micros(10),
+                audit: true,
+                ..ServerConfig::default()
+            },
+            clock.clone(),
+            move |req| Box::new(SpinJob::with_clock(req, &clock)),
+        );
+        for i in 0..150 {
+            server.submit((i % 3) as u16, Nanos::from_micros(5));
+        }
+        let (completions, stats) = server.shutdown_with_stats();
+        assert_eq!(completions.len(), 150);
+        let report = stats.audit.as_ref().expect("audit was enabled");
+        assert!(report.is_clean(), "audit violations: {report}");
+        assert!(report.checks >= 3, "expected several checks to run");
     }
 }

@@ -6,15 +6,23 @@
 //! idle slots, (ii) resumes the rotation head for one quantum, (iii) on
 //! completion sends the response directly (bypassing the dispatcher) and
 //! updates the shared counters the dispatcher's JSQ/MSQ reads.
+//!
+//! Exit is phase 2 of the drain protocol (DESIGN.md): a worker returns
+//! only once the dispatcher has signalled phase 1 (`dispatcher_done` —
+//! no queue will ever receive another push) *and* every queue this
+//! worker can receive from is empty. In work-stealing mode "every queue"
+//! means all siblings' queues too: an idle worker keeps stealing during
+//! the drain rather than abandoning work a stalled sibling still holds.
 
 use crate::clock::TscClock;
 use crate::job::{Job, JobStatus, QuantumCtx};
 use crate::ring::Consumer;
-use crate::server::{Completion, JobFactory, RtRequest, ServerConfig};
+use crate::server::{Completion, JobFactory, RtRequest, ServerConfig, ShutdownSignal};
 use crossbeam::channel::Sender;
 use crossbeam::queue::ArrayQueue;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use tq_audit::fault::FaultPlan;
+use tq_audit::RingAuditLog;
 use tq_core::counters::SharedCounters;
 use tq_core::policy::{PsQueue, WorkerPolicy};
 use tq_core::Cycles;
@@ -51,6 +59,8 @@ pub struct WorkerStats {
     /// to be admitted into task slots), sampled at each admit pass —
     /// the live system's analogue of the simulators' queue depth.
     pub max_ring_occupancy: u64,
+    /// Scheduler-loop iterations skipped inside an injected stall window.
+    pub stalled_iterations: u64,
 }
 
 struct Task {
@@ -92,14 +102,6 @@ impl WorkerRx {
         }
     }
 
-    /// Whether this worker's own queue is empty.
-    fn local_is_empty(&self) -> bool {
-        match self {
-            WorkerRx::Spsc(c) => c.is_empty(),
-            WorkerRx::Shared { index, queues } => queues[*index].is_empty(),
-        }
-    }
-
     /// Requests currently waiting in this worker's own queue.
     fn local_len(&self) -> usize {
         match self {
@@ -108,19 +110,63 @@ impl WorkerRx {
         }
     }
 
-    /// Steals one pending request from the most-loaded sibling (stealing
-    /// mode only; `None` otherwise or when every sibling is idle too).
-    fn steal(&self) -> Option<RtRequest> {
+    /// Whether every queue this worker could still receive work from is
+    /// empty — the phase-2 exit condition. In stealing mode that is *all*
+    /// queues: a sibling's backlog is this worker's business too (it can
+    /// and must steal it during the drain).
+    fn all_drained(&self) -> bool {
+        match self {
+            WorkerRx::Spsc(c) => c.is_empty(),
+            WorkerRx::Shared { queues, .. } => queues.iter().all(|q| q.is_empty()),
+        }
+    }
+
+    /// Steals one pending request from a sibling, preferring the most
+    /// loaded one; returns the request and the victim's index (stealing
+    /// mode only; `None` when every sibling really is empty).
+    fn steal(&self) -> Option<(RtRequest, usize)> {
         let WorkerRx::Shared { index, queues } = self else {
             return None;
         };
-        let victim = queues
+        // The preferred victim (longest queue) can race to empty between
+        // the length snapshot and the pop. Giving up then idles this core
+        // while other siblings still hold work — so on a miss, sweep the
+        // remaining siblings before reporting there is nothing to steal.
+        if let Some((victim, queue)) = queues
             .iter()
             .enumerate()
-            .filter(|(i, _)| i != index)
-            .max_by_key(|(_, q)| q.len())?;
-        victim.1.pop()
+            .filter(|(i, q)| i != index && !q.is_empty())
+            .max_by_key(|(_, q)| q.len())
+        {
+            if let Some(req) = queue.pop() {
+                return Some((req, victim));
+            }
+        }
+        for (victim, queue) in queues.iter().enumerate() {
+            if victim != *index {
+                if let Some(req) = queue.pop() {
+                    return Some((req, victim));
+                }
+            }
+        }
+        None
     }
+}
+
+/// Everything a worker thread needs beyond its job source — bundled so
+/// the spawn path stays readable as coordination state grows.
+struct WorkerCtx {
+    index: usize,
+    n_slots: usize,
+    quantum: tq_core::Nanos,
+    discipline: WorkerPolicy,
+    factory: Arc<JobFactory>,
+    counters: Arc<Vec<SharedCounters>>,
+    completions: Sender<Completion>,
+    signal: Arc<ShutdownSignal>,
+    audit: Option<Arc<RingAuditLog>>,
+    fault: Option<FaultPlan>,
+    clock: TscClock,
 }
 
 /// Spawns one worker thread.
@@ -132,37 +178,51 @@ pub(crate) fn spawn(
     factory: Arc<JobFactory>,
     counters: Arc<Vec<SharedCounters>>,
     completions: Sender<Completion>,
-    drain: Arc<AtomicBool>,
+    signal: Arc<ShutdownSignal>,
+    audit: Option<Arc<RingAuditLog>>,
     clock: TscClock,
 ) -> WorkerHandle {
-    let slots = config.task_slots;
-    let quantum = config.quantum;
-    let discipline = config.discipline;
+    // Only plans that mention this worker are carried into its loop: a
+    // worker with no windows keeps fault checks off its hot path.
+    let fault = config
+        .fault
+        .as_ref()
+        .filter(|p| p.stalls.iter().any(|s| s.worker == index))
+        .cloned();
+    let ctx = WorkerCtx {
+        index,
+        n_slots: config.task_slots,
+        quantum: config.quantum,
+        discipline: config.discipline,
+        factory,
+        counters,
+        completions,
+        signal,
+        audit,
+        fault,
+        clock,
+    };
     let thread = std::thread::Builder::new()
         .name(format!("tq-worker-{index}"))
-        .spawn(move || {
-            run_worker(
-                index, slots, quantum, discipline, rx, factory, counters, completions, drain,
-                clock,
-            )
-        })
+        .spawn(move || run_worker(ctx, rx))
         .expect("spawn worker thread");
     WorkerHandle { thread }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_worker(
-    index: usize,
-    n_slots: usize,
-    quantum: tq_core::Nanos,
-    discipline: WorkerPolicy,
-    rx: WorkerRx,
-    factory: Arc<JobFactory>,
-    counters: Arc<Vec<SharedCounters>>,
-    completions: Sender<Completion>,
-    drain: Arc<AtomicBool>,
-    clock: TscClock,
-) -> WorkerStats {
+fn run_worker(w: WorkerCtx, rx: WorkerRx) -> WorkerStats {
+    let WorkerCtx {
+        index,
+        n_slots,
+        quantum,
+        discipline,
+        factory,
+        counters,
+        completions,
+        signal,
+        audit,
+        fault,
+        clock,
+    } = w;
     // FCFS never preempts: arm an effectively-infinite deadline.
     let quantum_cycles: Cycles = if discipline.preempts() {
         clock.to_cycles(quantum)
@@ -175,14 +235,28 @@ fn run_worker(
     let mut rotation: PsQueue<usize> = PsQueue::with_capacity(n_slots);
     let mut stats = WorkerStats::default();
     let my_counters = &counters[index];
+    let started = clock.wall_nanos();
 
     loop {
+        // Injected stall: refuse to admit or run anything inside the
+        // window (the live analogue of the OS descheduling this core).
+        // Windows are finite, so the shutdown drain always terminates.
+        if let Some(plan) = &fault {
+            if plan.stalled(index, clock.wall_nanos().saturating_sub(started)) {
+                stats.stalled_iterations += 1;
+                std::thread::yield_now();
+                continue;
+            }
+        }
         // Ring high-water mark, sampled before admission drains it.
         stats.max_ring_occupancy = stats.max_ring_occupancy.max(rx.local_len() as u64);
         // Admit pending requests into idle coroutine slots.
         while !free.is_empty() {
             match rx.pop_local() {
                 Some(req) => {
+                    if let Some(log) = &audit {
+                        log.on_admit(index, req.id.0);
+                    }
                     let slot = free.pop().expect("checked non-empty");
                     let job = factory(&req);
                     slots[slot] = Some(Task {
@@ -241,7 +315,10 @@ fn run_worker(
             // Idle: in stealing mode, raid the most-loaded sibling before
             // giving up the core (the Caladan behavior).
             if !free.is_empty() {
-                if let Some(req) = rx.steal() {
+                if let Some((req, victim)) = rx.steal() {
+                    if let Some(log) = &audit {
+                        log.on_steal(index, victim, req.id.0);
+                    }
                     stats.steals += 1;
                     let slot = free.pop().expect("checked non-empty");
                     let job = factory(&req);
@@ -257,11 +334,111 @@ fn run_worker(
                 }
             }
             stats.idle_iterations += 1;
-            if drain.load(Ordering::Acquire) && rx.local_is_empty() {
+            // Phase-2 exit: the dispatcher has pushed its last request
+            // (phase 1) and every queue this worker could receive from —
+            // all siblings' too, in stealing mode — is empty. Checking
+            // only the local queue here let stealing-mode workers exit
+            // while a sibling's queue still held jobs nobody would run.
+            if signal.dispatcher_done() && rx.all_drained() {
                 return stats;
             }
             // Idle: let other (oversubscribed) threads run.
             std::thread::yield_now();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::RtRequest;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use tq_core::{ClassId, JobId, Nanos};
+
+    fn req(id: u64) -> RtRequest {
+        RtRequest {
+            id: JobId(id),
+            class: ClassId(0),
+            service: Nanos::from_micros(1),
+            submitted: Nanos::ZERO,
+        }
+    }
+
+    fn shared_rx(index: usize, queues: &[Arc<ArrayQueue<RtRequest>>]) -> WorkerRx {
+        WorkerRx::Shared {
+            index,
+            queues: queues.to_vec(),
+        }
+    }
+
+    #[test]
+    fn steal_prefers_longest_sibling_and_reports_victim() {
+        let queues: Vec<_> = (0..3)
+            .map(|_| Arc::new(ArrayQueue::<RtRequest>::new(8)))
+            .collect();
+        queues[1].push(req(10)).unwrap();
+        queues[2].push(req(20)).unwrap();
+        queues[2].push(req(21)).unwrap();
+        let rx = shared_rx(0, &queues);
+        let (r, victim) = rx.steal().expect("work available");
+        assert_eq!(victim, 2, "longest sibling queue should be raided first");
+        assert_eq!(r.id.0, 20);
+    }
+
+    #[test]
+    fn steal_returns_none_only_when_all_siblings_empty() {
+        let queues: Vec<_> = (0..2)
+            .map(|_| Arc::new(ArrayQueue::<RtRequest>::new(8)))
+            .collect();
+        let rx = shared_rx(0, &queues);
+        assert!(rx.steal().is_none());
+        queues[0].push(req(1)).unwrap(); // own queue is not a steal target
+        assert!(rx.steal().is_none());
+    }
+
+    /// Regression test for the victim-races-to-empty bug: pre-fix,
+    /// `steal` snapshotted queue lengths, picked the max, and gave up
+    /// entirely if that one pop failed — returning `None` while another
+    /// sibling still held work. A flapper thread oscillates queue 2
+    /// between empty and length 1 (ties go to the later queue, so the
+    /// thief keeps choosing it and keeps losing the race) while queue 1
+    /// permanently holds one request; every steal attempt must succeed.
+    #[test]
+    fn steal_retries_other_victims_when_chosen_queue_races_to_empty() {
+        let queues: Vec<_> = (0..3)
+            .map(|_| Arc::new(ArrayQueue::<RtRequest>::new(4)))
+            .collect();
+        queues[1].push(req(1)).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flap_q = Arc::clone(&queues[2]);
+        let flap_stop = Arc::clone(&stop);
+        let flapper = std::thread::spawn(move || {
+            while !flap_stop.load(Ordering::Relaxed) {
+                let _ = flap_q.push(req(99));
+                let _ = flap_q.pop();
+            }
+        });
+        let rx = shared_rx(0, &queues);
+        for attempt in 0..50_000 {
+            match rx.steal() {
+                Some((r, victim)) => {
+                    // Whatever was stolen, put queue 1's sentinel back so
+                    // the invariant (some sibling non-empty) holds.
+                    if victim == 1 {
+                        queues[1].push(r).unwrap();
+                    }
+                }
+                None => {
+                    stop.store(true, Ordering::Relaxed);
+                    flapper.join().unwrap();
+                    panic!(
+                        "steal gave up on attempt {attempt} while queue 1 \
+                         still held a request"
+                    );
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        flapper.join().unwrap();
     }
 }

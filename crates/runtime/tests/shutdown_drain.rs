@@ -1,0 +1,173 @@
+//! Regression tests for the two-phase shutdown drain protocol.
+//!
+//! Pre-fix, shutdown had two holes (DESIGN.md "Shutdown and drain"):
+//!
+//! * In work-stealing mode a worker exited as soon as the drain flag was
+//!   up and *its own* queue was empty — jobs still sitting in a sibling's
+//!   queue (which that worker could have stolen) could be left behind if
+//!   their owner was also past its exit check, breaking conservation.
+//! * On the `Drop`-without-`shutdown` path the drain flag was raised
+//!   *before* the dispatcher finished forwarding: workers could exit
+//!   while the dispatcher kept pushing into their dead rings (silent job
+//!   loss), and once such a ring filled up the dispatcher retried the
+//!   push forever — a hang at join time.
+//!
+//! Post-fix: phase 1 (dispatcher sets `dispatcher_done` after its last
+//! push, counting aborted requests as named drops) strictly precedes
+//! phase 2 (workers exit only when every queue they can receive from is
+//! empty). These tests hammer both paths; the stealing-conservation loop
+//! runs well over 100 shutdowns under load, as tiny windows need many
+//! trials to open.
+
+use tq_core::policy::{DispatchPolicy, WorkerPolicy};
+use tq_core::Nanos;
+use tq_runtime::{ServerConfig, SpinJob, TinyQuanta, TscClock};
+
+fn server(config: ServerConfig, clock: &TscClock) -> TinyQuanta {
+    let job_clock = clock.clone();
+    TinyQuanta::start_with_clock(config, clock.clone(), move |req| {
+        Box::new(SpinJob::with_clock(req, &job_clock))
+    })
+}
+
+/// ≥100 shutdowns of a loaded work-stealing server: every round must
+/// conserve jobs exactly, with the auditor confirming ring-level
+/// exactly-once admission (steals included). Fails on the pre-fix
+/// local-queue-only exit check.
+#[test]
+fn stealing_shutdown_conserves_over_many_rounds() {
+    let clock = TscClock::calibrated();
+    let rounds = 120;
+    let jobs_per_round = 64;
+    for round in 0..rounds {
+        let cfg = ServerConfig {
+            workers: 4,
+            quantum: Nanos::from_micros(2),
+            // Tight rings force backpressure while the shutdown races the
+            // dispatcher's final pushes.
+            ring_capacity: 8,
+            dispatch: DispatchPolicy::RssHash,
+            discipline: WorkerPolicy::Fcfs,
+            work_stealing: true,
+            seed: round,
+            audit: true,
+            ..ServerConfig::default()
+        };
+        let s = server(cfg, &clock);
+        for i in 0..jobs_per_round {
+            s.submit((i % 2) as u16, Nanos::from_micros(1));
+        }
+        // Shut down immediately: most jobs are still in queues, so the
+        // drain (and stealing during it) does the real work.
+        let (completions, stats) = s.shutdown_with_stats();
+        assert_eq!(
+            completions.len(),
+            jobs_per_round,
+            "round {round}: lost {} job(s) at shutdown",
+            jobs_per_round - completions.len()
+        );
+        let report = stats.audit.as_ref().expect("audit enabled");
+        assert!(report.is_clean(), "round {round}: {report}");
+    }
+}
+
+/// The same loop through the SPSC (non-stealing) path, cheaper per
+/// round, as a control: the two-phase protocol must not regress it.
+#[test]
+fn spsc_shutdown_conserves_over_many_rounds() {
+    let clock = TscClock::calibrated();
+    for round in 0..100 {
+        let cfg = ServerConfig {
+            workers: 2,
+            quantum: Nanos::from_micros(2),
+            ring_capacity: 8,
+            seed: round,
+            audit: true,
+            ..ServerConfig::default()
+        };
+        let s = server(cfg, &clock);
+        for _ in 0..32 {
+            s.submit(0, Nanos::from_micros(1));
+        }
+        let (completions, stats) = s.shutdown_with_stats();
+        assert_eq!(completions.len(), 32, "round {round}");
+        let report = stats.audit.as_ref().expect("audit enabled");
+        assert!(report.is_clean(), "round {round}: {report}");
+    }
+}
+
+/// Drop-without-shutdown under heavy load and tiny rings. Pre-fix this
+/// hangs: workers exit on the early drain flag, the dispatcher keeps
+/// forwarding into their dead rings, and the first full ring spins the
+/// dispatcher (and the joining `Drop`) forever. Post-fix the dispatcher
+/// accounts the backlog as `shutdown_abort` drops and every thread
+/// terminates.
+#[test]
+fn drop_under_load_terminates() {
+    let clock = TscClock::calibrated();
+    for round in 0..20 {
+        let cfg = ServerConfig {
+            workers: 2,
+            quantum: Nanos::from_micros(5),
+            ring_capacity: 2,
+            seed: round,
+            ..ServerConfig::default()
+        };
+        let s = server(cfg, &clock);
+        for _ in 0..400 {
+            s.submit(0, Nanos::from_micros(50));
+        }
+        drop(s); // must terminate, not hang or lose track of threads
+    }
+}
+
+/// Same abort path with stealing mode and tiny queues.
+#[test]
+fn drop_under_load_terminates_stealing() {
+    let clock = TscClock::calibrated();
+    for round in 0..20 {
+        let cfg = ServerConfig {
+            workers: 3,
+            quantum: Nanos::from_micros(5),
+            ring_capacity: 2,
+            work_stealing: true,
+            seed: round,
+            ..ServerConfig::default()
+        };
+        let s = server(cfg, &clock);
+        for _ in 0..300 {
+            s.submit(0, Nanos::from_micros(50));
+        }
+        drop(s);
+    }
+}
+
+/// A clean shutdown after a `submit` burst races phase 1 against phase 2
+/// hundreds of times at varying burst sizes; conservation must hold at
+/// every size (this sweeps the window where the dispatcher's last push
+/// lands just as workers evaluate their exit condition).
+#[test]
+fn shutdown_while_submitting_burst_sizes() {
+    let clock = TscClock::calibrated();
+    for burst in [1usize, 2, 3, 5, 8, 13, 21, 34, 55, 89] {
+        for round in 0..10 {
+            let cfg = ServerConfig {
+                workers: 2,
+                quantum: Nanos::from_micros(2),
+                ring_capacity: 4,
+                work_stealing: round % 2 == 1,
+                seed: round,
+                audit: true,
+                ..ServerConfig::default()
+            };
+            let s = server(cfg, &clock);
+            for _ in 0..burst {
+                s.submit(0, Nanos::from_nanos(500));
+            }
+            let (completions, stats) = s.shutdown_with_stats();
+            assert_eq!(completions.len(), burst, "burst {burst} round {round}");
+            let report = stats.audit.as_ref().expect("audit enabled");
+            assert!(report.is_clean(), "burst {burst} round {round}: {report}");
+        }
+    }
+}
