@@ -41,6 +41,67 @@ fn bench_spsc_ring(c: &mut Criterion) {
             black_box(consumer.pop().unwrap());
         });
     });
+
+    // The same 64-item transfer through per-item ops vs the batched API:
+    // singles pay an Acquire/Release pair per item, the batch one cached
+    // refresh and one publish per side per burst.
+    let (p, consumer) = tq_runtime::ring::spsc::<u64>(1024);
+    let items: Vec<u64> = (0..64).collect();
+    let mut out: Vec<u64> = Vec::with_capacity(64);
+    c.bench_function("spsc_transfer_64_singles", |b| {
+        b.iter(|| {
+            for &i in &items {
+                p.push(black_box(i)).unwrap();
+            }
+            for _ in 0..items.len() {
+                black_box(consumer.pop().unwrap());
+            }
+        });
+    });
+    c.bench_function("spsc_transfer_64_batched", |b| {
+        b.iter(|| {
+            assert_eq!(p.push_batch_copy(black_box(&items)), items.len());
+            out.clear();
+            assert_eq!(consumer.pop_batch(&mut out, items.len()), items.len());
+            black_box(out.last().copied())
+        });
+    });
+}
+
+fn bench_dispatch_snapshot(c: &mut Criterion) {
+    // The dispatcher's per-request decision cost under the two pipelines:
+    // a fresh n-worker atomic load snapshot before every pick (the
+    // per-item pipeline) vs one snapshot per 64-request burst maintained
+    // incrementally as picks assign (the batched pipeline).
+    use tq_core::counters::{DispatcherLedger, SharedCounters};
+    let n = 16;
+    let shared: Vec<SharedCounters> = (0..n).map(|_| SharedCounters::new()).collect();
+    for (i, s) in shared.iter().enumerate() {
+        for _ in 0..(i % 5) {
+            s.on_quantum();
+        }
+    }
+    let mut d = Dispatcher::new(DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta), n, 1);
+    let ledger = DispatcherLedger::new(n);
+    let mut loads: Vec<WorkerLoad> = Vec::with_capacity(n);
+    c.bench_function("dispatch64_snapshot_per_pick_16w", |b| {
+        b.iter(|| {
+            for i in 0..64u64 {
+                ledger.snapshot(&shared, &mut loads);
+                black_box(d.pick(&loads, black_box(i)));
+            }
+        });
+    });
+    c.bench_function("dispatch64_snapshot_per_burst_16w", |b| {
+        b.iter(|| {
+            ledger.snapshot(&shared, &mut loads);
+            for i in 0..64u64 {
+                let w = d.pick(&loads, black_box(i));
+                loads[w].queued_jobs = loads[w].queued_jobs.wrapping_add(1);
+                black_box(w);
+            }
+        });
+    });
 }
 
 fn bench_jsq_pick(c: &mut Criterion) {
@@ -225,6 +286,7 @@ criterion_group! {
     targets = bench_probe,
     bench_yield_roundtrip,
     bench_spsc_ring,
+    bench_dispatch_snapshot,
     bench_jsq_pick,
     bench_event_queue,
     bench_skiplist,

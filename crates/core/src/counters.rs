@@ -110,12 +110,29 @@ impl SharedCounters {
     /// quanta.
     #[inline]
     pub fn on_finished(&self, quanta_received: u64) {
+        self.add_finished(1, quanta_received);
+    }
+
+    /// Worker side: record `quanta` serviced quanta in one atomic add —
+    /// the batched-flush form used by workers that accumulate counter
+    /// deltas locally and publish every few quanta (bounded staleness;
+    /// see DESIGN.md "Batched dispatch pipeline").
+    #[inline]
+    pub fn add_quanta(&self, quanta: u64) {
+        self.inner.serviced_quanta.fetch_add(quanta, Ordering::Relaxed);
+    }
+
+    /// Worker side: record `jobs` completions that together had received
+    /// `retired_quanta` quanta, in two atomic adds (batched-flush form of
+    /// [`SharedCounters::on_finished`]).
+    #[inline]
+    pub fn add_finished(&self, jobs: u64, retired_quanta: u64) {
         self.inner
             .retired_quanta
-            .fetch_add(quanta_received, Ordering::Relaxed);
+            .fetch_add(retired_quanta, Ordering::Relaxed);
         // `finished` is incremented last with Release so a dispatcher that
         // observes the new finished count also observes the retired quanta.
-        self.inner.finished.fetch_add(1, Ordering::Release);
+        self.inner.finished.fetch_add(jobs, Ordering::Release);
     }
 
     /// Dispatcher side: read the worker's cumulative finished-job count.
@@ -162,6 +179,16 @@ impl DispatcherLedger {
     /// Panics if `worker` is out of range.
     pub fn on_assigned(&mut self, worker: usize) {
         self.assigned[worker] = self.assigned[worker].wrapping_add(1);
+    }
+
+    /// Records that `n` jobs were forwarded to `worker` (the batched
+    /// dispatch path: one ledger update per per-worker sub-batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn on_assigned_n(&mut self, worker: usize, n: u64) {
+        self.assigned[worker] = self.assigned[worker].wrapping_add(n);
     }
 
     /// Produces the load snapshot for all workers by reading their shared
@@ -277,6 +304,21 @@ mod tests {
         t.join().unwrap();
         assert_eq!(shared[0].finished(), 100);
         assert_eq!(shared[0].quanta(), (10_000, 10_000));
+    }
+
+    #[test]
+    fn batched_flush_equals_per_item_updates() {
+        let a = SharedCounters::new();
+        let b = SharedCounters::new();
+        for _ in 0..7 {
+            a.on_quantum();
+        }
+        a.on_finished(3);
+        a.on_finished(4);
+        b.add_quanta(7);
+        b.add_finished(2, 7);
+        assert_eq!(a.finished(), b.finished());
+        assert_eq!(a.quanta(), b.quanta());
     }
 
     #[test]

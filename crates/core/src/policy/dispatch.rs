@@ -231,6 +231,119 @@ impl Dispatcher {
         }
     }
 
+    /// [`Dispatcher::pick`] restricted to workers not in `banned`, a
+    /// bitmask of worker indices (bit `w` set = worker `w` excluded;
+    /// workers with index ≥ 64 are never banned). This is the full-ring
+    /// retry path: the dispatcher bans the worker whose ring rejected
+    /// the push and re-picks *among the others*, instead of spinning on
+    /// the same full ring under JSQ/MSQ ties or deterministic policies.
+    ///
+    /// With `banned == 0` this is exactly [`Dispatcher::pick`] —
+    /// including RNG/cursor consumption — so interleaving the two entry
+    /// points keeps decision streams identical to a pick-only run until
+    /// the first actual exclusion. Per-policy restriction semantics:
+    ///
+    /// * `Jsq`: shortest allowed queue, same tie rules over the allowed
+    ///   tie set.
+    /// * `Random`: uniform among allowed.
+    /// * `PowerOfTwo`: two distinct samples among allowed (degenerates
+    ///   to the single allowed worker).
+    /// * `RoundRobin`: next allowed worker from the cursor; the cursor
+    ///   advances past it.
+    /// * `RssHash` / `Pinned`: first allowed worker scanning circularly
+    ///   upward from the hashed/pinned target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads.len() != n_workers` or every worker is banned
+    /// (callers must clear the mask when all rings rejected a push).
+    pub fn pick_excluding(&mut self, loads: &[WorkerLoad], flow_hash: u64, banned: u64) -> usize {
+        if banned == 0 {
+            return self.pick(loads, flow_hash);
+        }
+        assert_eq!(loads.len(), self.n_workers, "load snapshot size mismatch");
+        let allowed = |w: usize| w >= 64 || banned & (1u64 << w) == 0;
+        assert!(
+            (0..self.n_workers).any(allowed),
+            "every worker is banned; caller must reset the exclusion mask"
+        );
+        match self.policy {
+            DispatchPolicy::Jsq(tie) => {
+                let min_q = (0..self.n_workers)
+                    .filter(|&w| allowed(w))
+                    .map(|w| loads[w].queued_jobs)
+                    .min()
+                    .expect("non-empty allowed set");
+                self.scratch.clear();
+                self.scratch.extend(
+                    (0..self.n_workers).filter(|&w| allowed(w) && loads[w].queued_jobs == min_q),
+                );
+                if self.scratch.len() == 1 {
+                    return self.scratch[0];
+                }
+                match tie {
+                    TieBreak::Random => {
+                        let i = self.rng.index(self.scratch.len());
+                        self.scratch[i]
+                    }
+                    TieBreak::MaxServicedQuanta => *self
+                        .scratch
+                        .iter()
+                        .max_by_key(|&&w| (loads[w].serviced_quanta, core::cmp::Reverse(w)))
+                        .expect("non-empty tie set"),
+                }
+            }
+            DispatchPolicy::Random => {
+                self.scratch.clear();
+                self.scratch.extend((0..self.n_workers).filter(|&w| allowed(w)));
+                let i = self.rng.index(self.scratch.len());
+                self.scratch[i]
+            }
+            DispatchPolicy::PowerOfTwo => {
+                self.scratch.clear();
+                self.scratch.extend((0..self.n_workers).filter(|&w| allowed(w)));
+                if self.scratch.len() == 1 {
+                    return self.scratch[0];
+                }
+                let a = self.scratch[self.rng.index(self.scratch.len())];
+                let mut bi = self.rng.index(self.scratch.len() - 1);
+                let ai = self.scratch.iter().position(|&w| w == a).expect("a allowed");
+                if bi >= ai {
+                    bi += 1;
+                }
+                let b = self.scratch[bi];
+                if loads[b].queued_jobs < loads[a].queued_jobs {
+                    b
+                } else {
+                    a
+                }
+            }
+            DispatchPolicy::RoundRobin => {
+                let mut w = self.rr_cursor;
+                while !allowed(w) {
+                    w = (w + 1) % self.n_workers;
+                }
+                self.rr_cursor = (w + 1) % self.n_workers;
+                w
+            }
+            DispatchPolicy::RssHash => {
+                let mut w = (flow_hash % self.n_workers as u64) as usize;
+                while !allowed(w) {
+                    w = (w + 1) % self.n_workers;
+                }
+                w
+            }
+            DispatchPolicy::Pinned(p) => {
+                assert!(p < self.n_workers, "pinned worker out of range");
+                let mut w = p;
+                while !allowed(w) {
+                    w = (w + 1) % self.n_workers;
+                }
+                w
+            }
+        }
+    }
+
     fn pick_jsq(&mut self, loads: &[WorkerLoad], tie: TieBreak) -> usize {
         let min_q = loads
             .iter()
@@ -482,5 +595,77 @@ mod tests {
     fn pick_split_rejects_wrong_snapshot_len() {
         let mut d = Dispatcher::new(DispatchPolicy::Random, 4, 5);
         let _ = d.pick_split(&[0; 3], &[0; 3], 0);
+    }
+
+    #[test]
+    fn pick_excluding_with_empty_mask_matches_pick() {
+        for policy in [
+            DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta),
+            DispatchPolicy::Jsq(TieBreak::Random),
+            DispatchPolicy::Random,
+            DispatchPolicy::PowerOfTwo,
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::RssHash,
+            DispatchPolicy::Pinned(1),
+        ] {
+            let mut a = Dispatcher::new(policy, 4, 7);
+            let mut b = Dispatcher::new(policy, 4, 7);
+            let ls = loads(&[3, 1, 4, 1]);
+            for flow in 0..100u64 {
+                assert_eq!(
+                    a.pick(&ls, flow),
+                    b.pick_excluding(&ls, flow, 0),
+                    "{policy:?} diverged with an empty mask"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pick_excluding_never_picks_banned() {
+        for policy in [
+            DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta),
+            DispatchPolicy::Jsq(TieBreak::Random),
+            DispatchPolicy::Random,
+            DispatchPolicy::PowerOfTwo,
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::RssHash,
+            DispatchPolicy::Pinned(0),
+        ] {
+            let mut d = Dispatcher::new(policy, 4, 11);
+            // Worker 0 has the shortest queue AND is the RR start, the
+            // pinned target, and flow-hash target for flow 0 — every
+            // policy wants it; the mask must override them all.
+            let ls = loads(&[0, 5, 5, 5]);
+            for flow in 0..64u64 {
+                let w = d.pick_excluding(&ls, flow * 4, 0b0001);
+                assert_ne!(w, 0, "{policy:?} picked a banned worker");
+            }
+        }
+    }
+
+    #[test]
+    fn pick_excluding_jsq_restricts_to_allowed_minimum() {
+        let mut d = Dispatcher::new(DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta), 4, 1);
+        let ls = loads(&[0, 2, 7, 3]);
+        // 0 banned → among {1, 2, 3} the shortest queue is worker 1.
+        assert_eq!(d.pick_excluding(&ls, 0, 0b0001), 1);
+        // 0 and 1 banned → worker 3.
+        assert_eq!(d.pick_excluding(&ls, 0, 0b0011), 3);
+    }
+
+    #[test]
+    fn pick_excluding_rss_hash_walks_to_next_allowed() {
+        let mut d = Dispatcher::new(DispatchPolicy::RssHash, 4, 0);
+        let ls = loads(&[0; 4]);
+        // flow 2 hashes to worker 2; with 2 and 3 banned it wraps to 0.
+        assert_eq!(d.pick_excluding(&ls, 2, 0b1100), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "every worker is banned")]
+    fn pick_excluding_rejects_full_mask() {
+        let mut d = Dispatcher::new(DispatchPolicy::Random, 2, 0);
+        let _ = d.pick_excluding(&loads(&[0, 0]), 0, 0b11);
     }
 }

@@ -90,8 +90,28 @@ pub struct EngineCounters {
     /// Requests the dispatcher dropped instead of forwarding (named-drop
     /// buckets; nonzero only on the live runtime's abort path).
     pub dispatcher_dropped: u64,
+    /// Bursts the dispatcher drained from the submit channel (live
+    /// runtime only; `dispatcher_forwarded / dispatch_bursts` is the
+    /// mean achieved burst size).
+    pub dispatch_bursts: u64,
+    /// Wall time the dispatcher spent in burst processing — snapshot,
+    /// picks, ring pushes, backpressure retries — excluding blocking
+    /// waits for arrivals (live runtime only).
+    pub dispatch_busy_nanos: u64,
     /// Per-worker counters, indexed by worker id.
     pub workers: Vec<WorkerCounters>,
+}
+
+impl EngineCounters {
+    /// Mean dispatch cost per forwarded request in nanoseconds (0 when
+    /// nothing was forwarded or the engine has no live dispatcher).
+    pub fn dispatch_ns_per_request(&self) -> f64 {
+        if self.dispatcher_forwarded == 0 {
+            0.0
+        } else {
+            self.dispatch_busy_nanos as f64 / self.dispatcher_forwarded as f64
+        }
+    }
 }
 
 /// What [`Engine::run`] produces: the completion stream on the arrival

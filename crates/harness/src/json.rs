@@ -114,7 +114,9 @@ pub fn record_json(r: &RunRecord) -> String {
             "     \"classes_e2e\": [{}],\n",
             "     \"classes_sojourn\": [{}],\n",
             "     \"counters\": {{\"sim_events\": {}, \"dispatcher_forwarded\": {}, ",
-            "\"ring_full_retries\": {}, \"dispatcher_dropped\": {},\n",
+            "\"ring_full_retries\": {}, \"dispatcher_dropped\": {}, ",
+            "\"dispatch_bursts\": {}, \"dispatch_busy_nanos\": {}, ",
+            "\"dispatch_ns_per_request\": {},\n",
             "      \"workers\": [{}]}},\n",
             "     \"audit\": {}}}"
         ),
@@ -137,6 +139,9 @@ pub fn record_json(r: &RunRecord) -> String {
         r.counters.dispatcher_forwarded,
         r.counters.ring_full_retries,
         r.counters.dispatcher_dropped,
+        r.counters.dispatch_bursts,
+        r.counters.dispatch_busy_nanos,
+        json_f64(r.counters.dispatch_ns_per_request()),
         workers.join(", "),
         audit_json(r.audit.as_ref()),
     )
@@ -189,6 +194,8 @@ mod tests {
                 dispatcher_forwarded: 10,
                 ring_full_retries: 0,
                 dispatcher_dropped: 0,
+                dispatch_bursts: 3,
+                dispatch_busy_nanos: 1200,
                 workers: vec![WorkerCounters::default(); 2],
             },
             audit: Some(tq_audit::AuditReport {

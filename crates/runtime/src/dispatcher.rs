@@ -1,11 +1,20 @@
 //! The dispatcher thread (§4 "Dispatcher").
 //!
 //! Performs *only* job load balancing: it never parses requests for
-//! scheduling hints and never schedules quanta. Per request it snapshots
-//! each worker's load from the shared counters (unfinished jobs for JSQ,
-//! current serviced quanta for MSQ tie-breaking) and pushes the request
-//! into the chosen worker's ring. A full ring is backpressure: the
-//! dispatcher re-picks among the other workers and retries.
+//! scheduling hints and never schedules quanta. It drains the submit
+//! channel in bursts — blocking for the first request, then taking up to
+//! [`crate::ServerConfig::dispatch_burst`] more without blocking — takes
+//! *one* load snapshot per burst (maintained incrementally as picks
+//! assign), and pushes each worker's share of the burst as one ring
+//! sub-batch (one Release publish per worker per burst). A full ring is
+//! backpressure: the dispatcher *bans* that worker for the retry round
+//! and re-picks the leftovers among the other workers
+//! ([`Dispatcher::pick_excluding`]); only when every ring is full does it
+//! yield, re-snapshot, and start over with a clean mask. The per-item
+//! costs of the old pipeline — a blocking recv, an n-worker atomic
+//! snapshot, and an Acquire/Release pair per request — are all amortized
+//! over the burst. `RingAuditLog::on_forward` stays per-item, so the
+//! FIFO audit contract is unchanged.
 //!
 //! The dispatcher is also phase 1 of the shutdown drain protocol (see
 //! DESIGN.md): it exits only after every request it will ever forward is
@@ -30,12 +39,32 @@ use tq_core::policy::{Dispatcher, WorkerLoad};
 pub struct DispatcherStats {
     /// Requests forwarded to workers.
     pub forwarded: u64,
-    /// Push retries due to full rings (backpressure events).
+    /// Push retries due to full rings (backpressure events): one per
+    /// request per retry round it was left over in.
     pub ring_full_retries: u64,
     /// Requests deliberately not forwarded because the server was torn
     /// down (dropped) before a clean shutdown — the named drop bucket
     /// that keeps conservation balanced on the abort path.
     pub dropped_on_abort: u64,
+    /// Bursts drained from the submit channel (`forwarded / bursts` is
+    /// the mean burst size actually achieved).
+    pub bursts: u64,
+    /// Wall time spent inside burst processing — snapshot, picks, ring
+    /// pushes, and any backpressure retries — excluding blocking waits
+    /// for arrivals. `busy_nanos / forwarded` is the dispatch cost per
+    /// request.
+    pub busy_nanos: u64,
+}
+
+impl DispatcherStats {
+    /// Mean dispatch cost per forwarded request, in nanoseconds.
+    pub fn ns_per_request(&self) -> f64 {
+        if self.forwarded == 0 {
+            0.0
+        } else {
+            self.busy_nanos as f64 / self.forwarded as f64
+        }
+    }
 }
 
 /// The dispatcher's outbound path: private SPSC rings, or the shared
@@ -48,10 +77,21 @@ pub(crate) enum DispatchTx {
 }
 
 impl DispatchTx {
-    fn push(&self, worker: usize, req: RtRequest) -> Result<(), RtRequest> {
+    /// Pushes a prefix of `items` to `worker`'s queue, returning how many
+    /// were accepted. On the SPSC ring the burst costs one Acquire
+    /// refresh (at most) and one Release publish; the shared MPMC queue
+    /// has no batched protocol, so it degrades to per-item pushes.
+    fn push_batch(&self, worker: usize, items: &[RtRequest]) -> usize {
         match self {
-            DispatchTx::Spsc(rings) => rings[worker].push(req),
-            DispatchTx::Shared(queues) => queues[worker].push(req),
+            DispatchTx::Spsc(rings) => rings[worker].push_batch_copy(items),
+            DispatchTx::Shared(queues) => {
+                for (i, &req) in items.iter().enumerate() {
+                    if queues[worker].push(req).is_err() {
+                        return i;
+                    }
+                }
+                items.len()
+            }
         }
     }
 }
@@ -80,57 +120,146 @@ pub(crate) fn spawn(
     let policy = config.dispatch;
     let n_workers = config.workers;
     let seed = config.seed;
+    let burst_max = config.dispatch_burst.max(1);
     std::thread::Builder::new()
         .name("tq-dispatcher".into())
         .spawn(move || {
-            let mut dispatcher = Dispatcher::new(policy, n_workers, seed);
-            let mut ledger = DispatcherLedger::new(n_workers);
-            let mut loads: Vec<WorkerLoad> = Vec::with_capacity(n_workers);
-            let mut stats = DispatcherStats::default();
-            // Blocking recv: returns Err only when every sender is gone
-            // and the channel is drained — the shutdown signal.
-            'recv: while let Ok(mut req) = rx.recv() {
-                if signal.abort_requested() {
-                    // Aborted teardown: drain the channel, accounting
-                    // every undelivered request by name.
-                    stats.dropped_on_abort += 1;
-                    continue 'recv;
+            run_dispatcher(
+                policy, n_workers, seed, burst_max, rx, rings, &counters, &signal, audit,
+            )
+        })
+        .expect("spawn dispatcher thread")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_dispatcher(
+    policy: tq_core::policy::DispatchPolicy,
+    n_workers: usize,
+    seed: u64,
+    burst_max: usize,
+    rx: Receiver<RtRequest>,
+    rings: DispatchTx,
+    counters: &[SharedCounters],
+    signal: &ShutdownSignal,
+    audit: Option<Arc<RingAuditLog>>,
+) -> DispatcherStats {
+    let mut dispatcher = Dispatcher::new(policy, n_workers, seed);
+    let mut ledger = DispatcherLedger::new(n_workers);
+    let mut loads: Vec<WorkerLoad> = Vec::with_capacity(n_workers);
+    let mut stats = DispatcherStats::default();
+    let mut batch: Vec<RtRequest> = Vec::with_capacity(burst_max);
+    let mut per_worker: Vec<Vec<RtRequest>> = (0..n_workers).map(|_| Vec::new()).collect();
+    // Only the first 64 workers can be banned on retry (a `u64` mask);
+    // pick_excluding treats higher indices as always allowed, so rings
+    // beyond that merely lose the no-spin guarantee, not correctness.
+    let bannable: u64 = if n_workers >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n_workers) - 1
+    };
+    // Blocking recv: returns Err only when every sender is gone and the
+    // channel is drained — the shutdown signal.
+    'recv: while let Ok(first) = rx.recv() {
+        batch.clear();
+        batch.push(first);
+        while batch.len() < burst_max {
+            match rx.try_recv() {
+                Ok(req) => batch.push(req),
+                Err(_) => break,
+            }
+        }
+        if signal.abort_requested() {
+            // Aborted teardown: drain the channel, accounting every
+            // undelivered request by name.
+            stats.dropped_on_abort += batch.len() as u64;
+            continue 'recv;
+        }
+        let burst_started = std::time::Instant::now();
+        stats.bursts += 1;
+        // One snapshot per burst; each pick bumps its target's queued
+        // count so later picks in the burst see the earlier assignments.
+        ledger.snapshot(counters, &mut loads);
+        for req in batch.drain(..) {
+            let w = dispatcher.pick(&loads, flow_hash(req.id.0));
+            // Wrapping, like the snapshot itself: in stealing mode a
+            // worker that stole more than it was assigned reads as a huge
+            // wrapped queue length, which JSQ naturally avoids.
+            loads[w].queued_jobs = loads[w].queued_jobs.wrapping_add(1);
+            per_worker[w].push(req);
+        }
+        // Push each worker's sub-batch. Rings that reject part of their
+        // batch are banned for the retry round and their leftovers
+        // re-picked among the other workers — the doc contract ("the
+        // dispatcher re-picks among the other workers"); pre-fix this
+        // re-picked with no exclusion and could spin on the same full
+        // ring forever under deterministic policies.
+        loop {
+            let mut banned: u64 = 0;
+            let mut leftover = 0u64;
+            for (w, sub) in per_worker.iter_mut().enumerate() {
+                if sub.is_empty() {
+                    continue;
                 }
-                let id = req.id.0;
-                loop {
-                    ledger.snapshot(&counters, &mut loads);
-                    let w = dispatcher.pick(&loads, flow_hash(id));
-                    match rings.push(w, req) {
-                        Ok(()) => {
-                            if let Some(log) = &audit {
-                                log.on_forward(w, id);
-                            }
-                            ledger.on_assigned(w);
-                            stats.forwarded += 1;
-                            break;
-                        }
-                        Err(back) => {
-                            if signal.abort_requested() {
-                                // Workers may stop draining at any point
-                                // now; retrying could spin forever against
-                                // permanently-full rings. Account and move
-                                // on.
-                                stats.dropped_on_abort += 1;
-                                continue 'recv;
-                            }
-                            req = back;
-                            stats.ring_full_retries += 1;
-                            std::thread::yield_now();
-                        }
+                let k = rings.push_batch(w, sub);
+                if let Some(log) = &audit {
+                    // Per-item forward log: the FIFO audit contract is
+                    // per-request, batching notwithstanding.
+                    for req in &sub[..k] {
+                        log.on_forward(w, req.id.0);
+                    }
+                }
+                ledger.on_assigned_n(w, k as u64);
+                stats.forwarded += k as u64;
+                sub.drain(..k);
+                if !sub.is_empty() {
+                    leftover += sub.len() as u64;
+                    if w < 64 {
+                        banned |= 1u64 << w;
                     }
                 }
             }
-            // Phase 1 complete: nothing will ever be pushed into a ring
-            // again. Workers may now exit once their queues are empty.
-            signal.set_dispatcher_done();
-            stats
-        })
-        .expect("spawn dispatcher thread")
+            if leftover == 0 {
+                break;
+            }
+            if signal.abort_requested() {
+                // Workers may stop draining at any point now; retrying
+                // could spin forever against permanently-full rings.
+                // Account and move on.
+                stats.dropped_on_abort += leftover;
+                for sub in per_worker.iter_mut() {
+                    sub.clear();
+                }
+                stats.busy_nanos += burst_started.elapsed().as_nanos() as u64;
+                continue 'recv;
+            }
+            stats.ring_full_retries += leftover;
+            if banned == bannable {
+                // Every (bannable) ring is full: nothing to re-pick
+                // toward. Yield so workers can drain, then retry the
+                // same assignment against fresh ring space.
+                std::thread::yield_now();
+                ledger.snapshot(counters, &mut loads);
+                continue;
+            }
+            // Re-pick the leftovers among the non-banned workers, on a
+            // fresh snapshot (the original is stale by one push round).
+            ledger.snapshot(counters, &mut loads);
+            batch.clear();
+            for sub in per_worker.iter_mut() {
+                batch.append(sub);
+            }
+            for req in batch.drain(..) {
+                let w = dispatcher.pick_excluding(&loads, flow_hash(req.id.0), banned);
+                loads[w].queued_jobs = loads[w].queued_jobs.wrapping_add(1);
+                per_worker[w].push(req);
+            }
+        }
+        stats.busy_nanos += burst_started.elapsed().as_nanos() as u64;
+    }
+    // Phase 1 complete: nothing will ever be pushed into a ring again.
+    // Workers may now exit once their queues are empty.
+    signal.set_dispatcher_done();
+    stats
 }
 
 /// Stand-in for the NIC's RSS hash of the request's flow.

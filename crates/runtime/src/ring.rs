@@ -5,9 +5,24 @@
 //! one consumer (the worker's scheduler loop) share a fixed-capacity
 //! Lamport queue; head and tail live on separate cache lines so the two
 //! sides never false-share.
+//!
+//! ## Cached positions and batched transfer
+//!
+//! Each side keeps a private *cached* copy of the other side's index
+//! (producer caches the consumer's head, consumer caches the producer's
+//! tail). The cache is a lower bound on the true value — both indices
+//! only grow — so it is always safe to act on: the producer refreshes its
+//! cached head with an `Acquire` load only when the cache says the ring
+//! is full, and the consumer refreshes its cached tail only when the
+//! cache says the ring is empty. A burst of pushes or pops therefore
+//! costs one `Acquire` refresh and one `Release` publish per *burst*
+//! instead of per item ([`Producer::push_batch`]/[`Consumer::pop_batch`]),
+//! and even the single-item ops skip the cross-core load entirely while
+//! the cache has slack. The protocol (including stale cached positions)
+//! is model-checked exhaustively in `tests/ring_interleavings.rs`.
 
 use crossbeam::utils::CachePadded;
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -42,14 +57,23 @@ impl<T> Drop for Shared<T> {
     }
 }
 
-/// Producer half; owned by the dispatcher.
+/// Producer half; owned by the dispatcher. Not `Sync`: the cached head
+/// position lives in a `Cell`, which is exactly as single-threaded as
+/// the single-producer contract already required.
 pub struct Producer<T> {
     shared: Arc<Shared<T>>,
+    /// The consumer's head as last observed — a lower bound on the true
+    /// head, refreshed (one `Acquire` load) only when the ring looks full.
+    cached_head: Cell<usize>,
 }
 
-/// Consumer half; owned by a worker.
+/// Consumer half; owned by a worker. Not `Sync` (see [`Producer`]).
 pub struct Consumer<T> {
     shared: Arc<Shared<T>>,
+    /// The producer's tail as last observed — a lower bound on the true
+    /// tail, refreshed (one `Acquire` load) only when the ring looks
+    /// empty.
+    cached_tail: Cell<usize>,
 }
 
 impl<T> std::fmt::Debug for Producer<T> {
@@ -88,27 +112,97 @@ pub fn spsc<T: Send>(cap: usize) -> (Producer<T>, Consumer<T>) {
     (
         Producer {
             shared: Arc::clone(&shared),
+            cached_head: Cell::new(0),
         },
-        Consumer { shared },
+        Consumer {
+            shared,
+            cached_tail: Cell::new(0),
+        },
     )
 }
 
 impl<T: Send> Producer<T> {
+    /// Free slots by the cached head, refreshing the cache (the one
+    /// `Acquire` load of the consumer's index) only when it reports
+    /// fewer than `want` free slots.
+    #[inline]
+    fn free_slots(&self, tail: usize, want: usize) -> usize {
+        let mut free = self.shared.cap - (tail - self.cached_head.get());
+        if free < want {
+            self.cached_head
+                .set(self.shared.head.load(Ordering::Acquire));
+            free = self.shared.cap - (tail - self.cached_head.get());
+        }
+        free
+    }
+
     /// Enqueues `item`, or returns it if the ring is full (backpressure —
     /// the dispatcher retries, which is what bounds worker queues).
     pub fn push(&self, item: T) -> Result<(), T> {
         let s = &*self.shared;
         let tail = s.tail.load(Ordering::Relaxed);
-        let head = s.head.load(Ordering::Acquire);
-        if tail - head == s.cap {
+        if self.free_slots(tail, 1) == 0 {
             return Err(item);
         }
         let slot = &s.buf[tail % s.cap];
         // SAFETY: slot index `tail` is not visible to the consumer until
-        // the release store below, and the producer is unique.
+        // the release store below, and the producer is unique. The cached
+        // head is a lower bound on the true head, so `free_slots > 0`
+        // guarantees the consumer is done with this slot.
         unsafe { (*slot.get()).write(item) };
         s.tail.store(tail + 1, Ordering::Release);
         Ok(())
+    }
+
+    /// Enqueues a prefix of `items` (in order, from the front), removing
+    /// the pushed items from the buffer and returning how many were
+    /// pushed. The whole burst costs one `Acquire` refresh of the
+    /// consumer's head (at most) and exactly one `Release` publish —
+    /// items become visible to the consumer all at once. Returns 0 when
+    /// the ring is full (the remainder stays in `items`).
+    pub fn push_batch(&self, items: &mut Vec<T>) -> usize {
+        let s = &*self.shared;
+        if items.is_empty() {
+            return 0;
+        }
+        let tail = s.tail.load(Ordering::Relaxed);
+        let n = self.free_slots(tail, items.len()).min(items.len());
+        if n == 0 {
+            return 0;
+        }
+        for (i, item) in items.drain(..n).enumerate() {
+            let slot = &s.buf[(tail + i) % s.cap];
+            // SAFETY: slots [tail, tail + n) are unpublished and — by the
+            // free-slot bound — recycled by the consumer.
+            unsafe { (*slot.get()).write(item) };
+        }
+        s.tail.store(tail + n, Ordering::Release);
+        n
+    }
+
+    /// [`Producer::push_batch`] for `Copy` items: pushes a prefix of the
+    /// slice without consuming it, returning how many were pushed. Lets a
+    /// caller that still needs the un-pushed suffix (and per-item ids of
+    /// the pushed prefix, e.g. for audit logging) avoid a drain.
+    pub fn push_batch_copy(&self, items: &[T]) -> usize
+    where
+        T: Copy,
+    {
+        let s = &*self.shared;
+        if items.is_empty() {
+            return 0;
+        }
+        let tail = s.tail.load(Ordering::Relaxed);
+        let n = self.free_slots(tail, items.len()).min(items.len());
+        for (i, item) in items[..n].iter().enumerate() {
+            let slot = &s.buf[(tail + i) % s.cap];
+            // SAFETY: as in `push_batch`.
+            unsafe { (*slot.get()).write(*item) };
+        }
+        if n > 0 {
+            s.tail.store(tail + n, Ordering::Release);
+        }
+        n
     }
 
     /// Items currently in flight.
@@ -124,20 +218,55 @@ impl<T: Send> Producer<T> {
 }
 
 impl<T: Send> Consumer<T> {
+    /// Items available by the cached tail, refreshing the cache (the one
+    /// `Acquire` load of the producer's index) only when it reports none.
+    #[inline]
+    fn available(&self, head: usize) -> usize {
+        let mut avail = self.cached_tail.get() - head;
+        if avail == 0 {
+            self.cached_tail
+                .set(self.shared.tail.load(Ordering::Acquire));
+            avail = self.cached_tail.get() - head;
+        }
+        avail
+    }
+
     /// Dequeues the oldest item, if any.
     pub fn pop(&self) -> Option<T> {
         let s = &*self.shared;
         let head = s.head.load(Ordering::Relaxed);
-        let tail = s.tail.load(Ordering::Acquire);
-        if head == tail {
+        if self.available(head) == 0 {
             return None;
         }
         let slot = &s.buf[head % s.cap];
-        // SAFETY: the producer's release store published this slot; the
-        // consumer is unique, and the release store below recycles it.
+        // SAFETY: the cached tail is a lower bound on the published tail,
+        // so this slot's value is initialized; the consumer is unique,
+        // and the release store below recycles it.
         let item = unsafe { (*slot.get()).assume_init_read() };
         s.head.store(head + 1, Ordering::Release);
         Some(item)
+    }
+
+    /// Dequeues up to `max` items into `out` (appending, in FIFO order),
+    /// returning how many were moved. The whole burst costs one `Acquire`
+    /// refresh of the producer's tail (at most) and exactly one `Release`
+    /// recycle of the consumed slots.
+    pub fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let s = &*self.shared;
+        let head = s.head.load(Ordering::Relaxed);
+        let n = self.available(head).min(max);
+        if n == 0 {
+            return 0;
+        }
+        out.reserve(n);
+        for i in 0..n {
+            let slot = &s.buf[(head + i) % s.cap];
+            // SAFETY: slots [head, head + n) are published (cached tail is
+            // a lower bound on the true tail) and not yet recycled.
+            out.push(unsafe { (*slot.get()).assume_init_read() });
+        }
+        s.head.store(head + n, Ordering::Release);
+        n
     }
 
     /// Items currently in flight.
@@ -202,6 +331,93 @@ mod tests {
     }
 
     #[test]
+    fn push_batch_fills_to_capacity_and_keeps_remainder() {
+        let (p, c) = spsc(4);
+        let mut items: Vec<u64> = (0..6).collect();
+        assert_eq!(p.push_batch(&mut items), 4);
+        assert_eq!(items, vec![4, 5], "unpushed suffix stays in the buffer");
+        assert_eq!(p.push_batch(&mut items), 0, "full ring pushes nothing");
+        assert_eq!(c.pop(), Some(0));
+        assert_eq!(p.push_batch(&mut items), 1);
+        assert_eq!(items, vec![5]);
+    }
+
+    #[test]
+    fn pop_batch_respects_max_and_appends() {
+        let (p, c) = spsc(8);
+        for i in 0..6 {
+            p.push(i).unwrap();
+        }
+        let mut out = vec![99u64];
+        assert_eq!(c.pop_batch(&mut out, 4), 4);
+        assert_eq!(out, vec![99, 0, 1, 2, 3]);
+        assert_eq!(c.pop_batch(&mut out, 10), 2);
+        assert_eq!(out, vec![99, 0, 1, 2, 3, 4, 5]);
+        assert_eq!(c.pop_batch(&mut out, 10), 0);
+    }
+
+    #[test]
+    fn push_batch_copy_pushes_prefix_without_consuming() {
+        let (p, c) = spsc(3);
+        let items: Vec<u64> = vec![7, 8, 9, 10];
+        assert_eq!(p.push_batch_copy(&items), 3);
+        assert_eq!(items.len(), 4, "slice variant leaves the buffer intact");
+        assert_eq!(c.pop(), Some(7));
+        assert_eq!(p.push_batch_copy(&items[3..]), 1);
+        assert_eq!(c.pop(), Some(8));
+        assert_eq!(c.pop(), Some(9));
+        assert_eq!(c.pop(), Some(10));
+    }
+
+    /// Mixed single and batched operations on both sides preserve FIFO
+    /// order and lose nothing, across thread boundaries, under ring
+    /// pressure (capacity far below the transfer size).
+    #[test]
+    fn cross_thread_mixed_batch_transfer_is_lossless_fifo() {
+        let (p, c) = spsc(32);
+        const N: u64 = 100_000;
+        let producer = std::thread::spawn(move || {
+            let mut next = 0u64;
+            let mut buf: Vec<u64> = Vec::new();
+            while next < N || !buf.is_empty() {
+                // Alternate batch sizes 1..=9, mixing push and push_batch.
+                let want = (next % 9 + 1) as usize;
+                while buf.len() < want && next < N {
+                    buf.push(next);
+                    next += 1;
+                }
+                if buf.len() == 1 {
+                    if let Ok(()) = p.push(buf[0]) {
+                        buf.clear();
+                    }
+                } else {
+                    p.push_batch(&mut buf);
+                }
+                std::hint::spin_loop();
+            }
+        });
+        let mut expected = 0u64;
+        let mut out: Vec<u64> = Vec::new();
+        while expected < N {
+            out.clear();
+            // Alternate single pops with batched pops of varying size.
+            if expected.is_multiple_of(3) {
+                if let Some(v) = c.pop() {
+                    out.push(v);
+                }
+            } else {
+                c.pop_batch(&mut out, (expected % 7 + 1) as usize);
+            }
+            for &v in &out {
+                assert_eq!(v, expected, "items must arrive in order");
+                expected += 1;
+            }
+            std::hint::spin_loop();
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
     fn cross_thread_transfer_is_lossless() {
         let (p, c) = spsc(64);
         const N: u64 = 200_000;
@@ -250,5 +466,28 @@ mod tests {
             drop((p, c)); // one still in the ring
         }
         assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn batched_undelivered_items_are_dropped_not_leaked() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted(#[allow(dead_code)] u8);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let (p, c) = spsc(8);
+            let mut batch = vec![Counted(0), Counted(1), Counted(2)];
+            assert_eq!(p.push_batch(&mut batch), 3);
+            let mut out = Vec::new();
+            c.pop_batch(&mut out, 1);
+            drop(out); // one delivered and dropped
+            drop((p, c)); // two still in the ring
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
     }
 }

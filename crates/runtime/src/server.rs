@@ -119,6 +119,32 @@ pub struct ServerConfig {
     /// Whether idle workers steal queued jobs from siblings (the Caladan
     /// configuration; pairs naturally with FCFS + RSS dispatch).
     pub work_stealing: bool,
+    /// Most requests the dispatcher forwards per burst: it blocks for the
+    /// first, then drains up to this many more without blocking, paying
+    /// one load snapshot and one ring publish per worker per burst
+    /// instead of per request (DESIGN.md "Batched dispatch pipeline").
+    /// `1` recovers the per-item pipeline exactly.
+    pub dispatch_burst: usize,
+    /// Per-worker completion-ring capacity. Workers never block on a full
+    /// completion ring: overflow stays in a worker-local buffer until the
+    /// next drain, so this only bounds the *shared* memory.
+    pub completion_capacity: usize,
+    /// Workers publish their shared load counters after accumulating this
+    /// many quanta locally (and always on idle and at exit), bounding the
+    /// dispatcher's view staleness to `counter_flush_quanta` quanta.
+    /// `1` recovers per-quantum publication.
+    pub counter_flush_quanta: u32,
+    /// Idle backoff, phase 1: consecutive idle loop iterations spent in a
+    /// `spin_loop` hint before starting to yield.
+    pub idle_spins: u32,
+    /// Idle backoff, phase 2: consecutive idle iterations spent in
+    /// `yield_now` after the spins and before sleeping.
+    pub idle_yields: u32,
+    /// Idle backoff, phase 3: sleep length once spins and yields are
+    /// exhausted. Bounds how long an oversubscribed host busy-waits on
+    /// idle workers; also the worst-case wakeup latency for a request
+    /// arriving at a deeply idle worker.
+    pub idle_sleep: Nanos,
     /// Seed for policy randomness.
     pub seed: u64,
     /// Record ring traffic and run the invariant auditor at shutdown
@@ -140,6 +166,12 @@ impl Default for ServerConfig {
             dispatch: DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta),
             discipline: WorkerPolicy::ProcessorSharing,
             work_stealing: false,
+            dispatch_burst: 64,
+            completion_capacity: 4096,
+            counter_flush_quanta: 16,
+            idle_spins: 128,
+            idle_yields: 64,
+            idle_sleep: Nanos::from_micros(50),
             seed: 42,
             audit: false,
             fault: None,
@@ -214,7 +246,14 @@ impl ServerStats {
 #[derive(Debug)]
 pub struct TinyQuanta {
     submit_tx: Option<channel::Sender<RtRequest>>,
-    completion_rx: channel::Receiver<Completion>,
+    /// One SPSC completion ring per worker (that worker is the sole
+    /// producer), replacing the old unbounded MPSC channel: a completion
+    /// publish is a ring write instead of a channel send, and a burst of
+    /// completions is one Release publish. Drained by
+    /// [`TinyQuanta::drain_completions`], by shutdown (concurrently with
+    /// the worker joins — workers spin-flush their local overflow at
+    /// exit), and by `Drop`.
+    completion_rx: Vec<ring::Consumer<Completion>>,
     dispatcher: Option<std::thread::JoinHandle<dispatcher::DispatcherStats>>,
     workers: Vec<WorkerHandle>,
     signal: Arc<ShutdownSignal>,
@@ -263,7 +302,14 @@ impl TinyQuanta {
             .audit
             .then(|| Arc::new(RingAuditLog::new(config.workers)));
         let (submit_tx, submit_rx) = channel::unbounded::<RtRequest>();
-        let (completion_tx, completion_rx) = channel::unbounded::<Completion>();
+        let mut completion_rx = Vec::with_capacity(config.workers);
+        let mut completion_tx = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let (p, c) = ring::spsc::<Completion>(config.completion_capacity.max(1));
+            completion_tx.push(p);
+            completion_rx.push(c);
+        }
+        let mut completion_tx = completion_tx.into_iter();
 
         let mut workers = Vec::with_capacity(config.workers);
         let tx = if config.work_stealing {
@@ -280,7 +326,7 @@ impl TinyQuanta {
                     },
                     Arc::clone(&factory),
                     Arc::clone(&counters),
-                    completion_tx.clone(),
+                    completion_tx.next().expect("one ring per worker"),
                     Arc::clone(&signal),
                     audit_log.clone(),
                     clock.clone(),
@@ -298,7 +344,7 @@ impl TinyQuanta {
                     worker::WorkerRx::Spsc(c),
                     Arc::clone(&factory),
                     Arc::clone(&counters),
-                    completion_tx.clone(),
+                    completion_tx.next().expect("one ring per worker"),
                     Arc::clone(&signal),
                     audit_log.clone(),
                     clock.clone(),
@@ -306,7 +352,6 @@ impl TinyQuanta {
             }
             dispatcher::DispatchTx::Spsc(producers)
         };
-        drop(completion_tx);
 
         let work_stealing = config.work_stealing;
         let dispatcher = dispatcher::spawn(
@@ -360,7 +405,9 @@ impl TinyQuanta {
 
     /// Completions received so far, without shutting down.
     pub fn drain_completions(&self) -> Vec<Completion> {
-        self.completion_rx.try_iter().collect()
+        let mut out = Vec::new();
+        drain_rings(&self.completion_rx, &mut out);
+        out
     }
 
     /// Stops accepting requests, drains all in-flight work, joins every
@@ -381,11 +428,28 @@ impl TinyQuanta {
             .take()
             .map(|d| d.join().expect("dispatcher panicked"))
             .unwrap_or_default();
+        // The dispatcher thread is gone, so "nothing will ever be pushed
+        // again" holds even if it died without setting the flag itself —
+        // without this, a dispatcher panic would wedge phase 2 forever.
+        self.signal.set_dispatcher_done();
         // Phase 1 is complete: the dispatcher set `dispatcher_done` after
         // its last ring push. Phase 2: each worker exits once it confirms
-        // every queue it can receive from is empty.
-        let worker_stats: Vec<_> = self.workers.drain(..).map(|w| w.join()).collect();
-        let completions = self.completion_rx.try_iter().collect();
+        // every queue it can receive from is empty — spin-flushing any
+        // locally buffered completions into its (bounded) completion ring
+        // first, so this side must keep draining the rings *while* the
+        // workers wind down or a full ring would deadlock the join.
+        let mut completions = Vec::new();
+        let handles: Vec<WorkerHandle> = self.workers.drain(..).collect();
+        loop {
+            drain_rings(&self.completion_rx, &mut completions);
+            if handles.iter().all(|h| h.is_finished()) {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let worker_stats: Vec<_> = handles.into_iter().map(|w| w.join()).collect();
+        // Final sweep: everything flushed before the last worker exited.
+        drain_rings(&self.completion_rx, &mut completions);
         let submitted = self.next_id.load(Ordering::Relaxed);
         let mut stats = ServerStats {
             dispatcher: dispatcher_stats,
@@ -436,9 +500,35 @@ impl Drop for TinyQuanta {
         if let Some(d) = self.dispatcher.take() {
             let _ = d.join();
         }
-        for w in self.workers.drain(..) {
+        // As in `shutdown_with_stats`: once the dispatcher thread is gone
+        // the phase-1 condition is true no matter how it exited; set it
+        // here so even a panicked dispatcher cannot wedge the join below.
+        self.signal.set_dispatcher_done();
+        // Same drain-while-joining dance as `shutdown_with_stats`: the
+        // workers' exit flush blocks on full completion rings until
+        // someone pops. The drained completions are discarded — this is
+        // the abandon-ship path.
+        let handles: Vec<WorkerHandle> = self.workers.drain(..).collect();
+        let mut discard = Vec::new();
+        loop {
+            drain_rings(&self.completion_rx, &mut discard);
+            discard.clear();
+            if handles.iter().all(|h| h.is_finished()) {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        for w in handles {
             w.join();
         }
+    }
+}
+
+/// Empties every completion ring into `out` (batched pops; one Release
+/// recycle per burst per ring).
+fn drain_rings(rxs: &[ring::Consumer<Completion>], out: &mut Vec<Completion>) {
+    for rx in rxs {
+        while rx.pop_batch(out, 1024) > 0 {}
     }
 }
 

@@ -16,9 +16,8 @@
 
 use crate::clock::TscClock;
 use crate::job::{Job, JobStatus, QuantumCtx};
-use crate::ring::Consumer;
+use crate::ring::{Consumer, Producer};
 use crate::server::{Completion, JobFactory, RtRequest, ServerConfig, ShutdownSignal};
-use crossbeam::channel::Sender;
 use crossbeam::queue::ArrayQueue;
 use std::sync::Arc;
 use tq_audit::fault::FaultPlan;
@@ -41,6 +40,13 @@ impl WorkerHandle {
     /// Panics if the worker thread panicked.
     pub fn join(self) -> WorkerStats {
         self.thread.join().expect("worker panicked")
+    }
+
+    /// Whether the worker thread has returned. Used by the shutdown and
+    /// drop paths to drain completion rings *while* joining — a worker's
+    /// exit flush can block on a full ring until someone pops.
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
     }
 }
 
@@ -94,11 +100,26 @@ impl std::fmt::Debug for WorkerRx {
 }
 
 impl WorkerRx {
-    /// Pops from this worker's own queue.
-    fn pop_local(&self) -> Option<RtRequest> {
+    /// Pops up to `max` requests from this worker's own queue into `out`
+    /// (appending, in FIFO order). On the SPSC ring this is one Acquire
+    /// refresh and one Release recycle for the whole burst.
+    fn pop_local_batch(&self, out: &mut Vec<RtRequest>, max: usize) -> usize {
         match self {
-            WorkerRx::Spsc(c) => c.pop(),
-            WorkerRx::Shared { index, queues } => queues[*index].pop(),
+            WorkerRx::Spsc(c) => c.pop_batch(out, max),
+            WorkerRx::Shared { index, queues } => {
+                let q = &queues[*index];
+                let mut n = 0;
+                while n < max {
+                    match q.pop() {
+                        Some(r) => {
+                            out.push(r);
+                            n += 1;
+                        }
+                        None => break,
+                    }
+                }
+                n
+            }
         }
     }
 
@@ -162,11 +183,15 @@ struct WorkerCtx {
     discipline: WorkerPolicy,
     factory: Arc<JobFactory>,
     counters: Arc<Vec<SharedCounters>>,
-    completions: Sender<Completion>,
+    completions: Producer<Completion>,
     signal: Arc<ShutdownSignal>,
     audit: Option<Arc<RingAuditLog>>,
     fault: Option<FaultPlan>,
     clock: TscClock,
+    counter_flush_quanta: u64,
+    idle_spins: u32,
+    idle_yields: u32,
+    idle_sleep: std::time::Duration,
 }
 
 /// Spawns one worker thread.
@@ -177,7 +202,7 @@ pub(crate) fn spawn(
     rx: WorkerRx,
     factory: Arc<JobFactory>,
     counters: Arc<Vec<SharedCounters>>,
-    completions: Sender<Completion>,
+    completions: Producer<Completion>,
     signal: Arc<ShutdownSignal>,
     audit: Option<Arc<RingAuditLog>>,
     clock: TscClock,
@@ -201,12 +226,40 @@ pub(crate) fn spawn(
         audit,
         fault,
         clock,
+        counter_flush_quanta: u64::from(config.counter_flush_quanta.max(1)),
+        idle_spins: config.idle_spins,
+        idle_yields: config.idle_yields,
+        idle_sleep: std::time::Duration::from_nanos(config.idle_sleep.0),
     };
     let thread = std::thread::Builder::new()
         .name(format!("tq-worker-{index}"))
         .spawn(move || run_worker(ctx, rx))
         .expect("spawn worker thread");
     WorkerHandle { thread }
+}
+
+/// Worker-local counter deltas, published to the [`SharedCounters`] in
+/// batches (bounded staleness: at most `counter_flush_quanta` quanta, and
+/// always flushed on idle, before a stall window, and at exit).
+#[derive(Default)]
+struct PendingCounters {
+    quanta: u64,
+    finished: u64,
+    retired_quanta: u64,
+}
+
+impl PendingCounters {
+    fn flush(&mut self, shared: &SharedCounters) {
+        if self.quanta > 0 {
+            shared.add_quanta(self.quanta);
+            self.quanta = 0;
+        }
+        if self.finished > 0 {
+            shared.add_finished(self.finished, self.retired_quanta);
+            self.finished = 0;
+            self.retired_quanta = 0;
+        }
+    }
 }
 
 fn run_worker(w: WorkerCtx, rx: WorkerRx) -> WorkerStats {
@@ -222,6 +275,10 @@ fn run_worker(w: WorkerCtx, rx: WorkerRx) -> WorkerStats {
         audit,
         fault,
         clock,
+        counter_flush_quanta,
+        idle_spins,
+        idle_yields,
+        idle_sleep,
     } = w;
     // FCFS never preempts: arm an effectively-infinite deadline.
     let quantum_cycles: Cycles = if discipline.preempts() {
@@ -236,6 +293,15 @@ fn run_worker(w: WorkerCtx, rx: WorkerRx) -> WorkerStats {
     let mut stats = WorkerStats::default();
     let my_counters = &counters[index];
     let started = clock.wall_nanos();
+    // Burst state: requests admitted per pass, completions awaiting
+    // publication (never blocks the scheduler loop: overflow beyond the
+    // completion ring stays here, mirroring the old unbounded channel),
+    // and counter deltas awaiting a flush.
+    let mut admit_buf: Vec<RtRequest> = Vec::with_capacity(n_slots);
+    let mut done_buf: Vec<Completion> = Vec::new();
+    let mut pending = PendingCounters::default();
+    // Consecutive idle iterations, for the spin → yield → sleep backoff.
+    let mut idle_streak: u32 = 0;
 
     loop {
         // Injected stall: refuse to admit or run anything inside the
@@ -243,6 +309,10 @@ fn run_worker(w: WorkerCtx, rx: WorkerRx) -> WorkerStats {
         // Windows are finite, so the shutdown drain always terminates.
         if let Some(plan) = &fault {
             if plan.stalled(index, clock.wall_nanos().saturating_sub(started)) {
+                // Publish buffered state before going dark: a stall
+                // window models a descheduled core, not lost updates.
+                pending.flush(my_counters);
+                completions.push_batch(&mut done_buf);
                 stats.stalled_iterations += 1;
                 std::thread::yield_now();
                 continue;
@@ -250,25 +320,29 @@ fn run_worker(w: WorkerCtx, rx: WorkerRx) -> WorkerStats {
         }
         // Ring high-water mark, sampled before admission drains it.
         stats.max_ring_occupancy = stats.max_ring_occupancy.max(rx.local_len() as u64);
-        // Admit pending requests into idle coroutine slots.
-        while !free.is_empty() {
-            match rx.pop_local() {
-                Some(req) => {
-                    if let Some(log) = &audit {
-                        log.on_admit(index, req.id.0);
-                    }
-                    let slot = free.pop().expect("checked non-empty");
-                    let job = factory(&req);
-                    slots[slot] = Some(Task {
-                        job,
-                        req,
-                        quanta: 0,
-                    });
-                    if !matches!(discipline, WorkerPolicy::LeastAttainedService) {
-                        rotation.admit(slot);
-                    }
+        // Publish any buffered completions (one Release per burst); the
+        // un-pushed overflow simply stays buffered for the next pass.
+        if !done_buf.is_empty() {
+            completions.push_batch(&mut done_buf);
+        }
+        // Admit pending requests into idle coroutine slots, pulled from
+        // the ring in one burst sized to the free slots.
+        if !free.is_empty() {
+            rx.pop_local_batch(&mut admit_buf, free.len());
+            for req in admit_buf.drain(..) {
+                if let Some(log) = &audit {
+                    log.on_admit(index, req.id.0);
                 }
-                None => break,
+                let slot = free.pop().expect("burst sized to free slots");
+                let job = factory(&req);
+                slots[slot] = Some(Task {
+                    job,
+                    req,
+                    quanta: 0,
+                });
+                if !matches!(discipline, WorkerPolicy::LeastAttainedService) {
+                    rotation.admit(slot);
+                }
             }
         }
 
@@ -284,12 +358,16 @@ fn run_worker(w: WorkerCtx, rx: WorkerRx) -> WorkerStats {
                 .map(|(_, i)| i),
         };
         if let Some(slot) = next_slot {
+            idle_streak = 0;
             let task = slots[slot].as_mut().expect("rotation holds busy slots");
             ctx.arm(quantum_cycles);
             let status = task.job.run(&mut ctx);
             task.quanta += 1;
             stats.quanta += 1;
-            my_counters.on_quantum();
+            pending.quanta += 1;
+            if pending.quanta >= counter_flush_quanta {
+                pending.flush(my_counters);
+            }
             match status {
                 JobStatus::Yielded => {
                     if !matches!(discipline, WorkerPolicy::LeastAttainedService) {
@@ -298,9 +376,10 @@ fn run_worker(w: WorkerCtx, rx: WorkerRx) -> WorkerStats {
                 }
                 JobStatus::Done => {
                     let task = slots[slot].take().expect("just ran it");
-                    my_counters.on_finished(task.quanta);
+                    pending.finished += 1;
+                    pending.retired_quanta += task.quanta;
                     stats.completed += 1;
-                    let _ = completions.send(Completion {
+                    done_buf.push(Completion {
                         id: task.req.id,
                         class: task.req.class,
                         submitted: task.req.submitted,
@@ -319,6 +398,7 @@ fn run_worker(w: WorkerCtx, rx: WorkerRx) -> WorkerStats {
                     if let Some(log) = &audit {
                         log.on_steal(index, victim, req.id.0);
                     }
+                    idle_streak = 0;
                     stats.steals += 1;
                     let slot = free.pop().expect("checked non-empty");
                     let job = factory(&req);
@@ -334,16 +414,40 @@ fn run_worker(w: WorkerCtx, rx: WorkerRx) -> WorkerStats {
                 }
             }
             stats.idle_iterations += 1;
+            // Nothing to run: publish the truth — the dispatcher must not
+            // see stale load for an idle worker, and the server may be
+            // waiting on buffered completions.
+            pending.flush(my_counters);
+            if !done_buf.is_empty() {
+                completions.push_batch(&mut done_buf);
+            }
             // Phase-2 exit: the dispatcher has pushed its last request
             // (phase 1) and every queue this worker could receive from —
             // all siblings' too, in stealing mode — is empty. Checking
             // only the local queue here let stealing-mode workers exit
             // while a sibling's queue still held jobs nobody would run.
             if signal.dispatcher_done() && rx.all_drained() {
+                // Exit flush: every buffered completion must reach the
+                // ring. The shutdown/drop paths drain concurrently with
+                // this join, so a full ring always makes progress.
+                while !done_buf.is_empty() {
+                    if completions.push_batch(&mut done_buf) == 0 {
+                        std::thread::yield_now();
+                    }
+                }
                 return stats;
             }
-            // Idle: let other (oversubscribed) threads run.
-            std::thread::yield_now();
+            // Idle backoff: spin briefly (a request may be nanoseconds
+            // away), then yield the core to siblings, then sleep so an
+            // oversubscribed host isn't saturated by idle workers.
+            idle_streak = idle_streak.saturating_add(1);
+            if idle_streak <= idle_spins {
+                std::hint::spin_loop();
+            } else if idle_streak <= idle_spins.saturating_add(idle_yields) {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(idle_sleep);
+            }
         }
     }
 }
