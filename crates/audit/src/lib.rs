@@ -98,6 +98,18 @@ impl AuditReport {
         self.checks += other.checks;
         self.violations.extend(other.violations);
     }
+
+    /// [`absorb`](Self::absorb) for hierarchical audits: prefixes every
+    /// absorbed violation's detail with `[scope]` so a rack-level report
+    /// built from per-server reports attributes each violation to the
+    /// server it came from while still rendering as one verdict.
+    pub fn absorb_scoped(&mut self, scope: &str, other: AuditReport) {
+        self.checks += other.checks;
+        self.violations.extend(other.violations.into_iter().map(|mut v| {
+            v.detail = format!("[{scope}] {}", v.detail);
+            v
+        }));
+    }
 }
 
 impl fmt::Display for AuditReport {
@@ -439,6 +451,23 @@ impl RingAuditLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn absorb_scoped_attributes_violations_to_their_server() {
+        let mut rack = InvariantAuditor::new("rack").finish();
+        for server in 0..2 {
+            let mut a = InvariantAuditor::new("server");
+            a.check_conservation(2, if server == 1 { 1 } else { 2 }, &[]);
+            rack.absorb_scoped(&format!("server {server}"), a.finish());
+        }
+        assert_eq!(rack.checks, 2);
+        assert_eq!(rack.violations.len(), 1);
+        assert!(
+            rack.violations[0].detail.starts_with("[server 1] "),
+            "violation must name its server: {}",
+            rack.violations[0].detail
+        );
+    }
 
     #[test]
     fn clean_run_passes_every_check() {

@@ -1,7 +1,8 @@
 //! Criterion micro-benchmarks of the hot-path mechanisms: the probe, the
-//! SPSC ring, the JSQ decision, the event queue, the skip list, and the
-//! reuse-distance analyzer. These are the costs the paper's §3 argues
-//! must be tiny for tiny quanta to pay off.
+//! SPSC ring, the JSQ decision, the event queue, the PDES inter-shard
+//! channel, the skip list, and the reuse-distance analyzer. These are
+//! the costs the paper's §3 argues must be tiny for tiny quanta to pay
+//! off.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tq_core::policy::{DispatchPolicy, Dispatcher, TieBreak, WorkerLoad};
@@ -172,6 +173,35 @@ fn bench_event_queue(c: &mut Criterion) {
     }
 }
 
+/// Inter-shard message transfer in the PDES barrier: a sender's window
+/// of timestamped messages landing in a receiver's inbox one `push` at a
+/// time versus through the sorted bulk path (`extend_sorted`), which is
+/// what `Shard::deliver_batch` uses. Window sizes bracket the real
+/// regime (a handful of jobs per lookahead window up to a burst).
+fn bench_pdes_channel(c: &mut Criterion) {
+    for window in [8usize, 64, 256] {
+        let batch: Vec<(Nanos, u64)> = (0..window as u64)
+            .map(|i| (Nanos::from_nanos(10_000 + i * 13), i))
+            .collect();
+        c.bench_function(&format!("pdes_channel_single_{window}"), |b| {
+            b.iter(|| {
+                let mut inbox = EventQueue::with_capacity(window);
+                for &(at, msg) in &batch {
+                    inbox.push(at, msg);
+                }
+                black_box(inbox.len())
+            });
+        });
+        c.bench_function(&format!("pdes_channel_batched_{window}"), |b| {
+            b.iter(|| {
+                let mut inbox = EventQueue::with_capacity(window);
+                inbox.extend_sorted(batch.iter().copied());
+                black_box(inbox.len())
+            });
+        });
+    }
+}
+
 fn bench_skiplist(c: &mut Criterion) {
     let mut store = tq_kv::KvStore::new(5);
     store.populate(100_000, 100);
@@ -289,6 +319,7 @@ criterion_group! {
     bench_dispatch_snapshot,
     bench_jsq_pick,
     bench_event_queue,
+    bench_pdes_channel,
     bench_skiplist,
     bench_reuse_distance,
     bench_summarize,

@@ -194,6 +194,7 @@ fn run_and_report(engine: &mut dyn Engine, spec: &RunSpec, load: f64) -> (RunRec
         overall_slowdown_p999: summary.overall_slowdown_p999,
         counters: out.counters,
         audit,
+        rack: engine.take_rack_meta(),
     };
     let mut violations = check_record(&record, &ids);
     if let Some(report) = &record.audit {

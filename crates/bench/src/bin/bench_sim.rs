@@ -1,16 +1,24 @@
 //! Perf-regression harness for the simulation engine itself.
 //!
-//! Times two things the experiment pipeline spends nearly all its time
-//! on and writes a machine-readable baseline to `BENCH_sim.json`
-//! (schema `tq-bench-sim/v2`):
+//! Times three things the experiment pipeline spends nearly all its
+//! time on and writes a machine-readable baseline to `BENCH_sim.json`
+//! (schema `tq-bench-sim/v3`):
 //!
 //! 1. **Sweep throughput** — a canonical two-system sweep over the
 //!    standard load grid (TQ and Shinjuku on extreme-bimodal), serial
 //!    and with the parallel harness, reported as points/sec, simulator
 //!    events/sec, and ns/event, with a per-model breakdown (two-level
 //!    vs centralized engine) so a regression can be localized to one
-//!    engine.
-//! 2. **Summarize cost** — `ClassRecorder::summarize_all` on a large
+//!    engine. The parallel arm always requests at least 2 jobs so it
+//!    exercises the threaded sweep path even on single-core hosts; the
+//!    recorded `host_cores` says how much parallelism was really there.
+//! 2. **Rack throughput** — a multi-server rack sweep on the sharded
+//!    PDES core, once with a single thread (the serial reference
+//!    schedule) and once with one thread per shard (clamped to the
+//!    host's cores). Aggregate events/sec across all shards is the
+//!    scaling signal; on a multi-core host the sharded arm should beat
+//!    the single-server serial engines.
+//! 3. **Summarize cost** — `ClassRecorder::summarize_all` on a large
 //!    synthetic completion set, in ns/completion, against the seed's
 //!    multi-pass implementation (`tq_sim::metrics::reference`), whose
 //!    ratio is the pipeline's speedup.
@@ -21,12 +29,16 @@
 //! cargo run --release -p tq-bench --bin bench_sim -- --check  # perf gate vs committed baseline
 //! ```
 //!
-//! `--check` runs the quick sweep (best of 2 trials) and exits non-zero
-//! if serial simulator events/sec regressed more than [`CHECK_TOLERANCE`]
-//! against the committed `BENCH_sim.json`; it never rewrites the
-//! baseline. Events/sec is a rate, so quick CI runs gate against the
-//! committed full baseline. Full mode keeps the best of 3 trials per
-//! engine, so the committed number measures the code, not host noise.
+//! `--check` runs the quick sweeps (best of 2 trials) and exits
+//! non-zero if serial events/sec regressed more than
+//! [`CHECK_TOLERANCE`] — or the sharded rack arm more than
+//! [`RACK_CHECK_TOLERANCE`] — against the committed `BENCH_sim.json`;
+//! it never rewrites the baseline. Events/sec is a rate, so quick CI
+//! runs gate against the committed full baseline. The rack floor is
+//! looser because the sharded arm's thread count depends on the host's
+//! core count, which CI runners vary. Full mode keeps the best of 5
+//! trials per engine, so the committed number measures the code, not
+//! host noise.
 //!
 //! `TQ_SIM_MILLIS`, `TQ_SEED`, and `TQ_JOBS` apply as everywhere else.
 //! Comparing two checkouts: run with the same settings and diff the
@@ -34,6 +46,7 @@
 
 use std::time::Instant;
 use tq_core::{costs, Nanos};
+use tq_queueing::rack::{simulate_rack_into, RackPolicy, RackSpec};
 use tq_queueing::{presets, sweep_jobs, Architecture, SystemConfig};
 use tq_sim::metrics::reference;
 use tq_sim::{ClassRecorder, SimRng};
@@ -42,6 +55,20 @@ use tq_workloads::{table1, ArrivalGen, Workload};
 /// `--check` fails when serial events/sec drops below this fraction of
 /// the committed baseline (>25% regression).
 const CHECK_TOLERANCE: f64 = 0.75;
+
+/// `--check` floor for the sharded rack arm: looser than the serial
+/// gate because its thread count tracks the host's core count.
+const RACK_CHECK_TOLERANCE: f64 = 0.70;
+
+/// Servers in the benchmark rack (shards = servers + 1 scheduler).
+const RACK_SERVERS: usize = 4;
+
+/// Physical parallelism actually available on this host.
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
 
 /// One system's share of a sweep measurement, keyed by which engine
 /// (two-level or centralized) it exercises.
@@ -188,6 +215,112 @@ fn measure_sweep(
     }
 }
 
+/// One rack sweep's measurement on the sharded PDES core.
+struct RackMeasure {
+    label: &'static str,
+    n_servers: usize,
+    /// Threads requested (the PDES pool clamps to shard count).
+    threads: usize,
+    points: usize,
+    elapsed_s: f64,
+    trials: usize,
+    events: u64,
+    completions: u64,
+    windows: u64,
+    messages: u64,
+}
+
+impl RackMeasure {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed_s
+    }
+
+    fn ns_per_event(&self) -> f64 {
+        self.elapsed_s * 1e9 / self.events as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"label\": \"{}\", \"n_servers\": {}, \"threads\": {}, ",
+                "\"points\": {}, \"elapsed_s\": {:.6}, \"trials\": {}, ",
+                "\"sim_events\": {}, \"completions\": {}, \"windows\": {}, ",
+                "\"messages\": {}, \"events_per_sec\": {:.0}, ",
+                "\"ns_per_event\": {:.2}}}"
+            ),
+            self.label,
+            self.n_servers,
+            self.threads,
+            self.points,
+            self.elapsed_s,
+            self.trials,
+            self.events,
+            self.completions,
+            self.windows,
+            self.messages,
+            self.events_per_sec(),
+            self.ns_per_event(),
+        )
+    }
+}
+
+/// Sweeps the benchmark rack over the load grid with a given PDES
+/// thread count, keeping the fastest trial (same protocol as
+/// [`measure_sweep`]). The offered rate scales with the server count so
+/// each server sees the single-server per-load rate.
+fn measure_rack(
+    label: &'static str,
+    spec: &RackSpec,
+    workload: &Workload,
+    loads: &[f64],
+    threads: usize,
+    trials: usize,
+) -> RackMeasure {
+    let duration = tq_bench::sim_duration();
+    let rates: Vec<f64> = tq_bench::rate_grid(workload, spec.server.n_workers, loads)
+        .iter()
+        .map(|r| r * spec.n_servers as f64)
+        .collect();
+    let mut elapsed_s = f64::INFINITY;
+    let mut events = 0;
+    let mut completions = 0;
+    let mut windows = 0;
+    let mut messages = 0;
+    let mut buf = Vec::new();
+    for _ in 0..trials.max(1) {
+        (events, completions, windows, messages) = (0, 0, 0, 0);
+        let start = Instant::now();
+        for &rate in &rates {
+            let gen = ArrivalGen::new(workload.clone(), rate, SimRng::new(tq_bench::seed()));
+            let stats = simulate_rack_into(
+                spec,
+                gen,
+                duration,
+                tq_bench::seed(),
+                threads,
+                &mut buf,
+            );
+            events += stats.events;
+            completions += buf.len() as u64;
+            windows += stats.windows;
+            messages += stats.messages;
+        }
+        elapsed_s = elapsed_s.min(start.elapsed().as_secs_f64());
+    }
+    RackMeasure {
+        label,
+        n_servers: spec.n_servers,
+        threads,
+        points: rates.len(),
+        elapsed_s,
+        trials: trials.max(1),
+        events,
+        completions,
+        windows,
+        messages,
+    }
+}
+
 /// Synthetic completion set with the workload's true class/size mix and
 /// dispersed finish times — what the summarizer sees after a real run.
 fn synthetic_completions(n: usize, seed: u64) -> Vec<tq_core::job::Completion> {
@@ -303,7 +436,10 @@ fn main() {
     // The gate compares rates, not totals, so it always uses the short
     // grid: regressions show up at any horizon.
     quick |= check;
-    let jobs = tq_queueing::default_jobs();
+    let cores = host_cores();
+    // At least 2 so the parallel arm is a real multi-job measurement
+    // even when TQ_JOBS/available_parallelism says 1.
+    let jobs = tq_queueing::default_jobs().max(2);
     let loads: &[f64] = if quick {
         &[0.5, 0.8]
     } else {
@@ -326,7 +462,7 @@ fn main() {
         }
     );
     println!(
-        "sim horizon {} per point, seed {}, {jobs} jobs",
+        "sim horizon {} per point, seed {}, {jobs} jobs, {cores} host core(s)",
         tq_bench::sim_duration(),
         tq_bench::seed()
     );
@@ -364,6 +500,15 @@ fn main() {
         );
     }
 
+    // The rack arms share the load grid; per-server workers stay at 16
+    // so the sharded arm's per-shard work matches the serial engines.
+    let rack_spec = {
+        let mut s = RackSpec::new(presets::tq(16, Nanos::from_micros(2)), RACK_SERVERS);
+        s.policy = RackPolicy::PowerOfK(2);
+        s
+    };
+    let rack_threads = (RACK_SERVERS + 1).min(cores);
+
     if check {
         let committed = std::fs::read_to_string("BENCH_sim.json")
             .expect("--check needs a committed BENCH_sim.json");
@@ -386,6 +531,46 @@ fn main() {
             );
             std::process::exit(1);
         }
+        // Sharded-engine scaling arm: same protocol against the
+        // committed rack_sharded baseline, with the looser floor.
+        let sharded = measure_rack(
+            "rack_sharded",
+            &rack_spec,
+            &workload,
+            loads,
+            rack_threads,
+            trials,
+        );
+        println!(
+            "rack sharded:   {:>3} points in {:.2}s — {:.2}M events/s ({} threads, {} windows)",
+            sharded.points,
+            sharded.elapsed_s,
+            sharded.events_per_sec() / 1e6,
+            sharded.threads,
+            sharded.windows,
+        );
+        match baseline_events_per_sec(&committed, "rack_sharded") {
+            Some(rack_baseline) => {
+                let ratio = sharded.events_per_sec() / rack_baseline;
+                println!(
+                    "rack gate: {:.2}M events/s vs committed {:.2}M events/s — {:.0}% (floor {:.0}%)",
+                    sharded.events_per_sec() / 1e6,
+                    rack_baseline / 1e6,
+                    ratio * 100.0,
+                    RACK_CHECK_TOLERANCE * 100.0,
+                );
+                if ratio < RACK_CHECK_TOLERANCE {
+                    eprintln!(
+                        "PERF REGRESSION: sharded rack events/sec fell to {:.0}% of the committed baseline",
+                        ratio * 100.0
+                    );
+                    std::process::exit(1);
+                }
+            }
+            None => {
+                println!("rack gate: no rack_sharded entry in committed BENCH_sim.json (skipped)");
+            }
+        }
         println!("perf gate passed");
         return;
     }
@@ -401,6 +586,30 @@ fn main() {
         parallel.ns_per_event(),
     );
 
+    let rack_serial = measure_rack("rack_serial", &rack_spec, &workload, loads, 1, trials);
+    let rack_sharded = measure_rack(
+        "rack_sharded",
+        &rack_spec,
+        &workload,
+        loads,
+        rack_threads,
+        trials,
+    );
+    println!();
+    for m in [&rack_serial, &rack_sharded] {
+        println!(
+            "{:<15} {:>3} points in {:.2}s — {:.2}M events/s ({:.1} ns/event, {} threads, {} windows, {} msgs)",
+            m.label,
+            m.points,
+            m.elapsed_s,
+            m.events_per_sec() / 1e6,
+            m.ns_per_event(),
+            m.threads,
+            m.windows,
+            m.messages,
+        );
+    }
+
     let (n, reps) = if quick { (200_000, 3) } else { (2_000_000, 5) };
     let s = measure_summarize(n, reps);
     println!();
@@ -414,12 +623,14 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"tq-bench-sim/v2\",\n",
+            "  \"schema\": \"tq-bench-sim/v3\",\n",
             "  \"quick\": {},\n",
             "  \"sim_millis\": {},\n",
             "  \"seed\": {},\n",
             "  \"jobs\": {},\n",
+            "  \"host_cores\": {},\n",
             "  \"sweeps\": [\n    {},\n    {}\n  ],\n",
+            "  \"racks\": [\n    {},\n    {}\n  ],\n",
             "  \"summarize\": {}\n",
             "}}\n"
         ),
@@ -427,8 +638,11 @@ fn main() {
         tq_bench::sim_duration().as_nanos() / 1_000_000,
         tq_bench::seed(),
         jobs,
+        cores,
         serial.json(),
         parallel.json(),
+        rack_serial.json(),
+        rack_sharded.json(),
         s.json(),
     );
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");

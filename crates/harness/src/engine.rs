@@ -134,13 +134,43 @@ pub struct RunOutput {
     pub audit: Option<AuditReport>,
 }
 
+/// One server's share of a rack run (see [`RackMeta`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RackServerMeta {
+    /// Requests the rack scheduler routed to this server.
+    pub routed: u64,
+    /// Jobs this server completed.
+    pub completed: u64,
+    /// Load reports this server sent.
+    pub reports: u64,
+}
+
+/// Rack-tier metadata attached to a [`RunRecord`] when the engine is a
+/// [`crate::RackEngine`]: how the multi-server run was scheduled and
+/// synchronized. `None` on single-server engines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RackMeta {
+    /// Number of server instances in the rack.
+    pub n_servers: usize,
+    /// The inter-server policy, rendered (e.g. `"PowerOfK(2)"`).
+    pub policy: String,
+    /// OS threads the conservative PDES pool used.
+    pub threads: usize,
+    /// Conservative-synchronization windows executed.
+    pub windows: u64,
+    /// Cross-shard messages delivered (jobs + load reports).
+    pub messages: u64,
+    /// Per-server routing/completion breakdown, indexed by server.
+    pub per_server: Vec<RackServerMeta>,
+}
+
 /// An execution engine: anything that can serve a [`RunSpec`]'s arrival
 /// stream and report completions plus counters in the common shape.
 pub trait Engine {
     /// Which world this engine runs in (the `engine` JSON field).
     fn kind(&self) -> EngineKind;
-    /// The scheduler model: `"two_level"`, `"centralized"`, or
-    /// `"runtime"`.
+    /// The scheduler model: `"two_level"`, `"centralized"`,
+    /// `"runtime"`, or `"rack"`.
     fn model(&self) -> &'static str;
     /// Human-readable system label (e.g. `"TQ"`).
     fn system(&self) -> String;
@@ -149,6 +179,11 @@ pub trait Engine {
     /// Serves `arrivals` until `horizon`, then drains; `spec` supplies
     /// the seed for policy randomness and the run's metadata.
     fn run(&mut self, spec: &RunSpec, arrivals: ArrivalGen, horizon: Nanos) -> RunOutput;
+    /// Rack metadata for the most recent [`run`](Engine::run), if this
+    /// engine is a rack (default: not a rack).
+    fn take_rack_meta(&mut self) -> Option<RackMeta> {
+        None
+    }
 }
 
 /// One engine run summarized through the same metrics path as
@@ -158,7 +193,7 @@ pub trait Engine {
 pub struct RunRecord {
     /// `"sim"` or `"rt"`.
     pub engine: &'static str,
-    /// `"two_level"`, `"centralized"`, or `"runtime"`.
+    /// `"two_level"`, `"centralized"`, `"runtime"`, or `"rack"`.
     pub model: &'static str,
     /// System label.
     pub system: String,
@@ -190,6 +225,8 @@ pub struct RunRecord {
     pub counters: EngineCounters,
     /// Invariant-audit verdict (present iff auditing was enabled).
     pub audit: Option<AuditReport>,
+    /// Rack-tier metadata (present iff the engine was a rack).
+    pub rack: Option<RackMeta>,
 }
 
 impl RunRecord {
@@ -226,6 +263,7 @@ pub fn run_to_record(engine: &mut dyn Engine, spec: &RunSpec) -> RunRecord {
         overall_slowdown_p999: summary.overall_slowdown_p999,
         counters: out.counters,
         audit,
+        rack: engine.take_rack_meta(),
     }
 }
 

@@ -6,7 +6,7 @@
 //! the sim and runtime schemas identical by construction: downstream
 //! tooling distinguishes them only by the `engine` field.
 
-use crate::engine::RunRecord;
+use crate::engine::{RackMeta, RunRecord};
 use tq_audit::AuditReport;
 use tq_sim::metrics::ClassSummary;
 
@@ -67,6 +67,38 @@ fn audit_json(a: Option<&AuditReport>) -> String {
     }
 }
 
+/// The rack metadata as a JSON value: `null` for single-server engines.
+fn rack_json(m: Option<&RackMeta>) -> String {
+    match m {
+        None => "null".to_string(),
+        Some(m) => {
+            let servers: Vec<String> = m
+                .per_server
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    format!(
+                        "{{\"server\": {}, \"routed\": {}, \"completed\": {}, \"reports\": {}}}",
+                        i, s.routed, s.completed, s.reports
+                    )
+                })
+                .collect();
+            format!(
+                concat!(
+                    "{{\"n_servers\": {}, \"policy\": \"{}\", \"threads\": {}, ",
+                    "\"windows\": {}, \"messages\": {}, \"servers\": [{}]}}"
+                ),
+                m.n_servers,
+                json_str(&m.policy),
+                m.threads,
+                m.windows,
+                m.messages,
+                servers.join(", ")
+            )
+        }
+    }
+}
+
 fn class_json(c: &ClassSummary) -> String {
     format!(
         concat!(
@@ -118,6 +150,7 @@ pub fn record_json(r: &RunRecord) -> String {
             "\"dispatch_bursts\": {}, \"dispatch_busy_nanos\": {}, ",
             "\"dispatch_ns_per_request\": {},\n",
             "      \"workers\": [{}]}},\n",
+            "     \"rack\": {},\n",
             "     \"audit\": {}}}"
         ),
         r.engine,
@@ -143,6 +176,7 @@ pub fn record_json(r: &RunRecord) -> String {
         r.counters.dispatch_busy_nanos,
         json_f64(r.counters.dispatch_ns_per_request()),
         workers.join(", "),
+        rack_json(r.rack.as_ref()),
         audit_json(r.audit.as_ref()),
     )
 }
@@ -198,6 +232,14 @@ mod tests {
                 dispatch_busy_nanos: 1200,
                 workers: vec![WorkerCounters::default(); 2],
             },
+            rack: Some(crate::engine::RackMeta {
+                n_servers: 2,
+                policy: "PowerOfK(2)".into(),
+                threads: 3,
+                windows: 40,
+                messages: 25,
+                per_server: vec![crate::engine::RackServerMeta::default(); 2],
+            }),
             audit: Some(tq_audit::AuditReport {
                 context: "sim two_level".into(),
                 checks: 6,

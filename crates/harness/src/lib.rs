@@ -9,6 +9,10 @@
 //! * [`SimEngine`] — the discrete-event models of `tq-queueing`
 //!   (two-level and centralized), bit-identical to the existing
 //!   `run_once` sweep machinery.
+//! * [`RackEngine`] — N server instances behind a rack scheduler
+//!   (power-of-k over stale load reports, random, round-robin, or
+//!   flow-affinity), executed in parallel by the conservative-lookahead
+//!   PDES core in `tq_sim::pdes`.
 //! * [`RtEngine`] — the live [`tq_runtime::TinyQuanta`] server, fed by a
 //!   pacing loop that replays the open-loop Poisson stream in real time
 //!   and normalizes `TscClock` timestamps back onto the stream's time
@@ -45,12 +49,14 @@
 
 pub mod engine;
 pub mod json;
+pub mod rack;
 pub mod rt;
 pub mod sim;
 
 pub use engine::{
-    run_to_record, summarize, Engine, EngineCounters, EngineKind, RunOutput, RunRecord, RunSpec,
-    WorkerCounters,
+    run_to_record, summarize, Engine, EngineCounters, EngineKind, RackMeta, RackServerMeta,
+    RunOutput, RunRecord, RunSpec, WorkerCounters,
 };
+pub use rack::RackEngine;
 pub use rt::RtEngine;
 pub use sim::SimEngine;

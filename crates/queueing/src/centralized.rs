@@ -23,11 +23,11 @@ use crate::active::ActiveJob;
 use crate::config::{Architecture, SystemConfig};
 use crate::mask::WorkerMask;
 use crate::slab::{JobIdx, JobSlab};
-use crate::twolevel::RX_RING_CAPACITY;
+use crate::twolevel::{ArrivalSource, RX_RING_CAPACITY};
 use std::collections::VecDeque;
 use tq_core::job::Completion;
 use tq_core::{Nanos, Request};
-use tq_sim::TagQueue;
+use tq_sim::{EventQueue, TagQueue};
 use tq_workloads::ArrivalGen;
 
 /// Sentinel for "no job occupies this running slot".
@@ -142,154 +142,316 @@ pub fn simulate(cfg: &SystemConfig, gen: ArrivalGen, horizon: Nanos) -> Centrali
 /// Panics if the configuration is invalid or not centralized.
 pub fn simulate_into(
     cfg: &SystemConfig,
-    mut gen: ArrivalGen,
+    gen: ArrivalGen,
     horizon: Nanos,
     completions: &mut Vec<Completion>,
 ) -> CentralizedStats {
-    cfg.validate();
-    assert!(
-        matches!(cfg.arch, Architecture::Centralized),
-        "{}: not a centralized system",
-        cfg.name
-    );
-    let mut st = State {
-        ingress_q: VecDeque::with_capacity(RX_RING_CAPACITY),
-        assign_q: 0,
-        in_flight: None,
-        slab: JobSlab::with_capacity(4 * cfg.n_workers),
-        central: VecDeque::with_capacity(4 * cfg.n_workers),
-        idle: WorkerMask::full(cfg.n_workers),
-        n_idle: cfg.n_workers,
-        pending_assigns: 0,
-        running: vec![NO_JOB; cfg.n_workers],
-        slices: vec![Nanos::ZERO; cfg.n_workers],
-        quanta_scheduled: 0,
-        first_slice_start: None,
-        last_slice_end: Nanos::ZERO,
-        worker_quanta: vec![0; cfg.n_workers],
-        worker_completed: vec![0; cfg.n_workers],
-    };
     completions.clear();
     completions.reserve(gen.expected_arrivals(horizon));
-    assert!(
-        cfg.n_workers <= TAG_INDEX as usize,
-        "{}: worker index exceeds the 14-bit event-tag space",
-        cfg.name
-    );
-    // At most one pending event per worker, plus the dispatcher op in
-    // flight and the next arrival.
-    let mut events = TagQueue::with_capacity(cfg.n_workers + 2);
+    let mut sim = CentralizedSim::new(cfg, gen, horizon);
+    while sim.step(completions) {}
+    sim.into_stats()
+}
 
-    let mut next_req = Some(gen.next_request());
-    let mut in_horizon = 0u64;
-    if let Some(r) = &next_req {
-        if r.arrival < horizon {
-            events.push(r.arrival, TAG_ARRIVAL);
-        } else {
-            next_req = None;
+/// The centralized engine as a steppable state machine — same split as
+/// [`crate::twolevel::TwoLevelSim`]: [`simulate_into`] is `new` +
+/// `step`-to-quiescence, and the rack tier drives the struct in
+/// [`Fed`](ArrivalSource::Fed) mode as a PDES shard.
+#[derive(Debug)]
+pub struct CentralizedSim {
+    cfg: SystemConfig,
+    horizon: Nanos,
+    st: State,
+    events: TagQueue,
+    in_horizon: u64,
+    source: ArrivalSource,
+    /// Arrivals consumed from the `Fed` inbox (added to the event count).
+    fed_events: u64,
+    /// Jobs admitted and not yet completed (rack load-report signal).
+    resident: u64,
+}
+
+impl CentralizedSim {
+    /// Builds the serial engine: the sim owns `gen` and draws its own
+    /// arrival stream up to `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or not centralized.
+    pub fn new(cfg: &SystemConfig, mut gen: ArrivalGen, horizon: Nanos) -> Self {
+        let mut sim = CentralizedSim::build(cfg, horizon);
+        let mut next = Some(gen.next_request());
+        if let Some(r) = &next {
+            if r.arrival < horizon {
+                sim.events.push(r.arrival, TAG_ARRIVAL);
+            } else {
+                next = None;
+            }
+        }
+        sim.source = ArrivalSource::Own { gen, next };
+        sim
+    }
+
+    /// Builds a fed engine: requests arrive only through
+    /// [`inject`](CentralizedSim::inject). `horizon` is used solely for
+    /// the in-horizon completion counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or not centralized.
+    pub fn new_fed(cfg: &SystemConfig, horizon: Nanos) -> Self {
+        CentralizedSim::build(cfg, horizon)
+    }
+
+    fn build(cfg: &SystemConfig, horizon: Nanos) -> Self {
+        cfg.validate();
+        assert!(
+            matches!(cfg.arch, Architecture::Centralized),
+            "{}: not a centralized system",
+            cfg.name
+        );
+        assert!(
+            cfg.n_workers <= TAG_INDEX as usize,
+            "{}: worker index exceeds the 14-bit event-tag space",
+            cfg.name
+        );
+        CentralizedSim {
+            st: State {
+                ingress_q: VecDeque::with_capacity(RX_RING_CAPACITY),
+                assign_q: 0,
+                in_flight: None,
+                slab: JobSlab::with_capacity(4 * cfg.n_workers),
+                central: VecDeque::with_capacity(4 * cfg.n_workers),
+                idle: WorkerMask::full(cfg.n_workers),
+                n_idle: cfg.n_workers,
+                pending_assigns: 0,
+                running: vec![NO_JOB; cfg.n_workers],
+                slices: vec![Nanos::ZERO; cfg.n_workers],
+                quanta_scheduled: 0,
+                first_slice_start: None,
+                last_slice_end: Nanos::ZERO,
+                worker_quanta: vec![0; cfg.n_workers],
+                worker_completed: vec![0; cfg.n_workers],
+            },
+            // At most one pending event per worker, plus the dispatcher
+            // op in flight and the next arrival.
+            events: TagQueue::with_capacity(cfg.n_workers + 2),
+            in_horizon: 0,
+            source: ArrivalSource::Fed {
+                inbox: EventQueue::new(),
+            },
+            fed_events: 0,
+            resident: 0,
+            cfg: cfg.clone(),
+            horizon,
         }
     }
 
-    while let Some((now, tag)) = events.pop() {
+    /// Timestamp of the earliest pending event (injected or internal),
+    /// or `None` once the sim has quiesced.
+    pub fn next_time(&self) -> Option<Nanos> {
+        let internal = self.events.peek_time();
+        match &self.source {
+            ArrivalSource::Fed { inbox } => match (inbox.peek_time(), internal) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+            ArrivalSource::Own { .. } => internal,
+        }
+    }
+
+    /// Schedules an externally-routed request to reach the NIC at `at`
+    /// (fed mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sim owns its arrival stream, or if `at` is in the
+    /// past.
+    pub fn inject(&mut self, at: Nanos, req: Request) {
+        let ArrivalSource::Fed { inbox } = &mut self.source else {
+            panic!("inject into a sim that owns its arrival stream");
+        };
+        inbox.push(at, req);
+    }
+
+    /// Bulk [`inject`](CentralizedSim::inject) via the inbox's sorted
+    /// fast path.
+    pub fn inject_batch<I: IntoIterator<Item = (Nanos, Request)>>(&mut self, batch: I) {
+        let ArrivalSource::Fed { inbox } = &mut self.source else {
+            panic!("inject into a sim that owns its arrival stream");
+        };
+        inbox.extend_sorted(batch);
+    }
+
+    /// Executes the earliest pending event, appending any completion it
+    /// produces. Returns `false` when no events remain.
+    #[inline(always)]
+    pub fn step(&mut self, completions: &mut Vec<Completion>) -> bool {
+        if let ArrivalSource::Fed { inbox } = &mut self.source {
+            if let Some(t) = inbox.peek_time() {
+                if self.events.peek_time().is_none_or(|e| t <= e) {
+                    let (now, req) = inbox.pop().expect("peeked non-empty inbox");
+                    self.fed_events += 1;
+                    self.handle_arrival(now, req);
+                    return true;
+                }
+            }
+        }
+        let Some((now, tag)) = self.events.pop() else {
+            return false;
+        };
         match tag & TAG_KIND {
             TAG_ARRIVAL => {
-                let req = next_req.take().expect("arrival without request");
-                st.ingress_q.push_back(req);
-                kick_dispatcher(cfg, &mut st, now, &mut events);
-                let r = gen.next_request();
-                if r.arrival < horizon {
-                    next_req = Some(r);
-                    events.push(r.arrival, TAG_ARRIVAL);
+                let ArrivalSource::Own { next, .. } = &mut self.source else {
+                    unreachable!("arrival event in fed mode");
+                };
+                let req = next.take().expect("arrival without request");
+                self.handle_arrival(now, req);
+                if let ArrivalSource::Own { gen, next } = &mut self.source {
+                    let r = gen.next_request();
+                    if r.arrival < self.horizon {
+                        self.events.push(r.arrival, TAG_ARRIVAL);
+                        *next = Some(r);
+                    }
                 }
             }
-            TAG_OP => {
-                let op = st.in_flight.take().expect("op done without op");
-                match op {
-                    Op::Ingress(req) => {
-                        let inflation = cfg.inflation_for(req.class.0);
-                        let idx = st.slab.insert(ActiveJob {
-                            id: req.id,
-                            class: req.class,
-                            arrival: req.arrival,
-                            service_true: req.service,
-                            remaining: req.service.scale(1.0 + inflation),
-                            attained: Nanos::ZERO,
-                            quanta: 0,
-                            quantum: if cfg.worker_policy.preempts() {
-                                cfg.quantum_for(req.class.0)
-                            } else {
-                                Nanos::MAX
-                            },
-                        });
+            TAG_OP => self.handle_op(now),
+            _ => self.handle_slice(now, tag, completions),
+        }
+        true
+    }
+
+    #[inline(always)]
+    fn handle_arrival(&mut self, now: Nanos, req: Request) {
+        self.resident += 1;
+        self.st.ingress_q.push_back(req);
+        kick_dispatcher(&self.cfg, &mut self.st, now, &mut self.events);
+    }
+
+    #[inline(always)]
+    fn handle_op(&mut self, now: Nanos) {
+        let cfg = &self.cfg;
+        let st = &mut self.st;
+        let op = st.in_flight.take().expect("op done without op");
+        match op {
+            Op::Ingress(req) => {
+                let inflation = cfg.inflation_for(req.class.0);
+                let idx = st.slab.insert(ActiveJob {
+                    id: req.id,
+                    class: req.class,
+                    arrival: req.arrival,
+                    service_true: req.service,
+                    remaining: req.service.scale(1.0 + inflation),
+                    attained: Nanos::ZERO,
+                    quanta: 0,
+                    quantum: if cfg.worker_policy.preempts() {
+                        cfg.quantum_for(req.class.0)
+                    } else {
+                        Nanos::MAX
+                    },
+                });
+                st.central.push_back(idx);
+            }
+            Op::Assign => {
+                st.pending_assigns -= 1;
+                if let Some(idx) = st.central.pop_front() {
+                    if let Some(w) = st.idle.first() {
+                        st.idle.clear(w);
+                        st.n_idle -= 1;
+                        let slice = st.slab.get(idx).next_slice();
+                        st.running[w] = idx;
+                        st.slices[w] = slice;
+                        st.quanta_scheduled += 1;
+                        st.worker_quanta[w] += 1;
+                        st.first_slice_start.get_or_insert(now);
+                        self.events
+                            .push(now + slice + cfg.preempt_overhead, TAG_SLICE | w as u16);
+                    } else {
+                        // Wasted dispatcher cycle: every worker got busy
+                        // since this op was queued.
                         st.central.push_back(idx);
                     }
-                    Op::Assign => {
-                        st.pending_assigns -= 1;
-                        if let Some(idx) = st.central.pop_front() {
-                            if let Some(w) = st.idle.first() {
-                                st.idle.clear(w);
-                                st.n_idle -= 1;
-                                let slice = st.slab.get(idx).next_slice();
-                                st.running[w] = idx;
-                                st.slices[w] = slice;
-                                st.quanta_scheduled += 1;
-                                st.worker_quanta[w] += 1;
-                                st.first_slice_start.get_or_insert(now);
-                                events.push(
-                                    now + slice + cfg.preempt_overhead,
-                                    TAG_SLICE | w as u16,
-                                );
-                            } else {
-                                // Wasted dispatcher cycle: every worker got
-                                // busy since this op was queued.
-                                st.central.push_back(idx);
-                            }
-                        }
-                    }
                 }
-                schedule_assigns(&mut st);
-                kick_dispatcher(cfg, &mut st, now, &mut events);
             }
-            _ => {
-                let w = (tag & TAG_INDEX) as usize;
-                let idx = st.running[w];
-                debug_assert_ne!(idx, NO_JOB, "no running slice");
-                st.running[w] = NO_JOB;
-                st.last_slice_end = now;
-                let done = st.slab.get_mut(idx).apply_slice(st.slices[w]);
-                if done {
-                    let job = st.slab.remove(idx);
-                    st.worker_completed[w] += 1;
-                    in_horizon += u64::from(now <= horizon);
-                    completions.push(Completion {
-                        id: job.id,
-                        class: job.class,
-                        arrival: job.arrival,
-                        service: job.service_true,
-                        finish: now,
-                    });
-                } else {
-                    st.central.push_back(idx);
-                }
-                st.idle.set(w);
-                st.n_idle += 1;
-                schedule_assigns(&mut st);
-                kick_dispatcher(cfg, &mut st, now, &mut events);
-            }
+        }
+        schedule_assigns(st);
+        kick_dispatcher(cfg, st, now, &mut self.events);
+    }
+
+    #[inline(always)]
+    fn handle_slice(&mut self, now: Nanos, tag: u16, completions: &mut Vec<Completion>) {
+        let st = &mut self.st;
+        let w = (tag & TAG_INDEX) as usize;
+        let idx = st.running[w];
+        debug_assert_ne!(idx, NO_JOB, "no running slice");
+        st.running[w] = NO_JOB;
+        st.last_slice_end = now;
+        let done = st.slab.get_mut(idx).apply_slice(st.slices[w]);
+        if done {
+            let job = st.slab.remove(idx);
+            st.worker_completed[w] += 1;
+            self.resident -= 1;
+            self.in_horizon += u64::from(now <= self.horizon);
+            completions.push(Completion {
+                id: job.id,
+                class: job.class,
+                arrival: job.arrival,
+                service: job.service_true,
+                finish: now,
+            });
+        } else {
+            st.central.push_back(idx);
+        }
+        st.idle.set(w);
+        st.n_idle += 1;
+        schedule_assigns(st);
+        kick_dispatcher(&self.cfg, st, now, &mut self.events);
+    }
+
+    /// Jobs admitted and not yet completed, plus injected requests still
+    /// in the inbox — what a rack load report carries.
+    pub fn load(&self) -> u64 {
+        let pending = match &self.source {
+            ArrivalSource::Fed { inbox } => inbox.len() as u64,
+            ArrivalSource::Own { .. } => 0,
+        };
+        self.resident + pending
+    }
+
+    /// Events executed so far (internal queue pops plus fed arrivals).
+    pub fn events(&self) -> u64 {
+        self.events.popped() + self.fed_events
+    }
+
+    /// The run's counters (cheap copies of the per-worker totals).
+    pub fn stats(&self) -> CentralizedStats {
+        CentralizedStats {
+            quanta_scheduled: self.st.quanta_scheduled,
+            busy_span: self.busy_span(),
+            events: self.events(),
+            in_horizon: self.in_horizon,
+            worker_quanta: self.st.worker_quanta.clone(),
+            worker_completed: self.st.worker_completed.clone(),
         }
     }
 
-    let busy_span = match st.first_slice_start {
-        Some(start) => st.last_slice_end.saturating_sub(start),
-        None => Nanos::ZERO,
-    };
-    CentralizedStats {
-        quanta_scheduled: st.quanta_scheduled,
-        busy_span,
-        events: events.popped(),
-        in_horizon,
-        worker_quanta: st.worker_quanta,
-        worker_completed: st.worker_completed,
+    /// [`stats`](CentralizedSim::stats) without cloning the worker arrays.
+    fn into_stats(self) -> CentralizedStats {
+        CentralizedStats {
+            quanta_scheduled: self.st.quanta_scheduled,
+            busy_span: self.busy_span(),
+            events: self.events.popped() + self.fed_events,
+            in_horizon: self.in_horizon,
+            worker_quanta: self.st.worker_quanta,
+            worker_completed: self.st.worker_completed,
+        }
+    }
+
+    fn busy_span(&self) -> Nanos {
+        match self.st.first_slice_start {
+            Some(start) => self.st.last_slice_end.saturating_sub(start),
+            None => Nanos::ZERO,
+        }
     }
 }
 

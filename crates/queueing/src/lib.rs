@@ -41,6 +41,7 @@
 pub mod centralized;
 pub mod config;
 pub mod presets;
+pub mod rack;
 pub mod reference;
 pub mod run;
 pub mod scaling;
@@ -53,6 +54,7 @@ mod runq;
 mod slab;
 
 pub use config::{Architecture, SystemConfig};
+pub use rack::{simulate_rack, simulate_rack_into, MembershipChange, RackPolicy, RackSpec, RackStats};
 pub use run::{
     default_jobs, run_once, run_replicated, run_replicated_jobs, sweep, sweep_jobs, Replicated,
     RunResult,

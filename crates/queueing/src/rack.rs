@@ -1,0 +1,982 @@
+//! The rack tier: N TQ servers behind a RackSched-style inter-server
+//! scheduler, simulated in parallel on the conservative PDES core.
+//!
+//! The paper evaluates TQ on one server; at rack scale a top-of-rack
+//! scheduler (RackSched) balances requests across servers using **stale**
+//! per-server load estimates — it learns a server's queue depth only
+//! through periodic load reports that are themselves half an RTT old.
+//! This module models exactly that information structure:
+//!
+//! * **Shard 0 — the rack scheduler.** Owns the arrival stream, an
+//!   estimate of each server's resident jobs, the membership schedule
+//!   (join/leave), and the rack policy RNG. Routing a request sends a
+//!   `Job` message that reaches the chosen server one
+//!   [`RackSpec::dispatch_delay`] later; the estimate is optimistically
+//!   bumped at route time so a burst doesn't herd onto one server.
+//! * **Shards 1..=N — the servers.** Each wraps a steppable serving-system
+//!   engine ([`TwoLevelSim`] or [`CentralizedSim`]) in fed mode plus a
+//!   report loop: while busy, every [`RackSpec::report_interval`] it sends
+//!   `Load` back to the scheduler ([`RackSpec::report_delay`] on the
+//!   wire), overwriting the stale estimate; on draining it sends one
+//!   final report so the scheduler sees it go idle.
+//!
+//! The **lookahead** of the PDES run is `min(dispatch_delay,
+//! report_delay)`: no event can influence another shard sooner than the
+//! rack network latency, which is what lets every shard advance a full
+//! window in parallel without rollback (see `tq_sim::pdes`).
+//!
+//! A single-server spec with zero dispatch delay and no membership
+//! changes *is* the serial engine — [`simulate_rack_into`] routes it to
+//! the exact serial `simulate_into` path, so rack output degenerates
+//! bit-identically to the single-server engines (differential-tested).
+
+use crate::centralized::CentralizedSim;
+use crate::config::{Architecture, SystemConfig};
+use crate::twolevel::{flow_hash, TwoLevelSim};
+use std::collections::VecDeque;
+use tq_core::job::Completion;
+use tq_core::{costs, Nanos, Request};
+use tq_sim::pdes::{run_conservative, Outbox, Shard};
+use tq_sim::{EventQueue, SimRng};
+use tq_workloads::ArrivalGen;
+
+/// How the rack scheduler picks a server for each request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RackPolicy {
+    /// Uniformly random active server.
+    Random,
+    /// Cycle through active servers.
+    RoundRobin,
+    /// Power-of-k choices: sample `k` active servers (with replacement),
+    /// route to the one with the smallest stale load estimate — the
+    /// RackSched policy (k = 2 in the paper).
+    PowerOfK(usize),
+    /// Flow-affinity: a request's flow hash names a home server; it goes
+    /// home unless home's estimate exceeds the rack minimum by more than
+    /// `spill` jobs (then it spills to the least-loaded server).
+    Affinity {
+        /// Estimated-load slack a home server is allowed over the rack
+        /// minimum before requests spill away from it.
+        spill: u64,
+    },
+}
+
+/// A server joining or leaving the rack at a point in virtual time.
+///
+/// Leaving stops *new* routing to the server; jobs already routed (or in
+/// flight) still complete there. Joining makes it routable again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipChange {
+    /// When the change takes effect at the scheduler.
+    pub at: Nanos,
+    /// Which server (0-based).
+    pub server: usize,
+    /// `true` to join, `false` to leave.
+    pub join: bool,
+}
+
+/// A rack of identical TQ servers behind one scheduler.
+#[derive(Debug, Clone)]
+pub struct RackSpec {
+    /// Display name for records and reports.
+    pub name: String,
+    /// The per-server system (two-level or centralized).
+    pub server: SystemConfig,
+    /// Number of server instances (all initially active).
+    pub n_servers: usize,
+    /// The inter-server scheduling policy.
+    pub policy: RackPolicy,
+    /// Scheduler→server one-way latency for routed jobs.
+    pub dispatch_delay: Nanos,
+    /// Server→scheduler one-way latency for load reports.
+    pub report_delay: Nanos,
+    /// How often a busy server reports its load.
+    pub report_interval: Nanos,
+    /// Join/leave schedule, sorted by [`MembershipChange::at`].
+    pub membership: Vec<MembershipChange>,
+}
+
+impl RackSpec {
+    /// A rack of `n_servers` copies of `server` with paper-grounded
+    /// defaults: power-of-two choices, half [`costs::NETWORK_RTT`] each
+    /// way, reports every RTT.
+    pub fn new(server: SystemConfig, n_servers: usize) -> Self {
+        let half_rtt = Nanos::from_nanos(costs::NETWORK_RTT.as_nanos() / 2);
+        RackSpec {
+            name: format!("rack({} x {})", n_servers, server.name),
+            server,
+            n_servers,
+            policy: RackPolicy::PowerOfK(2),
+            dispatch_delay: half_rtt,
+            report_delay: half_rtt,
+            report_interval: costs::NETWORK_RTT,
+            membership: Vec::new(),
+        }
+    }
+
+    /// The PDES lookahead this spec guarantees: the smallest delay any
+    /// cross-shard message can have.
+    pub fn lookahead(&self) -> Nanos {
+        self.dispatch_delay.min(self.report_delay)
+    }
+
+    /// Whether the spec degenerates to one serial single-server engine
+    /// (no rack latency, no membership churn) — the bit-identical path.
+    pub fn is_single_serial(&self) -> bool {
+        self.n_servers == 1 && self.dispatch_delay == Nanos::ZERO && self.membership.is_empty()
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on: zero servers, an invalid server config, a `PowerOfK(0)`
+    /// policy, zero lookahead or report interval outside the
+    /// single-serial special case, an unsorted or out-of-range membership
+    /// schedule, a join/leave that doesn't change state, or a schedule
+    /// that ever leaves the rack with no active server.
+    pub fn validate(&self) {
+        assert!(self.n_servers >= 1, "{}: rack needs at least one server", self.name);
+        self.server.validate();
+        if let RackPolicy::PowerOfK(k) = self.policy {
+            assert!(k >= 1, "{}: power-of-k needs k >= 1", self.name);
+        }
+        if self.is_single_serial() {
+            return;
+        }
+        assert!(
+            self.dispatch_delay > Nanos::ZERO && self.report_delay > Nanos::ZERO,
+            "{}: multi-server racks need non-zero network delays (the PDES lookahead)",
+            self.name
+        );
+        assert!(
+            self.report_interval > Nanos::ZERO,
+            "{}: report interval must be non-zero",
+            self.name
+        );
+        let mut active = vec![true; self.n_servers];
+        let mut n_active = self.n_servers;
+        let mut last = Nanos::ZERO;
+        for change in &self.membership {
+            assert!(
+                change.at >= last,
+                "{}: membership schedule must be sorted by time",
+                self.name
+            );
+            last = change.at;
+            assert!(
+                change.server < self.n_servers,
+                "{}: membership change for unknown server {}",
+                self.name,
+                change.server
+            );
+            assert_ne!(
+                active[change.server], change.join,
+                "{}: server {} membership change at {} is a no-op",
+                self.name, change.server, change.at
+            );
+            active[change.server] = change.join;
+            n_active = if change.join { n_active + 1 } else { n_active - 1 };
+            assert!(
+                n_active >= 1,
+                "{}: membership schedule leaves the rack empty at {}",
+                self.name,
+                change.at
+            );
+        }
+    }
+}
+
+/// What travels between rack shards.
+#[derive(Debug, Clone)]
+pub enum RackMsg {
+    /// A routed request, delivered to its server's NIC.
+    Job(Request),
+    /// A server's load report: its resident-job count at send time.
+    Load {
+        /// The reporting server (0-based).
+        server: usize,
+        /// Jobs resident (queued + running + in local inbox) at the
+        /// moment the report left.
+        queued: u64,
+    },
+}
+
+/// Per-server policy seed: server 0 keeps the rack seed unchanged so the
+/// degenerate single-server rack matches the serial engine exactly.
+fn server_seed(seed: u64, server: usize) -> u64 {
+    seed ^ (server as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// One server's totals from a rack run.
+#[derive(Debug, Clone)]
+pub struct RackServerStats {
+    /// Requests the scheduler routed to this server.
+    pub routed: u64,
+    /// Jobs this server completed.
+    pub completed: u64,
+    /// Completions within the arrival horizon.
+    pub in_horizon: u64,
+    /// Events the server's engine executed (including fed arrivals and
+    /// load-report sends).
+    pub events: u64,
+    /// Load reports the server sent.
+    pub reports: u64,
+    /// Cumulative quanta per worker.
+    pub worker_quanta: Vec<u64>,
+    /// Jobs completed per worker.
+    pub worker_completed: Vec<u64>,
+    /// Jobs gained by stealing per worker (zero for centralized servers).
+    pub worker_steals: Vec<u64>,
+}
+
+/// Everything a rack simulation produces besides the completion stream.
+#[derive(Debug, Clone)]
+pub struct RackStats {
+    /// Events executed across all shards (scheduler routing decisions,
+    /// membership changes, load-report handling, and every server event)
+    /// — the aggregate work counter for events/s accounting.
+    pub events: u64,
+    /// Completions within the arrival horizon, rack-wide.
+    pub in_horizon: u64,
+    /// Requests the scheduler routed (= arrivals before the horizon).
+    pub submitted: u64,
+    /// Conservative-synchronization windows executed.
+    pub windows: u64,
+    /// Cross-shard messages delivered (jobs + load reports).
+    pub messages: u64,
+    /// OS threads the PDES pool actually used.
+    pub threads: usize,
+    /// Per-server breakdown, indexed by server.
+    pub per_server: Vec<RackServerStats>,
+}
+
+/// Simulates `spec`'s rack serving `gen`'s stream until `horizon`, then
+/// drains; completions are merged across servers in finish order.
+///
+/// # Panics
+///
+/// Panics if the spec is invalid (see [`RackSpec::validate`]).
+pub fn simulate_rack(
+    spec: &RackSpec,
+    gen: ArrivalGen,
+    horizon: Nanos,
+    seed: u64,
+    threads: usize,
+) -> (Vec<Completion>, RackStats) {
+    let mut completions = Vec::new();
+    let stats = simulate_rack_into(spec, gen, horizon, seed, threads, &mut completions);
+    (completions, stats)
+}
+
+/// [`simulate_rack`] writing completions into a caller-provided buffer
+/// (cleared first). The output is deterministic for a fixed spec and
+/// seed, independent of `threads`.
+///
+/// # Panics
+///
+/// Panics if the spec is invalid (see [`RackSpec::validate`]).
+pub fn simulate_rack_into(
+    spec: &RackSpec,
+    gen: ArrivalGen,
+    horizon: Nanos,
+    seed: u64,
+    threads: usize,
+    completions: &mut Vec<Completion>,
+) -> RackStats {
+    spec.validate();
+    if spec.is_single_serial() {
+        return simulate_degenerate(spec, gen, horizon, seed, completions);
+    }
+
+    let n = spec.n_servers;
+    let mut shards: Vec<RackShard> = Vec::with_capacity(n + 1);
+    shards.push(RackShard::Sched(SchedShard::new(spec, gen, horizon, seed)));
+    for server in 0..n {
+        shards.push(RackShard::Server(ServerShard::new(
+            spec,
+            server,
+            horizon,
+            server_seed(seed, server),
+        )));
+    }
+    let pdes = run_conservative(&mut shards, spec.lookahead(), threads);
+
+    let RackShard::Sched(sched) = &shards[0] else {
+        unreachable!("shard 0 is the scheduler");
+    };
+    let mut stats = RackStats {
+        events: sched.events,
+        in_horizon: 0,
+        submitted: sched.routed.iter().sum(),
+        windows: pdes.windows,
+        messages: pdes.messages,
+        threads: pdes.threads,
+        per_server: Vec::with_capacity(n),
+    };
+    completions.clear();
+    let mut total = 0;
+    for shard in &shards[1..] {
+        let RackShard::Server(s) = shard else {
+            unreachable!("shards 1.. are servers");
+        };
+        total += s.completions.len();
+    }
+    completions.reserve(total);
+    let routed = sched.routed.clone();
+    for (server, shard) in shards[1..].iter_mut().enumerate() {
+        let RackShard::Server(s) = shard else {
+            unreachable!("shards 1.. are servers");
+        };
+        s.sim.debug_check_drained();
+        let per = s.stats(routed[server]);
+        stats.events += per.events;
+        stats.in_horizon += per.in_horizon;
+        stats.per_server.push(per);
+        completions.append(&mut s.completions);
+    }
+    // Per-server streams are already finish-ordered; a stable sort on
+    // finish alone therefore merges them with deterministic (finish,
+    // server, within-server) tie-breaking.
+    completions.sort_by_key(|c| c.finish);
+    stats
+}
+
+/// The bit-identical degenerate path: one server, no rack latency — run
+/// the serial engine directly.
+fn simulate_degenerate(
+    spec: &RackSpec,
+    gen: ArrivalGen,
+    horizon: Nanos,
+    seed: u64,
+    completions: &mut Vec<Completion>,
+) -> RackStats {
+    let per = match spec.server.arch {
+        Architecture::TwoLevel { .. } => {
+            let s = crate::twolevel::simulate_into(&spec.server, gen, horizon, seed, completions);
+            RackServerStats {
+                routed: completions.len() as u64,
+                completed: completions.len() as u64,
+                in_horizon: s.in_horizon,
+                events: s.events,
+                reports: 0,
+                worker_quanta: s.worker_quanta,
+                worker_completed: s.worker_completed,
+                worker_steals: s.worker_steals,
+            }
+        }
+        Architecture::Centralized => {
+            let s = crate::centralized::simulate_into(&spec.server, gen, horizon, completions);
+            RackServerStats {
+                routed: completions.len() as u64,
+                completed: completions.len() as u64,
+                in_horizon: s.in_horizon,
+                events: s.events,
+                reports: 0,
+                worker_quanta: s.worker_quanta.clone(),
+                worker_completed: s.worker_completed,
+                worker_steals: vec![0; s.worker_quanta.len()],
+            }
+        }
+    };
+    RackStats {
+        events: per.events,
+        in_horizon: per.in_horizon,
+        submitted: per.routed,
+        windows: 0,
+        messages: 0,
+        threads: 1,
+        per_server: vec![per],
+    }
+}
+
+/// Either rack shard kind, so the PDES pool runs one homogeneous slice.
+// One scheduler per rack — the Vec is dominated by Server entries only
+// when racks are large, and shards are never moved after construction.
+#[allow(clippy::large_enum_variant)]
+enum RackShard {
+    Sched(SchedShard),
+    Server(ServerShard),
+}
+
+impl std::fmt::Debug for RackShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RackShard::Sched(_) => f.write_str("Sched"),
+            RackShard::Server(s) => write!(f, "Server({})", s.index),
+        }
+    }
+}
+
+impl Shard for RackShard {
+    type Msg = RackMsg;
+
+    fn next_time(&self) -> Option<Nanos> {
+        match self {
+            RackShard::Sched(s) => s.next_time(),
+            RackShard::Server(s) => s.next_time(),
+        }
+    }
+
+    fn execute_until(&mut self, bound: Nanos, out: &mut Outbox<RackMsg>) {
+        match self {
+            RackShard::Sched(s) => s.execute_until(bound, out),
+            RackShard::Server(s) => s.execute_until(bound, out),
+        }
+    }
+
+    fn deliver(&mut self, _from: usize, at: Nanos, msg: RackMsg) {
+        match (self, msg) {
+            (RackShard::Sched(s), RackMsg::Load { server, queued }) => {
+                s.loads.push(at, (server, queued));
+            }
+            (RackShard::Server(s), RackMsg::Job(req)) => s.accept(at, req),
+            (RackShard::Sched(_), RackMsg::Job(_)) => {
+                unreachable!("scheduler received a job")
+            }
+            (RackShard::Server(_), RackMsg::Load { .. }) => {
+                unreachable!("server received a load report")
+            }
+        }
+    }
+
+    fn deliver_batch(&mut self, from: usize, msgs: &mut Vec<(Nanos, RackMsg)>) {
+        match self {
+            // A batch of jobs lands in the server inbox through the
+            // sorted bulk path (delivery times ascend within a sender's
+            // window because the dispatch delay is constant).
+            RackShard::Server(s) => {
+                if let Some(&(at, _)) = msgs.first() {
+                    s.restart_reports(at);
+                }
+                s.sim.inject_batch(msgs.drain(..).map(|(at, msg)| match msg {
+                    RackMsg::Job(req) => (at, req),
+                    RackMsg::Load { .. } => unreachable!("server received a load report"),
+                }));
+            }
+            shard => {
+                for (at, msg) in msgs.drain(..) {
+                    shard.deliver(from, at, msg);
+                }
+            }
+        }
+    }
+}
+
+/// Shard 0: the rack scheduler (arrivals, estimates, membership, policy).
+struct SchedShard {
+    horizon: Nanos,
+    dispatch_delay: Nanos,
+    policy: RackPolicy,
+    rng: SimRng,
+    gen: ArrivalGen,
+    /// Pre-drawn next arrival (always `< horizon` when `Some`).
+    next_req: Option<Request>,
+    /// Stale per-server load estimates: overwritten by reports,
+    /// optimistically bumped at route time.
+    estimates: Vec<u64>,
+    active: Vec<bool>,
+    n_active: usize,
+    /// Round-robin cursor.
+    rr: usize,
+    membership: VecDeque<MembershipChange>,
+    /// Incoming load reports keyed by delivery time.
+    loads: EventQueue<(usize, u64)>,
+    /// Requests routed per server.
+    routed: Vec<u64>,
+    /// Events handled (arrivals + reports + membership changes).
+    events: u64,
+}
+
+impl SchedShard {
+    fn new(spec: &RackSpec, mut gen: ArrivalGen, horizon: Nanos, seed: u64) -> Self {
+        let next_req = Some(gen.next_request()).filter(|r| r.arrival < horizon);
+        SchedShard {
+            horizon,
+            dispatch_delay: spec.dispatch_delay,
+            policy: spec.policy,
+            // Distinct stream from every per-server policy seed.
+            rng: SimRng::new(seed ^ 0xBADC_AB1E),
+            gen,
+            next_req,
+            estimates: vec![0; spec.n_servers],
+            active: vec![true; spec.n_servers],
+            n_active: spec.n_servers,
+            rr: 0,
+            membership: spec.membership.iter().copied().collect(),
+            loads: EventQueue::new(),
+            routed: vec![0; spec.n_servers],
+            events: 0,
+        }
+    }
+
+    fn next_time(&self) -> Option<Nanos> {
+        let mut t = self.loads.peek_time();
+        for cand in [
+            self.membership.front().map(|m| m.at),
+            self.next_req.as_ref().map(|r| r.arrival),
+        ] {
+            t = match (t, cand) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        t
+    }
+
+    fn execute_until(&mut self, bound: Nanos, out: &mut Outbox<RackMsg>) {
+        loop {
+            // Tie order at one instant: reports refresh estimates first,
+            // then membership changes apply, then arrivals route.
+            let tl = self.loads.peek_time();
+            let tm = self.membership.front().map(|m| m.at);
+            let ta = self.next_req.as_ref().map(|r| r.arrival);
+            let Some(t) = [tl, tm, ta].into_iter().flatten().min() else {
+                return;
+            };
+            if t >= bound {
+                return;
+            }
+            self.events += 1;
+            if tl == Some(t) {
+                let (_, (server, queued)) = self.loads.pop().expect("peeked non-empty loads");
+                self.estimates[server] = queued;
+            } else if tm == Some(t) {
+                let change = self.membership.pop_front().expect("peeked non-empty schedule");
+                debug_assert_ne!(self.active[change.server], change.join);
+                self.active[change.server] = change.join;
+                self.n_active = if change.join {
+                    self.n_active + 1
+                } else {
+                    self.n_active - 1
+                };
+            } else {
+                let req = self.next_req.take().expect("peeked pending arrival");
+                let server = self.route(&req);
+                self.routed[server] += 1;
+                self.estimates[server] += 1;
+                out.send(1 + server, t + self.dispatch_delay, RackMsg::Job(req));
+                self.next_req = Some(self.gen.next_request()).filter(|r| r.arrival < self.horizon);
+            }
+        }
+    }
+
+    /// Picks the target server for `req` among active servers.
+    fn route(&mut self, req: &Request) -> usize {
+        debug_assert!(self.n_active >= 1, "validated schedule keeps the rack non-empty");
+        match self.policy {
+            RackPolicy::Random => {
+                let k = self.rng.index(self.n_active);
+                self.nth_active(k)
+            }
+            RackPolicy::RoundRobin => {
+                let n = self.active.len();
+                loop {
+                    let c = self.rr;
+                    self.rr = (self.rr + 1) % n;
+                    if self.active[c] {
+                        return c;
+                    }
+                }
+            }
+            RackPolicy::PowerOfK(k) => {
+                let mut best = usize::MAX;
+                let mut best_est = u64::MAX;
+                for _ in 0..k {
+                    let k = self.rng.index(self.n_active);
+                    let c = self.nth_active(k);
+                    if self.estimates[c] < best_est {
+                        best_est = self.estimates[c];
+                        best = c;
+                    }
+                }
+                best
+            }
+            RackPolicy::Affinity { spill } => {
+                let home = (flow_hash(req.id.0) % self.active.len() as u64) as usize;
+                let least = self.least_loaded_active();
+                if self.active[home] && self.estimates[home] <= self.estimates[least] + spill {
+                    home
+                } else {
+                    least
+                }
+            }
+        }
+    }
+
+    /// The `k`-th active server in index order (`k < n_active`).
+    fn nth_active(&self, k: usize) -> usize {
+        let mut seen = 0;
+        for (server, &up) in self.active.iter().enumerate() {
+            if up {
+                if seen == k {
+                    return server;
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("k out of range of active servers")
+    }
+
+    /// Lowest-estimate active server; ties break to the lowest index.
+    fn least_loaded_active(&self) -> usize {
+        let mut best = usize::MAX;
+        let mut best_est = u64::MAX;
+        for (server, &up) in self.active.iter().enumerate() {
+            if up && self.estimates[server] < best_est {
+                best_est = self.estimates[server];
+                best = server;
+            }
+        }
+        best
+    }
+}
+
+/// A steppable per-server engine, either architecture.
+#[derive(Debug)]
+enum ServerSim {
+    TwoLevel(Box<TwoLevelSim>),
+    Centralized(Box<CentralizedSim>),
+}
+
+impl ServerSim {
+    fn next_time(&self) -> Option<Nanos> {
+        match self {
+            ServerSim::TwoLevel(s) => s.next_time(),
+            ServerSim::Centralized(s) => s.next_time(),
+        }
+    }
+
+    fn step(&mut self, completions: &mut Vec<Completion>) -> bool {
+        match self {
+            ServerSim::TwoLevel(s) => s.step(completions),
+            ServerSim::Centralized(s) => s.step(completions),
+        }
+    }
+
+    fn inject(&mut self, at: Nanos, req: Request) {
+        match self {
+            ServerSim::TwoLevel(s) => s.inject(at, req),
+            ServerSim::Centralized(s) => s.inject(at, req),
+        }
+    }
+
+    fn inject_batch<I: IntoIterator<Item = (Nanos, Request)>>(&mut self, batch: I) {
+        match self {
+            ServerSim::TwoLevel(s) => s.inject_batch(batch),
+            ServerSim::Centralized(s) => s.inject_batch(batch),
+        }
+    }
+
+    fn load(&self) -> u64 {
+        match self {
+            ServerSim::TwoLevel(s) => s.load(),
+            ServerSim::Centralized(s) => s.load(),
+        }
+    }
+
+    fn events(&self) -> u64 {
+        match self {
+            ServerSim::TwoLevel(s) => s.events(),
+            ServerSim::Centralized(s) => s.events(),
+        }
+    }
+
+    fn debug_check_drained(&self) {
+        if let ServerSim::TwoLevel(s) = self {
+            s.debug_check_drained();
+        }
+    }
+}
+
+/// Shards 1..=N: one server engine plus its load-report loop.
+struct ServerShard {
+    index: usize,
+    sim: ServerSim,
+    completions: Vec<Completion>,
+    report_delay: Nanos,
+    report_interval: Nanos,
+    /// Next periodic report, armed while the server has work.
+    next_report: Option<Nanos>,
+    reports: u64,
+}
+
+impl ServerShard {
+    fn new(spec: &RackSpec, index: usize, horizon: Nanos, seed: u64) -> Self {
+        let sim = match spec.server.arch {
+            Architecture::TwoLevel { .. } => {
+                ServerSim::TwoLevel(Box::new(TwoLevelSim::new_fed(&spec.server, horizon, seed)))
+            }
+            Architecture::Centralized => {
+                ServerSim::Centralized(Box::new(CentralizedSim::new_fed(&spec.server, horizon)))
+            }
+        };
+        ServerShard {
+            index,
+            sim,
+            completions: Vec::new(),
+            report_delay: spec.report_delay,
+            report_interval: spec.report_interval,
+            next_report: None,
+            reports: 0,
+        }
+    }
+
+    fn next_time(&self) -> Option<Nanos> {
+        match (self.sim.next_time(), self.next_report) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn execute_until(&mut self, bound: Nanos, out: &mut Outbox<RackMsg>) {
+        loop {
+            let ts = self.sim.next_time();
+            let tr = self.next_report;
+            // Sim events run first on a tie so a same-instant report
+            // carries the freshest queue depth.
+            match (ts, tr) {
+                (Some(t), _) if t < bound && tr.is_none_or(|r| t <= r) => {
+                    self.sim.step(&mut self.completions);
+                    if self.sim.next_time().is_none() && self.next_report.is_some() {
+                        // Drained: one final report tells the scheduler
+                        // this server went idle, then the loop disarms.
+                        self.send_report(t, out);
+                        self.next_report = None;
+                    }
+                }
+                (_, Some(t)) if t < bound => {
+                    self.send_report(t, out);
+                    self.next_report = Some(t + self.report_interval);
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn send_report(&mut self, now: Nanos, out: &mut Outbox<RackMsg>) {
+        out.send(
+            0,
+            now + self.report_delay,
+            RackMsg::Load {
+                server: self.index,
+                queued: self.sim.load(),
+            },
+        );
+        self.reports += 1;
+    }
+
+    /// Accepts a routed job and (re)arms the report loop.
+    fn accept(&mut self, at: Nanos, req: Request) {
+        self.restart_reports(at);
+        self.sim.inject(at, req);
+    }
+
+    fn restart_reports(&mut self, at: Nanos) {
+        if self.next_report.is_none() {
+            self.next_report = Some(at + self.report_interval);
+        }
+    }
+
+    fn stats(&self, routed: u64) -> RackServerStats {
+        let (in_horizon, worker_quanta, worker_completed, worker_steals) = match &self.sim {
+            ServerSim::TwoLevel(s) => {
+                let st = s.stats();
+                (st.in_horizon, st.worker_quanta, st.worker_completed, st.worker_steals)
+            }
+            ServerSim::Centralized(s) => {
+                let st = s.stats();
+                let steals = vec![0; st.worker_quanta.len()];
+                (st.in_horizon, st.worker_quanta, st.worker_completed, steals)
+            }
+        };
+        RackServerStats {
+            routed,
+            completed: self.completions.len() as u64,
+            in_horizon,
+            events: self.sim.events() + self.reports,
+            reports: self.reports,
+            worker_quanta,
+            worker_completed,
+            worker_steals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use tq_workloads::table1;
+
+    fn rack_gen(spec: &RackSpec, load: f64, seed: u64) -> ArrivalGen {
+        let wl = table1::extreme_bimodal();
+        let rate =
+            wl.rate_for_load(spec.server.n_workers, load) * spec.n_servers as f64;
+        ArrivalGen::new(wl, rate, SimRng::new(seed))
+    }
+
+    fn small_rack(n_servers: usize) -> RackSpec {
+        RackSpec::new(presets::tq(4, Nanos::from_micros(2)), n_servers)
+    }
+
+    #[test]
+    fn degenerate_rack_is_bit_identical_to_serial_twolevel() {
+        let mut spec = small_rack(1);
+        spec.dispatch_delay = Nanos::ZERO;
+        assert!(spec.is_single_serial());
+        let gen = rack_gen(&spec, 0.6, 11);
+        let horizon = Nanos::from_millis(5);
+        let (completions, stats) = simulate_rack(&spec, gen.clone(), horizon, 11, 1);
+        let serial = crate::twolevel::simulate(&spec.server, gen, horizon, 11);
+        assert_eq!(completions, serial.completions);
+        assert_eq!(stats.events, serial.events);
+        assert_eq!(stats.windows, 0, "degenerate path runs no PDES windows");
+    }
+
+    #[test]
+    fn conservation_and_determinism_across_threads() {
+        let spec = small_rack(4);
+        let horizon = Nanos::from_millis(3);
+        let gen = rack_gen(&spec, 0.6, 7);
+        let expected = gen.clone().until(horizon).len();
+        let (base, base_stats) = simulate_rack(&spec, gen.clone(), horizon, 7, 1);
+        assert_eq!(base.len(), expected, "all routed arrivals complete");
+        assert_eq!(base_stats.submitted, expected as u64);
+        assert!(base_stats.windows > 0);
+        assert!(base_stats.messages > 0);
+        for threads in [2, 5] {
+            let (completions, stats) = simulate_rack(&spec, gen.clone(), horizon, 7, threads);
+            assert_eq!(completions, base, "diverged at {threads} threads");
+            assert_eq!(stats.windows, base_stats.windows);
+            assert_eq!(stats.messages, base_stats.messages);
+            assert_eq!(stats.events, base_stats.events);
+        }
+    }
+
+    #[test]
+    fn policies_route_everywhere_and_conserve() {
+        let horizon = Nanos::from_millis(3);
+        for policy in [
+            RackPolicy::Random,
+            RackPolicy::RoundRobin,
+            RackPolicy::PowerOfK(2),
+            RackPolicy::Affinity { spill: 4 },
+        ] {
+            let mut spec = small_rack(3);
+            spec.policy = policy;
+            let gen = rack_gen(&spec, 0.5, 13);
+            let expected = gen.clone().until(horizon).len();
+            let (completions, stats) = simulate_rack(&spec, gen, horizon, 13, 1);
+            assert_eq!(completions.len(), expected, "{policy:?} dropped jobs");
+            assert!(
+                stats.per_server.iter().all(|s| s.routed > 0),
+                "{policy:?} starved a server: {:?}",
+                stats.per_server.iter().map(|s| s.routed).collect::<Vec<_>>()
+            );
+            let routed: u64 = stats.per_server.iter().map(|s| s.routed).sum();
+            let completed: u64 = stats.per_server.iter().map(|s| s.completed).sum();
+            assert_eq!(routed, completed, "{policy:?} lost jobs between shards");
+            // Merged stream is finish-ordered.
+            assert!(completions.windows(2).all(|w| w[0].finish <= w[1].finish));
+        }
+    }
+
+    #[test]
+    fn centralized_servers_work_too() {
+        let mut spec = RackSpec::new(presets::shinjuku(4, Nanos::from_micros(5)), 3);
+        spec.policy = RackPolicy::PowerOfK(2);
+        let wl = table1::high_bimodal();
+        let rate = wl.rate_for_load(4, 0.5) * 3.0;
+        let gen = ArrivalGen::new(wl, rate, SimRng::new(5));
+        let horizon = Nanos::from_millis(3);
+        let expected = gen.clone().until(horizon).len();
+        let (a, _) = simulate_rack(&spec, gen.clone(), horizon, 5, 1);
+        let (b, _) = simulate_rack(&spec, gen, horizon, 5, 3);
+        assert_eq!(a.len(), expected);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn leave_stops_routing_and_join_resumes() {
+        let horizon = Nanos::from_millis(4);
+        let mut spec = small_rack(3);
+        // Server 2 leaves almost immediately and rejoins mid-run.
+        spec.membership = vec![
+            MembershipChange {
+                at: Nanos::from_nanos(1),
+                server: 2,
+                join: false,
+            },
+            MembershipChange {
+                at: Nanos::from_millis(2),
+                server: 2,
+                join: true,
+            },
+        ];
+        let gen = rack_gen(&spec, 0.5, 17);
+        let expected = gen.clone().until(horizon).len();
+        let (completions, stats) = simulate_rack(&spec, gen, horizon, 17, 1);
+        assert_eq!(completions.len(), expected, "churn must not lose jobs");
+        let absent = {
+            let mut spec = small_rack(3);
+            spec.membership = vec![MembershipChange {
+                at: Nanos::from_nanos(1),
+                server: 2,
+                join: false,
+            }];
+            let gen = rack_gen(&spec, 0.5, 17);
+            simulate_rack(&spec, gen, horizon, 17, 1).1.per_server[2].routed
+        };
+        assert_eq!(absent, 0, "a departed server must get no new work");
+        assert!(
+            stats.per_server[2].routed > 0,
+            "rejoined server must get work again"
+        );
+        assert!(stats.per_server[2].routed < stats.per_server[0].routed);
+    }
+
+    #[test]
+    fn power_of_two_beats_random_on_latency() {
+        // Deterministic for fixed seed: steering by (stale) queue
+        // estimates should cut mean sojourn versus blind random, even
+        // though it *skews* routed counts away from clogged servers.
+        let mean_sojourn = |policy: RackPolicy| {
+            let mut spec = small_rack(4);
+            spec.policy = policy;
+            let gen = rack_gen(&spec, 0.8, 29);
+            let (completions, _) = simulate_rack(&spec, gen, Nanos::from_millis(5), 29, 1);
+            let total: u64 = completions
+                .iter()
+                .map(|c| c.finish.as_nanos() - c.arrival.as_nanos())
+                .sum();
+            total as f64 / completions.len() as f64
+        };
+        let p2c = mean_sojourn(RackPolicy::PowerOfK(2));
+        let random = mean_sojourn(RackPolicy::Random);
+        assert!(
+            p2c < random,
+            "p2c mean sojourn {p2c:.0}ns should beat random {random:.0}ns"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero network delays")]
+    fn zero_delay_multi_server_rejected() {
+        let mut spec = small_rack(2);
+        spec.dispatch_delay = Nanos::ZERO;
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the rack empty")]
+    fn emptying_membership_rejected() {
+        let mut spec = small_rack(1);
+        spec.membership = vec![MembershipChange {
+            at: Nanos::from_nanos(5),
+            server: 0,
+            join: false,
+        }];
+        spec.validate();
+    }
+}

@@ -37,7 +37,7 @@ use std::collections::VecDeque;
 use tq_core::job::Completion;
 use tq_core::policy::Dispatcher;
 use tq_core::{Nanos, Request};
-use tq_sim::TagQueue;
+use tq_sim::{EventQueue, TagQueue};
 use tq_workloads::ArrivalGen;
 
 /// Initial capacity of each dispatcher's RX ring. Arrival bursts deeper
@@ -166,157 +166,384 @@ pub fn simulate(cfg: &SystemConfig, gen: ArrivalGen, horizon: Nanos, seed: u64) 
 /// Panics if the configuration is invalid or not two-level.
 pub fn simulate_into(
     cfg: &SystemConfig,
-    mut gen: ArrivalGen,
+    gen: ArrivalGen,
     horizon: Nanos,
     seed: u64,
     completions: &mut Vec<Completion>,
 ) -> TwoLevelStats {
-    cfg.validate();
-    let Architecture::TwoLevel { dispatch } = cfg.arch else {
-        panic!("{}: not a two-level system", cfg.name);
-    };
-    let n_disp = cfg.n_dispatchers.max(1);
-    // Each dispatcher core runs the policy independently (own RNG stream)
-    // but reads the same live worker counters — §6's multi-dispatcher
-    // extension.
-    let mut policies: Vec<Dispatcher> = (0..n_disp)
-        .map(|d| Dispatcher::new(dispatch, cfg.n_workers, seed ^ (d as u64) << 32))
-        .collect();
-    assert!(
-        cfg.n_workers <= TAG_INDEX as usize && n_disp <= TAG_INDEX as usize,
-        "{}: worker/dispatcher index exceeds the 14-bit event-tag space",
-        cfg.name
-    );
-    let mut ws = Workers::new(cfg);
-    // At most one pending event per worker, per dispatcher, plus the
-    // next arrival — the queue never grows past that.
-    let mut events = TagQueue::with_capacity(cfg.n_workers + n_disp + 1);
     completions.clear();
     completions.reserve(gen.expected_arrivals(horizon));
+    let mut sim = TwoLevelSim::new(cfg, gen, horizon, seed);
+    while sim.step(completions) {}
+    sim.debug_check_drained();
+    sim.into_stats()
+}
 
-    // Per-dispatcher state: preallocated FIFO RX ring plus the request in
-    // flight.
-    let mut rx: Vec<VecDeque<Request>> = (0..n_disp)
-        .map(|_| VecDeque::with_capacity(RX_RING_CAPACITY))
-        .collect();
-    let mut forwarding: Vec<Option<Request>> = (0..n_disp).map(|_| None).collect();
-    let mut rr_dispatcher = 0usize;
-    let mut in_horizon = 0u64;
+/// Where a steppable engine ([`TwoLevelSim`],
+/// [`crate::centralized::CentralizedSim`]) gets its request stream.
+// One instance per sim — boxing the generator would buy nothing.
+#[allow(clippy::large_enum_variant)]
+pub enum ArrivalSource {
+    /// The sim owns the generator and pre-draws one request ahead — the
+    /// serial single-server mode, bit-identical to the seed engines.
+    Own {
+        /// The open-loop generator the sim draws from.
+        gen: ArrivalGen,
+        /// The pre-drawn request backing the pending arrival event.
+        next: Option<Request>,
+    },
+    /// Requests are injected by an outer layer (the rack tier): a
+    /// delivery-time-ordered inbox merged against the internal event
+    /// queue at [`step`](TwoLevelSim::step) time. On a time tie the
+    /// inbox wins — the packet is already on the wire before any
+    /// same-instant internal work.
+    Fed {
+        /// Injected requests keyed by NIC delivery time.
+        inbox: EventQueue<Request>,
+    },
+}
 
-    // Pre-draw the first arrival.
-    let mut next_req = Some(gen.next_request());
-    if let Some(r) = &next_req {
-        if r.arrival < horizon {
-            events.push(r.arrival, TAG_ARRIVAL);
-        } else {
-            next_req = None;
+impl std::fmt::Debug for ArrivalSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArrivalSource::Own { next, .. } => f.debug_struct("Own").field("next", next).finish(),
+            ArrivalSource::Fed { inbox } => {
+                f.debug_struct("Fed").field("pending", &inbox.len()).finish()
+            }
+        }
+    }
+}
+
+/// The two-level engine as a steppable state machine.
+///
+/// [`simulate_into`] is `new` + `step`-to-quiescence, so the serial path
+/// is this struct by construction; the rack tier drives the same struct
+/// in [`Fed`](ArrivalSource::Fed) mode as one PDES shard per server.
+#[derive(Debug)]
+pub struct TwoLevelSim {
+    cfg: SystemConfig,
+    horizon: Nanos,
+    n_disp: usize,
+    policies: Vec<Dispatcher>,
+    ws: Workers,
+    events: TagQueue,
+    /// Per-dispatcher preallocated FIFO RX ring plus request in flight.
+    rx: Vec<VecDeque<Request>>,
+    forwarding: Vec<Option<Request>>,
+    rr_dispatcher: usize,
+    in_horizon: u64,
+    source: ArrivalSource,
+    /// Arrivals consumed from the `Fed` inbox — they bypass the
+    /// [`TagQueue`] and are added to its popped count in [`events`].
+    ///
+    /// [`events`]: TwoLevelSim::events
+    fed_events: u64,
+    /// Jobs admitted and not yet completed (rack load-report signal).
+    resident: u64,
+}
+
+impl TwoLevelSim {
+    /// Builds the serial engine: the sim owns `gen` and draws its own
+    /// arrival stream up to `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or not two-level.
+    pub fn new(cfg: &SystemConfig, mut gen: ArrivalGen, horizon: Nanos, seed: u64) -> Self {
+        let mut sim = TwoLevelSim::build(cfg, horizon, seed);
+        // Pre-draw the first arrival.
+        let mut next = Some(gen.next_request());
+        if let Some(r) = &next {
+            if r.arrival < horizon {
+                sim.events.push(r.arrival, TAG_ARRIVAL);
+            } else {
+                next = None;
+            }
+        }
+        sim.source = ArrivalSource::Own { gen, next };
+        sim
+    }
+
+    /// Builds a fed engine: requests arrive only through
+    /// [`inject`](TwoLevelSim::inject). `horizon` is used solely for the
+    /// in-horizon completion counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or not two-level.
+    pub fn new_fed(cfg: &SystemConfig, horizon: Nanos, seed: u64) -> Self {
+        TwoLevelSim::build(cfg, horizon, seed)
+    }
+
+    fn build(cfg: &SystemConfig, horizon: Nanos, seed: u64) -> Self {
+        cfg.validate();
+        let Architecture::TwoLevel { dispatch } = cfg.arch else {
+            panic!("{}: not a two-level system", cfg.name);
+        };
+        let n_disp = cfg.n_dispatchers.max(1);
+        // Each dispatcher core runs the policy independently (own RNG
+        // stream) but reads the same live worker counters — §6's
+        // multi-dispatcher extension.
+        let policies: Vec<Dispatcher> = (0..n_disp)
+            .map(|d| Dispatcher::new(dispatch, cfg.n_workers, seed ^ (d as u64) << 32))
+            .collect();
+        assert!(
+            cfg.n_workers <= TAG_INDEX as usize && n_disp <= TAG_INDEX as usize,
+            "{}: worker/dispatcher index exceeds the 14-bit event-tag space",
+            cfg.name
+        );
+        TwoLevelSim {
+            policies,
+            ws: Workers::new(cfg),
+            // At most one pending event per worker, per dispatcher, plus
+            // the next arrival — the queue never grows past that.
+            events: TagQueue::with_capacity(cfg.n_workers + n_disp + 1),
+            rx: (0..n_disp)
+                .map(|_| VecDeque::with_capacity(RX_RING_CAPACITY))
+                .collect(),
+            forwarding: (0..n_disp).map(|_| None).collect(),
+            rr_dispatcher: 0,
+            in_horizon: 0,
+            source: ArrivalSource::Fed {
+                inbox: EventQueue::new(),
+            },
+            fed_events: 0,
+            resident: 0,
+            cfg: cfg.clone(),
+            horizon,
+            n_disp,
         }
     }
 
-    while let Some((now, tag)) = events.pop() {
+    /// Timestamp of the earliest pending event (injected or internal),
+    /// or `None` once the sim has quiesced.
+    pub fn next_time(&self) -> Option<Nanos> {
+        let internal = self.events.peek_time();
+        match &self.source {
+            ArrivalSource::Fed { inbox } => match (inbox.peek_time(), internal) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+            ArrivalSource::Own { .. } => internal,
+        }
+    }
+
+    /// Schedules an externally-routed request to reach the NIC at `at`
+    /// (fed mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sim owns its arrival stream, or if `at` is in the
+    /// past.
+    pub fn inject(&mut self, at: Nanos, req: Request) {
+        let ArrivalSource::Fed { inbox } = &mut self.source else {
+            panic!("inject into a sim that owns its arrival stream");
+        };
+        inbox.push(at, req);
+    }
+
+    /// Bulk [`inject`](TwoLevelSim::inject): a batch with ascending
+    /// delivery times landing in a drained inbox is appended without any
+    /// heap work.
+    pub fn inject_batch<I: IntoIterator<Item = (Nanos, Request)>>(&mut self, batch: I) {
+        let ArrivalSource::Fed { inbox } = &mut self.source else {
+            panic!("inject into a sim that owns its arrival stream");
+        };
+        inbox.extend_sorted(batch);
+    }
+
+    /// Executes the earliest pending event, appending any completion it
+    /// produces. Returns `false` when no events remain.
+    #[inline(always)]
+    pub fn step(&mut self, completions: &mut Vec<Completion>) -> bool {
+        if let ArrivalSource::Fed { inbox } = &mut self.source {
+            if let Some(t) = inbox.peek_time() {
+                if self.events.peek_time().is_none_or(|e| t <= e) {
+                    let (now, req) = inbox.pop().expect("peeked non-empty inbox");
+                    self.fed_events += 1;
+                    self.handle_arrival(now, req);
+                    return true;
+                }
+            }
+        }
+        let Some((now, tag)) = self.events.pop() else {
+            return false;
+        };
         match tag & TAG_KIND {
             TAG_ARRIVAL => {
-                let req = next_req.take().expect("arrival without request");
-                // The NIC sprays packets across dispatcher cores (RSS).
-                let d = rr_dispatcher;
-                if n_disp > 1 {
-                    rr_dispatcher = (rr_dispatcher + 1) % n_disp;
-                }
-                if forwarding[d].is_none() && rx[d].is_empty() {
-                    // Idle dispatcher, empty ring: forwarding starts now
-                    // either way, so skip the ring round-trip.
-                    forwarding[d] = Some(req);
-                    events.push(now + cfg.dispatch_per_req, TAG_DISPATCH | d as u16);
-                } else {
-                    rx[d].push_back(req);
-                    if forwarding[d].is_none() {
-                        start_forward(cfg, d, &mut rx[d], &mut forwarding[d], &mut events, now);
+                let ArrivalSource::Own { next, .. } = &mut self.source else {
+                    unreachable!("arrival event in fed mode");
+                };
+                let req = next.take().expect("arrival without request");
+                self.handle_arrival(now, req);
+                if let ArrivalSource::Own { gen, next } = &mut self.source {
+                    let r = gen.next_request();
+                    if r.arrival < self.horizon {
+                        self.events.push(r.arrival, TAG_ARRIVAL);
+                        *next = Some(r);
                     }
                 }
-                let r = gen.next_request();
-                if r.arrival < horizon {
-                    next_req = Some(r);
-                    events.push(r.arrival, TAG_ARRIVAL);
-                }
             }
-            TAG_DISPATCH => {
-                let d = (tag & TAG_INDEX) as usize;
-                let req = forwarding[d].take().expect("dispatch done without request");
-                let w = policies[d].pick_split(
-                    &ws.queued_jobs,
-                    &ws.serviced_quanta,
-                    flow_hash(req.id.0),
+            TAG_DISPATCH => self.handle_dispatch(now, tag),
+            _ => self.handle_slice(now, tag, completions),
+        }
+        true
+    }
+
+    #[inline(always)]
+    fn handle_arrival(&mut self, now: Nanos, req: Request) {
+        self.resident += 1;
+        // The NIC sprays packets across dispatcher cores (RSS).
+        let d = self.rr_dispatcher;
+        if self.n_disp > 1 {
+            self.rr_dispatcher = (self.rr_dispatcher + 1) % self.n_disp;
+        }
+        if self.forwarding[d].is_none() && self.rx[d].is_empty() {
+            // Idle dispatcher, empty ring: forwarding starts now either
+            // way, so skip the ring round-trip.
+            self.forwarding[d] = Some(req);
+            self.events
+                .push(now + self.cfg.dispatch_per_req, TAG_DISPATCH | d as u16);
+        } else {
+            self.rx[d].push_back(req);
+            if self.forwarding[d].is_none() {
+                start_forward(
+                    &self.cfg,
+                    d,
+                    &mut self.rx[d],
+                    &mut self.forwarding[d],
+                    &mut self.events,
+                    now,
                 );
-                admit(cfg, &mut ws, w, req, now, &mut events);
-                if cfg.work_stealing {
-                    // Idle workers poll for stealable work continuously;
-                    // a job queued behind a busy worker while another
-                    // core sits idle is taken immediately.
-                    rebalance_to_idle(cfg, &mut ws, w, now, &mut events);
-                }
-                if !rx[d].is_empty() {
-                    start_forward(cfg, d, &mut rx[d], &mut forwarding[d], &mut events, now);
-                }
-            }
-            _ => {
-                let w = (tag & TAG_INDEX) as usize;
-                let idx = ws.running[w];
-                debug_assert_ne!(idx, NO_JOB, "no running slice");
-                let slice = ws.slices[w];
-                let job = ws.slab.get_mut(idx);
-                let done = job.apply_slice(slice);
-                let (next, attained) = (job.next_slice(), job.attained);
-                ws.serviced_quanta[w] += 1;
-                ws.quanta_total[w] += 1;
-                if !done && ws.queues[w].is_empty() {
-                    // Sole resident job: rerunning it is what the queue
-                    // round-trip (push, take_next of a one-element queue)
-                    // would produce under every discipline, so skip the
-                    // queue, the backlog-mask churn, and the second slab
-                    // lookup. `running`/`idle` are already correct.
-                    ws.slices[w] = next;
-                    events.push(now + next + cfg.preempt_overhead, TAG_SLICE | w as u16);
-                    continue;
-                }
-                ws.running[w] = NO_JOB;
-                if done {
-                    let job = ws.slab.remove(idx);
-                    ws.queued_jobs[w] -= 1;
-                    ws.serviced_quanta[w] -= job.quanta;
-                    ws.completed_total[w] += 1;
-                    in_horizon += u64::from(now <= horizon);
-                    completions.push(Completion {
-                        id: job.id,
-                        class: job.class,
-                        arrival: job.arrival,
-                        service: job.service_true,
-                        finish: now,
-                    });
-                } else {
-                    ws.queues[w].push(idx, attained);
-                    ws.backlog.set(w);
-                }
-                if !ws.queues[w].is_empty() {
-                    start_slice(cfg, &mut ws, w, now, Nanos::ZERO, &mut events);
-                } else {
-                    ws.idle.set(w);
-                    if cfg.work_stealing {
-                        try_steal(cfg, &mut ws, w, now, &mut events);
-                    }
-                }
             }
         }
     }
-    debug_assert!(
-        ws.queued_jobs.iter().all(|&q| q == 0) && ws.serviced_quanta.iter().all(|&s| s == 0),
-        "drained simulation left non-zero worker counters"
-    );
-    TwoLevelStats {
-        events: events.popped(),
-        in_horizon,
-        worker_quanta: ws.quanta_total,
-        worker_completed: ws.completed_total,
-        worker_steals: ws.steals_total,
+
+    #[inline(always)]
+    fn handle_dispatch(&mut self, now: Nanos, tag: u16) {
+        let d = (tag & TAG_INDEX) as usize;
+        let req = self.forwarding[d].take().expect("dispatch done without request");
+        let w = self.policies[d].pick_split(
+            &self.ws.queued_jobs,
+            &self.ws.serviced_quanta,
+            flow_hash(req.id.0),
+        );
+        admit(&self.cfg, &mut self.ws, w, req, now, &mut self.events);
+        if self.cfg.work_stealing {
+            // Idle workers poll for stealable work continuously; a job
+            // queued behind a busy worker while another core sits idle
+            // is taken immediately.
+            rebalance_to_idle(&self.cfg, &mut self.ws, w, now, &mut self.events);
+        }
+        if !self.rx[d].is_empty() {
+            start_forward(
+                &self.cfg,
+                d,
+                &mut self.rx[d],
+                &mut self.forwarding[d],
+                &mut self.events,
+                now,
+            );
+        }
+    }
+
+    #[inline(always)]
+    fn handle_slice(&mut self, now: Nanos, tag: u16, completions: &mut Vec<Completion>) {
+        let ws = &mut self.ws;
+        let w = (tag & TAG_INDEX) as usize;
+        let idx = ws.running[w];
+        debug_assert_ne!(idx, NO_JOB, "no running slice");
+        let slice = ws.slices[w];
+        let job = ws.slab.get_mut(idx);
+        let done = job.apply_slice(slice);
+        let (next, attained) = (job.next_slice(), job.attained);
+        ws.serviced_quanta[w] += 1;
+        ws.quanta_total[w] += 1;
+        if !done && ws.queues[w].is_empty() {
+            // Sole resident job: rerunning it is what the queue
+            // round-trip (push, take_next of a one-element queue) would
+            // produce under every discipline, so skip the queue, the
+            // backlog-mask churn, and the second slab lookup.
+            // `running`/`idle` are already correct.
+            ws.slices[w] = next;
+            self.events
+                .push(now + next + self.cfg.preempt_overhead, TAG_SLICE | w as u16);
+            return;
+        }
+        ws.running[w] = NO_JOB;
+        if done {
+            let job = ws.slab.remove(idx);
+            ws.queued_jobs[w] -= 1;
+            ws.serviced_quanta[w] -= job.quanta;
+            ws.completed_total[w] += 1;
+            self.resident -= 1;
+            self.in_horizon += u64::from(now <= self.horizon);
+            completions.push(Completion {
+                id: job.id,
+                class: job.class,
+                arrival: job.arrival,
+                service: job.service_true,
+                finish: now,
+            });
+        } else {
+            ws.queues[w].push(idx, attained);
+            ws.backlog.set(w);
+        }
+        if !ws.queues[w].is_empty() {
+            start_slice(&self.cfg, ws, w, now, Nanos::ZERO, &mut self.events);
+        } else {
+            ws.idle.set(w);
+            if self.cfg.work_stealing {
+                try_steal(&self.cfg, ws, w, now, &mut self.events);
+            }
+        }
+    }
+
+    /// Jobs admitted and not yet completed, plus injected requests still
+    /// in the inbox — what a rack load report carries.
+    pub fn load(&self) -> u64 {
+        let pending = match &self.source {
+            ArrivalSource::Fed { inbox } => inbox.len() as u64,
+            ArrivalSource::Own { .. } => 0,
+        };
+        self.resident + pending
+    }
+
+    /// Events executed so far (internal queue pops plus fed arrivals).
+    pub fn events(&self) -> u64 {
+        self.events.popped() + self.fed_events
+    }
+
+    /// The run's counters (cheap copies of the per-worker totals).
+    pub fn stats(&self) -> TwoLevelStats {
+        TwoLevelStats {
+            events: self.events(),
+            in_horizon: self.in_horizon,
+            worker_quanta: self.ws.quanta_total.clone(),
+            worker_completed: self.ws.completed_total.clone(),
+            worker_steals: self.ws.steals_total.clone(),
+        }
+    }
+
+    /// [`stats`](TwoLevelSim::stats) without cloning the worker arrays.
+    fn into_stats(self) -> TwoLevelStats {
+        TwoLevelStats {
+            events: self.events.popped() + self.fed_events,
+            in_horizon: self.in_horizon,
+            worker_quanta: self.ws.quanta_total,
+            worker_completed: self.ws.completed_total,
+            worker_steals: self.ws.steals_total,
+        }
+    }
+
+    /// Debug-asserts the live worker counters drained to zero — only
+    /// valid once [`step`](TwoLevelSim::step) has returned `false`.
+    pub fn debug_check_drained(&self) {
+        debug_assert!(
+            self.ws.queued_jobs.iter().all(|&q| q == 0)
+                && self.ws.serviced_quanta.iter().all(|&s| s == 0),
+            "drained simulation left non-zero worker counters"
+        );
     }
 }
 

@@ -126,6 +126,47 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Bulk-schedules a batch of events, preserving batch order among
+    /// simultaneous entries (same FIFO contract as repeated [`push`]es).
+    ///
+    /// When the queue is empty and the batch's times are ascending — the
+    /// shape of a window's worth of inter-shard messages landing in a
+    /// drained inbox — the whole batch is appended in one pass: an
+    /// ascending run of packed keys is already a valid 4-ary min-heap, so
+    /// no sift work is done at all. Any other shape falls back to
+    /// per-event pushes (still correct, just not O(1) per event).
+    ///
+    /// [`push`]: EventQueue::push
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event's time is earlier than the last popped time.
+    pub fn extend_sorted<I: IntoIterator<Item = (Nanos, E)>>(&mut self, batch: I) {
+        let mut it = batch.into_iter();
+        if self.is_empty() {
+            // Append while the run stays ascending; keys assigned in
+            // batch order keep FIFO ties intact. Ascending keys at
+            // positions 0..k satisfy heap[(i-1)/4] <= heap[i] trivially.
+            let mut last = self.last_popped;
+            for (time, event) in it.by_ref() {
+                if time < last {
+                    // Order broke mid-batch (or `time` predates the last
+                    // pop): the appended prefix is a valid heap, so
+                    // regular pushes — with their past-check — finish.
+                    self.push(time, event);
+                    break;
+                }
+                last = time;
+                let key = pack(time, self.next_seq);
+                self.next_seq += 1;
+                self.heap.push((key, event));
+            }
+        }
+        for (time, event) in it {
+            self.push(time, event);
+        }
+    }
+
     /// Removes and returns the earliest event with its timestamp, advancing
     /// the queue's notion of "now".
     pub fn pop(&mut self) -> Option<(Nanos, E)> {
@@ -321,6 +362,14 @@ impl TagQueue {
     /// simulation's work counter (events/sec in the perf harness).
     pub fn popped(&self) -> u64 {
         self.popped
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        match self.front {
+            Some(k) => Some(key_time(k)),
+            None => self.heap.first().map(|&k| key_time(k)),
+        }
     }
 
     /// The virtual time of the most recently popped event.
@@ -655,6 +704,42 @@ mod tests {
             }
         }
         assert_eq!(fast.popped(), slow.popped());
+    }
+
+    #[test]
+    fn extend_sorted_matches_pushes() {
+        // Sorted batch into an empty queue (the bulk fast path), unsorted
+        // batch (fallback), and a batch into a non-empty queue must all
+        // behave exactly like the equivalent push loop.
+        let batches: [&[u64]; 3] = [&[1, 2, 2, 5, 9], &[5, 1, 9, 2, 2], &[4, 4, 8]];
+        for (i, batch) in batches.iter().enumerate() {
+            let mut bulk = EventQueue::with_capacity(4);
+            let mut loop_q = EventQueue::with_capacity(4);
+            if i == 2 {
+                bulk.push(Nanos::from_nanos(6), 999);
+                loop_q.push(Nanos::from_nanos(6), 999);
+            }
+            bulk.extend_sorted(batch.iter().map(|&t| (Nanos::from_nanos(t), t)));
+            for &t in batch.iter() {
+                loop_q.push(Nanos::from_nanos(t), t);
+            }
+            loop {
+                let (a, b) = (bulk.pop(), loop_q.pop());
+                assert_eq!(a, b, "batch {i} diverged");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn extend_sorted_rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(Nanos::from_nanos(10), 0);
+        q.pop();
+        q.extend_sorted([(Nanos::from_nanos(9), 1)]);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //!   tie-breaking ([`EventQueue`]).
 //! * [`rng`] — a seeded, reproducible random source with the samplers the
 //!   paper's workloads need (exponential inter-arrivals, weighted mixtures).
+//! * [`pdes`] — conservative-lookahead parallel execution: a simulation
+//!   split into message-passing shards advances in bounded virtual-time
+//!   windows on a thread pool, bit-reproducibly for any thread count.
 //! * [`metrics`] — tail-latency statistics: percentile estimation
 //!   (p50…p99.9), per-class recording, slowdown, and warm-up discarding
 //!   exactly as §5.1 describes (first 10% of samples dropped).
@@ -37,6 +40,7 @@
 
 pub mod events;
 pub mod metrics;
+pub mod pdes;
 pub mod rng;
 
 pub use events::{EventQueue, TagQueue};

@@ -1,0 +1,452 @@
+//! Conservative parallel discrete-event execution (PDES).
+//!
+//! Splits one simulation into independently-advancing **shards** (one
+//! event queue + state partition each) that interact only through
+//! timestamped messages, and runs them under YAWNS-style conservative
+//! synchronization: execution proceeds in bounded virtual-time windows.
+//!
+//! Each round the executor computes the global watermark `W` — the
+//! earliest pending event across all shards — and lets every shard
+//! execute its events with time `t < W + Δ` in parallel, where `Δ` is the
+//! **lookahead**: a lower bound, guaranteed by the model, on the delay
+//! between an event and any cross-shard message it emits. Any message
+//! sent from an event in the window `[W, W + Δ)` therefore has a delivery
+//! time `≥ W + Δ`, i.e. strictly after the window, so delivering the
+//! round's messages at the barrier can never violate causality and no
+//! rollback machinery is needed. The contract is enforced at send time:
+//! [`Outbox::send`] panics on a delivery time inside the current window.
+//!
+//! ## Determinism
+//!
+//! The schedule is bit-reproducible **independent of the thread count**:
+//!
+//! * within a window each shard executes only its own events, in its own
+//!   queue's deterministic `(time, seq)` order, with no shared state;
+//! * at the barrier, messages are delivered serially in (sender index,
+//!   send order) — so ties between simultaneous messages from different
+//!   senders always break the same way;
+//! * the window sequence itself (`W` per round) is a pure function of
+//!   shard states.
+//!
+//! Threads only change *which OS thread* runs a shard's window, never the
+//! order of anything observable.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+use tq_core::Nanos;
+
+/// A partition of a simulation advanced by [`run_conservative`].
+///
+/// Implementations own their event queue and state; all cross-shard
+/// interaction goes through the [`Outbox`] (sends) and [`Shard::deliver`]
+/// (receives). `Send` is required so windows can run on pool threads.
+pub trait Shard: Send {
+    /// The inter-shard message type.
+    type Msg: Send;
+
+    /// Timestamp of this shard's earliest pending event, or `None` when
+    /// it has quiesced. Drives the global watermark.
+    fn next_time(&self) -> Option<Nanos>;
+
+    /// Executes every pending event with time strictly less than
+    /// `bound`, sending any cross-shard messages through `out`.
+    fn execute_until(&mut self, bound: Nanos, out: &mut Outbox<Self::Msg>);
+
+    /// Accepts a message sent by shard `from` for delivery at virtual
+    /// time `at` (guaranteed `≥` every event this shard has executed).
+    fn deliver(&mut self, from: usize, at: Nanos, msg: Self::Msg);
+
+    /// Accepts a batch of messages from one sender, in send order.
+    ///
+    /// The executor groups each sender's round of messages per
+    /// destination and hands them over in one call so receivers can
+    /// bulk-load their inboxes (see `EventQueue::extend_sorted`); the
+    /// default just loops over [`Shard::deliver`].
+    fn deliver_batch(&mut self, from: usize, msgs: &mut Vec<(Nanos, Self::Msg)>) {
+        for (at, msg) in msgs.drain(..) {
+            self.deliver(from, at, msg);
+        }
+    }
+}
+
+/// Collects one shard's outgoing messages during a window.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    /// `(dest, deliver_at, payload)` in send order.
+    msgs: Vec<(usize, Nanos, M)>,
+    /// Current window horizon: every send must deliver at or after it.
+    floor: Nanos,
+}
+
+impl<M> Outbox<M> {
+    fn new() -> Self {
+        Outbox {
+            msgs: Vec::new(),
+            floor: Nanos::ZERO,
+        }
+    }
+
+    /// Sends `msg` to shard `dest` for delivery at virtual time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is inside the current window — the model violated
+    /// its lookahead contract, which would corrupt causality.
+    pub fn send(&mut self, dest: usize, at: Nanos, msg: M) {
+        assert!(
+            at >= self.floor,
+            "lookahead contract violated: message for t={at} inside window ending {}",
+            self.floor
+        );
+        self.msgs.push((dest, at, msg));
+    }
+}
+
+/// What a [`run_conservative`] execution reports about itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PdesStats {
+    /// Synchronization rounds (windows) executed.
+    pub windows: u64,
+    /// Cross-shard messages delivered.
+    pub messages: u64,
+    /// OS threads actually used (after clamping to the shard count).
+    pub threads: usize,
+}
+
+/// Runs `shards` to quiescence under conservative-lookahead windows.
+///
+/// `lookahead` is the minimum cross-shard message latency the model
+/// guarantees; `threads` is the desired pool size (clamped to
+/// `[1, shards.len()]`; the calling thread participates). The result is
+/// identical for every `threads` value.
+///
+/// A single shard is run inline with an unbounded window (it can only
+/// message itself, and self-messages are delivered between rounds).
+///
+/// # Panics
+///
+/// Panics if `shards` is empty, or if `lookahead` is zero with more than
+/// one shard (zero lookahead serializes everything: the window would
+/// never contain an event).
+pub fn run_conservative<S: Shard>(
+    shards: &mut [S],
+    lookahead: Nanos,
+    threads: usize,
+) -> PdesStats {
+    let n = shards.len();
+    assert!(n > 0, "no shards to run");
+    assert!(
+        n == 1 || lookahead > Nanos::ZERO,
+        "conservative execution requires non-zero lookahead"
+    );
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        run_serial(shards, lookahead)
+    } else {
+        run_parallel(shards, lookahead, threads)
+    }
+}
+
+/// The window loop on the calling thread only. Semantically identical to
+/// the pooled path (same windows, same delivery order).
+fn run_serial<S: Shard>(shards: &mut [S], lookahead: Nanos) -> PdesStats {
+    let n = shards.len();
+    let mut outboxes: Vec<Outbox<S::Msg>> = (0..n).map(|_| Outbox::new()).collect();
+    let mut scratch: Vec<Vec<(Nanos, S::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut stats = PdesStats {
+        windows: 0,
+        messages: 0,
+        threads: 1,
+    };
+    while let Some(watermark) = shards.iter().filter_map(Shard::next_time).min() {
+        let (bound, floor) = if n == 1 {
+            (Nanos::MAX, watermark)
+        } else {
+            let b = watermark + lookahead;
+            (b, b)
+        };
+        for (shard, outbox) in shards.iter_mut().zip(outboxes.iter_mut()) {
+            outbox.floor = floor;
+            shard.execute_until(bound, outbox);
+        }
+        stats.windows += 1;
+        stats.messages += deliver_round(shards, &mut outboxes, &mut scratch);
+    }
+    stats
+}
+
+/// Delivers every outbox serially: senders in index order, each sender's
+/// messages grouped per destination in send order. Returns the count.
+fn deliver_round<S: Shard>(
+    shards: &mut [S],
+    outboxes: &mut [Outbox<S::Msg>],
+    scratch: &mut [Vec<(Nanos, S::Msg)>],
+) -> u64 {
+    let mut delivered = 0u64;
+    for (sender, outbox) in outboxes.iter_mut().enumerate() {
+        if outbox.msgs.is_empty() {
+            continue;
+        }
+        delivered += outbox.msgs.len() as u64;
+        for (dest, at, msg) in outbox.msgs.drain(..) {
+            scratch[dest].push((at, msg));
+        }
+        for (dest, batch) in scratch.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                shards[dest].deliver_batch(sender, batch);
+                debug_assert!(batch.is_empty(), "deliver_batch must drain its input");
+            }
+        }
+    }
+    delivered
+}
+
+/// One shard plus its outbox, claimed whole by whichever pool thread
+/// gets there first each window.
+struct Slot<'a, S: Shard> {
+    shard: &'a mut S,
+    outbox: Outbox<S::Msg>,
+}
+
+/// The pooled window loop: `threads - 1` helpers plus the calling thread,
+/// which doubles as the coordinator (watermark computation + barrier-time
+/// message delivery).
+fn run_parallel<S: Shard>(shards: &mut [S], lookahead: Nanos, threads: usize) -> PdesStats {
+    let n = shards.len();
+    let slots: Vec<Mutex<Slot<'_, S>>> = shards
+        .iter_mut()
+        .map(|shard| {
+            Mutex::new(Slot {
+                shard,
+                outbox: Outbox::new(),
+            })
+        })
+        .collect();
+    // Window horizon in raw nanos, the claim cursor for shard work, and
+    // the shutdown flag — all published before the start barrier.
+    let bound = AtomicU64::new(0);
+    let claim = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    let barrier = Barrier::new(threads);
+
+    let execute_claimed = |horizon: Nanos| {
+        loop {
+            let i = claim.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let mut slot = slots[i].lock().expect("shard slot poisoned");
+            slot.outbox.floor = horizon;
+            let Slot { shard, outbox } = &mut *slot;
+            shard.execute_until(horizon, outbox);
+        }
+    };
+
+    let mut stats = PdesStats {
+        windows: 0,
+        messages: 0,
+        threads,
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..threads {
+            scope.spawn(|| loop {
+                barrier.wait();
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+                execute_claimed(Nanos::from_nanos(bound.load(Ordering::Acquire)));
+                barrier.wait();
+            });
+        }
+        let mut scratch: Vec<Vec<(Nanos, S::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        loop {
+            // Between barriers every slot is at rest; the locks below are
+            // uncontended and taken only to satisfy the borrow checker.
+            let watermark = slots
+                .iter()
+                .filter_map(|s| s.lock().expect("shard slot poisoned").shard.next_time())
+                .min();
+            let Some(watermark) = watermark else {
+                done.store(true, Ordering::Release);
+                barrier.wait();
+                break;
+            };
+            let horizon = watermark + lookahead;
+            bound.store(horizon.as_nanos(), Ordering::Release);
+            claim.store(0, Ordering::Release);
+            barrier.wait();
+            execute_claimed(horizon);
+            barrier.wait();
+            stats.windows += 1;
+            stats.messages += deliver_round_locked(&slots, &mut scratch);
+        }
+    });
+    stats
+}
+
+/// [`deliver_round`] over mutex-held slots (all at rest between windows).
+fn deliver_round_locked<S: Shard>(
+    slots: &[Mutex<Slot<'_, S>>],
+    scratch: &mut [Vec<(Nanos, S::Msg)>],
+) -> u64 {
+    let mut delivered = 0u64;
+    for sender in 0..slots.len() {
+        let mut msgs = {
+            let mut slot = slots[sender].lock().expect("shard slot poisoned");
+            std::mem::take(&mut slot.outbox.msgs)
+        };
+        if msgs.is_empty() {
+            continue;
+        }
+        delivered += msgs.len() as u64;
+        for (dest, at, msg) in msgs.drain(..) {
+            scratch[dest].push((at, msg));
+        }
+        // Hand the (now empty) buffer back so its capacity is reused.
+        slots[sender].lock().expect("shard slot poisoned").outbox.msgs = msgs;
+        for (dest, batch) in scratch.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                let mut slot = slots[dest].lock().expect("shard slot poisoned");
+                slot.shard.deliver_batch(sender, batch);
+                debug_assert!(batch.is_empty(), "deliver_batch must drain its input");
+            }
+        }
+    }
+    delivered
+}
+
+/// A shard whose inbox is an [`EventQueue`] merged against local events —
+/// the common receiving half of a sharded model. Kept here as a tested
+/// example and used by the unit tests below; `tq-queueing`'s rack tier
+/// implements the same pattern over its serving-system sims.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventQueue;
+
+    /// Token-passing test shard: each event carries a hop count; a shard
+    /// receiving `h > 0` forwards `h - 1` to the next shard after
+    /// `delay`. Deterministic and fully message-driven.
+    struct TokenShard {
+        index: usize,
+        n: usize,
+        delay: Nanos,
+        queue: EventQueue<u32>,
+        executed: Vec<(Nanos, u32)>,
+    }
+
+    impl TokenShard {
+        fn new(index: usize, n: usize, delay: Nanos) -> Self {
+            TokenShard {
+                index,
+                n,
+                delay,
+                queue: EventQueue::new(),
+                executed: Vec::new(),
+            }
+        }
+    }
+
+    impl Shard for TokenShard {
+        type Msg = u32;
+
+        fn next_time(&self) -> Option<Nanos> {
+            self.queue.peek_time()
+        }
+
+        fn execute_until(&mut self, bound: Nanos, out: &mut Outbox<u32>) {
+            while self.queue.peek_time().is_some_and(|t| t < bound) {
+                let (now, hops) = self.queue.pop().expect("peeked");
+                self.executed.push((now, hops));
+                if hops > 0 {
+                    out.send((self.index + 1) % self.n, now + self.delay, hops - 1);
+                }
+            }
+        }
+
+        fn deliver(&mut self, _from: usize, at: Nanos, msg: u32) {
+            self.queue.push(at, msg);
+        }
+    }
+
+    fn token_ring(n: usize, threads: usize) -> (Vec<Vec<(Nanos, u32)>>, PdesStats) {
+        let delay = Nanos::from_nanos(50);
+        let mut shards: Vec<TokenShard> = (0..n).map(|i| TokenShard::new(i, n, delay)).collect();
+        // Several tokens with staggered start times and hop budgets,
+        // including simultaneous starts on different shards.
+        for (i, shard) in shards.iter_mut().enumerate() {
+            shard.queue.push(Nanos::from_nanos(10 + 7 * i as u64), 40);
+            shard.queue.push(Nanos::from_nanos(10), 13);
+        }
+        let stats = run_conservative(&mut shards, delay, threads);
+        (shards.into_iter().map(|s| s.executed).collect(), stats)
+    }
+
+    #[test]
+    fn ring_terminates_and_counts() {
+        let (executed, stats) = token_ring(4, 1);
+        let total: usize = executed.iter().map(Vec::len).sum();
+        // Each token of hop budget h produces h + 1 executions.
+        assert_eq!(total, 4 * (41 + 14));
+        assert_eq!(stats.messages, 4 * (40 + 13));
+        assert!(stats.windows > 1, "multi-hop run must take several windows");
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let (serial, serial_stats) = token_ring(5, 1);
+        for threads in [2, 3, 5] {
+            let (pooled, pooled_stats) = token_ring(5, threads);
+            assert_eq!(serial, pooled, "diverged at {threads} threads");
+            assert_eq!(serial_stats.windows, pooled_stats.windows);
+            assert_eq!(serial_stats.messages, pooled_stats.messages);
+        }
+    }
+
+    #[test]
+    fn single_shard_runs_unbounded() {
+        // One shard messaging itself: window bound is MAX, self-messages
+        // are delivered between rounds, and the run still terminates.
+        let mut shards = vec![TokenShard::new(0, 1, Nanos::from_nanos(5))];
+        shards[0].queue.push(Nanos::from_nanos(1), 3);
+        let stats = run_conservative(&mut shards, Nanos::ZERO, 4);
+        assert_eq!(shards[0].executed.len(), 4);
+        assert_eq!(stats.messages, 3);
+        assert_eq!(stats.threads, 1, "single shard clamps the pool");
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead contract violated")]
+    fn undershooting_lookahead_panics() {
+        /// Claims a 100ns lookahead but sends at +10ns.
+        struct Liar(EventQueue<u32>);
+        impl Shard for Liar {
+            type Msg = u32;
+            fn next_time(&self) -> Option<Nanos> {
+                self.0.peek_time()
+            }
+            fn execute_until(&mut self, bound: Nanos, out: &mut Outbox<u32>) {
+                while self.0.peek_time().is_some_and(|t| t < bound) {
+                    let (now, _) = self.0.pop().expect("peeked");
+                    out.send(1, now + Nanos::from_nanos(10), 0);
+                }
+            }
+            fn deliver(&mut self, _from: usize, at: Nanos, msg: u32) {
+                self.0.push(at, msg);
+            }
+        }
+        let mut shards = vec![Liar(EventQueue::new()), Liar(EventQueue::new())];
+        shards[0].0.push(Nanos::from_nanos(1), 0);
+        run_conservative(&mut shards, Nanos::from_nanos(100), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero lookahead")]
+    fn zero_lookahead_rejected_for_multiple_shards() {
+        let mut shards = vec![
+            TokenShard::new(0, 2, Nanos::ZERO),
+            TokenShard::new(1, 2, Nanos::ZERO),
+        ];
+        run_conservative(&mut shards, Nanos::ZERO, 1);
+    }
+}
