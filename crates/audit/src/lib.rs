@@ -46,6 +46,14 @@ pub enum DropReason {
     ShutdownAbort,
     /// A fault-injection plan deliberately discarded the request.
     FaultInjected,
+    /// The datagram failed wire-format validation at the socket front end
+    /// (wrong length); it was never parsed into a request.
+    Malformed,
+    /// The socket front end shed a well-formed request instead of
+    /// admitting it: either the in-flight bound was reached
+    /// (backpressure) or a stop had already been requested (no new work
+    /// during drain). See DESIGN.md, "The socket front end".
+    NetShed,
 }
 
 impl fmt::Display for DropReason {
@@ -53,6 +61,8 @@ impl fmt::Display for DropReason {
         match self {
             DropReason::ShutdownAbort => f.write_str("shutdown_abort"),
             DropReason::FaultInjected => f.write_str("fault_injected"),
+            DropReason::Malformed => f.write_str("malformed"),
+            DropReason::NetShed => f.write_str("net_shed"),
         }
     }
 }

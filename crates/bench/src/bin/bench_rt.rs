@@ -195,6 +195,7 @@ fn run_and_report(engine: &mut dyn Engine, spec: &RunSpec, load: f64) -> (RunRec
         counters: out.counters,
         audit,
         rack: engine.take_rack_meta(),
+        net: None,
     };
     let mut violations = check_record(&record, &ids);
     if let Some(report) = &record.audit {
@@ -440,6 +441,8 @@ fn run_throughput(workers: usize, audit: bool, seed: u64) -> ! {
             "  \"requests\": {},\n",
             "  \"seed\": {},\n",
             "  \"audit\": {},\n",
+            "  \"host_cores\": {},\n",
+            "  \"quick\": {},\n",
             "  \"dispatch\": [\n    {},\n    {}\n  ],\n",
             "  \"speedup_ns_per_request\": {:.2}\n",
             "}}\n"
@@ -448,6 +451,8 @@ fn run_throughput(workers: usize, audit: bool, seed: u64) -> ! {
         n,
         seed,
         audit,
+        tq_bench::host_cores(),
+        n < 96_000, // reduced flood via TQ_RT_REQUESTS: not a full baseline
         per_item.json(),
         batched.json(),
         speedup,

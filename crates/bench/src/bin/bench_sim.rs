@@ -45,6 +45,7 @@
 //! JSON; points/sec and ns/event are the regression signals.
 
 use std::time::Instant;
+use tq_bench::host_cores;
 use tq_core::{costs, Nanos};
 use tq_queueing::rack::{simulate_rack_into, RackPolicy, RackSpec};
 use tq_queueing::{presets, sweep_jobs, Architecture, SystemConfig};
@@ -62,13 +63,6 @@ const RACK_CHECK_TOLERANCE: f64 = 0.70;
 
 /// Servers in the benchmark rack (shards = servers + 1 scheduler).
 const RACK_SERVERS: usize = 4;
-
-/// Physical parallelism actually available on this host.
-fn host_cores() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-}
 
 /// One system's share of a sweep measurement, keyed by which engine
 /// (two-level or centralized) it exercises.

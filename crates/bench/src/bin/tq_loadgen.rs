@@ -1,0 +1,518 @@
+//! `tq-loadgen`: the paper's open-loop client over a real socket.
+//!
+//! Paces a pre-drawn Poisson arrival schedule (the same `ArrivalGen`
+//! streams every engine consumes) against the wall clock with the
+//! harness [`Pacer`] — hybrid sleep/spin, never re-timing — and sends
+//! each request as a UDP datagram to a Tiny Quanta server, draining
+//! responses *while pacing* so the measurement stays open-loop (§5.1
+//! methodology, scaled to loopback). By default it starts the server
+//! in-process behind `crates/runtime`'s batched socket front end serving
+//! the shared tq-kv GET/SCAN job; `--connect` aims it at an external
+//! server instead.
+//!
+//! ```text
+//! cargo run --release -p tq-bench --bin tq-loadgen                 # kv over loopback
+//! cargo run --release -p tq-bench --bin tq-loadgen -- --smoke      # CI: small, audited
+//! cargo run --release -p tq-bench --bin tq-loadgen -- --compare    # + in-process RtEngine run
+//! cargo run --release -p tq-bench --bin tq-loadgen -- --connect 10.0.0.2:9000
+//! ```
+//!
+//! Results land in `results/loadgen.json` in the shared `tq-run/v1`
+//! schema: the socket run is an ordinary record whose `classes_sojourn`
+//! percentiles are *client-observed* round trips (measured on the client
+//! clock from send to receive) and whose `net` block carries the
+//! transport label, loss ledger, and both sides' datagram accounting.
+//! `--compare` appends the in-process `RtEngine` record for the same
+//! spec, so wire cost is one subtraction away.
+//!
+//! Auditing (`TQ_AUDIT`, default on) checks the client ledger
+//! (`sent == responses + lost`), the server ledger
+//! (`received == responded + malformed + shed`, frame counters agreeing
+//! with the transport), and the server's internal invariant report.
+//! Loss is tolerated on a noisy host — UDP makes no promises — but in
+//! `--smoke` mode any loss, shed, or audit violation fails the process:
+//! over loopback at smoke rates every datagram must survive, which is
+//! what the CI net smoke job gates on.
+//!
+//! Knobs: `--requests`, `--rate` (rps), `--workload kv|spin`,
+//! `--workers`, `--transport mmsg|syscall` (both sides), `--out`;
+//! `TQ_SEED`, `TQ_AUDIT`, `TQ_RT_WORKERS` as everywhere else.
+
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tq_audit::InvariantAuditor;
+use tq_core::job::Completion;
+use tq_core::Nanos;
+use tq_harness::{json, NetMeta, Pacer, RtEngine, RunRecord, RunSpec};
+use tq_runtime::kv::{kv_factory, kv_store};
+use tq_runtime::net::{decode_response, encode_request, serve, NetConfig, ServeOutcome};
+use tq_runtime::transport::{set_socket_buffers, Frame, Transport, UdpTransport};
+use tq_runtime::{ServerConfig, SpinJob, TinyQuanta, TscClock};
+use tq_sim::{SimRng, TailStats};
+use tq_workloads::{table1, ArrivalGen};
+
+#[derive(Clone, Copy, PartialEq)]
+enum WorkloadChoice {
+    /// tq-kv GET/SCAN behind the wire (RocksDB 0.5% SCAN mix).
+    Kv,
+    /// Spin jobs burning the drawn service time (extreme bimodal).
+    Spin,
+}
+
+#[derive(Clone)]
+struct Args {
+    requests: u64,
+    rate_rps: f64,
+    workload: WorkloadChoice,
+    workers: usize,
+    batched: bool,
+    smoke: bool,
+    compare: bool,
+    connect: Option<SocketAddr>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 0, // resolved after --smoke is known
+        rate_rps: 0.0,
+        workload: WorkloadChoice::Kv,
+        workers: 0,
+        batched: true,
+        smoke: false,
+        compare: false,
+        connect: None,
+        out: "results/loadgen.json".to_string(),
+    };
+    let mut requests: Option<u64> = None;
+    let mut rate: Option<f64> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--compare" => args.compare = true,
+            "--requests" => requests = value("--requests").parse().ok(),
+            "--rate" => rate = value("--rate").parse().ok(),
+            "--workers" => args.workers = value("--workers").parse().unwrap_or(0),
+            "--out" => args.out = value("--out"),
+            "--connect" => {
+                args.connect = Some(value("--connect").parse().unwrap_or_else(|e| {
+                    eprintln!("--connect: bad address: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--workload" => {
+                args.workload = match value("--workload").as_str() {
+                    "kv" => WorkloadChoice::Kv,
+                    "spin" => WorkloadChoice::Spin,
+                    v => {
+                        eprintln!("--workload takes kv|spin, got {v:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--transport" => {
+                args.batched = match value("--transport").as_str() {
+                    "mmsg" => true,
+                    "syscall" => false,
+                    v => {
+                        eprintln!("--transport takes mmsg|syscall, got {v:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            _ => {
+                eprintln!(
+                    "unknown argument {a:?} (supported: --smoke, --compare, --requests N, \
+                     --rate RPS, --workload kv|spin, --workers N, --transport mmsg|syscall, \
+                     --connect ADDR, --out PATH)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    // Gentle defaults: on a shared host the client, serve loop,
+    // dispatcher and workers are all oversubscribed OS threads.
+    args.requests = requests.unwrap_or(if args.smoke { 2_000 } else { 20_000 });
+    args.rate_rps = rate.unwrap_or(if args.smoke { 10_000.0 } else { 20_000.0 });
+    if args.workers == 0 {
+        args.workers = std::env::var("TQ_RT_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(2);
+    }
+    args
+}
+
+fn audit_enabled() -> bool {
+    std::env::var("TQ_AUDIT").map_or(true, |v| v != "0")
+}
+
+/// Per-response client bookkeeping filled in by the receive path.
+struct ClientState {
+    /// Stream-time receive instant per tag (`None` = still outstanding).
+    recv_time: Vec<Option<Nanos>>,
+    /// Responses matched to an outstanding tag.
+    responses: u64,
+    /// Frames that decoded but repeated an already-answered tag, or
+    /// carried a tag that was never sent.
+    unexpected: u64,
+    /// Frames that failed response decoding.
+    malformed: u64,
+    /// Server-reported sojourn per response, for the printed breakdown.
+    server_sojourn: TailStats,
+}
+
+/// Drains every response currently readable, stamping receive times.
+fn drain_responses<T: Transport>(
+    transport: &mut T,
+    rx: &mut [Frame],
+    clock: &TscClock,
+    t0: Nanos,
+    state: &mut ClientState,
+) {
+    loop {
+        let n = transport.recv_batch(rx).expect("client recv");
+        if n == 0 {
+            return;
+        }
+        let now = clock.wall_nanos().saturating_sub(t0);
+        for f in &rx[..n] {
+            match decode_response(f.payload()) {
+                None => state.malformed += 1,
+                Some((tag, sojourn, _quanta)) => {
+                    match state.recv_time.get_mut(tag as usize) {
+                        Some(slot @ None) => {
+                            *slot = Some(now);
+                            state.responses += 1;
+                            state.server_sojourn.record(sojourn.as_nanos());
+                        }
+                        _ => state.unexpected += 1,
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let audit = audit_enabled();
+    let seed = tq_bench::seed();
+    let workload = match args.workload {
+        WorkloadChoice::Kv => table1::rocksdb_low_scan(),
+        WorkloadChoice::Spin => table1::extreme_bimodal(),
+    };
+    let horizon = Nanos::from_nanos_f64(args.requests as f64 / args.rate_rps * 1e9);
+    let spec = RunSpec {
+        workload: workload.clone(),
+        rate_rps: args.rate_rps,
+        horizon,
+        seed,
+    };
+    let schedule = ArrivalGen::new(workload.clone(), args.rate_rps, SimRng::new(seed)).until(horizon);
+    let sent_target = schedule.len() as u64;
+    let transport_label = if args.batched { "udp:mmsg" } else { "udp:syscall" };
+    println!(
+        "tq-loadgen ({}): {} requests at {:.0} rps over {} ({} workload, {} workers, seed {}, audit {})",
+        if args.smoke { "smoke" } else { "full" },
+        sent_target,
+        args.rate_rps,
+        transport_label,
+        if args.workload == WorkloadChoice::Kv { "kv" } else { "spin" },
+        args.workers,
+        seed,
+        if audit { "on" } else { "off" },
+    );
+
+    let clock = TscClock::calibrated();
+
+    // --- server side (in-process unless --connect) -----------------------
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut server_thread = None;
+    let srv_addr = match args.connect {
+        Some(addr) => addr,
+        None => {
+            let config = ServerConfig {
+                workers: args.workers,
+                quantum: Nanos::from_micros(5),
+                seed,
+                audit,
+                ..ServerConfig::default()
+            };
+            let server = match args.workload {
+                WorkloadChoice::Kv => {
+                    let n_keys = 200_000;
+                    let store = kv_store(seed, n_keys, 100);
+                    TinyQuanta::start_with_clock(
+                        config,
+                        clock.clone(),
+                        kv_factory(store, n_keys, 20_000),
+                    )
+                }
+                WorkloadChoice::Spin => {
+                    let job_clock = clock.clone();
+                    TinyQuanta::start_with_clock(config, clock.clone(), move |req| {
+                        Box::new(SpinJob::with_clock(req, &job_clock))
+                    })
+                }
+            };
+            let socket = UdpSocket::bind("127.0.0.1:0").expect("bind server socket");
+            set_socket_buffers(&socket, 1 << 20).expect("socket buffers");
+            let addr = socket.local_addr().unwrap();
+            let batched = args.batched;
+            // Admit the entire schedule: shedding is a backpressure
+            // safety valve, not something a paced loopback run should
+            // trip (smoke asserts it stays at zero).
+            let net_config = NetConfig {
+                max_in_flight: (sent_target as usize).max(1024),
+                ..NetConfig::default()
+            };
+            let stop2 = Arc::clone(&stop);
+            server_thread = Some(std::thread::spawn(move || -> std::io::Result<ServeOutcome> {
+                let mut t = if batched {
+                    UdpTransport::batched(socket)?
+                } else {
+                    UdpTransport::per_datagram(socket)?
+                };
+                serve(server, &mut t, &stop2, &net_config)
+            }));
+            addr
+        }
+    };
+
+    // --- open-loop client ------------------------------------------------
+    let client_socket = UdpSocket::bind("127.0.0.1:0").expect("bind client socket");
+    set_socket_buffers(&client_socket, 1 << 20).expect("socket buffers");
+    let mut transport = if args.batched {
+        UdpTransport::batched(client_socket)
+    } else {
+        UdpTransport::per_datagram(client_socket)
+    }
+    .expect("client transport");
+    let mut rx = vec![Frame::empty(); transport.max_batch()];
+    let mut state = ClientState {
+        recv_time: vec![None; schedule.len()],
+        responses: 0,
+        unexpected: 0,
+        malformed: 0,
+        server_sojourn: TailStats::new(),
+    };
+    let mut send_time = vec![Nanos::ZERO; schedule.len()];
+
+    let pacer = Pacer::start(clock.clone());
+    let t0 = pacer.origin();
+    for r in &schedule {
+        pacer.wait_until_with(r.arrival, &mut || {
+            drain_responses(&mut transport, &mut rx, &clock, t0, &mut state);
+        });
+        let req = encode_request(r.class.0, r.service, r.id.0);
+        transport
+            .send_batch(&[Frame::new(&req, srv_addr)])
+            .expect("client send");
+        send_time[r.id.0 as usize] = clock.wall_nanos().saturating_sub(t0);
+    }
+    let sent = sent_target;
+
+    // Drain stragglers: UDP promises nothing, so give up after a
+    // deadline and account the rest as lost.
+    let drain_deadline = Instant::now() + Duration::from_secs(if args.smoke { 5 } else { 10 });
+    while state.responses < sent && Instant::now() < drain_deadline {
+        drain_responses(&mut transport, &mut rx, &clock, t0, &mut state);
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    let lost = sent - state.responses;
+
+    // --- shut the server down, collect both ledgers ----------------------
+    stop.store(true, Ordering::Release);
+    let outcome = server_thread.map(|h| h.join().expect("serve thread").expect("serve ok"));
+
+    // --- client-observed metrics -----------------------------------------
+    let mut rtt = TailStats::new();
+    let mut completions: Vec<Completion> = Vec::with_capacity(state.responses as usize);
+    let mut in_horizon = 0u64;
+    for r in &schedule {
+        if let Some(finish) = state.recv_time[r.id.0 as usize] {
+            rtt.record(finish.saturating_sub(send_time[r.id.0 as usize]).as_nanos());
+            in_horizon += u64::from(finish <= horizon);
+            completions.push(Completion {
+                id: r.id,
+                class: r.class,
+                // Sojourn here = the client-observed round trip: the
+                // clock starts at the actual send instant (open loop:
+                // late sends measure the trip, not the pacing debt).
+                arrival: send_time[r.id.0 as usize],
+                service: r.service,
+                finish,
+            });
+        }
+    }
+    let summary = tq_harness::summarize(&mut completions);
+
+    // --- audits -----------------------------------------------------------
+    let audit_report = audit.then(|| {
+        let mut a = InvariantAuditor::new("loadgen");
+        a.check(
+            "client_conservation",
+            sent == state.responses + lost,
+            || format!("sent {} != responses {} + lost {}", sent, state.responses, lost),
+        );
+        a.check("client_no_unexpected_tags", state.unexpected == 0, || {
+            format!("{} duplicate/unknown response tags", state.unexpected)
+        });
+        a.check("client_no_malformed_responses", state.malformed == 0, || {
+            format!("{} undecodable responses", state.malformed)
+        });
+        let mut report = a.finish();
+        if let Some(o) = &outcome {
+            report.absorb(o.net.audit());
+            if let Some(server_report) = o.server.audit.clone() {
+                report.absorb(server_report);
+            }
+        }
+        report
+    });
+
+    let net_meta = {
+        let mut m = NetMeta {
+            transport: transport_label.to_string(),
+            sent,
+            responses: state.responses,
+            lost,
+            rtt_p50_ns: rtt.percentile(50.0),
+            rtt_p99_ns: rtt.percentile(99.0),
+            rtt_p999_ns: rtt.percentile(99.9),
+            ..NetMeta::default()
+        };
+        if let Some(o) = &outcome {
+            m.server_received = o.net.received;
+            m.server_responded = o.net.responded;
+            m.server_malformed = o.net.malformed;
+            m.server_shed = o.net.shed;
+            m.frames_per_recv = o.net.transport.frames_per_recv_call();
+            m.frames_per_send = o.net.transport.frames_per_send_call();
+        }
+        m
+    };
+    let record = RunRecord {
+        engine: "rt",
+        model: "runtime",
+        system: format!("TinyQuanta/net({transport_label})"),
+        workload: workload.name().to_string(),
+        workers: args.workers,
+        rate_rps: args.rate_rps,
+        horizon,
+        seed,
+        submitted: sent,
+        completed: state.responses,
+        in_horizon,
+        achieved_rps: in_horizon as f64 / horizon.as_secs_f64(),
+        classes: summary.classes_e2e,
+        classes_sojourn: summary.classes_sojourn,
+        overall_slowdown_p999: summary.overall_slowdown_p999,
+        counters: Default::default(),
+        audit: audit_report.clone(),
+        rack: None,
+        net: Some(net_meta),
+    };
+
+    // --- report ----------------------------------------------------------
+    println!();
+    println!(
+        "client: sent {sent}  responses {}  lost {lost}  (rtt p50 {} p99 {} p999 {})",
+        state.responses,
+        Nanos::from_nanos(rtt.percentile(50.0)),
+        Nanos::from_nanos(rtt.percentile(99.0)),
+        Nanos::from_nanos(rtt.percentile(99.9)),
+    );
+    println!(
+        "        server-reported sojourn p50 {} p99 {}",
+        Nanos::from_nanos(state.server_sojourn.percentile(50.0)),
+        Nanos::from_nanos(state.server_sojourn.percentile(99.0)),
+    );
+    if let Some(o) = &outcome {
+        println!(
+            "server: received {}  responded {}  malformed {}  shed {}  max_in_flight {}",
+            o.net.received, o.net.responded, o.net.malformed, o.net.shed, o.net.max_in_flight
+        );
+        println!(
+            "        {:.1} frames per recv syscall, {:.1} per send ({} recv calls, {} send calls)",
+            o.net.transport.frames_per_recv_call(),
+            o.net.transport.frames_per_send_call(),
+            o.net.transport.recv_calls,
+            o.net.transport.send_calls,
+        );
+    }
+    if let Some(report) = &audit_report {
+        println!("{report}");
+    }
+
+    let mut records = vec![record];
+    if args.compare {
+        // The same spec through the in-process engine (spin-server
+        // model): subtracting its percentiles from the socket record's
+        // isolates the wire + syscall cost.
+        println!();
+        println!("running the in-process RtEngine comparison...");
+        let config = ServerConfig {
+            workers: args.workers,
+            quantum: Nanos::from_micros(5),
+            seed,
+            audit,
+            ..ServerConfig::default()
+        };
+        let mut rt = RtEngine::new(config);
+        let rec = tq_harness::run_to_record(&mut rt, &spec);
+        println!(
+            "in-process: submitted {}  completed {}  (sojourn p999 of class 0: {})",
+            rec.submitted,
+            rec.completed,
+            rec.classes_sojourn
+                .first()
+                .map_or_else(|| "-".to_string(), |c| c.p999.to_string()),
+        );
+        records.push(rec);
+    }
+
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write(&args.out, json::document(&records)).expect("write results");
+    println!("wrote {} ({} records, schema {})", args.out, records.len(), json::SCHEMA);
+
+    // --- verdict ----------------------------------------------------------
+    let mut failures: Vec<String> = Vec::new();
+    if let Some(report) = &audit_report {
+        if !report.is_clean() {
+            failures.push(format!("audit violations: {report}"));
+        }
+    }
+    if args.smoke {
+        // Loopback at smoke rates: every datagram must survive.
+        if lost != 0 {
+            failures.push(format!("smoke run lost {lost} responses"));
+        }
+        if let Some(o) = &outcome {
+            if o.net.shed != 0 {
+                failures.push(format!("smoke run shed {} requests", o.net.shed));
+            }
+            if o.net.malformed != 0 {
+                failures.push(format!("{} malformed datagrams", o.net.malformed));
+            }
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("conservation held on both sides of the wire");
+}

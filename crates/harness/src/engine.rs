@@ -164,6 +164,43 @@ pub struct RackMeta {
     pub per_server: Vec<RackServerMeta>,
 }
 
+/// Socket-tier metadata attached to a [`RunRecord`] when the run was
+/// driven over the wire (tq-loadgen → UDP front end): the client-observed
+/// round-trip tail and both sides' datagram ledgers. `None` when the run
+/// was in-process. The latency percentiles here are *client* clock
+/// measurements over loopback — they include the kernel network stack and
+/// both syscall paths, which the in-process `classes_e2e` numbers model
+/// with a fixed RTT constant instead.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetMeta {
+    /// The transport label (e.g. `"udp:mmsg"`, `"udp:syscall"`).
+    pub transport: String,
+    /// Datagrams the client sent.
+    pub sent: u64,
+    /// Responses the client received (≤ `sent`; UDP may drop).
+    pub responses: u64,
+    /// Requests the client gave up on (`sent - responses`).
+    pub lost: u64,
+    /// Client-observed round-trip p50 in nanoseconds.
+    pub rtt_p50_ns: u64,
+    /// Client-observed round-trip p99 in nanoseconds.
+    pub rtt_p99_ns: u64,
+    /// Client-observed round-trip p99.9 in nanoseconds.
+    pub rtt_p999_ns: u64,
+    /// Datagrams the server front end received (well-formed or not).
+    pub server_received: u64,
+    /// Responses the server sent.
+    pub server_responded: u64,
+    /// Datagrams the server rejected as malformed.
+    pub server_malformed: u64,
+    /// Well-formed requests the server shed (backpressure/drain).
+    pub server_shed: u64,
+    /// Mean frames moved per receive syscall on the server.
+    pub frames_per_recv: f64,
+    /// Mean frames moved per send syscall on the server.
+    pub frames_per_send: f64,
+}
+
 /// An execution engine: anything that can serve a [`RunSpec`]'s arrival
 /// stream and report completions plus counters in the common shape.
 pub trait Engine {
@@ -227,6 +264,8 @@ pub struct RunRecord {
     pub audit: Option<AuditReport>,
     /// Rack-tier metadata (present iff the engine was a rack).
     pub rack: Option<RackMeta>,
+    /// Socket-tier metadata (present iff the run went over the wire).
+    pub net: Option<NetMeta>,
 }
 
 impl RunRecord {
@@ -264,6 +303,7 @@ pub fn run_to_record(engine: &mut dyn Engine, spec: &RunSpec) -> RunRecord {
         counters: out.counters,
         audit,
         rack: engine.take_rack_meta(),
+        net: None,
     }
 }
 

@@ -6,7 +6,7 @@
 //! the sim and runtime schemas identical by construction: downstream
 //! tooling distinguishes them only by the `engine` field.
 
-use crate::engine::{RackMeta, RunRecord};
+use crate::engine::{NetMeta, RackMeta, RunRecord};
 use tq_audit::AuditReport;
 use tq_sim::metrics::ClassSummary;
 
@@ -99,6 +99,36 @@ fn rack_json(m: Option<&RackMeta>) -> String {
     }
 }
 
+/// The socket metadata as a JSON value: `null` for in-process runs.
+fn net_json(m: Option<&NetMeta>) -> String {
+    match m {
+        None => "null".to_string(),
+        Some(m) => format!(
+            concat!(
+                "{{\"transport\": \"{}\", \"sent\": {}, \"responses\": {}, ",
+                "\"lost\": {}, \"rtt_p50_ns\": {}, \"rtt_p99_ns\": {}, ",
+                "\"rtt_p999_ns\": {}, \"server_received\": {}, ",
+                "\"server_responded\": {}, \"server_malformed\": {}, ",
+                "\"server_shed\": {}, \"frames_per_recv\": {}, ",
+                "\"frames_per_send\": {}}}"
+            ),
+            json_str(&m.transport),
+            m.sent,
+            m.responses,
+            m.lost,
+            m.rtt_p50_ns,
+            m.rtt_p99_ns,
+            m.rtt_p999_ns,
+            m.server_received,
+            m.server_responded,
+            m.server_malformed,
+            m.server_shed,
+            json_f64(m.frames_per_recv),
+            json_f64(m.frames_per_send),
+        ),
+    }
+}
+
 fn class_json(c: &ClassSummary) -> String {
     format!(
         concat!(
@@ -151,6 +181,7 @@ pub fn record_json(r: &RunRecord) -> String {
             "\"dispatch_ns_per_request\": {},\n",
             "      \"workers\": [{}]}},\n",
             "     \"rack\": {},\n",
+            "     \"net\": {},\n",
             "     \"audit\": {}}}"
         ),
         r.engine,
@@ -177,6 +208,7 @@ pub fn record_json(r: &RunRecord) -> String {
         json_f64(r.counters.dispatch_ns_per_request()),
         workers.join(", "),
         rack_json(r.rack.as_ref()),
+        net_json(r.net.as_ref()),
         audit_json(r.audit.as_ref()),
     )
 }
@@ -239,6 +271,21 @@ mod tests {
                 windows: 40,
                 messages: 25,
                 per_server: vec![crate::engine::RackServerMeta::default(); 2],
+            }),
+            net: Some(crate::engine::NetMeta {
+                transport: "udp:mmsg".into(),
+                sent: 10,
+                responses: 9,
+                lost: 1,
+                rtt_p50_ns: 12_000,
+                rtt_p99_ns: 48_000,
+                rtt_p999_ns: 95_000,
+                server_received: 10,
+                server_responded: 9,
+                server_malformed: 0,
+                server_shed: 1,
+                frames_per_recv: 3.5,
+                frames_per_send: f64::NAN, // must render as null, not NaN
             }),
             audit: Some(tq_audit::AuditReport {
                 context: "sim two_level".into(),

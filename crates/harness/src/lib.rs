@@ -54,9 +54,9 @@ pub mod rt;
 pub mod sim;
 
 pub use engine::{
-    run_to_record, summarize, Engine, EngineCounters, EngineKind, RackMeta, RackServerMeta,
-    RunOutput, RunRecord, RunSpec, WorkerCounters,
+    run_to_record, summarize, Engine, EngineCounters, EngineKind, NetMeta, RackMeta,
+    RackServerMeta, RunOutput, RunRecord, RunSpec, WorkerCounters,
 };
 pub use rack::RackEngine;
-pub use rt::RtEngine;
+pub use rt::{Pacer, RtEngine};
 pub use sim::SimEngine;

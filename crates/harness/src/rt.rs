@@ -36,6 +36,68 @@ const SLEEP_THRESHOLD_NANOS: u64 = 200_000;
 /// Margin left to spin after a sleep, absorbing OS wakeup latency.
 const SLEEP_MARGIN_NANOS: u64 = 100_000;
 
+/// An open-loop pacer replaying virtual-time arrival offsets against the
+/// wall clock: hybrid sleep/spin (sleep through long gaps minus a margin
+/// for OS wakeup latency, spin the rest away on the TSC), and never
+/// re-timing — a pacer that falls behind releases immediately, so
+/// overload backlogs build up exactly as the paper's client would cause.
+///
+/// Extracted from [`RtEngine::run`]'s inline loop so the socket load
+/// generator (`tq-loadgen`) paces with the identical discipline; see
+/// [`Pacer::wait_until_with`] for the receive-while-pacing variant it
+/// needs.
+#[derive(Debug, Clone)]
+pub struct Pacer {
+    clock: TscClock,
+    t0: Nanos,
+}
+
+impl Pacer {
+    /// Starts the pacing origin **now** on `clock`: offset zero of the
+    /// arrival stream is this instant.
+    pub fn start(clock: TscClock) -> Self {
+        let t0 = clock.wall_nanos();
+        Pacer { clock, t0 }
+    }
+
+    /// The wall-clock origin (`clock` value at [`Pacer::start`]) —
+    /// subtract it from server timestamps to get stream-time values.
+    pub fn origin(&self) -> Nanos {
+        self.t0
+    }
+
+    /// Blocks until the wall clock reaches `origin + offset`; returns
+    /// immediately when already past it (open loop).
+    pub fn wait_until(&self, offset: Nanos) {
+        self.wait_until_with(offset, &mut || {});
+    }
+
+    /// [`Pacer::wait_until`], invoking `poll` between waiting slices —
+    /// at least once per sleep or spin — so a client can keep draining
+    /// its socket while pacing. `poll` must be cheap relative to the
+    /// margin (it runs inside the spin window).
+    pub fn wait_until_with(&self, offset: Nanos, poll: &mut impl FnMut()) {
+        let target = self.t0 + offset;
+        loop {
+            let now = self.clock.wall_nanos();
+            if now >= target {
+                return; // behind schedule: open loop, release now
+            }
+            poll();
+            let now = self.clock.wall_nanos();
+            if now >= target {
+                return;
+            }
+            let gap = (target - now).as_nanos();
+            if gap > SLEEP_THRESHOLD_NANOS {
+                std::thread::sleep(std::time::Duration::from_nanos(gap - SLEEP_MARGIN_NANOS));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
 /// The live-runtime engine: paces an arrival stream into a freshly
 /// started [`TinyQuanta`] server and collects its completions.
 #[derive(Debug, Clone)]
@@ -110,23 +172,10 @@ impl Engine for RtEngine {
         });
 
         let mut raw = Vec::with_capacity(schedule.len());
-        let t0 = clock.wall_nanos();
+        let pacer = Pacer::start(clock.clone());
+        let t0 = pacer.origin();
         for r in &schedule {
-            let target = t0 + r.arrival;
-            loop {
-                let now = clock.wall_nanos();
-                if now >= target {
-                    break; // behind schedule: open loop, submit now
-                }
-                let gap = (target - now).as_nanos();
-                if gap > SLEEP_THRESHOLD_NANOS {
-                    std::thread::sleep(std::time::Duration::from_nanos(
-                        gap - SLEEP_MARGIN_NANOS,
-                    ));
-                } else {
-                    std::hint::spin_loop();
-                }
-            }
+            pacer.wait_until(r.arrival);
             let id = server.submit(r.class.0, r.service);
             // The server numbers submissions sequentially from zero, in
             // lock-step with the stream's ids — the invariant that lets

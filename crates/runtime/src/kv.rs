@@ -1,0 +1,213 @@
+//! The tq-kv GET/SCAN job for the live runtime — the paper's headline
+//! application (§5.1): a shared in-memory ordered store serving
+//! microsecond GETs mixed with rare, very long SCANs.
+//!
+//! [`KvJob`] is a real job written against the forced-multitasking API:
+//! a SCAN processes entries in small batches and polls
+//! [`QuantumCtx::probe`] between batches, saving its cursor when told to
+//! yield, so GETs queued behind it never wait more than ~a quantum. (The
+//! paper's LLVM pass places these probes automatically in C code; a Rust
+//! job expresses them explicitly — see DESIGN.md.)
+//!
+//! This used to live inside `examples/kv_server.rs`; it moved here so
+//! the socket front end (`tq-loadgen`, the net smoke job) and the
+//! example serve the *same* workload rather than divergent copies.
+
+use crate::job::{Job, JobStatus, QuantumCtx};
+use crate::server::{JobFactory, RtRequest};
+use std::sync::Arc;
+use tq_kv::KvStore;
+
+/// A GET or SCAN against the shared store, resumable at quantum
+/// boundaries.
+pub enum KvJob {
+    /// A point lookup; far shorter than any quantum, runs to completion.
+    Get {
+        /// The shared store.
+        store: Arc<KvStore>,
+        /// The key to fetch.
+        key: Vec<u8>,
+    },
+    /// A long range scan, preemptible between batches.
+    Scan {
+        /// The shared store.
+        store: Arc<KvStore>,
+        /// Continuation cursor: next key to read (exclusive resume).
+        cursor: Vec<u8>,
+        /// Entries left to read.
+        remaining: usize,
+        /// Bytes checksum, so the scan work is not optimized away.
+        checksum: u64,
+    },
+}
+
+impl std::fmt::Debug for KvJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvJob::Get { .. } => f.write_str("KvJob::Get"),
+            KvJob::Scan { remaining, .. } => {
+                write!(f, "KvJob::Scan {{ remaining: {remaining} }}")
+            }
+        }
+    }
+}
+
+impl Job for KvJob {
+    fn run(&mut self, ctx: &mut QuantumCtx) -> JobStatus {
+        match self {
+            KvJob::Get { store, key } => {
+                // A GET is far shorter than any quantum: run to completion
+                // (the compiler pass would place its probes so sparsely
+                // that none fires).
+                let v = store.get(key);
+                std::hint::black_box(v.map(<[u8]>::len));
+                JobStatus::Done
+            }
+            KvJob::Scan {
+                store,
+                cursor,
+                remaining,
+                checksum,
+            } => {
+                // Probe between 32-entry batches: the explicit equivalent
+                // of TQ's instrumented loop gate.
+                const BATCH: usize = 32;
+                while *remaining > 0 {
+                    let batch = store.scan(cursor, BATCH.min(*remaining));
+                    if batch.is_empty() {
+                        return JobStatus::Done;
+                    }
+                    for (k, v) in &batch {
+                        *checksum = checksum
+                            .wrapping_mul(31)
+                            .wrapping_add(v.len() as u64 + k.len() as u64);
+                    }
+                    *remaining -= batch.len();
+                    // Advance the cursor past the last key served.
+                    let mut next = batch.last().expect("non-empty").0.to_vec();
+                    next.push(0);
+                    *cursor = next;
+                    if *remaining > 0 && ctx.probe() {
+                        return JobStatus::Yielded;
+                    }
+                }
+                std::hint::black_box(*checksum);
+                JobStatus::Done
+            }
+        }
+    }
+}
+
+/// A populated store for the RocksDB-style experiments: `n_keys` entries
+/// of `value_size` bytes, deterministic under `seed`.
+pub fn kv_store(seed: u64, n_keys: u64, value_size: usize) -> Arc<KvStore> {
+    let mut store = KvStore::new(seed);
+    store.populate(n_keys, value_size);
+    Arc::new(store)
+}
+
+/// The standard job factory over a shared store: class 0 becomes a GET
+/// of a key derived from the request id, any other class a SCAN of
+/// `scan_len` entries starting at an id-derived cursor. Used by the
+/// kv_server example, `tq-loadgen`, and the net tests, so everything
+/// downstream of the wire serves the same workload.
+pub fn kv_factory(store: Arc<KvStore>, n_keys: u64, scan_len: usize) -> Box<JobFactory> {
+    Box::new(move |req: &RtRequest| -> Box<dyn Job> {
+        if req.class.0 == 0 {
+            Box::new(KvJob::Get {
+                store: Arc::clone(&store),
+                key: KvStore::nth_key((req.id.0 * 7919) % n_keys.max(1)),
+            })
+        } else {
+            Box::new(KvJob::Scan {
+                store: Arc::clone(&store),
+                cursor: KvStore::nth_key((req.id.0 * 104_729) % (n_keys / 2).max(1)),
+                remaining: scan_len,
+                checksum: 0,
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServerConfig, TinyQuanta};
+    use tq_core::Nanos;
+
+    #[test]
+    fn gets_and_scans_complete_over_the_runtime() {
+        let store = kv_store(42, 10_000, 64);
+        let factory = kv_factory(Arc::clone(&store), 10_000, 5_000);
+        let server = TinyQuanta::start(
+            ServerConfig {
+                workers: 1,
+                quantum: Nanos::from_micros(5),
+                ..ServerConfig::default()
+            },
+            factory,
+        );
+        for i in 0..100u64 {
+            let class = u16::from(i % 50 == 49);
+            server.submit(class, Nanos::ZERO);
+        }
+        let completions = server.shutdown();
+        assert_eq!(completions.len(), 100);
+        // SCANs must have been preempted at least once: 5k entries at
+        // 32-entry probe granularity cannot fit one 5us quantum.
+        let scan_quanta = completions
+            .iter()
+            .filter(|c| c.class.0 == 1)
+            .map(|c| c.quanta)
+            .max()
+            .expect("scans present");
+        assert!(scan_quanta > 1, "scan finished in one quantum");
+    }
+
+    #[test]
+    fn scan_resumes_from_cursor_with_consistent_checksum() {
+        let store = kv_store(7, 1_000, 32);
+        // Run the same scan once un-preempted and once through the
+        // runtime; the checksums must agree (cursor save/restore is
+        // lossless).
+        let mut reference = KvJob::Scan {
+            store: Arc::clone(&store),
+            cursor: KvStore::nth_key(0),
+            remaining: 500,
+            checksum: 0,
+        };
+        let clock = crate::TscClock::calibrated();
+        let mut ctx = QuantumCtx::new(clock.clone());
+        ctx.arm(tq_core::Cycles(u64::MAX / 2)); // effectively never expires
+        assert!(matches!(reference.run(&mut ctx), JobStatus::Done));
+        let want = match reference {
+            KvJob::Scan { checksum, .. } => checksum,
+            KvJob::Get { .. } => unreachable!(),
+        };
+        assert_ne!(want, 0);
+
+        // Now force a yield at every probe (zero-length quantum) and
+        // check the resumed scan reads exactly the same entries.
+        let mut preempted = KvJob::Scan {
+            store,
+            cursor: KvStore::nth_key(0),
+            remaining: 500,
+            checksum: 0,
+        };
+        let mut resumes = 0u32;
+        loop {
+            ctx.arm(tq_core::Cycles(0)); // already expired: yield ASAP
+            match preempted.run(&mut ctx) {
+                JobStatus::Yielded => resumes += 1,
+                JobStatus::Done => break,
+            }
+            assert!(resumes < 10_000, "scan not making progress");
+        }
+        assert!(resumes > 0, "zero-length quantum never preempted");
+        let got = match preempted {
+            KvJob::Scan { checksum, .. } => checksum,
+            KvJob::Get { .. } => unreachable!(),
+        };
+        assert_eq!(got, want, "preempted scan diverged from reference");
+    }
+}

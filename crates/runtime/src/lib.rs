@@ -17,7 +17,14 @@
 //! * [`dispatcher`] — JSQ with Maximum-Serviced-Quanta tie-breaking over
 //!   the workers' counters.
 //! * [`server`] — the [`TinyQuanta`] facade tying it together.
-//! * [`net`] — a UDP front-end speaking the paper's client protocol.
+//! * [`transport`] — batched datagram I/O: the [`transport::Transport`]
+//!   trait and a UDP implementation moving up to 64 frames per
+//!   `recvmmsg`/`sendmmsg` syscall.
+//! * [`net`] — the socket front end speaking the paper's client
+//!   protocol over a [`transport::Transport`], burst-submitting into the
+//!   dispatch pipeline.
+//! * [`kv`] — the tq-kv GET/SCAN job used as the served workload in the
+//!   end-to-end socket experiments.
 //!
 //! ## Example
 //!
@@ -47,9 +54,11 @@
 pub mod clock;
 pub mod dispatcher;
 pub mod job;
+pub mod kv;
 pub mod net;
 pub mod ring;
 pub mod server;
+pub mod transport;
 pub mod worker;
 
 pub use clock::TscClock;

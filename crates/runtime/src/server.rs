@@ -398,6 +398,38 @@ impl TinyQuanta {
         id
     }
 
+    /// Submits a whole burst of `(class, service)` requests, returning
+    /// the id of the first; the rest follow sequentially. The burst pays
+    /// one clock read and one id-range reservation instead of one of
+    /// each per request, and arrives at the dispatcher back-to-back so
+    /// it is drained as (at most a few) dispatch bursts — one ledger
+    /// snapshot each — rather than `reqs.len()` singletons. All requests
+    /// in the burst share one submission timestamp: the burst *arrived*
+    /// together (a batched socket read delivers its frames at one
+    /// instant).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty burst or if called after
+    /// [`TinyQuanta::shutdown`].
+    pub fn submit_burst(&self, reqs: &[(u16, Nanos)]) -> JobId {
+        assert!(!reqs.is_empty(), "empty burst");
+        let n = reqs.len() as u64;
+        let first = self.next_id.fetch_add(n, Ordering::Relaxed);
+        let now = self.clock.wall_nanos();
+        let tx = self.submit_tx.as_ref().expect("server is shut down");
+        for (i, &(class, service)) in reqs.iter().enumerate() {
+            tx.send(RtRequest {
+                id: JobId(first + i as u64),
+                class: ClassId(class),
+                service,
+                submitted: now,
+            })
+            .expect("dispatcher exited early");
+        }
+        JobId(first)
+    }
+
     /// The server's wall clock (for aligning external measurements).
     pub fn clock(&self) -> &TscClock {
         &self.clock
@@ -408,6 +440,14 @@ impl TinyQuanta {
         let mut out = Vec::new();
         drain_rings(&self.completion_rx, &mut out);
         out
+    }
+
+    /// Appends completions received so far into `out` without shutting
+    /// down — the allocation-free variant of
+    /// [`TinyQuanta::drain_completions`] for callers polling in a loop
+    /// (the socket serving loop reuses one buffer across iterations).
+    pub fn drain_completions_into(&self, out: &mut Vec<Completion>) {
+        drain_rings(&self.completion_rx, out);
     }
 
     /// Stops accepting requests, drains all in-flight work, joins every

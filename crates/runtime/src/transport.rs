@@ -1,0 +1,755 @@
+//! Batched datagram transport: the socket analogue of the batched
+//! dispatch pipeline.
+//!
+//! The paper's clients "transmit requests … over UDP" (§5.1) into a DPDK
+//! NIC that hands the dispatcher *bursts* of frames. A kernel socket has
+//! no burst API per syscall — unless you use Linux's `recvmmsg`/
+//! `sendmmsg`, which move up to [`MAX_BATCH`] datagrams per syscall. The
+//! [`Transport`] trait abstracts exactly that: a nonblocking
+//! batch-in/batch-out frame interface, so the serving loop
+//! (`crate::net::serve`) amortizes syscall cost over a burst the same
+//! way the dispatcher amortizes its snapshot and ring publishes
+//! (DESIGN.md "Batched dispatch pipeline").
+//!
+//! Two implementations:
+//!
+//! * [`UdpTransport::batched`] — `recvmmsg`/`sendmmsg` on Linux (bound
+//!   via a local `extern "C"` declaration: the build environment vendors
+//!   no `libc` crate, but std already links the platform libc), falling
+//!   back to a `recv_from`/`send_to` drain loop on other targets.
+//! * [`UdpTransport::per_datagram`] — one syscall per datagram, the
+//!   pre-batching behaviour, kept as the measurable baseline arm of
+//!   `bench_net` (exactly like the `per_item` arm of `BENCH_rt.json`).
+//!
+//! Sockets are switched to nonblocking mode by the constructors; *waiting*
+//! is the caller's job (the serve loop owns a spin → yield → sleep
+//! backoff, mirroring the worker idle contract), which keeps the
+//! transport itself allocation- and policy-free.
+
+use std::io;
+use std::net::{Ipv4Addr, Ipv6Addr, SocketAddr, SocketAddrV4, SocketAddrV6, UdpSocket};
+
+/// Most frames a single `recvmmsg`/`sendmmsg` call will move. 64 matches
+/// the dispatcher's `dispatch_burst`, so one syscall's worth of datagrams
+/// flows through the dispatch pipeline as one burst.
+pub const MAX_BATCH: usize = 64;
+
+/// Payload capacity of a [`Frame`]. Both wire messages (18-byte request,
+/// 24-byte response) fit with room to spare; longer datagrams are
+/// truncated by the kernel and rejected as malformed by the exact-length
+/// decoders in [`crate::net`].
+pub const MAX_FRAME: usize = 64;
+
+/// One datagram: payload bytes plus the peer address (source on receive,
+/// destination on send). Fixed-size so batches are flat preallocated
+/// arrays with no per-frame allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct Frame {
+    /// Valid payload length (`<= MAX_FRAME`).
+    pub len: u16,
+    /// Peer address: source of a received frame, destination of a frame
+    /// to send.
+    pub addr: SocketAddr,
+    /// Payload storage; only `buf[..len]` is meaningful.
+    pub buf: [u8; MAX_FRAME],
+}
+
+impl Frame {
+    /// An empty frame with a placeholder address (overwritten on
+    /// receive).
+    pub fn empty() -> Frame {
+        Frame {
+            len: 0,
+            addr: SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, 0)),
+            buf: [0u8; MAX_FRAME],
+        }
+    }
+
+    /// A frame carrying `payload` for `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds [`MAX_FRAME`].
+    pub fn new(payload: &[u8], addr: SocketAddr) -> Frame {
+        assert!(payload.len() <= MAX_FRAME, "frame payload too large");
+        let mut f = Frame::empty();
+        f.len = payload.len() as u16;
+        f.addr = addr;
+        f.buf[..payload.len()].copy_from_slice(payload);
+        f
+    }
+
+    /// The valid payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+/// Syscall/frame counters a transport accumulates over its lifetime —
+/// the observability that lets `bench_net` report achieved batch sizes
+/// and the audit tie frame counts to request counts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Receive syscalls that returned at least one frame.
+    pub recv_calls: u64,
+    /// Frames received.
+    pub recv_frames: u64,
+    /// Send syscalls issued.
+    pub send_calls: u64,
+    /// Frames sent.
+    pub send_frames: u64,
+}
+
+impl TransportStats {
+    /// Mean frames moved per receive syscall (1.0 = no batching won).
+    pub fn frames_per_recv_call(&self) -> f64 {
+        self.recv_frames as f64 / self.recv_calls.max(1) as f64
+    }
+
+    /// Mean frames moved per send syscall.
+    pub fn frames_per_send_call(&self) -> f64 {
+        self.send_frames as f64 / self.send_calls.max(1) as f64
+    }
+}
+
+/// A nonblocking batched datagram transport.
+pub trait Transport {
+    /// Receives up to `out.len()` frames without blocking. Returns how
+    /// many frames were filled; `0` means nothing was pending (the
+    /// caller owns backoff).
+    fn recv_batch(&mut self, out: &mut [Frame]) -> io::Result<usize>;
+
+    /// Sends every frame, in order, retrying transient backpressure
+    /// (`WouldBlock`) internally with a yield — UDP send buffers drain to
+    /// loopback quickly, so this never spins long. Frames refused by the
+    /// peer's stack (e.g. `ECONNREFUSED` bounced off a closed port) are
+    /// counted as sent: UDP gives no delivery guarantee either way.
+    fn send_batch(&mut self, frames: &[Frame]) -> io::Result<()>;
+
+    /// Most frames a single receive call will return (the burst bound).
+    fn max_batch(&self) -> usize;
+
+    /// Human-readable implementation label (lands in result JSON).
+    fn label(&self) -> &'static str;
+
+    /// Lifetime syscall/frame counters.
+    fn stats(&self) -> TransportStats;
+}
+
+// ---------------------------------------------------------------------------
+// Linux recvmmsg/sendmmsg bindings.
+//
+// The vendored dependency set has no `libc` crate, so the few pieces of
+// ABI this module needs are declared locally. Layouts match the x86-64 /
+// aarch64 glibc definitions (pointer-sized `msg_iovlen`/`msg_controllen`,
+// 4-byte trailing padding supplied by `repr(C)` field alignment).
+// ---------------------------------------------------------------------------
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::os::fd::RawFd;
+
+    pub const AF_INET: u16 = 2;
+    pub const AF_INET6: u16 = 10;
+    pub const MSG_DONTWAIT: i32 = 0x40;
+    pub const SOL_SOCKET: i32 = 1;
+    pub const SO_SNDBUF: i32 = 7;
+    pub const SO_RCVBUF: i32 = 8;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct IoVec {
+        pub iov_base: *mut u8,
+        pub iov_len: usize,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct MsgHdr {
+        pub msg_name: *mut u8,
+        pub msg_namelen: u32,
+        pub msg_iov: *mut IoVec,
+        pub msg_iovlen: usize,
+        pub msg_control: *mut u8,
+        pub msg_controllen: usize,
+        pub msg_flags: i32,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct MMsgHdr {
+        pub msg_hdr: MsgHdr,
+        pub msg_len: u32,
+    }
+
+    /// Big enough for any `sockaddr_*` the kernel writes (the real
+    /// `sockaddr_storage` is 128 bytes, 8-aligned).
+    #[repr(C, align(8))]
+    #[derive(Clone, Copy)]
+    pub struct SockAddrStorage {
+        pub bytes: [u8; 128],
+    }
+
+    impl SockAddrStorage {
+        pub fn zeroed() -> Self {
+            SockAddrStorage { bytes: [0u8; 128] }
+        }
+    }
+
+    extern "C" {
+        pub fn recvmmsg(
+            sockfd: RawFd,
+            msgvec: *mut MMsgHdr,
+            vlen: u32,
+            flags: i32,
+            timeout: *mut u8, // struct timespec*; always null here
+        ) -> i32;
+        pub fn sendmmsg(sockfd: RawFd, msgvec: *mut MMsgHdr, vlen: u32, flags: i32) -> i32;
+        pub fn setsockopt(
+            sockfd: RawFd,
+            level: i32,
+            optname: i32,
+            optval: *const u8,
+            optlen: u32,
+        ) -> i32;
+    }
+}
+
+/// Requests larger kernel socket buffers (both directions). Loopback
+/// floods overflow the ~200 KiB defaults long before the serving loop is
+/// the bottleneck; the kernel clamps to `rmem_max`/`wmem_max`, so this is
+/// best-effort and silently partial. No-op off Linux.
+pub fn set_socket_buffers(socket: &UdpSocket, bytes: usize) -> io::Result<()> {
+    #[cfg(target_os = "linux")]
+    {
+        use std::os::fd::AsRawFd;
+        let val: i32 = bytes.min(i32::MAX as usize) as i32;
+        let ptr = &val as *const i32 as *const u8;
+        let len = std::mem::size_of::<i32>() as u32;
+        // SAFETY: fd is a live socket owned by `socket`; optval points at
+        // a 4-byte int, as SO_RCVBUF/SO_SNDBUF require.
+        unsafe {
+            if sys::setsockopt(socket.as_raw_fd(), sys::SOL_SOCKET, sys::SO_RCVBUF, ptr, len) != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            if sys::setsockopt(socket.as_raw_fd(), sys::SOL_SOCKET, sys::SO_SNDBUF, ptr, len) != 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    let _ = (socket, bytes);
+    Ok(())
+}
+
+#[cfg(target_os = "linux")]
+fn decode_sockaddr(storage: &sys::SockAddrStorage, len: u32) -> Option<SocketAddr> {
+    let b = &storage.bytes;
+    let family = u16::from_ne_bytes([b[0], b[1]]);
+    match family {
+        sys::AF_INET if len as usize >= 8 => {
+            // sockaddr_in: family u16 | port u16 (BE) | addr u32 (BE).
+            let port = u16::from_be_bytes([b[2], b[3]]);
+            let ip = Ipv4Addr::new(b[4], b[5], b[6], b[7]);
+            Some(SocketAddr::V4(SocketAddrV4::new(ip, port)))
+        }
+        sys::AF_INET6 if len as usize >= 28 => {
+            // sockaddr_in6: family u16 | port u16 (BE) | flowinfo u32 |
+            // addr [u8;16] | scope u32.
+            let port = u16::from_be_bytes([b[2], b[3]]);
+            let flowinfo = u32::from_ne_bytes([b[4], b[5], b[6], b[7]]);
+            let mut ip = [0u8; 16];
+            ip.copy_from_slice(&b[8..24]);
+            let scope = u32::from_ne_bytes([b[24], b[25], b[26], b[27]]);
+            Some(SocketAddr::V6(SocketAddrV6::new(
+                Ipv6Addr::from(ip),
+                port,
+                flowinfo,
+                scope,
+            )))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn encode_sockaddr(addr: &SocketAddr, storage: &mut sys::SockAddrStorage) -> u32 {
+    let b = &mut storage.bytes;
+    match addr {
+        SocketAddr::V4(v4) => {
+            b[0..2].copy_from_slice(&sys::AF_INET.to_ne_bytes());
+            b[2..4].copy_from_slice(&v4.port().to_be_bytes());
+            b[4..8].copy_from_slice(&v4.ip().octets());
+            b[8..16].fill(0);
+            16 // sizeof(sockaddr_in)
+        }
+        SocketAddr::V6(v6) => {
+            b[0..2].copy_from_slice(&sys::AF_INET6.to_ne_bytes());
+            b[2..4].copy_from_slice(&v6.port().to_be_bytes());
+            b[4..8].copy_from_slice(&v6.flowinfo().to_ne_bytes());
+            b[8..24].copy_from_slice(&v6.ip().octets());
+            b[24..28].copy_from_slice(&v6.scope_id().to_ne_bytes());
+            28 // sizeof(sockaddr_in6)
+        }
+    }
+}
+
+/// Preallocated scratch for the mmsg syscalls: header, iovec and address
+/// storage per batch slot. The embedded pointers are wired to the
+/// caller's [`Frame`] buffers for the duration of one syscall only.
+#[cfg(target_os = "linux")]
+struct MmsgScratch {
+    hdrs: Vec<sys::MMsgHdr>,
+    iovs: Vec<sys::IoVec>,
+    addrs: Vec<sys::SockAddrStorage>,
+    payloads: Vec<[u8; MAX_FRAME]>,
+}
+
+#[cfg(target_os = "linux")]
+impl MmsgScratch {
+    fn new(batch: usize) -> Self {
+        let zero_hdr = sys::MMsgHdr {
+            msg_hdr: sys::MsgHdr {
+                msg_name: std::ptr::null_mut(),
+                msg_namelen: 0,
+                msg_iov: std::ptr::null_mut(),
+                msg_iovlen: 0,
+                msg_control: std::ptr::null_mut(),
+                msg_controllen: 0,
+                msg_flags: 0,
+            },
+            msg_len: 0,
+        };
+        MmsgScratch {
+            hdrs: vec![zero_hdr; batch],
+            iovs: vec![
+                sys::IoVec {
+                    iov_base: std::ptr::null_mut(),
+                    iov_len: 0,
+                };
+                batch
+            ],
+            addrs: vec![sys::SockAddrStorage::zeroed(); batch],
+            payloads: vec![[0u8; MAX_FRAME]; batch],
+        }
+    }
+}
+
+/// The UDP implementation of [`Transport`]. See the module docs for the
+/// two modes.
+pub struct UdpTransport {
+    socket: UdpSocket,
+    batch: usize,
+    stats: TransportStats,
+    #[cfg(target_os = "linux")]
+    scratch: Option<MmsgScratch>,
+}
+
+// SAFETY: the raw pointers inside `MmsgScratch` are scratch space wired
+// up and consumed within a single `recv_batch`/`send_batch` call; they
+// never alias data owned by another thread between calls.
+#[cfg(target_os = "linux")]
+unsafe impl Send for UdpTransport {}
+
+impl std::fmt::Debug for UdpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpTransport")
+            .field("label", &self.label())
+            .field("batch", &self.batch)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl UdpTransport {
+    /// The batched transport: `recvmmsg`/`sendmmsg` bursts of up to
+    /// [`MAX_BATCH`] frames on Linux, a nonblocking drain loop elsewhere.
+    /// The socket is switched to nonblocking mode.
+    pub fn batched(socket: UdpSocket) -> io::Result<UdpTransport> {
+        Self::with_batch(socket, MAX_BATCH)
+    }
+
+    /// One syscall per datagram — the pre-batching baseline, kept
+    /// selectable so `bench_net` can measure exactly what batching buys.
+    pub fn per_datagram(socket: UdpSocket) -> io::Result<UdpTransport> {
+        Self::with_batch(socket, 1)
+    }
+
+    /// A transport moving up to `batch` (clamped to `1..=MAX_BATCH`)
+    /// frames per syscall.
+    pub fn with_batch(socket: UdpSocket, batch: usize) -> io::Result<UdpTransport> {
+        let batch = batch.clamp(1, MAX_BATCH);
+        socket.set_nonblocking(true)?;
+        Ok(UdpTransport {
+            socket,
+            batch,
+            stats: TransportStats::default(),
+            #[cfg(target_os = "linux")]
+            scratch: (batch > 1).then(|| MmsgScratch::new(batch)),
+        })
+    }
+
+    /// The local address of the underlying socket.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Borrows the underlying socket (e.g. to tune buffer sizes).
+    pub fn socket(&self) -> &UdpSocket {
+        &self.socket
+    }
+
+    /// Fallback receive: drain with one `recv_from` per frame.
+    fn recv_batch_syscall(&mut self, out: &mut [Frame]) -> io::Result<usize> {
+        let mut n = 0;
+        while n < out.len().min(self.batch) {
+            match self.socket.recv_from(&mut out[n].buf) {
+                Ok((len, addr)) => {
+                    out[n].len = len.min(MAX_FRAME) as u16;
+                    out[n].addr = addr;
+                    n += 1;
+                    self.stats.recv_frames += 1;
+                    self.stats.recv_calls += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // A stray ICMP bounce surfaced on an unconnected socket:
+                // not a frame, not fatal.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(n)
+    }
+
+    /// Fallback send: one `send_to` per frame, yielding through transient
+    /// backpressure.
+    fn send_batch_syscall(&mut self, frames: &[Frame]) -> io::Result<()> {
+        for f in frames {
+            loop {
+                match self.socket.send_to(f.payload(), f.addr) {
+                    Ok(_) => break,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::yield_now();
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => break,
+                    Err(e) => return Err(e),
+                }
+            }
+            self.stats.send_calls += 1;
+            self.stats.send_frames += 1;
+        }
+        Ok(())
+    }
+
+    #[cfg(target_os = "linux")]
+    fn recv_batch_mmsg(&mut self, out: &mut [Frame]) -> io::Result<usize> {
+        use std::os::fd::AsRawFd;
+        let scratch = self.scratch.as_mut().expect("batched mode has scratch");
+        let want = out.len().min(self.batch);
+        for (i, frame) in out.iter_mut().enumerate().take(want) {
+            scratch.iovs[i] = sys::IoVec {
+                iov_base: frame.buf.as_mut_ptr(),
+                iov_len: MAX_FRAME,
+            };
+            scratch.addrs[i] = sys::SockAddrStorage::zeroed();
+            scratch.hdrs[i] = sys::MMsgHdr {
+                msg_hdr: sys::MsgHdr {
+                    msg_name: scratch.addrs[i].bytes.as_mut_ptr(),
+                    msg_namelen: 128,
+                    msg_iov: &mut scratch.iovs[i],
+                    msg_iovlen: 1,
+                    msg_control: std::ptr::null_mut(),
+                    msg_controllen: 0,
+                    msg_flags: 0,
+                },
+                msg_len: 0,
+            };
+        }
+        // SAFETY: every header points at live scratch/frame memory set up
+        // just above; vlen matches the initialized prefix.
+        let rc = unsafe {
+            sys::recvmmsg(
+                self.socket.as_raw_fd(),
+                scratch.hdrs.as_mut_ptr(),
+                want as u32,
+                sys::MSG_DONTWAIT,
+                std::ptr::null_mut(),
+            )
+        };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            return match err.kind() {
+                io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted => Ok(0),
+                io::ErrorKind::ConnectionRefused => Ok(0),
+                _ => Err(err),
+            };
+        }
+        let got = rc as usize;
+        let mut n = 0;
+        for i in 0..got {
+            // Payload longer than the iovec is truncated by the kernel;
+            // the stored length is what reached the buffer, and the
+            // exact-length decoders reject it downstream.
+            let len = (scratch.hdrs[i].msg_len as usize).min(MAX_FRAME);
+            match decode_sockaddr(&scratch.addrs[i], scratch.hdrs[i].msg_hdr.msg_namelen) {
+                Some(addr) => {
+                    out[n].len = len as u16;
+                    out[n].addr = addr;
+                    if n != i {
+                        // Compact over any frame whose source address the
+                        // kernel reported in an unknown family.
+                        let (a, b) = out.split_at_mut(i);
+                        a[n].buf = b[0].buf;
+                    }
+                    n += 1;
+                }
+                None => continue,
+            }
+        }
+        self.stats.recv_calls += 1;
+        self.stats.recv_frames += n as u64;
+        Ok(n)
+    }
+
+    #[cfg(target_os = "linux")]
+    fn send_batch_mmsg(&mut self, frames: &[Frame]) -> io::Result<()> {
+        use std::os::fd::AsRawFd;
+        let mut sent = 0usize;
+        while sent < frames.len() {
+            let scratch = self.scratch.as_mut().expect("batched mode has scratch");
+            let want = (frames.len() - sent).min(self.batch);
+            for i in 0..want {
+                let f = &frames[sent + i];
+                // Payloads are copied into owned scratch so the headers
+                // never borrow the caller's frames across the retry loop.
+                scratch.payloads[i][..f.len as usize].copy_from_slice(f.payload());
+                let namelen = encode_sockaddr(&f.addr, &mut scratch.addrs[i]);
+                scratch.iovs[i] = sys::IoVec {
+                    iov_base: scratch.payloads[i].as_mut_ptr(),
+                    iov_len: f.len as usize,
+                };
+                scratch.hdrs[i] = sys::MMsgHdr {
+                    msg_hdr: sys::MsgHdr {
+                        msg_name: scratch.addrs[i].bytes.as_mut_ptr(),
+                        msg_namelen: namelen,
+                        msg_iov: &mut scratch.iovs[i],
+                        msg_iovlen: 1,
+                        msg_control: std::ptr::null_mut(),
+                        msg_controllen: 0,
+                        msg_flags: 0,
+                    },
+                    msg_len: 0,
+                };
+            }
+            // SAFETY: as in recv — headers reference scratch initialized
+            // above, vlen bounds the initialized prefix.
+            let rc = unsafe {
+                sys::sendmmsg(
+                    self.socket.as_raw_fd(),
+                    scratch.hdrs.as_mut_ptr(),
+                    want as u32,
+                    sys::MSG_DONTWAIT,
+                )
+            };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                match err.kind() {
+                    io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted => {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    // ICMP bounce from a vanished peer: skip the frame.
+                    io::ErrorKind::ConnectionRefused => {
+                        sent += 1;
+                        self.stats.send_frames += 1;
+                        continue;
+                    }
+                    _ => return Err(err),
+                }
+            }
+            let pushed = (rc as usize).min(want);
+            self.stats.send_calls += 1;
+            self.stats.send_frames += pushed as u64;
+            sent += pushed;
+            if pushed < want {
+                std::thread::yield_now();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Transport for UdpTransport {
+    fn recv_batch(&mut self, out: &mut [Frame]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        #[cfg(target_os = "linux")]
+        if self.scratch.is_some() {
+            return self.recv_batch_mmsg(out);
+        }
+        self.recv_batch_syscall(out)
+    }
+
+    fn send_batch(&mut self, frames: &[Frame]) -> io::Result<()> {
+        if frames.is_empty() {
+            return Ok(());
+        }
+        #[cfg(target_os = "linux")]
+        if self.scratch.is_some() {
+            return self.send_batch_mmsg(frames);
+        }
+        self.send_batch_syscall(frames)
+    }
+
+    fn max_batch(&self) -> usize {
+        self.batch
+    }
+
+    fn label(&self) -> &'static str {
+        #[cfg(target_os = "linux")]
+        if self.scratch.is_some() {
+            return "udp:mmsg";
+        }
+        "udp:syscall"
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(batch_a: usize, batch_b: usize) -> (UdpTransport, UdpTransport) {
+        let a = UdpSocket::bind("127.0.0.1:0").expect("bind a");
+        let b = UdpSocket::bind("127.0.0.1:0").expect("bind b");
+        (
+            UdpTransport::with_batch(a, batch_a).unwrap(),
+            UdpTransport::with_batch(b, batch_b).unwrap(),
+        )
+    }
+
+    fn recv_all(t: &mut UdpTransport, n: usize) -> Vec<Frame> {
+        let mut out = vec![Frame::empty(); MAX_BATCH];
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while got.len() < n {
+            let k = t.recv_batch(&mut out).expect("recv");
+            got.extend_from_slice(&out[..k]);
+            if k == 0 {
+                assert!(std::time::Instant::now() < deadline, "timed out at {}", got.len());
+                std::thread::yield_now();
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn batched_round_trip_many_frames() {
+        let (mut tx, mut rx) = pair(MAX_BATCH, MAX_BATCH);
+        let dst = rx.local_addr().unwrap();
+        let n = 200usize; // > MAX_BATCH: exercises send chunking
+        let frames: Vec<Frame> =
+            (0..n).map(|i| Frame::new(&(i as u64).to_le_bytes(), dst)).collect();
+        tx.send_batch(&frames).expect("send");
+        let got = recv_all(&mut rx, n);
+        let mut seen: Vec<u64> = got
+            .iter()
+            .map(|f| u64::from_le_bytes(f.payload().try_into().unwrap()))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..n as u64).collect::<Vec<_>>());
+        assert_eq!(rx.stats().recv_frames, n as u64);
+        // Batching must actually batch: far fewer syscalls than frames.
+        if rx.label() == "udp:mmsg" {
+            assert!(
+                rx.stats().recv_calls < n as u64 / 2,
+                "recvmmsg made {} calls for {} frames",
+                rx.stats().recv_calls,
+                n
+            );
+        }
+    }
+
+    #[test]
+    fn per_datagram_mode_moves_one_frame_per_call() {
+        let (mut tx, mut rx) = pair(1, 1);
+        let dst = rx.local_addr().unwrap();
+        let frames: Vec<Frame> = (0..8u64).map(|i| Frame::new(&i.to_le_bytes(), dst)).collect();
+        tx.send_batch(&frames).expect("send");
+        let got = recv_all(&mut rx, 8);
+        assert_eq!(got.len(), 8);
+        assert_eq!(rx.stats().recv_calls, 8, "per-datagram arm must not batch");
+        assert_eq!(tx.stats().send_calls, 8);
+        assert_eq!(rx.label(), "udp:syscall");
+    }
+
+    #[test]
+    fn source_addresses_are_reported() {
+        let (mut tx, mut rx) = pair(MAX_BATCH, MAX_BATCH);
+        let dst = rx.local_addr().unwrap();
+        let src = tx.local_addr().unwrap();
+        tx.send_batch(&[Frame::new(b"hello", dst)]).expect("send");
+        let got = recv_all(&mut rx, 1);
+        assert_eq!(got[0].payload(), b"hello");
+        assert_eq!(got[0].addr, src, "reply address must be the sender");
+    }
+
+    #[test]
+    fn replies_reach_the_original_sender() {
+        let (mut client, mut server) = pair(MAX_BATCH, MAX_BATCH);
+        let srv = server.local_addr().unwrap();
+        client.send_batch(&[Frame::new(b"ping", srv)]).expect("send");
+        let req = recv_all(&mut server, 1);
+        server
+            .send_batch(&[Frame::new(b"pong", req[0].addr)])
+            .expect("reply");
+        let resp = recv_all(&mut client, 1);
+        assert_eq!(resp[0].payload(), b"pong");
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let (mut t, _keep) = pair(MAX_BATCH, MAX_BATCH);
+        assert_eq!(t.recv_batch(&mut []).unwrap(), 0);
+        t.send_batch(&[]).unwrap();
+        assert_eq!(t.stats(), TransportStats::default());
+        // Nothing pending: nonblocking receive returns 0, not an error.
+        let mut out = vec![Frame::empty(); 4];
+        assert_eq!(t.recv_batch(&mut out).unwrap(), 0);
+    }
+
+    #[test]
+    fn oversized_datagrams_are_truncated_to_max_frame() {
+        let (tx, mut rx) = pair(MAX_BATCH, MAX_BATCH);
+        let dst = rx.local_addr().unwrap();
+        // Send straight on the socket: Frame::new would (rightly) panic.
+        let big = [0xABu8; 2 * MAX_FRAME];
+        tx.socket().send_to(&big, dst).expect("send oversized");
+        let got = recv_all(&mut rx, 1);
+        assert_eq!(got[0].len as usize, MAX_FRAME, "kernel-truncated to capacity");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn sockaddr_round_trips() {
+        let mut storage = sys::SockAddrStorage::zeroed();
+        let v4: SocketAddr = "192.168.7.9:4711".parse().unwrap();
+        let len = encode_sockaddr(&v4, &mut storage);
+        assert_eq!(decode_sockaddr(&storage, len), Some(v4));
+        let v6: SocketAddr = "[2001:db8::17]:9000".parse().unwrap();
+        let len = encode_sockaddr(&v6, &mut storage);
+        assert_eq!(decode_sockaddr(&storage, len), Some(v6));
+        // Unknown family: rejected, not misparsed.
+        storage.bytes[0..2].copy_from_slice(&77u16.to_ne_bytes());
+        assert_eq!(decode_sockaddr(&storage, 16), None);
+    }
+
+    #[test]
+    fn socket_buffer_tuning_is_accepted() {
+        let s = UdpSocket::bind("127.0.0.1:0").unwrap();
+        set_socket_buffers(&s, 1 << 20).expect("setsockopt");
+    }
+}

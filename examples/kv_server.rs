@@ -2,88 +2,24 @@
 //!
 //! This is the paper's headline application (§5.1): a shared in-memory
 //! ordered store serving microsecond GETs mixed with rare, very long
-//! SCANs. The interesting part is `KvJob` below — a real job written
-//! against the forced-multitasking API: the SCAN processes entries in
-//! small batches and polls [`QuantumCtx::probe`] between batches, saving
-//! its cursor when told to yield, so GETs queued behind it never wait
-//! more than ~a quantum.
+//! SCANs. The interesting part is [`tq_runtime::kv::KvJob`] — a real job
+//! written against the forced-multitasking API: the SCAN processes
+//! entries in small batches and polls `QuantumCtx::probe` between
+//! batches, saving its cursor when told to yield, so GETs queued behind
+//! it never wait more than ~a quantum. (The job lives in the runtime
+//! crate so this example, `tq-loadgen`, and the socket tests all serve
+//! the identical workload.)
 //!
 //! Run with: `cargo run --release --example kv_server`
 
-use std::sync::Arc;
 use tq_core::Nanos;
-use tq_kv::KvStore;
-use tq_runtime::{Job, JobStatus, QuantumCtx, ServerConfig, TinyQuanta};
+use tq_runtime::kv::{kv_factory, kv_store};
+use tq_runtime::{ServerConfig, TinyQuanta};
 use tq_sim::TailStats;
 
-/// A GET or SCAN against the shared store, resumable at quantum
-/// boundaries.
-enum KvJob {
-    Get {
-        store: Arc<KvStore>,
-        key: Vec<u8>,
-    },
-    Scan {
-        store: Arc<KvStore>,
-        /// Continuation cursor: next key to read (exclusive resume).
-        cursor: Vec<u8>,
-        remaining: usize,
-        /// Bytes checksum, so the scan work is not optimized away.
-        checksum: u64,
-    },
-}
-
-impl Job for KvJob {
-    fn run(&mut self, ctx: &mut QuantumCtx) -> JobStatus {
-        match self {
-            KvJob::Get { store, key } => {
-                // A GET is far shorter than any quantum: run to completion
-                // (the compiler pass would place its probes so sparsely
-                // that none fires).
-                let v = store.get(key);
-                std::hint::black_box(v.map(|v| v.len()));
-                JobStatus::Done
-            }
-            KvJob::Scan {
-                store,
-                cursor,
-                remaining,
-                checksum,
-            } => {
-                // Probe between 32-entry batches: the explicit equivalent
-                // of TQ's instrumented loop gate.
-                const BATCH: usize = 32;
-                while *remaining > 0 {
-                    let batch = store.scan(cursor, BATCH.min(*remaining));
-                    if batch.is_empty() {
-                        return JobStatus::Done;
-                    }
-                    for (k, v) in &batch {
-                        *checksum = checksum
-                            .wrapping_mul(31)
-                            .wrapping_add(v.len() as u64 + k.len() as u64);
-                    }
-                    *remaining -= batch.len();
-                    // Advance the cursor past the last key served.
-                    let mut next = batch.last().expect("non-empty").0.to_vec();
-                    next.push(0);
-                    *cursor = next;
-                    if *remaining > 0 && ctx.probe() {
-                        return JobStatus::Yielded;
-                    }
-                }
-                std::hint::black_box(*checksum);
-                JobStatus::Done
-            }
-        }
-    }
-}
-
 fn main() {
-    let mut store = KvStore::new(42);
     let n_keys = 200_000u64;
-    store.populate(n_keys, 100);
-    let store = Arc::new(store);
+    let store = kv_store(42, n_keys, 100);
     println!("store: {} entries of 100B", store.len());
 
     let server = TinyQuanta::start(
@@ -92,26 +28,9 @@ fn main() {
             quantum: Nanos::from_micros(5),
             ..ServerConfig::default()
         },
-        {
-            let store = Arc::clone(&store);
-            move |req| -> Box<dyn Job> {
-                // class 0 = GET (key derived from the request id),
-                // class 1 = SCAN of 20k entries.
-                if req.class.0 == 0 {
-                    Box::new(KvJob::Get {
-                        store: Arc::clone(&store),
-                        key: KvStore::nth_key((req.id.0 * 7919) % 200_000),
-                    })
-                } else {
-                    Box::new(KvJob::Scan {
-                        store: Arc::clone(&store),
-                        cursor: KvStore::nth_key((req.id.0 * 104_729) % 100_000),
-                        remaining: 20_000,
-                        checksum: 0,
-                    })
-                }
-            }
-        },
+        // class 0 = GET (key derived from the request id),
+        // class 1 = SCAN of 20k entries.
+        kv_factory(store, n_keys, 20_000),
     );
 
     // 0.5% SCAN mix, like the paper's low-SCAN RocksDB workload.

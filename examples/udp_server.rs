@@ -85,8 +85,13 @@ fn main() {
 
     // --- report -----------------------------------------------------------
     println!(
-        "server: received {} / responded {} / malformed {}",
-        stats.received, stats.responded, stats.malformed
+        "server: received {} / responded {} / malformed {} / shed {}",
+        stats.received, stats.responded, stats.malformed, stats.shed
+    );
+    println!(
+        "transport: {:.1} frames per recv syscall, {:.1} per send",
+        stats.transport.frames_per_recv_call(),
+        stats.transport.frames_per_send_call()
     );
     for (class, name) in [(0usize, "short (5us)"), (1usize, "long (500us)")] {
         let s = &mut lat_by_class[class];
