@@ -82,16 +82,23 @@ enum Mode {
     Check,
 }
 
-fn parse_args() -> (EngineChoice, bool, Mode) {
+fn parse_args() -> (EngineChoice, bool, Mode, Option<String>) {
     let mut engine = EngineChoice::Both;
     let mut smoke = false;
     let mut mode = Mode::Experiment;
+    let mut policy = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--throughput" => mode = Mode::Throughput,
             "--check" => mode = Mode::Check,
+            "--policy" => {
+                policy = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--policy needs a preset name");
+                    std::process::exit(2);
+                }));
+            }
             "--engine" => {
                 let v = args.next().unwrap_or_default();
                 engine = match v.as_str() {
@@ -107,13 +114,13 @@ fn parse_args() -> (EngineChoice, bool, Mode) {
             _ => {
                 eprintln!(
                     "unknown argument {a:?} (supported: --engine sim|rt|both, --smoke, \
-                     --throughput, --check)"
+                     --throughput, --check, --policy NAME)"
                 );
                 std::process::exit(2);
             }
         }
     }
-    (engine, smoke, mode)
+    (engine, smoke, mode, policy)
 }
 
 fn audit_enabled() -> bool {
@@ -193,6 +200,7 @@ fn run_and_report(engine: &mut dyn Engine, spec: &RunSpec, load: f64) -> (RunRec
         classes_sojourn: summary.classes_sojourn,
         overall_slowdown_p999: summary.overall_slowdown_p999,
         counters: out.counters,
+        policy: engine.policy_meta(),
         audit,
         rack: engine.take_rack_meta(),
         net: None,
@@ -502,8 +510,12 @@ fn run_check(workers: usize, audit: bool, seed: u64) -> ! {
 }
 
 fn main() {
-    let (choice, smoke, mode) = parse_args();
+    let (choice, smoke, mode, policy) = parse_args();
     let audit = audit_enabled();
+    if policy.is_some() && mode != Mode::Experiment {
+        eprintln!("--policy only applies to the experiment mode (not --throughput/--check)");
+        std::process::exit(2);
+    }
     match mode {
         Mode::Throughput => run_throughput(rt_workers(4), audit, tq_bench::seed()),
         Mode::Check => run_check(rt_workers(4), audit, tq_bench::seed()),
@@ -517,14 +529,19 @@ fn main() {
     // on whatever host runs this, not dedicated cores at paper capacity.
     let loads: &[f64] = if smoke { &[0.2] } else { &[0.2, 0.4] };
     let quantum = Nanos::from_micros(5);
+    // One preset drives both engines: the sim runs it verbatim, the
+    // runtime takes its dispatch/discipline/stealing via the shared
+    // mapping — the same policy impl on both sides of the comparison.
+    let preset = tq_bench::policy_or_exit(policy.as_deref().unwrap_or("tq"), workers, quantum);
 
     println!(
-        "bench_rt ({}): {} workers, horizon {}, seed {}, audit {}",
+        "bench_rt ({}): {} workers, horizon {}, seed {}, audit {}, policy {}",
         if smoke { "smoke" } else { "full" },
         workers,
         horizon,
         seed,
         if audit { "on" } else { "off" },
+        preset.name,
     );
     println!();
 
@@ -538,23 +555,19 @@ fn main() {
             seed,
         };
         if choice != EngineChoice::Rt {
-            let mut sim =
-                SimEngine::new(tq_queueing::presets::tq(workers, quantum)).with_audit(audit);
+            let mut sim = SimEngine::new(preset.clone()).with_audit(audit);
             let (rec, viol) = run_and_report(&mut sim, &spec, load);
             records.push(rec);
             violations.extend(viol);
         }
         if choice != EngineChoice::Sim {
             let base = ServerConfig {
-                workers,
-                quantum,
-                dispatch: DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta),
                 seed,
                 audit,
-                ..ServerConfig::default()
+                ..tq_bench::server_config_for(&preset)
             };
             let mut configs = vec![base.clone()];
-            if !smoke {
+            if !smoke && policy.is_none() {
                 configs.push(ServerConfig {
                     work_stealing: true,
                     ..base

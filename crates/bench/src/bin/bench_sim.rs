@@ -417,15 +417,29 @@ fn baseline_events_per_sec(json: &str, label: &str) -> Option<f64> {
 fn main() {
     let mut quick = false;
     let mut check = false;
-    for a in std::env::args().skip(1) {
+    let mut policy: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--check" => check = true,
+            "--policy" => {
+                policy = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--policy needs a preset name");
+                    std::process::exit(2);
+                }));
+            }
             _ => {
-                eprintln!("unknown argument {a:?} (supported: --quick, --check)");
+                eprintln!("unknown argument {a:?} (supported: --quick, --check, --policy NAME)");
                 std::process::exit(2);
             }
         }
+    }
+    if policy.is_some() && check {
+        // The committed baseline measures the canonical two-system sweep;
+        // gating a different sweep against it would be meaningless.
+        eprintln!("--policy cannot be combined with --check");
+        std::process::exit(2);
     }
     // The gate compares rates, not totals, so it always uses the short
     // grid: regressions show up at any horizon.
@@ -439,10 +453,15 @@ fn main() {
     } else {
         &tq_bench::LOAD_SWEEP
     };
-    let systems = [
-        presets::tq(16, Nanos::from_micros(2)),
-        presets::shinjuku(16, Nanos::from_micros(5)),
-    ];
+    let systems = match &policy {
+        // A named preset sweeps alone; the default pair is the committed
+        // baseline's canonical TQ-vs-Shinjuku measurement.
+        Some(name) => vec![tq_bench::policy_or_exit(name, 16, Nanos::from_micros(2))],
+        None => vec![
+            presets::tq(16, Nanos::from_micros(2)),
+            presets::shinjuku(16, Nanos::from_micros(5)),
+        ],
+    };
     let workload = table1::extreme_bimodal();
 
     println!(
@@ -639,7 +658,13 @@ fn main() {
         rack_sharded.json(),
         s.json(),
     );
-    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     println!();
-    println!("wrote BENCH_sim.json");
+    if policy.is_some() {
+        // A named-policy sweep is an ad-hoc measurement; the committed
+        // baseline only ever records the canonical two-system sweep.
+        println!("(--policy run: BENCH_sim.json left untouched)");
+    } else {
+        std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+        println!("wrote BENCH_sim.json");
+    }
 }

@@ -45,7 +45,7 @@ use std::time::{Duration, Instant};
 use tq_audit::InvariantAuditor;
 use tq_core::job::Completion;
 use tq_core::Nanos;
-use tq_harness::{json, NetMeta, Pacer, RtEngine, RunRecord, RunSpec};
+use tq_harness::{json, NetMeta, Pacer, PolicyMeta, RtEngine, RunRecord, RunSpec};
 use tq_runtime::kv::{kv_factory, kv_store};
 use tq_runtime::net::{decode_response, encode_request, serve, NetConfig, ServeOutcome};
 use tq_runtime::transport::{set_socket_buffers, Frame, Transport, UdpTransport};
@@ -71,6 +71,9 @@ struct Args {
     smoke: bool,
     compare: bool,
     connect: Option<SocketAddr>,
+    serve: Option<SocketAddr>,
+    serve_secs: u64,
+    policy: Option<String>,
     out: String,
 }
 
@@ -84,6 +87,9 @@ fn parse_args() -> Args {
         smoke: false,
         compare: false,
         connect: None,
+        serve: None,
+        serve_secs: 60,
+        policy: None,
         out: "results/loadgen.json".to_string(),
     };
     let mut requests: Option<u64> = None;
@@ -109,6 +115,19 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }));
             }
+            "--serve" => {
+                args.serve = Some(value("--serve").parse().unwrap_or_else(|e| {
+                    eprintln!("--serve: bad bind address: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--serve-secs" => {
+                args.serve_secs = value("--serve-secs").parse().unwrap_or_else(|e| {
+                    eprintln!("--serve-secs: bad value: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--policy" => args.policy = Some(value("--policy")),
             "--workload" => {
                 args.workload = match value("--workload").as_str() {
                     "kv" => WorkloadChoice::Kv,
@@ -133,7 +152,7 @@ fn parse_args() -> Args {
                 eprintln!(
                     "unknown argument {a:?} (supported: --smoke, --compare, --requests N, \
                      --rate RPS, --workload kv|spin, --workers N, --transport mmsg|syscall, \
-                     --connect ADDR, --out PATH)"
+                     --policy NAME, --connect ADDR, --serve ADDR, --serve-secs N, --out PATH)"
                 );
                 std::process::exit(2);
             }
@@ -204,10 +223,101 @@ fn drain_responses<T: Transport>(
     }
 }
 
+/// `--serve`: run only the server side, bound to a fixed address, so a
+/// separate `tq-loadgen` process can `--connect` to it — the CI socket
+/// smoke runs client and server as genuinely separate processes. Serves
+/// until the `--serve-secs` backstop elapses (or the process is killed),
+/// then reports both ledgers; audit violations exit non-zero.
+fn run_server(args: &Args, config: ServerConfig, bind: SocketAddr) {
+    let clock = TscClock::calibrated();
+    let server = match args.workload {
+        WorkloadChoice::Kv => {
+            let n_keys = 200_000;
+            let store = kv_store(config.seed, n_keys, 100);
+            TinyQuanta::start_with_clock(
+                config.clone(),
+                clock.clone(),
+                kv_factory(store, n_keys, 20_000),
+            )
+        }
+        WorkloadChoice::Spin => {
+            let job_clock = clock.clone();
+            TinyQuanta::start_with_clock(config.clone(), clock.clone(), move |req| {
+                Box::new(SpinJob::with_clock(req, &job_clock))
+            })
+        }
+    };
+    let socket = UdpSocket::bind(bind).expect("bind serve socket");
+    set_socket_buffers(&socket, 1 << 20).expect("socket buffers");
+    let addr = socket.local_addr().unwrap();
+    // Generous admission: the paced loopback smoke must never shed, and
+    // max_in_flight only bounds concurrently outstanding requests.
+    let net_config = NetConfig {
+        max_in_flight: (args.requests as usize).max(4096),
+        ..NetConfig::default()
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let backstop = Duration::from_secs(args.serve_secs.max(1));
+    std::thread::spawn(move || {
+        std::thread::sleep(backstop);
+        stop2.store(true, Ordering::Release);
+    });
+    println!(
+        "tq-loadgen (serve): listening on {addr} for up to {}s ({:?} dispatch, {:?} discipline, {} workers)",
+        args.serve_secs.max(1),
+        config.dispatch,
+        config.discipline,
+        config.workers,
+    );
+    let mut t = if args.batched {
+        UdpTransport::batched(socket)
+    } else {
+        UdpTransport::per_datagram(socket)
+    }
+    .expect("serve transport");
+    let outcome = serve(server, &mut t, &stop, &net_config).expect("serve ok");
+    println!(
+        "server: received {}  responded {}  malformed {}  shed {}",
+        outcome.net.received, outcome.net.responded, outcome.net.malformed, outcome.net.shed
+    );
+    let mut report = outcome.net.audit();
+    if let Some(server_report) = outcome.server.audit.clone() {
+        report.absorb(server_report);
+    }
+    println!("{report}");
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
     let audit = audit_enabled();
     let seed = tq_bench::seed();
+    // One server shape for every mode (in-process, --serve, --compare):
+    // the defaults, or a named preset's dispatch/discipline/stealing.
+    let server_config = {
+        let mut c = match &args.policy {
+            Some(name) => {
+                let preset =
+                    tq_bench::policy_or_exit(name, args.workers, Nanos::from_micros(5));
+                tq_bench::server_config_for(&preset)
+            }
+            None => ServerConfig {
+                workers: args.workers,
+                quantum: Nanos::from_micros(5),
+                ..ServerConfig::default()
+            },
+        };
+        c.seed = seed;
+        c.audit = audit;
+        c
+    };
+    if let Some(bind) = args.serve {
+        run_server(&args, server_config, bind);
+        return;
+    }
     let workload = match args.workload {
         WorkloadChoice::Kv => table1::rocksdb_low_scan(),
         WorkloadChoice::Spin => table1::extreme_bimodal(),
@@ -242,13 +352,7 @@ fn main() {
     let srv_addr = match args.connect {
         Some(addr) => addr,
         None => {
-            let config = ServerConfig {
-                workers: args.workers,
-                quantum: Nanos::from_micros(5),
-                seed,
-                audit,
-                ..ServerConfig::default()
-            };
+            let config = server_config.clone();
             let server = match args.workload {
                 WorkloadChoice::Kv => {
                     let n_keys = 200_000;
@@ -382,6 +486,15 @@ fn main() {
         report
     });
 
+    // The server's policy, when this process knows it: always for the
+    // in-process server; for --connect only when --policy names the
+    // configuration the remote end is expected to be running.
+    let policy_meta = (args.connect.is_none() || args.policy.is_some()).then(|| {
+        PolicyMeta::new(
+            format!("{:?}", server_config.dispatch),
+            server_config.discipline,
+        )
+    });
     let net_meta = {
         let mut m = NetMeta {
             transport: transport_label.to_string(),
@@ -420,6 +533,7 @@ fn main() {
         classes_sojourn: summary.classes_sojourn,
         overall_slowdown_p999: summary.overall_slowdown_p999,
         counters: Default::default(),
+        policy: policy_meta,
         audit: audit_report.clone(),
         rack: None,
         net: Some(net_meta),
@@ -463,14 +577,7 @@ fn main() {
         // isolates the wire + syscall cost.
         println!();
         println!("running the in-process RtEngine comparison...");
-        let config = ServerConfig {
-            workers: args.workers,
-            quantum: Nanos::from_micros(5),
-            seed,
-            audit,
-            ..ServerConfig::default()
-        };
-        let mut rt = RtEngine::new(config);
+        let mut rt = RtEngine::new(server_config.clone());
         let rec = tq_harness::run_to_record(&mut rt, &spec);
         println!(
             "in-process: submitted {}  completed {}  (sojourn p999 of class 0: {})",

@@ -64,6 +64,44 @@ pub fn us(lat: Nanos) -> String {
     }
 }
 
+/// Resolves a `--policy <name>` argument against the named presets in
+/// [`tq_queueing::presets`], exiting with the known-name list on a miss.
+pub fn policy_or_exit(name: &str, n_workers: usize, quantum: Nanos) -> tq_queueing::SystemConfig {
+    tq_queueing::presets::by_name(name, n_workers, quantum).unwrap_or_else(|| {
+        eprintln!(
+            "--policy: unknown preset {name:?} (known: {})",
+            tq_queueing::presets::NAMES.join(", ")
+        );
+        std::process::exit(2);
+    })
+}
+
+/// Maps a two-level preset onto the live runtime: the dispatch policy,
+/// worker discipline, quantum, and stealing flag carry over; the modeled
+/// overheads do not (here they are real). Exits for centralized presets,
+/// which the runtime does not implement.
+pub fn server_config_for(preset: &tq_queueing::SystemConfig) -> tq_runtime::ServerConfig {
+    let dispatch = match preset.arch {
+        tq_queueing::Architecture::TwoLevel { dispatch } => dispatch,
+        tq_queueing::Architecture::Centralized => {
+            eprintln!(
+                "--policy: preset {:?} is centralized; the live runtime only \
+                 implements two-level dispatch",
+                preset.name
+            );
+            std::process::exit(2);
+        }
+    };
+    tq_runtime::ServerConfig {
+        workers: preset.n_workers,
+        quantum: preset.quantum,
+        dispatch,
+        discipline: preset.worker_policy,
+        work_stealing: preset.work_stealing,
+        ..tq_runtime::ServerConfig::default()
+    }
+}
+
 /// Prints a figure banner with the paper reference.
 pub fn banner(id: &str, what: &str, paper_expectation: &str) {
     println!("=== {id}: {what} ===");

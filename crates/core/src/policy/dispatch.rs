@@ -5,7 +5,10 @@
 //! quanta. Its entire job is [`Dispatcher::pick`]: map an arriving request
 //! to a worker core given each core's load.
 
-use super::SplitMix64;
+use super::rank::{
+    ConstRank, JsqRank, Loads, P2cRank, PinnedRank, RankedDispatcher, RoundRobinRank, RssHashRank,
+    SplitLoads,
+};
 use serde::{Deserialize, Serialize};
 
 /// Tie-breaking rule used when several workers share the shortest queue
@@ -57,11 +60,32 @@ pub struct WorkerLoad {
     pub serviced_quanta: u64,
 }
 
+/// The built-in policies, each monomorphized through the one generic
+/// min-rank datapath ([`RankedDispatcher`]). One enum match per decision
+/// — exactly the branch the hand-coded arms used to take — then a
+/// branch-free scan specialized per policy and load layout.
+#[derive(Debug, Clone)]
+enum Kernel {
+    Jsq(RankedDispatcher<JsqRank>),
+    Random(RankedDispatcher<ConstRank>),
+    PowerOfTwo(RankedDispatcher<P2cRank>),
+    RoundRobin(RankedDispatcher<RoundRobinRank>),
+    RssHash(RankedDispatcher<RssHashRank>),
+    Pinned(RankedDispatcher<PinnedRank>),
+}
+
 /// The dispatcher's load-balancing decision procedure.
 ///
 /// Holds the policy plus the small mutable state some policies need
 /// (round-robin cursor, RNG for random choices). Decisions are fully
 /// deterministic given the seed.
+///
+/// Since the policy-layer refactor this is a thin front over
+/// [`RankedDispatcher`]: every built-in policy is a rank function run
+/// through the same generic min-rank scan, with decision streams —
+/// including RNG consumption — bit-identical to the former hand-coded
+/// arms (pinned by this module's tests and the engines' differential
+/// suites).
 ///
 /// # Example
 ///
@@ -78,10 +102,7 @@ pub struct WorkerLoad {
 #[derive(Debug, Clone)]
 pub struct Dispatcher {
     policy: DispatchPolicy,
-    n_workers: usize,
-    rng: SplitMix64,
-    rr_cursor: usize,
-    scratch: Vec<usize>,
+    kernel: Kernel,
 }
 
 impl Dispatcher {
@@ -92,13 +113,29 @@ impl Dispatcher {
     /// Panics if `n_workers` is zero.
     pub fn new(policy: DispatchPolicy, n_workers: usize, seed: u64) -> Self {
         assert!(n_workers > 0, "dispatcher needs at least one worker");
-        Dispatcher {
-            policy,
-            n_workers,
-            rng: SplitMix64::new(seed),
-            rr_cursor: 0,
-            scratch: Vec::with_capacity(n_workers),
-        }
+        let kernel = match policy {
+            DispatchPolicy::Jsq(tie) => {
+                Kernel::Jsq(RankedDispatcher::new(JsqRank { tie: tie.into() }, n_workers, seed))
+            }
+            DispatchPolicy::Random => {
+                Kernel::Random(RankedDispatcher::new(ConstRank, n_workers, seed))
+            }
+            DispatchPolicy::PowerOfTwo => {
+                Kernel::PowerOfTwo(RankedDispatcher::new(P2cRank, n_workers, seed))
+            }
+            DispatchPolicy::RoundRobin => Kernel::RoundRobin(RankedDispatcher::new(
+                RoundRobinRank::default(),
+                n_workers,
+                seed,
+            )),
+            DispatchPolicy::RssHash => {
+                Kernel::RssHash(RankedDispatcher::new(RssHashRank, n_workers, seed))
+            }
+            DispatchPolicy::Pinned(w) => {
+                Kernel::Pinned(RankedDispatcher::new(PinnedRank { target: w }, n_workers, seed))
+            }
+        };
+        Dispatcher { policy, kernel }
     }
 
     /// The policy this dispatcher applies.
@@ -108,7 +145,27 @@ impl Dispatcher {
 
     /// The number of workers decisions are made over.
     pub fn n_workers(&self) -> usize {
-        self.n_workers
+        match &self.kernel {
+            Kernel::Jsq(k) => k.n_workers(),
+            Kernel::Random(k) => k.n_workers(),
+            Kernel::PowerOfTwo(k) => k.n_workers(),
+            Kernel::RoundRobin(k) => k.n_workers(),
+            Kernel::RssHash(k) => k.n_workers(),
+            Kernel::Pinned(k) => k.n_workers(),
+        }
+    }
+
+    /// Routes a decision to the policy's monomorphized min-rank scan.
+    #[inline(always)]
+    fn pick_loads<L: Loads + ?Sized>(&mut self, loads: &L, flow_hash: u64, banned: u64) -> usize {
+        match &mut self.kernel {
+            Kernel::Jsq(k) => k.pick_masked(loads, flow_hash, banned),
+            Kernel::Random(k) => k.pick_masked(loads, flow_hash, banned),
+            Kernel::PowerOfTwo(k) => k.pick_masked(loads, flow_hash, banned),
+            Kernel::RoundRobin(k) => k.pick_masked(loads, flow_hash, banned),
+            Kernel::RssHash(k) => k.pick_masked(loads, flow_hash, banned),
+            Kernel::Pinned(k) => k.pick_masked(loads, flow_hash, banned),
+        }
     }
 
     /// Picks the worker for the next arriving request.
@@ -121,22 +178,8 @@ impl Dispatcher {
     ///
     /// Panics if `loads.len() != n_workers`.
     pub fn pick(&mut self, loads: &[WorkerLoad], flow_hash: u64) -> usize {
-        assert_eq!(loads.len(), self.n_workers, "load snapshot size mismatch");
-        match self.policy {
-            DispatchPolicy::Jsq(tie) => self.pick_jsq(loads, tie),
-            DispatchPolicy::Random => self.rng.index(self.n_workers),
-            DispatchPolicy::PowerOfTwo => self.pick_power_of_two(loads),
-            DispatchPolicy::RoundRobin => {
-                let w = self.rr_cursor;
-                self.rr_cursor = (self.rr_cursor + 1) % self.n_workers;
-                w
-            }
-            DispatchPolicy::RssHash => (flow_hash % self.n_workers as u64) as usize,
-            DispatchPolicy::Pinned(w) => {
-                assert!(w < self.n_workers, "pinned worker out of range");
-                w
-            }
-        }
+        assert_eq!(loads.len(), self.n_workers(), "load snapshot size mismatch");
+        self.pick_loads(loads, flow_hash, 0)
     }
 
     /// [`Dispatcher::pick`] over struct-of-arrays load counters — the
@@ -160,75 +203,19 @@ impl Dispatcher {
     ) -> usize {
         assert_eq!(
             queued_jobs.len(),
-            self.n_workers,
+            self.n_workers(),
             "load snapshot size mismatch"
         );
         assert_eq!(
             serviced_quanta.len(),
-            self.n_workers,
+            self.n_workers(),
             "load snapshot size mismatch"
         );
-        match self.policy {
-            DispatchPolicy::Jsq(TieBreak::MaxServicedQuanta) => {
-                // Single forward argmin on (queued asc, quanta desc); the
-                // forward scan keeps the lowest index among full ties,
-                // matching `pick_jsq`'s third-level rule.
-                let mut best = 0usize;
-                let (mut bq, mut bs) = (queued_jobs[0], serviced_quanta[0]);
-                for w in 1..queued_jobs.len() {
-                    let (q, s) = (queued_jobs[w], serviced_quanta[w]);
-                    if q < bq || (q == bq && s > bs) {
-                        (best, bq, bs) = (w, q, s);
-                    }
-                }
-                best
-            }
-            DispatchPolicy::Jsq(TieBreak::Random) => {
-                let min_q = *queued_jobs.iter().min().expect("non-empty loads");
-                let ties = queued_jobs.iter().filter(|&&q| q == min_q).count();
-                if ties == 1 {
-                    // No RNG draw on a unique minimum, same as `pick_jsq`.
-                    return queued_jobs
-                        .iter()
-                        .position(|&q| q == min_q)
-                        .expect("minimum exists");
-                }
-                let i = self.rng.index(ties);
-                queued_jobs
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &q)| q == min_q)
-                    .nth(i)
-                    .expect("tie index in range")
-                    .0
-            }
-            DispatchPolicy::PowerOfTwo => {
-                if self.n_workers == 1 {
-                    return 0;
-                }
-                let a = self.rng.index(self.n_workers);
-                let mut b = self.rng.index(self.n_workers - 1);
-                if b >= a {
-                    b += 1;
-                }
-                if queued_jobs[b] < queued_jobs[a] {
-                    b
-                } else {
-                    a
-                }
-            }
-            DispatchPolicy::Random => self.rng.index(self.n_workers),
-            DispatchPolicy::RoundRobin => {
-                let w = self.rr_cursor;
-                self.rr_cursor = (self.rr_cursor + 1) % self.n_workers;
-                w
-            }
-            DispatchPolicy::RssHash => (flow_hash % self.n_workers as u64) as usize,
-            DispatchPolicy::Pinned(w) => {
-                assert!(w < self.n_workers, "pinned worker out of range");
-                w
-            }
-        }
+        let loads = SplitLoads {
+            queued_jobs,
+            serviced_quanta,
+        };
+        self.pick_loads(&loads, flow_hash, 0)
     }
 
     /// [`Dispatcher::pick`] restricted to workers not in `banned`, a
@@ -258,138 +245,8 @@ impl Dispatcher {
     /// Panics if `loads.len() != n_workers` or every worker is banned
     /// (callers must clear the mask when all rings rejected a push).
     pub fn pick_excluding(&mut self, loads: &[WorkerLoad], flow_hash: u64, banned: u64) -> usize {
-        if banned == 0 {
-            return self.pick(loads, flow_hash);
-        }
-        assert_eq!(loads.len(), self.n_workers, "load snapshot size mismatch");
-        let allowed = |w: usize| w >= 64 || banned & (1u64 << w) == 0;
-        assert!(
-            (0..self.n_workers).any(allowed),
-            "every worker is banned; caller must reset the exclusion mask"
-        );
-        match self.policy {
-            DispatchPolicy::Jsq(tie) => {
-                let min_q = (0..self.n_workers)
-                    .filter(|&w| allowed(w))
-                    .map(|w| loads[w].queued_jobs)
-                    .min()
-                    .expect("non-empty allowed set");
-                self.scratch.clear();
-                self.scratch.extend(
-                    (0..self.n_workers).filter(|&w| allowed(w) && loads[w].queued_jobs == min_q),
-                );
-                if self.scratch.len() == 1 {
-                    return self.scratch[0];
-                }
-                match tie {
-                    TieBreak::Random => {
-                        let i = self.rng.index(self.scratch.len());
-                        self.scratch[i]
-                    }
-                    TieBreak::MaxServicedQuanta => *self
-                        .scratch
-                        .iter()
-                        .max_by_key(|&&w| (loads[w].serviced_quanta, core::cmp::Reverse(w)))
-                        .expect("non-empty tie set"),
-                }
-            }
-            DispatchPolicy::Random => {
-                self.scratch.clear();
-                self.scratch.extend((0..self.n_workers).filter(|&w| allowed(w)));
-                let i = self.rng.index(self.scratch.len());
-                self.scratch[i]
-            }
-            DispatchPolicy::PowerOfTwo => {
-                self.scratch.clear();
-                self.scratch.extend((0..self.n_workers).filter(|&w| allowed(w)));
-                if self.scratch.len() == 1 {
-                    return self.scratch[0];
-                }
-                let a = self.scratch[self.rng.index(self.scratch.len())];
-                let mut bi = self.rng.index(self.scratch.len() - 1);
-                let ai = self.scratch.iter().position(|&w| w == a).expect("a allowed");
-                if bi >= ai {
-                    bi += 1;
-                }
-                let b = self.scratch[bi];
-                if loads[b].queued_jobs < loads[a].queued_jobs {
-                    b
-                } else {
-                    a
-                }
-            }
-            DispatchPolicy::RoundRobin => {
-                let mut w = self.rr_cursor;
-                while !allowed(w) {
-                    w = (w + 1) % self.n_workers;
-                }
-                self.rr_cursor = (w + 1) % self.n_workers;
-                w
-            }
-            DispatchPolicy::RssHash => {
-                let mut w = (flow_hash % self.n_workers as u64) as usize;
-                while !allowed(w) {
-                    w = (w + 1) % self.n_workers;
-                }
-                w
-            }
-            DispatchPolicy::Pinned(p) => {
-                assert!(p < self.n_workers, "pinned worker out of range");
-                let mut w = p;
-                while !allowed(w) {
-                    w = (w + 1) % self.n_workers;
-                }
-                w
-            }
-        }
-    }
-
-    fn pick_jsq(&mut self, loads: &[WorkerLoad], tie: TieBreak) -> usize {
-        let min_q = loads
-            .iter()
-            .map(|l| l.queued_jobs)
-            .min()
-            .expect("non-empty loads");
-        self.scratch.clear();
-        self.scratch
-            .extend((0..loads.len()).filter(|&w| loads[w].queued_jobs == min_q));
-        debug_assert!(!self.scratch.is_empty());
-        if self.scratch.len() == 1 {
-            return self.scratch[0];
-        }
-        match tie {
-            TieBreak::Random => {
-                let i = self.rng.index(self.scratch.len());
-                self.scratch[i]
-            }
-            TieBreak::MaxServicedQuanta => {
-                // Deterministic: among ties on serviced quanta too, take the
-                // lowest index. (The paper does not specify a third-level
-                // tie-break; any fixed rule works and determinism aids tests.)
-                *self
-                    .scratch
-                    .iter()
-                    .max_by_key(|&&w| (loads[w].serviced_quanta, core::cmp::Reverse(w)))
-                    .expect("non-empty tie set")
-            }
-        }
-    }
-
-    fn pick_power_of_two(&mut self, loads: &[WorkerLoad]) -> usize {
-        if self.n_workers == 1 {
-            return 0;
-        }
-        let a = self.rng.index(self.n_workers);
-        // Sample b distinct from a by shifting into the remaining n-1 slots.
-        let mut b = self.rng.index(self.n_workers - 1);
-        if b >= a {
-            b += 1;
-        }
-        if loads[b].queued_jobs < loads[a].queued_jobs {
-            b
-        } else {
-            a
-        }
+        assert_eq!(loads.len(), self.n_workers(), "load snapshot size mismatch");
+        self.pick_loads(loads, flow_hash, banned)
     }
 }
 

@@ -14,9 +14,14 @@
 //! figures are the policies the runtime ships.
 
 mod dispatch;
+pub mod rank;
 mod rng;
 mod worker;
 
 pub use dispatch::{DispatchPolicy, Dispatcher, TieBreak, WorkerLoad};
+pub use rank::{
+    ConstRank, JsqRank, Loads, P2cRank, PinnedRank, PolicyRng, PolicyView, RankPolicy, RankQueue,
+    RankedDispatcher, RoundRobinRank, RssHashRank, Sample, SplitLoads, TieRule,
+};
 pub(crate) use rng::SplitMix64;
 pub use worker::{LasQueue, PsQueue, WorkerPolicy};

@@ -24,12 +24,76 @@ pub enum WorkerPolicy {
     /// for scheduling policies like least-attained-service" — this is
     /// that policy, as an extension beyond the paper's evaluation.
     LeastAttainedService,
+    /// Strict priority by class: class 0 always runs before class 1, and
+    /// so on; within a class, equal ranks round-robin like PS. A scenario
+    /// the paper never ran, expressed through the rank layer.
+    StrictPriority,
+    /// Earliest-deadline-first over per-class SLOs: a job's rank is its
+    /// arrival time plus its class's SLO in microseconds, so the job
+    /// closest to violating its deadline runs next. Classes beyond the
+    /// fourth use the last entry.
+    EarliestDeadline {
+        /// Per-class SLO budget (µs); index is `ClassId`, clamped to 3.
+        slo_us: [u32; 4],
+    },
+    /// Weighted fair sharing across classes/tenants: rank is attained
+    /// service scaled inversely by the class's weight (start-time fair
+    /// queueing virtual time), so a weight-4 class receives 4× the
+    /// service rate of a weight-1 class under contention.
+    WeightedFair {
+        /// Per-class weight (0 treated as 1); index is `ClassId`,
+        /// clamped to 3.
+        weight: [u32; 4],
+    },
 }
 
 impl WorkerPolicy {
     /// Whether this policy preempts jobs at quantum boundaries.
     pub fn preempts(self) -> bool {
         !matches!(self, WorkerPolicy::Fcfs)
+    }
+
+    /// Whether the run queue orders jobs by a [rank](WorkerPolicy::job_rank)
+    /// rather than plain FIFO rotation. Ranked policies use the generic
+    /// packed min-rank queue ([`RankQueue`](super::RankQueue)); work
+    /// stealing (which takes a queue's *tail*) is undefined for them.
+    pub fn is_ranked(self) -> bool {
+        matches!(
+            self,
+            WorkerPolicy::LeastAttainedService
+                | WorkerPolicy::StrictPriority
+                | WorkerPolicy::EarliestDeadline { .. }
+                | WorkerPolicy::WeightedFair { .. }
+        )
+    }
+
+    /// The worker-side rank function — the quantum-ordering counterpart of
+    /// the dispatch layer's `RankPolicy`: the resident job with the
+    /// *minimum* rank runs the next quantum, ties breaking FIFO by
+    /// admission order (the PS rotation among equals).
+    ///
+    /// `attained` is the job's attained service in the caller's native
+    /// unit — nanoseconds in the virtual-time engines, whole quanta in
+    /// the live runtime. Every built-in ranked policy is monotone in
+    /// `attained` or ignores it, so the choice of unit changes only
+    /// granularity, never the ordering contract. FIFO policies
+    /// (PS/FCFS) rank everything 0 — callers shouldn't consult the rank
+    /// for them, but the value is well-defined anyway.
+    #[inline]
+    pub fn job_rank(self, class: u16, arrival: crate::time::Nanos, attained: u64) -> u64 {
+        match self {
+            WorkerPolicy::ProcessorSharing | WorkerPolicy::Fcfs => 0,
+            WorkerPolicy::LeastAttainedService => attained,
+            WorkerPolicy::StrictPriority => class as u64,
+            WorkerPolicy::EarliestDeadline { slo_us } => {
+                let slo = slo_us[(class as usize).min(3)] as u64;
+                arrival.as_nanos().saturating_add(slo.saturating_mul(1_000))
+            }
+            WorkerPolicy::WeightedFair { weight } => {
+                let w = weight[(class as usize).min(3)].max(1) as u128;
+                ((attained as u128 * 1_024 / w).min(u64::MAX as u128)) as u64
+            }
+        }
     }
 }
 
@@ -274,6 +338,65 @@ mod tests {
         assert!(WorkerPolicy::ProcessorSharing.preempts());
         assert!(!WorkerPolicy::Fcfs.preempts());
         assert!(WorkerPolicy::LeastAttainedService.preempts());
+        assert!(WorkerPolicy::StrictPriority.preempts());
+        assert!(WorkerPolicy::EarliestDeadline { slo_us: [100; 4] }.preempts());
+        assert!(WorkerPolicy::WeightedFair { weight: [1; 4] }.preempts());
+    }
+
+    #[test]
+    fn ranked_policy_flags() {
+        assert!(!WorkerPolicy::ProcessorSharing.is_ranked());
+        assert!(!WorkerPolicy::Fcfs.is_ranked());
+        assert!(WorkerPolicy::LeastAttainedService.is_ranked());
+        assert!(WorkerPolicy::StrictPriority.is_ranked());
+        assert!(WorkerPolicy::EarliestDeadline { slo_us: [100; 4] }.is_ranked());
+        assert!(WorkerPolicy::WeightedFair { weight: [1; 4] }.is_ranked());
+    }
+
+    #[test]
+    fn strict_priority_ranks_by_class_only() {
+        use crate::time::Nanos;
+        let p = WorkerPolicy::StrictPriority;
+        assert!(p.job_rank(0, Nanos::from_micros(99), 1_000_000) < p.job_rank(1, Nanos::ZERO, 0));
+        assert_eq!(p.job_rank(2, Nanos::ZERO, 5), p.job_rank(2, Nanos::from_micros(1), 7));
+    }
+
+    #[test]
+    fn earliest_deadline_ranks_by_arrival_plus_slo() {
+        use crate::time::Nanos;
+        let p = WorkerPolicy::EarliestDeadline {
+            slo_us: [50, 1_000, 1_000, 1_000],
+        };
+        // A tight-SLO job arriving later still beats a loose-SLO earlier one.
+        let tight = p.job_rank(0, Nanos::from_micros(100), 0);
+        let loose = p.job_rank(1, Nanos::from_micros(10), 0);
+        assert_eq!(tight, Nanos::from_micros(150).as_nanos());
+        assert_eq!(loose, Nanos::from_micros(1_010).as_nanos());
+        assert!(tight < loose);
+        // Classes beyond the table reuse the last SLO entry.
+        assert_eq!(p.job_rank(9, Nanos::ZERO, 0), p.job_rank(3, Nanos::ZERO, 0));
+    }
+
+    #[test]
+    fn weighted_fair_scales_attained_by_weight() {
+        use crate::time::Nanos;
+        let p = WorkerPolicy::WeightedFair {
+            weight: [4, 1, 1, 1],
+        };
+        // With 4x the weight, class 0 is still ahead after 3x the service.
+        assert!(p.job_rank(0, Nanos::ZERO, 3_000) < p.job_rank(1, Nanos::ZERO, 1_000));
+        assert!(p.job_rank(0, Nanos::ZERO, 5_000) > p.job_rank(1, Nanos::ZERO, 1_000));
+        // Zero weight is treated as 1, not a division by zero.
+        let z = WorkerPolicy::WeightedFair { weight: [0; 4] };
+        assert_eq!(z.job_rank(0, Nanos::ZERO, 7), 7 * 1_024);
+    }
+
+    #[test]
+    fn las_rank_is_attained_service() {
+        use crate::time::Nanos;
+        let p = WorkerPolicy::LeastAttainedService;
+        assert_eq!(p.job_rank(0, Nanos::from_micros(5), 42), 42);
+        assert!(p.job_rank(1, Nanos::ZERO, 1) < p.job_rank(0, Nanos::ZERO, 2));
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use tq_core::counters::WorkerCounters;
-use tq_core::policy::{DispatchPolicy, Dispatcher, LasQueue, PsQueue, TieBreak, WorkerLoad};
+use tq_core::policy::{
+    DispatchPolicy, Dispatcher, LasQueue, PsQueue, TieBreak, WorkerLoad, WorkerPolicy,
+};
 use tq_core::Nanos;
 
 fn arb_loads(max_workers: usize) -> impl Strategy<Value = Vec<WorkerLoad>> {
@@ -90,6 +92,83 @@ proptest! {
             prop_assert!(a >= prev);
             prev = a;
         }
+    }
+
+    /// RoundRobin fairness: over any full lap of `n` picks, every worker
+    /// is chosen exactly once, regardless of the load snapshot (the
+    /// policy is load-blind by design).
+    #[test]
+    fn round_robin_visits_every_worker_once_per_lap(
+        loads in arb_loads(24),
+        seed in any::<u64>(),
+        laps in 1usize..4,
+    ) {
+        let n = loads.len();
+        let mut d = Dispatcher::new(DispatchPolicy::RoundRobin, n, seed);
+        for _ in 0..laps {
+            let mut picked = vec![false; n];
+            for _ in 0..n {
+                let w = d.pick(&loads, 0);
+                prop_assert!(!picked[w], "worker {} picked twice in one lap", w);
+                picked[w] = true;
+            }
+            prop_assert!(picked.iter().all(|&p| p));
+        }
+    }
+
+    /// RssHash stability: the same flow hash always lands on the same
+    /// worker, no matter how the load snapshot changes between packets.
+    #[test]
+    fn rss_hash_is_stable_per_flow(
+        loads_a in arb_loads(16),
+        loads_b in arb_loads(16),
+        seed in any::<u64>(),
+        hash in any::<u64>(),
+    ) {
+        let n = loads_a.len().min(loads_b.len());
+        let mut d = Dispatcher::new(DispatchPolicy::RssHash, n, seed);
+        let first = d.pick(&loads_a[..n], hash);
+        for _ in 0..4 {
+            prop_assert_eq!(d.pick(&loads_b[..n], hash), first);
+        }
+    }
+
+    /// P2C never picks the strictly-more-loaded of its two samples: the
+    /// winner's queue is a lower bound for at most one other worker, so
+    /// it can never exceed every other worker's queue when n > 1.
+    #[test]
+    fn p2c_never_picks_a_strict_queue_maximum(loads in arb_loads(16), seed in any::<u64>()) {
+        if loads.len() < 2 {
+            return Ok(()); // n == 1 has no second sample to compare
+        }
+        let mut d = Dispatcher::new(DispatchPolicy::PowerOfTwo, loads.len(), seed);
+        for _ in 0..16 {
+            let w = d.pick(&loads, 0);
+            // Both samples are distinct and the smaller queue wins, so the
+            // pick beats (or ties) at least one other worker.
+            let beaten = loads
+                .iter()
+                .enumerate()
+                .filter(|&(i, l)| i != w && loads[w].queued_jobs <= l.queued_jobs)
+                .count();
+            prop_assert!(beaten >= 1, "pick {} with queue {} lost to every other worker",
+                w, loads[w].queued_jobs);
+        }
+    }
+
+    /// LAS rank is monotone in attained service and blind to class and
+    /// arrival: ranks order exactly as attained times do.
+    #[test]
+    fn las_rank_is_monotone_in_attained(
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+        class in 0u16..4,
+        arrival in 0u64..1_000_000,
+    ) {
+        let p = WorkerPolicy::LeastAttainedService;
+        let ra = p.job_rank(class, Nanos::from_nanos(arrival), a);
+        let rb = p.job_rank(0, Nanos::ZERO, b);
+        prop_assert_eq!(ra.cmp(&rb), a.cmp(&b));
     }
 
     /// The wrap-safe counters agree with an infinite-precision model for

@@ -164,6 +164,68 @@ pub struct RackMeta {
     pub per_server: Vec<RackServerMeta>,
 }
 
+/// Scheduling-policy metadata attached to every [`RunRecord`] — the
+/// `policy` block of the `tq-run/v1` JSON. One shape for all engines:
+/// the dispatch policy, the worker discipline, whether the discipline is
+/// rank-ordered (LAS, strict priority, earliest-deadline, weighted
+/// fair), and any per-class rank parameters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolicyMeta {
+    /// The dispatch policy, rendered (e.g. `"Jsq(MaxServicedQuanta)"`),
+    /// or `"Centralized"` for single-queue systems.
+    pub dispatch: String,
+    /// The worker quantum discipline's short name (e.g.
+    /// `"processor_sharing"`, `"earliest_deadline"`).
+    pub discipline: String,
+    /// Whether the discipline orders jobs by `WorkerPolicy::job_rank`.
+    pub ranked: bool,
+    /// Per-class rank parameters, as `(name, values-by-class)` pairs —
+    /// `("slo_us", …)` for deadline ranking, `("weight", …)` for
+    /// weighted fair share. Empty for parameter-free disciplines.
+    pub params: Vec<(String, Vec<u64>)>,
+}
+
+impl PolicyMeta {
+    /// Builds the block from a dispatch label and a worker discipline.
+    pub fn new(dispatch: String, worker: tq_core::policy::WorkerPolicy) -> Self {
+        use tq_core::policy::WorkerPolicy as W;
+        let discipline = match worker {
+            W::ProcessorSharing => "processor_sharing",
+            W::Fcfs => "fcfs",
+            W::LeastAttainedService => "least_attained_service",
+            W::StrictPriority => "strict_priority",
+            W::EarliestDeadline { .. } => "earliest_deadline",
+            W::WeightedFair { .. } => "weighted_fair",
+        };
+        let params = match worker {
+            W::EarliestDeadline { slo_us } => vec![(
+                "slo_us".to_string(),
+                slo_us.iter().map(|&v| u64::from(v)).collect(),
+            )],
+            W::WeightedFair { weight } => vec![(
+                "weight".to_string(),
+                weight.iter().map(|&v| u64::from(v)).collect(),
+            )],
+            _ => Vec::new(),
+        };
+        PolicyMeta {
+            dispatch,
+            discipline: discipline.to_string(),
+            ranked: worker.is_ranked(),
+            params,
+        }
+    }
+
+    /// The block for a discrete-event [`tq_queueing::SystemConfig`].
+    pub fn from_config(cfg: &tq_queueing::SystemConfig) -> Self {
+        let dispatch = match cfg.arch {
+            tq_queueing::Architecture::TwoLevel { dispatch } => format!("{dispatch:?}"),
+            tq_queueing::Architecture::Centralized => "Centralized".to_string(),
+        };
+        PolicyMeta::new(dispatch, cfg.worker_policy)
+    }
+}
+
 /// Socket-tier metadata attached to a [`RunRecord`] when the run was
 /// driven over the wire (tq-loadgen → UDP front end): the client-observed
 /// round-trip tail and both sides' datagram ledgers. `None` when the run
@@ -221,6 +283,11 @@ pub trait Engine {
     fn take_rack_meta(&mut self) -> Option<RackMeta> {
         None
     }
+    /// The scheduling-policy block for this engine's configuration
+    /// (default: none, for engines predating the policy layer).
+    fn policy_meta(&self) -> Option<PolicyMeta> {
+        None
+    }
 }
 
 /// One engine run summarized through the same metrics path as
@@ -266,6 +333,8 @@ pub struct RunRecord {
     pub rack: Option<RackMeta>,
     /// Socket-tier metadata (present iff the run went over the wire).
     pub net: Option<NetMeta>,
+    /// Scheduling-policy metadata (present for policy-aware engines).
+    pub policy: Option<PolicyMeta>,
 }
 
 impl RunRecord {
@@ -304,6 +373,7 @@ pub fn run_to_record(engine: &mut dyn Engine, spec: &RunSpec) -> RunRecord {
         audit,
         rack: engine.take_rack_meta(),
         net: None,
+        policy: engine.policy_meta(),
     }
 }
 

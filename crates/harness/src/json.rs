@@ -6,7 +6,7 @@
 //! the sim and runtime schemas identical by construction: downstream
 //! tooling distinguishes them only by the `engine` field.
 
-use crate::engine::{NetMeta, RackMeta, RunRecord};
+use crate::engine::{NetMeta, PolicyMeta, RackMeta, RunRecord};
 use tq_audit::AuditReport;
 use tq_sim::metrics::ClassSummary;
 
@@ -99,6 +99,31 @@ fn rack_json(m: Option<&RackMeta>) -> String {
     }
 }
 
+/// The policy block as a JSON value: `null` for engines predating the
+/// policy layer.
+fn policy_json(m: Option<&PolicyMeta>) -> String {
+    match m {
+        None => "null".to_string(),
+        Some(m) => {
+            let params: Vec<String> = m
+                .params
+                .iter()
+                .map(|(name, values)| {
+                    let vs: Vec<String> = values.iter().map(u64::to_string).collect();
+                    format!("\"{}\": [{}]", json_str(name), vs.join(", "))
+                })
+                .collect();
+            format!(
+                "{{\"dispatch\": \"{}\", \"discipline\": \"{}\", \"ranked\": {}, \"params\": {{{}}}}}",
+                json_str(&m.dispatch),
+                json_str(&m.discipline),
+                m.ranked,
+                params.join(", ")
+            )
+        }
+    }
+}
+
 /// The socket metadata as a JSON value: `null` for in-process runs.
 fn net_json(m: Option<&NetMeta>) -> String {
     match m {
@@ -180,6 +205,7 @@ pub fn record_json(r: &RunRecord) -> String {
             "\"dispatch_bursts\": {}, \"dispatch_busy_nanos\": {}, ",
             "\"dispatch_ns_per_request\": {},\n",
             "      \"workers\": [{}]}},\n",
+            "     \"policy\": {},\n",
             "     \"rack\": {},\n",
             "     \"net\": {},\n",
             "     \"audit\": {}}}"
@@ -207,6 +233,7 @@ pub fn record_json(r: &RunRecord) -> String {
         r.counters.dispatch_busy_nanos,
         json_f64(r.counters.dispatch_ns_per_request()),
         workers.join(", "),
+        policy_json(r.policy.as_ref()),
         rack_json(r.rack.as_ref()),
         net_json(r.net.as_ref()),
         audit_json(r.audit.as_ref()),
@@ -264,6 +291,12 @@ mod tests {
                 dispatch_busy_nanos: 1200,
                 workers: vec![WorkerCounters::default(); 2],
             },
+            policy: Some(crate::engine::PolicyMeta {
+                dispatch: "Jsq(MaxServicedQuanta)".into(),
+                discipline: "earliest_deadline".into(),
+                ranked: true,
+                params: vec![("slo_us".into(), vec![50, 1_000, 2_000, 2_000])],
+            }),
             rack: Some(crate::engine::RackMeta {
                 n_servers: 2,
                 policy: "PowerOfK(2)".into(),

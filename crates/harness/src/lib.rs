@@ -54,7 +54,7 @@ pub mod rt;
 pub mod sim;
 
 pub use engine::{
-    run_to_record, summarize, Engine, EngineCounters, EngineKind, NetMeta, RackMeta,
+    run_to_record, summarize, Engine, EngineCounters, EngineKind, NetMeta, PolicyMeta, RackMeta,
     RackServerMeta, RunOutput, RunRecord, RunSpec, WorkerCounters,
 };
 pub use rack::RackEngine;

@@ -12,7 +12,7 @@
 //! `AuditReport::absorb_scoped`.
 
 use crate::engine::{
-    Engine, EngineCounters, EngineKind, RackMeta, RackServerMeta, RunOutput, RunSpec,
+    Engine, EngineCounters, EngineKind, PolicyMeta, RackMeta, RackServerMeta, RunOutput, RunSpec,
     WorkerCounters,
 };
 use tq_audit::InvariantAuditor;
@@ -74,6 +74,12 @@ impl Engine for RackEngine {
 
     fn workers(&self) -> usize {
         self.spec.server.n_workers * self.spec.n_servers
+    }
+
+    fn policy_meta(&self) -> Option<PolicyMeta> {
+        // The per-server policy; the rack-level routing policy lives in
+        // the `rack` block.
+        Some(PolicyMeta::from_config(&self.spec.server))
     }
 
     fn run(&mut self, spec: &RunSpec, arrivals: ArrivalGen, horizon: Nanos) -> RunOutput {

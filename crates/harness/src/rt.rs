@@ -23,7 +23,9 @@
 //! requests. See EXPERIMENTS.md for the caveats of interpreting these
 //! numbers on a shared or oversubscribed host.
 
-use crate::engine::{Engine, EngineCounters, EngineKind, RunOutput, RunSpec, WorkerCounters};
+use crate::engine::{
+    Engine, EngineCounters, EngineKind, PolicyMeta, RunOutput, RunSpec, WorkerCounters,
+};
 use tq_audit::{CompletionFact, InvariantAuditor};
 use tq_core::job::Completion;
 use tq_core::Nanos;
@@ -149,6 +151,13 @@ impl Engine for RtEngine {
 
     fn workers(&self) -> usize {
         self.config.workers
+    }
+
+    fn policy_meta(&self) -> Option<PolicyMeta> {
+        Some(PolicyMeta::new(
+            format!("{:?}", self.config.dispatch),
+            self.config.discipline,
+        ))
     }
 
     fn run(&mut self, spec: &RunSpec, mut arrivals: ArrivalGen, horizon: Nanos) -> RunOutput {

@@ -6,7 +6,9 @@
 //! sweep machinery — pinned by the `sim_engine_matches_run_once`
 //! integration test.
 
-use crate::engine::{Engine, EngineCounters, EngineKind, RunOutput, RunSpec, WorkerCounters};
+use crate::engine::{
+    Engine, EngineCounters, EngineKind, PolicyMeta, RunOutput, RunSpec, WorkerCounters,
+};
 use tq_audit::InvariantAuditor;
 use tq_core::Nanos;
 use tq_queueing::{centralized, twolevel, Architecture, SystemConfig};
@@ -66,6 +68,10 @@ impl Engine for SimEngine {
 
     fn workers(&self) -> usize {
         self.config.n_workers
+    }
+
+    fn policy_meta(&self) -> Option<PolicyMeta> {
+        Some(PolicyMeta::from_config(&self.config))
     }
 
     fn run(&mut self, spec: &RunSpec, arrivals: ArrivalGen, horizon: Nanos) -> RunOutput {

@@ -22,6 +22,7 @@
 use crate::active::ActiveJob;
 use crate::config::{Architecture, SystemConfig};
 use crate::mask::WorkerMask;
+use crate::runq::IndexQueue;
 use crate::slab::{JobIdx, JobSlab};
 use crate::twolevel::{ArrivalSource, RX_RING_CAPACITY};
 use std::collections::VecDeque;
@@ -62,9 +63,10 @@ struct State {
     in_flight: Option<Op>,
     /// Every in-flight job, indexed by the slots `central`/`running` hold.
     slab: JobSlab,
-    /// The central PS rotation: both admit and quantum re-entry enqueue
-    /// at the tail (`PsQueue` semantics on slab indices).
-    central: VecDeque<JobIdx>,
+    /// The central run queue on slab indices: FIFO rotation for PS/FCFS
+    /// (both admit and quantum re-entry enqueue at the tail), min-rank
+    /// order for ranked disciplines.
+    central: IndexQueue,
     idle: WorkerMask,
     /// Cached `idle.count()`, maintained at every set/clear.
     n_idle: usize,
@@ -221,7 +223,7 @@ impl CentralizedSim {
                 assign_q: 0,
                 in_flight: None,
                 slab: JobSlab::with_capacity(4 * cfg.n_workers),
-                central: VecDeque::with_capacity(4 * cfg.n_workers),
+                central: IndexQueue::new(cfg.worker_policy, 4 * cfg.n_workers),
                 idle: WorkerMask::full(cfg.n_workers),
                 n_idle: cfg.n_workers,
                 pending_assigns: 0,
@@ -336,6 +338,7 @@ impl CentralizedSim {
         match op {
             Op::Ingress(req) => {
                 let inflation = cfg.inflation_for(req.class.0);
+                let rank = cfg.worker_policy.job_rank(req.class.0, req.arrival, 0);
                 let idx = st.slab.insert(ActiveJob {
                     id: req.id,
                     class: req.class,
@@ -350,11 +353,11 @@ impl CentralizedSim {
                         Nanos::MAX
                     },
                 });
-                st.central.push_back(idx);
+                st.central.push(idx, rank);
             }
             Op::Assign => {
                 st.pending_assigns -= 1;
-                if let Some(idx) = st.central.pop_front() {
+                if let Some(idx) = st.central.take_next() {
                     if let Some(w) = st.idle.first() {
                         st.idle.clear(w);
                         st.n_idle -= 1;
@@ -369,7 +372,11 @@ impl CentralizedSim {
                     } else {
                         // Wasted dispatcher cycle: every worker got busy
                         // since this op was queued.
-                        st.central.push_back(idx);
+                        let j = st.slab.get(idx);
+                        let rank =
+                            cfg.worker_policy
+                                .job_rank(j.class.0, j.arrival, j.attained.as_nanos());
+                        st.central.push(idx, rank);
                     }
                 }
             }
@@ -400,7 +407,12 @@ impl CentralizedSim {
                 finish: now,
             });
         } else {
-            st.central.push_back(idx);
+            let j = st.slab.get(idx);
+            let rank = self
+                .cfg
+                .worker_policy
+                .job_rank(j.class.0, j.arrival, j.attained.as_nanos());
+            st.central.push(idx, rank);
         }
         st.idle.set(w);
         st.n_idle += 1;

@@ -107,11 +107,7 @@ impl SystemConfig {
             self.name
         );
         assert!(
-            !(self.work_stealing
-                && matches!(
-                    self.worker_policy,
-                    tq_core::policy::WorkerPolicy::LeastAttainedService
-                )),
+            !(self.work_stealing && self.worker_policy.is_ranked()),
             "{}: work stealing is only defined for FIFO run queues",
             self.name
         );

@@ -207,6 +207,90 @@ pub fn tq_las(n_workers: usize, quantum: Nanos) -> SystemConfig {
     cfg
 }
 
+/// TQ-PRIO extension: strict priority classes on the workers — class 0
+/// always runs before class 1, and so on. A scenario the paper never
+/// ran, expressed as a one-line rank function over the policy layer.
+pub fn tq_priority(n_workers: usize, quantum: Nanos) -> SystemConfig {
+    let mut cfg = tq(n_workers, quantum).named("TQ-PRIO");
+    cfg.worker_policy = WorkerPolicy::StrictPriority;
+    cfg
+}
+
+/// Per-class latency SLOs for [`tq_edf`], in microseconds: tight for the
+/// short class 0 (GET-like), relaxed for longer classes.
+pub const EDF_SLO_US: [u32; 4] = [50, 1_000, 2_000, 2_000];
+
+/// TQ-EDF extension: earliest-deadline-first quantum ordering, where a
+/// job's deadline is its arrival plus its class SLO ([`EDF_SLO_US`]).
+pub fn tq_edf(n_workers: usize, quantum: Nanos) -> SystemConfig {
+    let mut cfg = tq(n_workers, quantum).named("TQ-EDF");
+    cfg.worker_policy = WorkerPolicy::EarliestDeadline { slo_us: EDF_SLO_US };
+    cfg
+}
+
+/// Per-class (tenant) shares for [`tq_wfq`]: tenant 0 holds a 4× share.
+pub const WFQ_WEIGHTS: [u32; 4] = [4, 1, 1, 1];
+
+/// TQ-WFQ extension: weighted fair share across tenants (classes) — each
+/// job is ranked by attained service scaled down by its tenant's weight
+/// ([`WFQ_WEIGHTS`]), so heavier tenants accumulate service faster.
+pub fn tq_wfq(n_workers: usize, quantum: Nanos) -> SystemConfig {
+    let mut cfg = tq(n_workers, quantum).named("TQ-WFQ");
+    cfg.worker_policy = WorkerPolicy::WeightedFair {
+        weight: WFQ_WEIGHTS,
+    };
+    cfg
+}
+
+/// Preset names [`by_name`] accepts, in display order — the CLI
+/// `--policy` vocabulary for the bench binaries and `tq-loadgen`.
+pub const NAMES: &[&str] = &[
+    "tq",
+    "shinjuku",
+    "caladan_iokernel",
+    "caladan_directpath",
+    "ideal_centralized_ps",
+    "ideal_two_level",
+    "tq_ic",
+    "tq_slow_yield",
+    "tq_timing",
+    "tq_rand",
+    "tq_power_two",
+    "tq_fcfs",
+    "tq_las",
+    "tq_priority",
+    "tq_edf",
+    "tq_wfq",
+    "concord",
+];
+
+/// Looks up a preset by its CLI name (see [`NAMES`]), applying
+/// `n_workers` and `quantum`. Presets with a fixed quantum of their own
+/// (`tq_timing`, the FCFS systems) ignore `quantum`. Returns `None` for
+/// unknown names.
+pub fn by_name(name: &str, n_workers: usize, quantum: Nanos) -> Option<SystemConfig> {
+    Some(match name {
+        "tq" => tq(n_workers, quantum),
+        "shinjuku" => shinjuku(n_workers, quantum),
+        "caladan_iokernel" => caladan_iokernel(n_workers),
+        "caladan_directpath" => caladan_directpath(n_workers),
+        "ideal_centralized_ps" => ideal_centralized_ps(n_workers, quantum),
+        "ideal_two_level" => ideal_two_level(n_workers, quantum, TieBreak::MaxServicedQuanta),
+        "tq_ic" => tq_ic(n_workers, quantum),
+        "tq_slow_yield" => tq_slow_yield(n_workers, quantum),
+        "tq_timing" => tq_timing(n_workers),
+        "tq_rand" => tq_rand(n_workers, quantum),
+        "tq_power_two" => tq_power_two(n_workers, quantum),
+        "tq_fcfs" => tq_fcfs(n_workers),
+        "tq_las" => tq_las(n_workers, quantum),
+        "tq_priority" => tq_priority(n_workers, quantum),
+        "tq_edf" => tq_edf(n_workers, quantum),
+        "tq_wfq" => tq_wfq(n_workers, quantum),
+        "concord" => concord(n_workers, quantum),
+        _ => return None,
+    })
+}
+
 /// TQ with `n_dispatchers` dispatcher cores (§6's scaling sketch):
 /// packets sprayed round-robin, each dispatcher running JSQ+MSQ on the
 /// live counters.
@@ -267,11 +351,32 @@ mod tests {
             tq_power_two(16, q),
             tq_fcfs(16),
             tq_las(16, q),
+            tq_priority(16, q),
+            tq_edf(16, q),
+            tq_wfq(16, q),
             tq_multi_dispatcher(16, q, 4),
             concord(16, q),
         ] {
             cfg.validate();
         }
+    }
+
+    #[test]
+    fn by_name_covers_every_listed_preset() {
+        let q = Nanos::from_micros(2);
+        for name in NAMES {
+            let cfg = by_name(name, 16, q).expect("listed preset resolves");
+            cfg.validate();
+        }
+        assert!(by_name("no_such_policy", 16, q).is_none());
+    }
+
+    #[test]
+    fn new_rank_presets_use_ranked_disciplines() {
+        let q = Nanos::from_micros(2);
+        assert!(tq_priority(16, q).worker_policy.is_ranked());
+        assert!(tq_edf(16, q).worker_policy.is_ranked());
+        assert!(tq_wfq(16, q).worker_policy.is_ranked());
     }
 
     #[test]

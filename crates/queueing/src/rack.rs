@@ -35,6 +35,7 @@ use crate::config::{Architecture, SystemConfig};
 use crate::twolevel::{flow_hash, TwoLevelSim};
 use std::collections::VecDeque;
 use tq_core::job::Completion;
+use tq_core::policy::{JsqRank, PolicyView, RankPolicy, RoundRobinRank, TieRule};
 use tq_core::{costs, Nanos, Request};
 use tq_sim::pdes::{run_conservative, Outbox, Shard};
 use tq_sim::{EventQueue, SimRng};
@@ -477,8 +478,11 @@ struct SchedShard {
     estimates: Vec<u64>,
     active: Vec<bool>,
     n_active: usize,
-    /// Round-robin cursor.
-    rr: usize,
+    /// Round-robin cursor, shared with the node-level dispatcher's rank
+    /// formulation (circular distance, [`RankPolicy::on_pick`] advance).
+    rr: RoundRobinRank,
+    /// Scratch for sampled candidates (PowerOfK), reused across routes.
+    samples: Vec<usize>,
     membership: VecDeque<MembershipChange>,
     /// Incoming load reports keyed by delivery time.
     loads: EventQueue<(usize, u64)>,
@@ -502,7 +506,8 @@ impl SchedShard {
             estimates: vec![0; spec.n_servers],
             active: vec![true; spec.n_servers],
             n_active: spec.n_servers,
-            rr: 0,
+            rr: RoundRobinRank::default(),
+            samples: Vec::new(),
             membership: spec.membership.iter().copied().collect(),
             loads: EventQueue::new(),
             routed: vec![0; spec.n_servers],
@@ -562,39 +567,63 @@ impl SchedShard {
     }
 
     /// Picks the target server for `req` among active servers.
+    ///
+    /// Every arm is the same PIFO-shaped decision the node-level
+    /// dispatcher makes: sample a candidate list (Random, PowerOfK draw
+    /// with replacement; RoundRobin/Affinity scan all active servers),
+    /// then take the first candidate with the minimum rank via
+    /// [`min_rank_scan`] — stale load estimates stand in for the queue
+    /// depths a [`PolicyView`] exposes. The `SimRng` draw sequences are
+    /// identical to the historical hand-coded arms.
     fn route(&mut self, req: &Request) -> usize {
         debug_assert!(self.n_active >= 1, "validated schedule keeps the rack non-empty");
+        let n = self.active.len();
         match self.policy {
             RackPolicy::Random => {
                 let k = self.rng.index(self.n_active);
                 self.nth_active(k)
             }
             RackPolicy::RoundRobin => {
-                let n = self.active.len();
-                loop {
-                    let c = self.rr;
-                    self.rr = (self.rr + 1) % n;
-                    if self.active[c] {
-                        return c;
-                    }
-                }
+                let picked = min_rank_scan(
+                    &self.rr,
+                    active_servers(&self.active),
+                    &self.estimates,
+                    n,
+                )
+                .expect("rack is non-empty");
+                self.rr.on_pick(picked, n);
+                picked
             }
             RackPolicy::PowerOfK(k) => {
-                let mut best = usize::MAX;
-                let mut best_est = u64::MAX;
+                let mut samples = std::mem::take(&mut self.samples);
+                samples.clear();
                 for _ in 0..k {
-                    let k = self.rng.index(self.n_active);
-                    let c = self.nth_active(k);
-                    if self.estimates[c] < best_est {
-                        best_est = self.estimates[c];
-                        best = c;
-                    }
+                    let j = self.rng.index(self.n_active);
+                    samples.push(self.nth_active(j));
                 }
+                let best = min_rank_scan(
+                    &JsqRank {
+                        tie: TieRule::LowestIndex,
+                    },
+                    samples.iter().copied(),
+                    &self.estimates,
+                    n,
+                )
+                .expect("k >= 1 sampled candidates");
+                self.samples = samples;
                 best
             }
             RackPolicy::Affinity { spill } => {
-                let home = (flow_hash(req.id.0) % self.active.len() as u64) as usize;
-                let least = self.least_loaded_active();
+                let home = (flow_hash(req.id.0) % n as u64) as usize;
+                let least = min_rank_scan(
+                    &JsqRank {
+                        tie: TieRule::LowestIndex,
+                    },
+                    active_servers(&self.active),
+                    &self.estimates,
+                    n,
+                )
+                .expect("rack is non-empty");
                 if self.active[home] && self.estimates[home] <= self.estimates[least] + spill {
                     home
                 } else {
@@ -617,19 +646,43 @@ impl SchedShard {
         }
         unreachable!("k out of range of active servers")
     }
+}
 
-    /// Lowest-estimate active server; ties break to the lowest index.
-    fn least_loaded_active(&self) -> usize {
-        let mut best = usize::MAX;
-        let mut best_est = u64::MAX;
-        for (server, &up) in self.active.iter().enumerate() {
-            if up && self.estimates[server] < best_est {
-                best_est = self.estimates[server];
-                best = server;
-            }
+/// Active server indices in ascending order.
+fn active_servers(active: &[bool]) -> impl Iterator<Item = usize> + '_ {
+    active
+        .iter()
+        .enumerate()
+        .filter_map(|(s, &up)| up.then_some(s))
+}
+
+/// The rack-side min-rank datapath: scans `candidates` in order and
+/// returns the first with the minimum rank under `policy`, viewing the
+/// scheduler's stale `estimates` as the exposed per-server queue depths.
+/// Strict-minimum tracking makes ties resolve to the earliest candidate
+/// (lowest index for ascending scans, first draw for sampled lists).
+fn min_rank_scan<P: RankPolicy>(
+    policy: &P,
+    candidates: impl Iterator<Item = usize>,
+    estimates: &[u64],
+    n_servers: usize,
+) -> Option<usize> {
+    let mut best = None;
+    let mut best_rank = u64::MAX;
+    for c in candidates {
+        let rank = policy.rank(&PolicyView {
+            worker: c,
+            n_workers: n_servers,
+            queued_jobs: estimates[c],
+            serviced_quanta: 0,
+            flow_hash: 0,
+        });
+        if best.is_none() || rank < best_rank {
+            best_rank = rank;
+            best = Some(c);
         }
-        best
     }
+    best
 }
 
 /// A steppable per-server engine, either architecture.

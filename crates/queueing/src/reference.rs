@@ -22,7 +22,7 @@ use crate::runq::RunQueue;
 use crate::twolevel::{flow_hash, TwoLevelOutcome};
 use std::collections::{BTreeSet, VecDeque};
 use tq_core::job::Completion;
-use tq_core::policy::{Dispatcher, PsQueue, WorkerLoad};
+use tq_core::policy::{Dispatcher, WorkerLoad};
 use tq_core::{Nanos, Request};
 use tq_sim::events::reference::EventQueue;
 use tq_workloads::ArrivalGen;
@@ -335,7 +335,7 @@ mod centralized_impl {
         /// Queued Assign operations (count; they carry no payload).
         assign_q: usize,
         in_flight: Option<Op>,
-        central: PsQueue<ActiveJob>,
+        central: RunQueue,
         idle: BTreeSet<usize>,
         pending_assigns: usize,
         running: Vec<Option<(ActiveJob, Nanos)>>,
@@ -361,7 +361,7 @@ mod centralized_impl {
             ingress_q: VecDeque::new(),
             assign_q: 0,
             in_flight: None,
-            central: PsQueue::new(),
+            central: RunQueue::new(cfg.worker_policy),
             idle: (0..cfg.n_workers).collect(),
             pending_assigns: 0,
             running: (0..cfg.n_workers).map(|_| None).collect(),
@@ -400,7 +400,7 @@ mod centralized_impl {
                     match op {
                         Op::Ingress(req) => {
                             let inflation = cfg.inflation_for(req.class.0);
-                            st.central.admit(ActiveJob {
+                            st.central.push(ActiveJob {
                                 id: req.id,
                                 class: req.class,
                                 arrival: req.arrival,
@@ -431,7 +431,7 @@ mod centralized_impl {
                                 } else {
                                     // Wasted dispatcher cycle: every worker got
                                     // busy since this op was queued.
-                                    st.central.reenter(job);
+                                    st.central.push(job);
                                 }
                             }
                         }
@@ -452,7 +452,7 @@ mod centralized_impl {
                             finish: now,
                         });
                     } else {
-                        st.central.reenter(job);
+                        st.central.push(job);
                     }
                     st.idle.insert(w);
                     schedule_assigns(&mut st);

@@ -1,42 +1,50 @@
 //! The worker's run queue, generic over the quantum discipline.
 //!
-//! PS and FCFS share a FIFO rotation ([`PsQueue`]); least-attained-service
-//! orders by attained service ([`LasQueue`]). [`RunQueue`] holds jobs by
-//! value and serves the reference model; [`IndexQueue`] is its hot-path
-//! counterpart holding 32-bit [`JobIdx`] slots into the
+//! PS and FCFS share a FIFO rotation ([`PsQueue`]); every ranked
+//! discipline (LAS, strict priority, earliest-deadline, weighted fair
+//! share) goes through one generic packed min-rank queue
+//! ([`RankQueue`]) keyed by [`WorkerPolicy::job_rank`]. [`RunQueue`]
+//! holds jobs by value and serves the reference model; [`IndexQueue`] is
+//! its hot-path counterpart holding 32-bit [`JobIdx`] slots into the
 //! [`crate::slab::JobSlab`], so rotation and stealing move 4-byte indices
 //! instead of whole job structs.
+//!
+//! For LAS the rank is the attained service in nanoseconds, which makes
+//! [`RankQueue`] pop bit-identically to the historical
+//! [`tq_core::policy::LasQueue`] (equal ranks resolve FIFO by sequence
+//! number in both) — pinned by a differential test in `tq-core`.
 
 use crate::active::ActiveJob;
 use crate::slab::JobIdx;
 use std::collections::VecDeque;
-use tq_core::policy::{LasQueue, PsQueue, WorkerPolicy};
-use tq_core::Nanos;
+use tq_core::policy::{PsQueue, RankQueue, WorkerPolicy};
 
 /// A discipline-polymorphic run queue of [`ActiveJob`]s.
 #[derive(Debug)]
 pub(crate) enum RunQueue {
     /// FIFO rotation: PS and FCFS.
     Fifo(PsQueue<ActiveJob>),
-    /// Least-attained-service min-heap.
-    Las(LasQueue<ActiveJob>),
+    /// Min-rank order under the given ranked discipline.
+    Ranked(WorkerPolicy, RankQueue<ActiveJob>),
 }
 
 impl RunQueue {
     pub fn new(policy: WorkerPolicy) -> Self {
-        match policy {
-            WorkerPolicy::ProcessorSharing | WorkerPolicy::Fcfs => RunQueue::Fifo(PsQueue::new()),
-            WorkerPolicy::LeastAttainedService => RunQueue::Las(LasQueue::new()),
+        if policy.is_ranked() {
+            RunQueue::Ranked(policy, RankQueue::new())
+        } else {
+            RunQueue::Fifo(PsQueue::new())
         }
     }
 
-    /// Admits a new or yielded job.
+    /// Admits a new or yielded job; ranked disciplines key it by
+    /// [`WorkerPolicy::job_rank`] over the job's own fields.
     pub fn push(&mut self, job: ActiveJob) {
         match self {
             RunQueue::Fifo(q) => q.admit(job),
-            RunQueue::Las(q) => {
-                let attained = job.attained;
-                q.admit(job, attained);
+            RunQueue::Ranked(policy, q) => {
+                let rank = policy.job_rank(job.class.0, job.arrival, job.attained.as_nanos());
+                q.push(rank, job);
             }
         }
     }
@@ -45,7 +53,7 @@ impl RunQueue {
     pub fn take_next(&mut self) -> Option<ActiveJob> {
         match self {
             RunQueue::Fifo(q) => q.take_next(),
-            RunQueue::Las(q) => q.take_next().map(|(j, _)| j),
+            RunQueue::Ranked(_, q) => q.pop().map(|(_, j)| j),
         }
     }
 
@@ -54,19 +62,21 @@ impl RunQueue {
     ///
     /// # Panics
     ///
-    /// Panics for LAS queues: stealing is only configured with FCFS
+    /// Panics for ranked queues: stealing is only configured with FCFS
     /// (Caladan), which [`crate::SystemConfig::validate`] enforces.
     pub fn take_last(&mut self) -> Option<ActiveJob> {
         match self {
             RunQueue::Fifo(q) => q.take_last(),
-            RunQueue::Las(_) => panic!("work stealing is not defined for LAS queues"),
+            RunQueue::Ranked(..) => {
+                panic!("work stealing is not defined for LAS or other ranked queues")
+            }
         }
     }
 
     pub fn len(&self) -> usize {
         match self {
             RunQueue::Fifo(q) => q.len(),
-            RunQueue::Las(q) => q.len(),
+            RunQueue::Ranked(_, q) => q.len(),
         }
     }
 
@@ -76,34 +86,33 @@ impl RunQueue {
 }
 
 /// A discipline-polymorphic run queue of slab indices — the engines' hot
-/// path. Discipline semantics are identical to [`RunQueue`]; the LAS
-/// ordering key (attained service) is passed in at push time because the
-/// queue does not own the jobs.
+/// path. Discipline semantics are identical to [`RunQueue`]; the rank
+/// (from [`WorkerPolicy::job_rank`]) is passed in at push time because
+/// the queue does not own the jobs.
 #[derive(Debug)]
 pub(crate) enum IndexQueue {
     /// FIFO rotation: PS and FCFS.
     Fifo(VecDeque<JobIdx>),
-    /// Least-attained-service min-heap.
-    Las(LasQueue<JobIdx>),
+    /// Min-rank order under a ranked discipline.
+    Ranked(RankQueue<JobIdx>),
 }
 
 impl IndexQueue {
     pub fn new(policy: WorkerPolicy, cap: usize) -> Self {
-        match policy {
-            WorkerPolicy::ProcessorSharing | WorkerPolicy::Fcfs => {
-                IndexQueue::Fifo(VecDeque::with_capacity(cap))
-            }
-            WorkerPolicy::LeastAttainedService => IndexQueue::Las(LasQueue::new()),
+        if policy.is_ranked() {
+            IndexQueue::Ranked(RankQueue::with_capacity(cap))
+        } else {
+            IndexQueue::Fifo(VecDeque::with_capacity(cap))
         }
     }
 
-    /// Admits a new or yielded job by its slab index; `attained` is the
-    /// job's attained service (the LAS ordering key, ignored by FIFO).
+    /// Admits a new or yielded job by its slab index; `rank` is the
+    /// discipline's ordering key (ignored by FIFO).
     #[inline]
-    pub fn push(&mut self, idx: JobIdx, attained: Nanos) {
+    pub fn push(&mut self, idx: JobIdx, rank: u64) {
         match self {
             IndexQueue::Fifo(q) => q.push_back(idx),
-            IndexQueue::Las(q) => q.admit(idx, attained),
+            IndexQueue::Ranked(q) => q.push(rank, idx),
         }
     }
 
@@ -112,7 +121,7 @@ impl IndexQueue {
     pub fn take_next(&mut self) -> Option<JobIdx> {
         match self {
             IndexQueue::Fifo(q) => q.pop_front(),
-            IndexQueue::Las(q) => q.take_next().map(|(i, _)| i),
+            IndexQueue::Ranked(q) => q.pop().map(|(_, i)| i),
         }
     }
 
@@ -121,13 +130,15 @@ impl IndexQueue {
     ///
     /// # Panics
     ///
-    /// Panics for LAS queues: stealing is only configured with FIFO
+    /// Panics for ranked queues: stealing is only configured with FIFO
     /// disciplines, which [`crate::SystemConfig::validate`] enforces.
     #[inline]
     pub fn take_last(&mut self) -> Option<JobIdx> {
         match self {
             IndexQueue::Fifo(q) => q.pop_back(),
-            IndexQueue::Las(_) => panic!("work stealing is not defined for LAS queues"),
+            IndexQueue::Ranked(_) => {
+                panic!("work stealing is not defined for LAS or other ranked queues")
+            }
         }
     }
 
@@ -135,7 +146,7 @@ impl IndexQueue {
     pub fn len(&self) -> usize {
         match self {
             IndexQueue::Fifo(q) => q.len(),
-            IndexQueue::Las(q) => q.len(),
+            IndexQueue::Ranked(q) => q.len(),
         }
     }
 
@@ -163,6 +174,10 @@ mod tests {
         }
     }
 
+    fn las_rank(attained_us: u64) -> u64 {
+        WorkerPolicy::LeastAttainedService.job_rank(0, Nanos::ZERO, Nanos::from_micros(attained_us).as_nanos())
+    }
+
     #[test]
     fn fifo_keeps_order() {
         let mut q = RunQueue::new(WorkerPolicy::ProcessorSharing);
@@ -180,6 +195,19 @@ mod tests {
         q.push(job(3, 10));
         assert_eq!(q.take_next().unwrap().id.0, 2);
         assert_eq!(q.take_next().unwrap().id.0, 3);
+        assert_eq!(q.take_next().unwrap().id.0, 1);
+    }
+
+    #[test]
+    fn strict_priority_prefers_lowest_class() {
+        let mut q = RunQueue::new(WorkerPolicy::StrictPriority);
+        let mut hi = job(1, 0);
+        hi.class = ClassId(2);
+        let mut lo = job(2, 0);
+        lo.class = ClassId(0);
+        q.push(hi);
+        q.push(lo);
+        assert_eq!(q.take_next().unwrap().id.0, 2, "class 0 outranks class 2");
         assert_eq!(q.take_next().unwrap().id.0, 1);
     }
 
@@ -248,7 +276,7 @@ mod tests {
                     match op {
                         Op::Push(att) => {
                             by_value.push(job(next_id, att));
-                            by_index.push(next_id as JobIdx, Nanos::from_micros(att));
+                            by_index.push(next_id as JobIdx, las_rank(att));
                             pushed.push(next_id);
                             next_id += 1;
                         }
@@ -293,7 +321,7 @@ mod tests {
                     match op {
                         Op::Push(att) => {
                             by_value.push(job(next_id, att));
-                            by_index.push(next_id as JobIdx, Nanos::from_micros(att));
+                            by_index.push(next_id as JobIdx, las_rank(att));
                             resident.push((next_id, att));
                             pushed.push(next_id);
                             next_id += 1;

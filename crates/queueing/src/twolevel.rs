@@ -456,7 +456,11 @@ impl TwoLevelSim {
         let slice = ws.slices[w];
         let job = ws.slab.get_mut(idx);
         let done = job.apply_slice(slice);
-        let (next, attained) = (job.next_slice(), job.attained);
+        let next = job.next_slice();
+        let rank = self
+            .cfg
+            .worker_policy
+            .job_rank(job.class.0, job.arrival, job.attained.as_nanos());
         ws.serviced_quanta[w] += 1;
         ws.quanta_total[w] += 1;
         if !done && ws.queues[w].is_empty() {
@@ -486,7 +490,7 @@ impl TwoLevelSim {
                 finish: now,
             });
         } else {
-            ws.queues[w].push(idx, attained);
+            ws.queues[w].push(idx, rank);
             ws.backlog.set(w);
         }
         if !ws.queues[w].is_empty() {
@@ -586,8 +590,9 @@ fn admit(
         },
     };
     ws.queued_jobs[w] += 1;
+    let rank = cfg.worker_policy.job_rank(job.class.0, job.arrival, 0);
     let idx = ws.slab.insert(job);
-    ws.queues[w].push(idx, Nanos::ZERO);
+    ws.queues[w].push(idx, rank);
     ws.backlog.set(w);
     ws.idle.clear(w);
     if ws.running[w] == NO_JOB {
@@ -679,13 +684,16 @@ fn transfer_tail_job(
         ws.backlog.clear(victim);
     }
     let job = ws.slab.get(idx);
-    let (quanta, attained) = (job.quanta, job.attained);
+    let quanta = job.quanta;
+    let rank = cfg
+        .worker_policy
+        .job_rank(job.class.0, job.arrival, job.attained.as_nanos());
     ws.queued_jobs[victim] -= 1;
     ws.serviced_quanta[victim] -= quanta;
     ws.queued_jobs[thief] += 1;
     ws.serviced_quanta[thief] += quanta;
     ws.steals_total[thief] += 1;
-    ws.queues[thief].push(idx, attained);
+    ws.queues[thief].push(idx, rank);
     ws.backlog.set(thief);
     ws.idle.clear(thief);
     start_slice(cfg, ws, thief, now, cfg.steal_cost, events);

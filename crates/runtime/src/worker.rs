@@ -340,22 +340,33 @@ fn run_worker(w: WorkerCtx, rx: WorkerRx) -> WorkerStats {
                     req,
                     quanta: 0,
                 });
-                if !matches!(discipline, WorkerPolicy::LeastAttainedService) {
+                if !discipline.is_ranked() {
                     rotation.admit(slot);
                 }
             }
         }
 
         // Pick the next slot per the discipline: the rotation head (PS,
-        // FCFS) or the busy task with the least attained service (LAS).
-        let next_slot = match discipline {
-            WorkerPolicy::ProcessorSharing | WorkerPolicy::Fcfs => rotation.take_next(),
-            WorkerPolicy::LeastAttainedService => slots
+        // FCFS), or — for ranked disciplines (LAS, priority, deadline,
+        // fair share) — the busy task with the minimum rank, attained
+        // service measured in quanta. Slot count is small and fixed, so
+        // a scan beats maintaining a heap under preemptive re-ranking.
+        let next_slot = if discipline.is_ranked() {
+            slots
                 .iter()
                 .enumerate()
-                .filter_map(|(i, t)| t.as_ref().map(|t| (t.quanta, i)))
+                .filter_map(|(i, t)| {
+                    t.as_ref().map(|t| {
+                        (
+                            discipline.job_rank(t.req.class.0, t.req.submitted, t.quanta),
+                            i,
+                        )
+                    })
+                })
                 .min()
-                .map(|(_, i)| i),
+                .map(|(_, i)| i)
+        } else {
+            rotation.take_next()
         };
         if let Some(slot) = next_slot {
             idle_streak = 0;
@@ -370,7 +381,7 @@ fn run_worker(w: WorkerCtx, rx: WorkerRx) -> WorkerStats {
             }
             match status {
                 JobStatus::Yielded => {
-                    if !matches!(discipline, WorkerPolicy::LeastAttainedService) {
+                    if !discipline.is_ranked() {
                         rotation.reenter(slot);
                     }
                 }
@@ -407,7 +418,7 @@ fn run_worker(w: WorkerCtx, rx: WorkerRx) -> WorkerStats {
                         req,
                         quanta: 0,
                     });
-                    if !matches!(discipline, WorkerPolicy::LeastAttainedService) {
+                    if !discipline.is_ranked() {
                         rotation.admit(slot);
                     }
                     continue;
