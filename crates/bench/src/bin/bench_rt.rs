@@ -10,6 +10,8 @@
 //! cargo run --release -p tq-bench --bin bench_rt -- --smoke      # CI gate: ≤1s, 2 workers
 //! cargo run --release -p tq-bench --bin bench_rt -- --throughput # dispatch baseline → BENCH_rt.json
 //! cargo run --release -p tq-bench --bin bench_rt -- --check      # perf gate vs committed BENCH_rt.json
+//! cargo run --release -p tq-bench --bin bench_rt -- --workload bursty --adaptive
+//!                                  # hostile-traffic preset + adaptive-quantum controller
 //! ```
 //!
 //! Every run is checked for the conservation invariant (submitted ==
@@ -50,11 +52,12 @@
 //! [`TinyQuanta`]: tq_runtime::TinyQuanta
 
 use std::time::Instant;
+use tq_core::adaptive::ControllerConfig;
 use tq_core::policy::{DispatchPolicy, TieBreak};
 use tq_core::Nanos;
 use tq_harness::{json, Engine, RtEngine, RunRecord, RunSpec, SimEngine};
 use tq_runtime::{ServerConfig, SpinJob, TinyQuanta, TscClock};
-use tq_workloads::table1;
+use tq_workloads::{table1, ArrivalProcess};
 
 /// `--check` fails when the batched pipeline's ns/request rises above
 /// `committed / RT_CHECK_TOLERANCE` (a >2.5x regression). Generous on
@@ -82,26 +85,51 @@ enum Mode {
     Check,
 }
 
-fn parse_args() -> (EngineChoice, bool, Mode, Option<String>) {
-    let mut engine = EngineChoice::Both;
-    let mut smoke = false;
-    let mut mode = Mode::Experiment;
-    let mut policy = None;
+struct Args {
+    engine: EngineChoice,
+    smoke: bool,
+    mode: Mode,
+    policy: Option<String>,
+    /// `--workload NAME`: a hostile-traffic preset from
+    /// `tq_workloads::hostile` instead of the default bimodal sweep.
+    workload: Option<String>,
+    /// `--adaptive`: attach the default adaptive-quantum controller to
+    /// both engines (the sim via `SystemConfig::with_controller`, the
+    /// runtime via `RtEngine::with_controller`).
+    adaptive: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        engine: EngineChoice::Both,
+        smoke: false,
+        mode: Mode::Experiment,
+        policy: None,
+        workload: None,
+        adaptive: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--smoke" => smoke = true,
-            "--throughput" => mode = Mode::Throughput,
-            "--check" => mode = Mode::Check,
+            "--smoke" => parsed.smoke = true,
+            "--throughput" => parsed.mode = Mode::Throughput,
+            "--check" => parsed.mode = Mode::Check,
+            "--adaptive" => parsed.adaptive = true,
             "--policy" => {
-                policy = Some(args.next().unwrap_or_else(|| {
+                parsed.policy = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--policy needs a preset name");
+                    std::process::exit(2);
+                }));
+            }
+            "--workload" => {
+                parsed.workload = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--workload needs a preset name");
                     std::process::exit(2);
                 }));
             }
             "--engine" => {
                 let v = args.next().unwrap_or_default();
-                engine = match v.as_str() {
+                parsed.engine = match v.as_str() {
                     "sim" => EngineChoice::Sim,
                     "rt" => EngineChoice::Rt,
                     "both" | "all" => EngineChoice::Both,
@@ -114,13 +142,13 @@ fn parse_args() -> (EngineChoice, bool, Mode, Option<String>) {
             _ => {
                 eprintln!(
                     "unknown argument {a:?} (supported: --engine sim|rt|both, --smoke, \
-                     --throughput, --check, --policy NAME)"
+                     --throughput, --check, --policy NAME, --workload NAME, --adaptive)"
                 );
                 std::process::exit(2);
             }
         }
     }
-    (engine, smoke, mode, policy)
+    parsed
 }
 
 fn audit_enabled() -> bool {
@@ -182,12 +210,14 @@ fn run_and_report(engine: &mut dyn Engine, spec: &RunSpec, load: f64) -> (RunRec
     let ids: Vec<u64> = out.completions.iter().map(|c| c.id.0).collect();
     let completed = out.completions.len() as u64;
     let audit = out.audit.take();
+    let controller = out.controller.take();
     let summary = tq_harness::summarize(&mut out.completions);
     let record = RunRecord {
         engine: engine.kind().as_str(),
         model: engine.model(),
         system: engine.system(),
         workload: spec.workload.name().to_string(),
+        process: spec.process.name(),
         workers: engine.workers(),
         rate_rps: spec.rate_rps,
         horizon: spec.horizon,
@@ -204,6 +234,7 @@ fn run_and_report(engine: &mut dyn Engine, spec: &RunSpec, load: f64) -> (RunRec
         audit,
         rack: engine.take_rack_meta(),
         net: None,
+        controller,
     };
     let mut violations = check_record(&record, &ids);
     if let Some(report) = &record.audit {
@@ -242,6 +273,18 @@ fn run_and_report(engine: &mut dyn Engine, spec: &RunSpec, load: f64) -> (RunRec
         println!(
             "      {:>6} {:>12} {:>12} {:>8} {:>9}",
             i, w.quanta, w.completed, w.steals, w.max_ring_occupancy
+        );
+    }
+    if let Some(c) = &record.controller {
+        println!(
+            "      controller: final quantum {}  (windows {}, empty {}, grows {}, shrinks {}, range {}..{})",
+            c.final_quantum,
+            c.stats.windows,
+            c.stats.empty_windows,
+            c.stats.grows,
+            c.stats.shrinks,
+            c.stats.min_quantum_seen,
+            c.stats.max_quantum_seen,
         );
     }
     if let Some(report) = &record.audit {
@@ -510,13 +553,19 @@ fn run_check(workers: usize, audit: bool, seed: u64) -> ! {
 }
 
 fn main() {
-    let (choice, smoke, mode, policy) = parse_args();
+    let args = parse_args();
+    let (choice, smoke) = (args.engine, args.smoke);
     let audit = audit_enabled();
-    if policy.is_some() && mode != Mode::Experiment {
-        eprintln!("--policy only applies to the experiment mode (not --throughput/--check)");
+    if (args.policy.is_some() || args.workload.is_some() || args.adaptive)
+        && args.mode != Mode::Experiment
+    {
+        eprintln!(
+            "--policy/--workload/--adaptive only apply to the experiment mode \
+             (not --throughput/--check)"
+        );
         std::process::exit(2);
     }
-    match mode {
+    match args.mode {
         Mode::Throughput => run_throughput(rt_workers(4), audit, tq_bench::seed()),
         Mode::Check => run_check(rt_workers(4), audit, tq_bench::seed()),
         Mode::Experiment => {}
@@ -524,32 +573,49 @@ fn main() {
     let workers = rt_workers(2);
     let horizon = rt_horizon(smoke);
     let seed = tq_bench::seed();
-    let workload = table1::extreme_bimodal();
-    // Conservative loads: the live workers are oversubscribed OS threads
-    // on whatever host runs this, not dedicated cores at paper capacity.
-    let loads: &[f64] = if smoke { &[0.2] } else { &[0.2, 0.4] };
+    // Default: the bimodal sweep at conservative loads (the live workers
+    // are oversubscribed OS threads on whatever host runs this, not
+    // dedicated cores at paper capacity). `--workload NAME` swaps in one
+    // hostile-traffic preset at its catalog load — including >1.0 for
+    // the sustained-overload scenario.
+    let (workload, process, loads): (_, _, Vec<f64>) = match args.workload.as_deref() {
+        Some(name) => {
+            let p = tq_bench::workload_or_exit(name);
+            (p.workload, p.process, vec![p.load])
+        }
+        None => {
+            let loads: &[f64] = if smoke { &[0.2] } else { &[0.2, 0.4] };
+            (table1::extreme_bimodal(), ArrivalProcess::Poisson, loads.to_vec())
+        }
+    };
     let quantum = Nanos::from_micros(5);
     // One preset drives both engines: the sim runs it verbatim, the
     // runtime takes its dispatch/discipline/stealing via the shared
     // mapping — the same policy impl on both sides of the comparison.
-    let preset = tq_bench::policy_or_exit(policy.as_deref().unwrap_or("tq"), workers, quantum);
+    let mut preset = tq_bench::policy_or_exit(args.policy.as_deref().unwrap_or("tq"), workers, quantum);
+    if args.adaptive {
+        preset = preset.with_controller(ControllerConfig::default());
+    }
 
     println!(
-        "bench_rt ({}): {} workers, horizon {}, seed {}, audit {}, policy {}",
+        "bench_rt ({}): {} workers, horizon {}, seed {}, audit {}, policy {}, workload {}{}",
         if smoke { "smoke" } else { "full" },
         workers,
         horizon,
         seed,
         if audit { "on" } else { "off" },
         preset.name,
+        workload.name(),
+        if args.adaptive { ", adaptive quantum" } else { "" },
     );
     println!();
 
     let mut records: Vec<RunRecord> = Vec::new();
     let mut violations: Vec<String> = Vec::new();
-    for &load in loads {
+    for &load in &loads {
         let spec = RunSpec {
             workload: workload.clone(),
+            process,
             rate_rps: workload.rate_for_load(workers, load),
             horizon,
             seed,
@@ -567,7 +633,7 @@ fn main() {
                 ..tq_bench::server_config_for(&preset)
             };
             let mut configs = vec![base.clone()];
-            if !smoke && policy.is_none() {
+            if !smoke && args.policy.is_none() && args.workload.is_none() {
                 configs.push(ServerConfig {
                     work_stealing: true,
                     ..base
@@ -575,6 +641,9 @@ fn main() {
             }
             for config in configs {
                 let mut rt = RtEngine::new(config);
+                if args.adaptive {
+                    rt = rt.with_controller(ControllerConfig::default());
+                }
                 let (rec, viol) = run_and_report(&mut rt, &spec, load);
                 records.push(rec);
                 violations.extend(viol);

@@ -27,6 +27,8 @@
 //! cargo run --release -p tq-bench --bin bench_sim             # full baseline
 //! cargo run --release -p tq-bench --bin bench_sim -- --quick  # CI smoke (~seconds)
 //! cargo run --release -p tq-bench --bin bench_sim -- --check  # perf gate vs committed baseline
+//! cargo run --release -p tq-bench --bin bench_sim -- --quick --workload bursty --adaptive
+//!                                  # ad-hoc: hostile preset + adaptive quantum (no baseline write)
 //! ```
 //!
 //! `--check` runs the quick sweeps (best of 2 trials) and exits
@@ -48,10 +50,10 @@ use std::time::Instant;
 use tq_bench::host_cores;
 use tq_core::{costs, Nanos};
 use tq_queueing::rack::{simulate_rack_into, RackPolicy, RackSpec};
-use tq_queueing::{presets, sweep_jobs, Architecture, SystemConfig};
+use tq_queueing::{presets, sweep_jobs_process, Architecture, SystemConfig};
 use tq_sim::metrics::reference;
 use tq_sim::{ClassRecorder, SimRng};
-use tq_workloads::{table1, ArrivalGen, Workload};
+use tq_workloads::{table1, ArrivalGen, ArrivalProcess, Workload};
 
 /// `--check` fails when serial events/sec drops below this fraction of
 /// the committed baseline (>25% regression).
@@ -169,6 +171,7 @@ fn measure_sweep(
     label: &'static str,
     systems: &[SystemConfig],
     workload: &Workload,
+    process: ArrivalProcess,
     loads: &[f64],
     jobs: usize,
     trials: usize,
@@ -185,7 +188,15 @@ fn measure_sweep(
             let mut results = Vec::new();
             for _ in 0..trials.max(1) {
                 let start = Instant::now();
-                results = sweep_jobs(cfg, workload, &rates, duration, tq_bench::seed(), jobs);
+                results = sweep_jobs_process(
+                    cfg,
+                    workload,
+                    process,
+                    &rates,
+                    duration,
+                    tq_bench::seed(),
+                    jobs,
+                );
                 elapsed_s = elapsed_s.min(start.elapsed().as_secs_f64());
             }
             ModelMeasure {
@@ -418,27 +429,39 @@ fn main() {
     let mut quick = false;
     let mut check = false;
     let mut policy: Option<String> = None;
+    let mut hostile: Option<String> = None;
+    let mut adaptive = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--check" => check = true,
+            "--adaptive" => adaptive = true,
             "--policy" => {
                 policy = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--policy needs a preset name");
                     std::process::exit(2);
                 }));
             }
+            "--workload" => {
+                hostile = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--workload needs a preset name");
+                    std::process::exit(2);
+                }));
+            }
             _ => {
-                eprintln!("unknown argument {a:?} (supported: --quick, --check, --policy NAME)");
+                eprintln!(
+                    "unknown argument {a:?} (supported: --quick, --check, --policy NAME, \
+                     --workload NAME, --adaptive)"
+                );
                 std::process::exit(2);
             }
         }
     }
-    if policy.is_some() && check {
+    if (policy.is_some() || hostile.is_some() || adaptive) && check {
         // The committed baseline measures the canonical two-system sweep;
         // gating a different sweep against it would be meaningless.
-        eprintln!("--policy cannot be combined with --check");
+        eprintln!("--policy/--workload/--adaptive cannot be combined with --check");
         std::process::exit(2);
     }
     // The gate compares rates, not totals, so it always uses the short
@@ -448,12 +471,18 @@ fn main() {
     // At least 2 so the parallel arm is a real multi-job measurement
     // even when TQ_JOBS/available_parallelism says 1.
     let jobs = tq_queueing::default_jobs().max(2);
-    let loads: &[f64] = if quick {
+    // A hostile preset runs at its catalog load (overload really means
+    // λ > µ); otherwise the standard grid.
+    let preset_load;
+    let loads: &[f64] = if let Some(name) = &hostile {
+        preset_load = [tq_bench::workload_or_exit(name).load];
+        &preset_load
+    } else if quick {
         &[0.5, 0.8]
     } else {
         &tq_bench::LOAD_SWEEP
     };
-    let systems = match &policy {
+    let mut systems = match &policy {
         // A named preset sweeps alone; the default pair is the committed
         // baseline's canonical TQ-vs-Shinjuku measurement.
         Some(name) => vec![tq_bench::policy_or_exit(name, 16, Nanos::from_micros(2))],
@@ -462,7 +491,22 @@ fn main() {
             presets::shinjuku(16, Nanos::from_micros(5)),
         ],
     };
-    let workload = table1::extreme_bimodal();
+    if adaptive {
+        systems = systems
+            .into_iter()
+            .map(|s| s.with_controller(tq_core::adaptive::ControllerConfig::default()))
+            .collect();
+    }
+    // `--workload NAME` swaps a hostile-traffic preset's workload *and*
+    // arrival process into the sweep (ad-hoc, like --policy: the
+    // committed baseline stays canonical).
+    let (workload, process) = match &hostile {
+        Some(name) => {
+            let p = tq_bench::workload_or_exit(name);
+            (p.workload, p.process)
+        }
+        None => (table1::extreme_bimodal(), ArrivalProcess::Poisson),
+    };
 
     println!(
         "bench_sim ({})",
@@ -479,6 +523,14 @@ fn main() {
         tq_bench::sim_duration(),
         tq_bench::seed()
     );
+    if hostile.is_some() || adaptive {
+        println!(
+            "workload {} ({} arrivals){}",
+            workload.name(),
+            process.name(),
+            if adaptive { ", adaptive quantum" } else { "" }
+        );
+    }
     println!();
 
     // Full mode takes the best of 5 trials per engine so the committed
@@ -493,7 +545,7 @@ fn main() {
     } else {
         5
     };
-    let serial = measure_sweep("sweep_serial", &systems, &workload, loads, 1, trials);
+    let serial = measure_sweep("sweep_serial", &systems, &workload, process, loads, 1, trials);
     println!(
         "sweep serial:   {:>3} points in {:.2}s — {:.2} points/s, {:.2}M events/s ({:.1} ns/event)",
         serial.points(),
@@ -588,7 +640,8 @@ fn main() {
         return;
     }
 
-    let parallel = measure_sweep("sweep_parallel", &systems, &workload, loads, jobs, trials);
+    let parallel =
+        measure_sweep("sweep_parallel", &systems, &workload, process, loads, jobs, trials);
     println!(
         "sweep {:>2} jobs:  {:>3} points in {:.2}s — {:.2} points/s, {:.2}M events/s ({:.1} ns/event)",
         parallel.jobs,
@@ -659,10 +712,11 @@ fn main() {
         s.json(),
     );
     println!();
-    if policy.is_some() {
-        // A named-policy sweep is an ad-hoc measurement; the committed
-        // baseline only ever records the canonical two-system sweep.
-        println!("(--policy run: BENCH_sim.json left untouched)");
+    if policy.is_some() || hostile.is_some() || adaptive {
+        // A named-policy/workload/adaptive sweep is an ad-hoc
+        // measurement; the committed baseline only ever records the
+        // canonical two-system sweep.
+        println!("(--policy/--workload/--adaptive run: BENCH_sim.json left untouched)");
     } else {
         std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
         println!("wrote BENCH_sim.json");

@@ -34,8 +34,10 @@
 //! over loopback at smoke rates every datagram must survive, which is
 //! what the CI net smoke job gates on.
 //!
-//! Knobs: `--requests`, `--rate` (rps), `--workload kv|spin`,
-//! `--workers`, `--transport mmsg|syscall` (both sides), `--out`;
+//! Knobs: `--requests`, `--rate` (rps), `--workload kv|spin|<preset>`
+//! (a hostile-traffic preset name from `tq_workloads::hostile` runs its
+//! workload *and* arrival process as spin jobs), `--workers`,
+//! `--transport mmsg|syscall` (both sides), `--out`;
 //! `TQ_SEED`, `TQ_AUDIT`, `TQ_RT_WORKERS` as everywhere else.
 
 use std::net::{SocketAddr, UdpSocket};
@@ -50,8 +52,8 @@ use tq_runtime::kv::{kv_factory, kv_store};
 use tq_runtime::net::{decode_response, encode_request, serve, NetConfig, ServeOutcome};
 use tq_runtime::transport::{set_socket_buffers, Frame, Transport, UdpTransport};
 use tq_runtime::{ServerConfig, SpinJob, TinyQuanta, TscClock};
-use tq_sim::{SimRng, TailStats};
-use tq_workloads::{table1, ArrivalGen};
+use tq_sim::TailStats;
+use tq_workloads::{table1, ArrivalProcess};
 
 #[derive(Clone, Copy, PartialEq)]
 enum WorkloadChoice {
@@ -59,6 +61,9 @@ enum WorkloadChoice {
     Kv,
     /// Spin jobs burning the drawn service time (extreme bimodal).
     Spin,
+    /// Spin jobs drawn from a named hostile-traffic preset
+    /// (`tq_workloads::hostile`): its workload *and* arrival process.
+    Hostile(&'static str),
 }
 
 #[derive(Clone)]
@@ -132,10 +137,16 @@ fn parse_args() -> Args {
                 args.workload = match value("--workload").as_str() {
                     "kv" => WorkloadChoice::Kv,
                     "spin" => WorkloadChoice::Spin,
-                    v => {
-                        eprintln!("--workload takes kv|spin, got {v:?}");
-                        std::process::exit(2);
-                    }
+                    v => match tq_workloads::hostile::by_name(v) {
+                        Some(p) => WorkloadChoice::Hostile(p.name),
+                        None => {
+                            eprintln!(
+                                "--workload takes kv|spin|<hostile preset> (known presets: {}), got {v:?}",
+                                tq_workloads::hostile::NAMES.join(", ")
+                            );
+                            std::process::exit(2);
+                        }
+                    },
                 };
             }
             "--transport" => {
@@ -240,7 +251,7 @@ fn run_server(args: &Args, config: ServerConfig, bind: SocketAddr) {
                 kv_factory(store, n_keys, 20_000),
             )
         }
-        WorkloadChoice::Spin => {
+        WorkloadChoice::Spin | WorkloadChoice::Hostile(_) => {
             let job_clock = clock.clone();
             TinyQuanta::start_with_clock(config.clone(), clock.clone(), move |req| {
                 Box::new(SpinJob::with_clock(req, &job_clock))
@@ -318,18 +329,23 @@ fn main() {
         run_server(&args, server_config, bind);
         return;
     }
-    let workload = match args.workload {
-        WorkloadChoice::Kv => table1::rocksdb_low_scan(),
-        WorkloadChoice::Spin => table1::extreme_bimodal(),
+    let (workload, process) = match args.workload {
+        WorkloadChoice::Kv => (table1::rocksdb_low_scan(), ArrivalProcess::Poisson),
+        WorkloadChoice::Spin => (table1::extreme_bimodal(), ArrivalProcess::Poisson),
+        WorkloadChoice::Hostile(name) => {
+            let p = tq_workloads::hostile::by_name(name).expect("validated at parse");
+            (p.workload, p.process)
+        }
     };
     let horizon = Nanos::from_nanos_f64(args.requests as f64 / args.rate_rps * 1e9);
     let spec = RunSpec {
         workload: workload.clone(),
+        process,
         rate_rps: args.rate_rps,
         horizon,
         seed,
     };
-    let schedule = ArrivalGen::new(workload.clone(), args.rate_rps, SimRng::new(seed)).until(horizon);
+    let schedule = spec.arrivals().until(horizon);
     let sent_target = schedule.len() as u64;
     let transport_label = if args.batched { "udp:mmsg" } else { "udp:syscall" };
     println!(
@@ -338,7 +354,11 @@ fn main() {
         sent_target,
         args.rate_rps,
         transport_label,
-        if args.workload == WorkloadChoice::Kv { "kv" } else { "spin" },
+        match args.workload {
+            WorkloadChoice::Kv => "kv",
+            WorkloadChoice::Spin => "spin",
+            WorkloadChoice::Hostile(name) => name,
+        },
         args.workers,
         seed,
         if audit { "on" } else { "off" },
@@ -363,7 +383,7 @@ fn main() {
                         kv_factory(store, n_keys, 20_000),
                     )
                 }
-                WorkloadChoice::Spin => {
+                WorkloadChoice::Spin | WorkloadChoice::Hostile(_) => {
                     let job_clock = clock.clone();
                     TinyQuanta::start_with_clock(config, clock.clone(), move |req| {
                         Box::new(SpinJob::with_clock(req, &job_clock))
@@ -521,6 +541,7 @@ fn main() {
         model: "runtime",
         system: format!("TinyQuanta/net({transport_label})"),
         workload: workload.name().to_string(),
+        process: process.name(),
         workers: args.workers,
         rate_rps: args.rate_rps,
         horizon,
@@ -537,6 +558,7 @@ fn main() {
         audit: audit_report.clone(),
         rack: None,
         net: Some(net_meta),
+        controller: None,
     };
 
     // --- report ----------------------------------------------------------

@@ -76,6 +76,19 @@ pub fn policy_or_exit(name: &str, n_workers: usize, quantum: Nanos) -> tq_queuei
     })
 }
 
+/// Resolves a `--workload <name>` argument against the hostile-traffic
+/// catalog in [`tq_workloads::hostile`], exiting with the known-name
+/// list on a miss.
+pub fn workload_or_exit(name: &str) -> tq_workloads::TrafficPreset {
+    tq_workloads::hostile::by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "--workload: unknown preset {name:?} (known: {})",
+            tq_workloads::hostile::NAMES.join(", ")
+        );
+        std::process::exit(2);
+    })
+}
+
 /// Maps a two-level preset onto the live runtime: the dispatch policy,
 /// worker discipline, quantum, and stealing flag carry over; the modeled
 /// overheads do not (here they are real). Exits for centralized presets,

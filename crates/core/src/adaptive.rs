@@ -1,0 +1,492 @@
+//! Adaptive quantum control (LibPreemptible-style feedback).
+//!
+//! A static quantum is a compromise: tiny quanta waste preemption
+//! overhead when the system is unloaded, large ones let short jobs queue
+//! behind long ones when it is not. [`QuantumController`] closes the
+//! loop — it watches a per-window tail estimate of *slowdown*
+//! (sojourn ÷ service, the blind scheduler's own success metric) and
+//! nudges the quantum multiplicatively, with hysteresis and hard
+//! min/max clamps.
+//!
+//! The same controller runs in two worlds:
+//!
+//! * **Discrete-event engines** — windows are intervals of *virtual*
+//!   time; [`QuantumController::advance`] is driven by completion
+//!   events. Everything here is integer arithmetic over the sample
+//!   stream, so a run is bit-identical given the same completions in
+//!   the same order — which the serial engines guarantee trivially and
+//!   the PDES rack guarantees per shard (each shard owns its
+//!   controller and processes its own events in virtual-time order,
+//!   independent of the thread count executing the shards).
+//! * **Live runtime** — windows are intervals of *wall-clock* time
+//!   measured from the pacing origin; the decided quantum is published
+//!   to workers through the server's shared quantum cell (see
+//!   `tq_runtime::TinyQuanta::set_quantum`). The staleness bound is one
+//!   window plus the publication delay: a worker re-reads the shared
+//!   quantum every time it arms a slice.
+//!
+//! Empty windows are *skipped*: an idle window means "no evidence", not
+//! "perfect tail", so it neither grows nor shrinks the quantum nor
+//! advances a hysteresis streak ([`ControllerStats::empty_windows`]
+//! counts them). This is the controller-side half of the empty-tail
+//! bugfix — the metrics side is `TailStats::try_percentile`.
+
+use crate::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a [`QuantumController`].
+///
+/// Slowdown thresholds are fixed-point ×1000 (so `2_000` means a 2.0×
+/// slowdown): the controller is integer-only to stay bit-identical
+/// across platforms and PDES thread counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Window length (virtual time in the simulators, wall-clock time in
+    /// the live runtime). Windows are the half-open intervals
+    /// `[k·window, (k+1)·window)` from the run's time origin.
+    pub window: Nanos,
+    /// Which slowdown percentile drives the loop, fixed-point ×10
+    /// (`990` = p99, `999` = p99.9). The estimate is nearest-rank over
+    /// the window's samples, matching `TailStats::percentile`.
+    pub percentile_x10: u32,
+    /// Grow the quantum when the window tail is *below* this slowdown
+    /// (×1000): the system is comfortable, spend less on preemption.
+    pub low_slowdown_x1000: u64,
+    /// Shrink the quantum when the window tail is *above* this slowdown
+    /// (×1000): short jobs are queueing behind long ones.
+    pub high_slowdown_x1000: u64,
+    /// Consecutive out-of-band windows required before a step is taken
+    /// (1 = react to every window).
+    pub hysteresis: u32,
+    /// Multiplicative step, as the rational `step_num / step_den > 1`:
+    /// growing multiplies by it, shrinking divides.
+    pub step_num: u32,
+    /// See [`ControllerConfig::step_num`].
+    pub step_den: u32,
+    /// Hard floor for the quantum (preemption overhead must stay
+    /// amortizable).
+    pub min_quantum: Nanos,
+    /// Hard ceiling for the quantum.
+    pub max_quantum: Nanos,
+}
+
+impl Default for ControllerConfig {
+    /// Defaults tuned on the hostile-traffic catalog (see
+    /// `results/adaptive_sweep.json`): 200 µs windows, per-window p99
+    /// driving (p99.9 of a few hundred samples is just the max — too
+    /// noisy to steer on), grow only below 1.1× (under the ~1.2×
+    /// dispatch/slice overhead floor, so growth fires only on traffic
+    /// that is genuinely easy), shrink above 3.4×, two-window
+    /// hysteresis, halve/double steps, clamped to [1 µs, 50 µs]. The
+    /// asymmetric band reflects the asymmetric cost: an oversized
+    /// quantum wrecks the short-job tail, an undersized one only spends
+    /// bounded preemption overhead.
+    fn default() -> Self {
+        ControllerConfig {
+            window: Nanos::from_micros(200),
+            percentile_x10: 990,
+            low_slowdown_x1000: 1_100,
+            high_slowdown_x1000: 3_400,
+            hysteresis: 2,
+            step_num: 2,
+            step_den: 1,
+            min_quantum: Nanos::from_micros(1),
+            max_quantum: Nanos::from_micros(50),
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Panics unless the configuration is self-consistent: positive
+    /// window, percentile in `(0, 1000]`, `low ≤ high`, a step ratio
+    /// strictly above 1, and `min ≤ max` with a non-zero floor.
+    pub fn validate(&self) {
+        assert!(!self.window.is_zero(), "controller window must be non-zero");
+        assert!(
+            self.percentile_x10 > 0 && self.percentile_x10 <= 1000,
+            "percentile_x10 out of range: {}",
+            self.percentile_x10
+        );
+        assert!(
+            self.low_slowdown_x1000 <= self.high_slowdown_x1000,
+            "low threshold {} above high {}",
+            self.low_slowdown_x1000,
+            self.high_slowdown_x1000
+        );
+        assert!(
+            self.step_num > self.step_den && self.step_den > 0,
+            "step must be a rational > 1, got {}/{}",
+            self.step_num,
+            self.step_den
+        );
+        assert!(
+            !self.min_quantum.is_zero() && self.min_quantum <= self.max_quantum,
+            "quantum clamp [{}, {}] is invalid",
+            self.min_quantum,
+            self.max_quantum
+        );
+    }
+}
+
+/// Observable outcome of a controller run, surfaced into the `tq-run/v1`
+/// `controller` block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Windows closed (including empty ones).
+    pub windows: u64,
+    /// Windows closed with no samples — skipped, by contract.
+    pub empty_windows: u64,
+    /// Grow steps taken.
+    pub grows: u64,
+    /// Shrink steps taken.
+    pub shrinks: u64,
+    /// Smallest quantum ever in effect.
+    pub min_quantum_seen: Nanos,
+    /// Largest quantum ever in effect.
+    pub max_quantum_seen: Nanos,
+}
+
+/// [`ControllerStats`] plus the quantum in force when the run ended —
+/// what an engine hands back to the harness for results reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerReport {
+    /// Quantum in effect at the end of the run.
+    pub final_quantum: Nanos,
+    /// Window/step counters accumulated over the run.
+    pub stats: ControllerStats,
+}
+
+/// The per-window slowdown→quantum feedback loop. See the module docs
+/// for the window/determinism contract.
+///
+/// # Example
+///
+/// ```
+/// use tq_core::adaptive::{ControllerConfig, QuantumController};
+/// use tq_core::Nanos;
+///
+/// let cfg = ControllerConfig {
+///     hysteresis: 1,
+///     ..ControllerConfig::default()
+/// };
+/// let mut ctl = QuantumController::new(cfg.clone(), Nanos::from_micros(10));
+/// // A window full of badly slowed-down jobs (50x) shrinks the quantum...
+/// for _ in 0..100 {
+///     ctl.record(Nanos::from_micros(1), Nanos::from_micros(50));
+/// }
+/// assert!(ctl.advance(cfg.window));
+/// assert_eq!(ctl.quantum(), Nanos::from_micros(5));
+/// // ...but an idle window changes nothing: no samples, no evidence.
+/// assert!(!ctl.advance(cfg.window * 2));
+/// assert_eq!(ctl.quantum(), Nanos::from_micros(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantumController {
+    cfg: ControllerConfig,
+    quantum: Nanos,
+    window_end: Nanos,
+    samples: Vec<u64>,
+    high_streak: u32,
+    low_streak: u32,
+    stats: ControllerStats,
+}
+
+impl QuantumController {
+    /// Creates a controller starting from `initial` (clamped into the
+    /// configured `[min, max]` band), with the first window ending at
+    /// `cfg.window` on the caller's time base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: ControllerConfig, initial: Nanos) -> Self {
+        cfg.validate();
+        let quantum = initial.max(cfg.min_quantum).min(cfg.max_quantum);
+        let window_end = cfg.window;
+        QuantumController {
+            cfg,
+            quantum,
+            window_end,
+            samples: Vec::new(),
+            high_streak: 0,
+            low_streak: 0,
+            stats: ControllerStats {
+                min_quantum_seen: quantum,
+                max_quantum_seen: quantum,
+                ..ControllerStats::default()
+            },
+        }
+    }
+
+    /// The quantum currently in effect.
+    #[inline]
+    pub fn quantum(&self) -> Nanos {
+        self.quantum
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// Cumulative statistics so far.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// The run-end report: current quantum plus cumulative statistics.
+    pub fn report(&self) -> ControllerReport {
+        ControllerReport {
+            final_quantum: self.quantum,
+            stats: self.stats,
+        }
+    }
+
+    /// Records one completion into the current window: slowdown is
+    /// `sojourn / service` in ×1000 fixed point, with zero-length
+    /// service clamped to 1 ns (the same convention as
+    /// `Completion::slowdown` avoids by panicking — a controller must
+    /// not panic on hostile traffic).
+    #[inline]
+    pub fn record(&mut self, service: Nanos, sojourn: Nanos) {
+        let slowdown = sojourn
+            .as_nanos()
+            .saturating_mul(1_000)
+            / service.as_nanos().max(1);
+        self.samples.push(slowdown);
+    }
+
+    /// Closes every window that ends at or before `now` (half-open
+    /// windows: a window `[a, b)` closes once `now ≥ b`), applying at
+    /// most one step per closed window. Returns whether the quantum
+    /// changed.
+    ///
+    /// Call this with a monotonically non-decreasing clock — virtual
+    /// `now` at each completion event in the simulators, nanoseconds
+    /// since the pacing origin in the live runtime.
+    pub fn advance(&mut self, now: Nanos) -> bool {
+        let before = self.quantum;
+        while now >= self.window_end {
+            self.close_window();
+            self.window_end += self.cfg.window;
+        }
+        self.quantum != before
+    }
+
+    /// The nearest-rank tail estimate of the *current* (still open)
+    /// window, or `None` if it has no samples yet. This is the
+    /// Option-returning window accessor: emptiness is explicit, never 0.
+    pub fn window_tail(&mut self) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.samples.sort_unstable();
+        let n = self.samples.len();
+        let p = self.cfg.percentile_x10 as f64 / 10.0;
+        let rank = ((p / 100.0) * n as f64 - 1e-9).ceil() as usize;
+        Some(self.samples[rank.clamp(1, n) - 1])
+    }
+
+    fn close_window(&mut self) {
+        self.stats.windows += 1;
+        let Some(tail) = self.window_tail() else {
+            // No traffic in this window: no evidence about the quantum,
+            // so no step and no hysteresis progress in either direction.
+            self.stats.empty_windows += 1;
+            return;
+        };
+        self.samples.clear();
+        if tail > self.cfg.high_slowdown_x1000 {
+            self.low_streak = 0;
+            self.high_streak += 1;
+            if self.high_streak >= self.cfg.hysteresis {
+                self.high_streak = 0;
+                self.step_down();
+            }
+        } else if tail < self.cfg.low_slowdown_x1000 {
+            self.high_streak = 0;
+            self.low_streak += 1;
+            if self.low_streak >= self.cfg.hysteresis {
+                self.low_streak = 0;
+                self.step_up();
+            }
+        } else {
+            self.high_streak = 0;
+            self.low_streak = 0;
+        }
+    }
+
+    fn step_down(&mut self) {
+        let q = self
+            .quantum
+            .as_nanos()
+            .saturating_mul(self.cfg.step_den as u64)
+            / self.cfg.step_num as u64;
+        self.set_quantum(Nanos::from_nanos(q));
+        self.stats.shrinks += 1;
+    }
+
+    fn step_up(&mut self) {
+        let q = self
+            .quantum
+            .as_nanos()
+            .saturating_mul(self.cfg.step_num as u64)
+            / self.cfg.step_den as u64;
+        self.set_quantum(Nanos::from_nanos(q));
+        self.stats.grows += 1;
+    }
+
+    fn set_quantum(&mut self, q: Nanos) {
+        self.quantum = q.max(self.cfg.min_quantum).min(self.cfg.max_quantum);
+        self.stats.min_quantum_seen = self.stats.min_quantum_seen.min(self.quantum);
+        self.stats.max_quantum_seen = self.stats.max_quantum_seen.max(self.quantum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ControllerConfig {
+        ControllerConfig {
+            window: Nanos::from_micros(100),
+            percentile_x10: 990,
+            low_slowdown_x1000: 2_000,
+            high_slowdown_x1000: 8_000,
+            hysteresis: 1,
+            step_num: 2,
+            step_den: 1,
+            min_quantum: Nanos::from_micros(1),
+            max_quantum: Nanos::from_micros(40),
+        }
+    }
+
+    fn fill(ctl: &mut QuantumController, slowdown_x: u64, n: usize) {
+        for _ in 0..n {
+            ctl.record(Nanos::from_micros(1), Nanos::from_micros(slowdown_x));
+        }
+    }
+
+    #[test]
+    fn high_tail_shrinks_low_tail_grows() {
+        let mut ctl = QuantumController::new(cfg(), Nanos::from_micros(8));
+        fill(&mut ctl, 20, 50); // 20x slowdown
+        assert!(ctl.advance(Nanos::from_micros(100)));
+        assert_eq!(ctl.quantum(), Nanos::from_micros(4));
+        fill(&mut ctl, 1, 50); // ~1x slowdown
+        assert!(ctl.advance(Nanos::from_micros(200)));
+        assert_eq!(ctl.quantum(), Nanos::from_micros(8));
+        let s = ctl.stats();
+        assert_eq!((s.windows, s.shrinks, s.grows), (2, 1, 1));
+        assert_eq!(s.min_quantum_seen, Nanos::from_micros(4));
+        assert_eq!(s.max_quantum_seen, Nanos::from_micros(8));
+    }
+
+    #[test]
+    fn idle_windows_never_move_the_quantum() {
+        // The empty-window bugfix's contract: a tail estimate of "no
+        // samples" must not read as "perfect tail" and grow — nor as
+        // anything else. 50 consecutive idle windows, zero movement.
+        let mut ctl = QuantumController::new(cfg(), Nanos::from_micros(8));
+        assert!(!ctl.advance(Nanos::from_micros(5_000)));
+        assert_eq!(ctl.quantum(), Nanos::from_micros(8));
+        let s = ctl.stats();
+        assert_eq!(s.windows, 50);
+        assert_eq!(s.empty_windows, 50);
+        assert_eq!((s.grows, s.shrinks), (0, 0));
+    }
+
+    #[test]
+    fn idle_window_does_not_advance_hysteresis() {
+        let mut c = cfg();
+        c.hysteresis = 2;
+        let mut ctl = QuantumController::new(c, Nanos::from_micros(8));
+        fill(&mut ctl, 20, 50);
+        ctl.advance(Nanos::from_micros(100)); // streak 1/2 — no step yet
+        assert_eq!(ctl.quantum(), Nanos::from_micros(8));
+        ctl.advance(Nanos::from_micros(200)); // empty: streak untouched
+        fill(&mut ctl, 20, 50);
+        assert!(ctl.advance(Nanos::from_micros(300))); // streak 2/2 — step
+        assert_eq!(ctl.quantum(), Nanos::from_micros(4));
+    }
+
+    #[test]
+    fn clamps_hold() {
+        let mut ctl = QuantumController::new(cfg(), Nanos::from_micros(2));
+        for w in 1..=10u64 {
+            fill(&mut ctl, 50, 20);
+            ctl.advance(Nanos::from_micros(100 * w));
+        }
+        assert_eq!(ctl.quantum(), Nanos::from_micros(1)); // floor
+        for w in 11..=30u64 {
+            fill(&mut ctl, 1, 20);
+            ctl.advance(Nanos::from_micros(100 * w));
+        }
+        assert_eq!(ctl.quantum(), Nanos::from_micros(40)); // ceiling (clamped from 64)
+    }
+
+    #[test]
+    fn initial_quantum_is_clamped() {
+        let ctl = QuantumController::new(cfg(), Nanos::from_micros(500));
+        assert_eq!(ctl.quantum(), Nanos::from_micros(40));
+        let ctl = QuantumController::new(cfg(), Nanos::from_nanos(10));
+        assert_eq!(ctl.quantum(), Nanos::from_micros(1));
+    }
+
+    #[test]
+    fn in_band_tail_resets_streaks() {
+        let mut c = cfg();
+        c.hysteresis = 2;
+        let mut ctl = QuantumController::new(c, Nanos::from_micros(8));
+        fill(&mut ctl, 20, 50);
+        ctl.advance(Nanos::from_micros(100)); // high streak 1
+        fill(&mut ctl, 5, 50); // in band
+        ctl.advance(Nanos::from_micros(200)); // resets
+        fill(&mut ctl, 20, 50);
+        assert!(!ctl.advance(Nanos::from_micros(300))); // high streak 1 again
+        assert_eq!(ctl.quantum(), Nanos::from_micros(8));
+    }
+
+    #[test]
+    fn window_tail_is_nearest_rank_and_explicit_about_emptiness() {
+        let mut ctl = QuantumController::new(cfg(), Nanos::from_micros(8));
+        assert_eq!(ctl.window_tail(), None);
+        for i in 1..=100u64 {
+            ctl.record(Nanos::from_nanos(1_000), Nanos::from_nanos(i * 1_000));
+        }
+        // p99 of slowdowns 1000..=100_000 (x1000) nearest-rank = 99_000.
+        assert_eq!(ctl.window_tail(), Some(99_000));
+    }
+
+    #[test]
+    fn zero_service_is_clamped_not_panicking() {
+        let mut ctl = QuantumController::new(cfg(), Nanos::from_micros(8));
+        ctl.record(Nanos::ZERO, Nanos::from_nanos(5));
+        assert_eq!(ctl.window_tail(), Some(5_000));
+    }
+
+    #[test]
+    fn deterministic_across_replays() {
+        let run = || {
+            let mut ctl = QuantumController::new(cfg(), Nanos::from_micros(8));
+            let mut quanta = Vec::new();
+            for w in 1..=20u64 {
+                let slow = if w % 3 == 0 { 30 } else { 1 + w % 4 };
+                fill(&mut ctl, slow, (w % 7) as usize * 10);
+                ctl.advance(Nanos::from_micros(100 * w));
+                quanta.push(ctl.quantum());
+            }
+            (quanta, ctl.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be a rational > 1")]
+    fn rejects_non_growing_step() {
+        let mut c = cfg();
+        c.step_num = 1;
+        c.step_den = 1;
+        QuantumController::new(c, Nanos::from_micros(8));
+    }
+}

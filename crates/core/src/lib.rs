@@ -27,6 +27,9 @@
 //! * [`counters`] — the wrap-safe worker→dispatcher load counters of §4 of
 //!   the paper, in both plain and shared-atomic (cache-line) form.
 //! * [`costs`] — the calibrated cost constants used by the simulators.
+//! * [`adaptive`] — the per-window tail-feedback quantum controller
+//!   shared by the simulators (virtual-time windows) and the live
+//!   runtime (wall-clock windows).
 //!
 //! ## Example
 //!
@@ -50,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adaptive;
 pub mod costs;
 pub mod counters;
 pub mod job;

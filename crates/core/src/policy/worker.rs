@@ -79,6 +79,26 @@ impl WorkerPolicy {
     /// granularity, never the ordering contract. FIFO policies
     /// (PS/FCFS) rank everything 0 — callers shouldn't consult the rank
     /// for them, but the value is well-defined anyway.
+    ///
+    /// # Saturation contract
+    ///
+    /// Ranks are `u64`s and the arithmetic **saturates instead of
+    /// wrapping**, which deliberately collapses the far boundary onto a
+    /// single rank:
+    ///
+    /// * `EarliestDeadline` computes `arrival + slo` with saturating
+    ///   add/mul. Deadlines past `u64::MAX` ns (about 584 years) all
+    ///   rank `u64::MAX`: distinct very-late deadlines become ties, and
+    ///   ties break FIFO by admission order. A wrapping add would
+    ///   instead rank an astronomically late deadline *first* — the
+    ///   saturating collapse is the safe failure mode.
+    /// * `WeightedFair` clamps `attained × 1024 / weight` at
+    ///   `u64::MAX`. Ratios beyond the clamp flatten onto one rank and
+    ///   likewise degrade to FIFO among themselves, rather than
+    ///   wrapping back to the front of the queue.
+    ///
+    /// In both cases the ordering *below* the saturation point is exact,
+    /// and saturated jobs never overtake unsaturated ones.
     #[inline]
     pub fn job_rank(self, class: u16, arrival: crate::time::Nanos, attained: u64) -> u64 {
         match self {
@@ -389,6 +409,67 @@ mod tests {
         // Zero weight is treated as 1, not a division by zero.
         let z = WorkerPolicy::WeightedFair { weight: [0; 4] };
         assert_eq!(z.job_rank(0, Nanos::ZERO, 7), 7 * 1_024);
+    }
+
+    #[test]
+    fn edf_saturation_collapses_late_deadlines_to_fifo_ties() {
+        use crate::time::Nanos;
+        let p = WorkerPolicy::EarliestDeadline {
+            slo_us: [50, 1_000, 1_000, 1_000],
+        };
+        // Two distinct arrivals whose deadlines both overflow u64 ns:
+        // the saturating add collapses them onto one rank (a tie), it
+        // does not wrap one of them to the front of the queue.
+        let late_a = p.job_rank(0, Nanos::from_nanos(u64::MAX - 10), 0);
+        let late_b = p.job_rank(0, Nanos::from_nanos(u64::MAX - 5), 0);
+        assert_eq!(late_a, u64::MAX);
+        assert_eq!(late_a, late_b);
+        // An unsaturated deadline still beats every saturated one.
+        assert!(p.job_rank(0, Nanos::ZERO, 0) < late_a);
+        // Exactly at the boundary: the last representable deadline is
+        // distinct from the saturated pile-up.
+        let slo_ns = 50_u64 * 1_000;
+        let at_edge = p.job_rank(0, Nanos::from_nanos(u64::MAX - slo_ns), 0);
+        let past_edge = p.job_rank(0, Nanos::from_nanos(u64::MAX - slo_ns + 1), 0);
+        assert_eq!(at_edge, u64::MAX);
+        assert_eq!(past_edge, u64::MAX);
+        let below_edge = p.job_rank(0, Nanos::from_nanos(u64::MAX - slo_ns - 1), 0);
+        assert_eq!(below_edge, u64::MAX - 1);
+    }
+
+    #[test]
+    fn wfq_clamp_flattens_extreme_ratios_to_fifo_ties() {
+        use crate::time::Nanos;
+        let p = WorkerPolicy::WeightedFair { weight: [1; 4] };
+        // attained × 1024 overflows u64 for both: distinct extreme
+        // attained values clamp onto one rank instead of wrapping.
+        let huge_a = p.job_rank(0, Nanos::ZERO, u64::MAX);
+        let huge_b = p.job_rank(0, Nanos::ZERO, u64::MAX / 2);
+        assert_eq!(huge_a, u64::MAX);
+        assert_eq!(huge_a, huge_b);
+        // The clamp boundary: u64::MAX/1024 is the last attained value
+        // with an exact rank under weight 1.
+        let edge = u64::MAX / 1_024;
+        assert_eq!(p.job_rank(0, Nanos::ZERO, edge), edge * 1_024);
+        assert_eq!(p.job_rank(0, Nanos::ZERO, edge + 1), u64::MAX);
+        // Unsaturated ranks stay exact and below the saturated pile-up.
+        assert!(p.job_rank(0, Nanos::ZERO, 1) < huge_a);
+    }
+
+    #[test]
+    fn saturated_ranks_tie_break_fifo_in_the_rank_queue() {
+        use crate::policy::RankQueue;
+        use crate::time::Nanos;
+        // The documented failure mode end to end: jobs whose ranks all
+        // saturate degrade to FIFO by admission order in the min-rank
+        // queue, never to a reordering.
+        let p = WorkerPolicy::EarliestDeadline { slo_us: [50; 4] };
+        let mut q = RankQueue::new();
+        for (i, arrival) in [u64::MAX - 3, u64::MAX - 1, u64::MAX - 2].iter().enumerate() {
+            q.push(p.job_rank(0, Nanos::from_nanos(*arrival), 0), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, j)| j)).collect();
+        assert_eq!(order, vec![0, 1, 2], "saturated ties must pop FIFO");
     }
 
     #[test]

@@ -12,11 +12,12 @@
 //! DESIGN.md "The Engine abstraction").
 
 use tq_audit::AuditReport;
+use tq_core::adaptive::ControllerReport;
 use tq_core::job::Completion;
 use tq_core::{costs, Nanos};
 use tq_sim::{ClassRecorder, SimRng};
 use tq_sim::metrics::{ClassSummary, RunSummary};
-use tq_workloads::{ArrivalGen, Workload};
+use tq_workloads::{ArrivalGen, ArrivalProcess, Workload};
 
 /// Which world an engine executes in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +45,11 @@ impl EngineKind {
 pub struct RunSpec {
     /// The workload (class mix and service distributions).
     pub workload: Workload,
-    /// Offered load in requests per second.
+    /// The arrival process shaping request inter-arrival times
+    /// ([`ArrivalProcess::Poisson`] for the classic open-loop stream).
+    pub process: ArrivalProcess,
+    /// Offered load in requests per second (the process's *stationary
+    /// mean* — bursty and diurnal streams modulate around it).
     pub rate_rps: f64,
     /// Arrivals stop at this (stream-time) horizon; the system then
     /// drains every in-flight job.
@@ -56,7 +61,12 @@ pub struct RunSpec {
 impl RunSpec {
     /// The arrival stream this spec describes (deterministic per seed).
     pub fn arrivals(&self) -> ArrivalGen {
-        ArrivalGen::new(self.workload.clone(), self.rate_rps, SimRng::new(self.seed))
+        ArrivalGen::with_process(
+            self.workload.clone(),
+            self.rate_rps,
+            self.process,
+            SimRng::new(self.seed),
+        )
     }
 }
 
@@ -132,6 +142,9 @@ pub struct RunOutput {
     /// Invariant-audit verdict, present iff the engine ran with auditing
     /// enabled (see `tq_audit::InvariantAuditor`).
     pub audit: Option<AuditReport>,
+    /// Adaptive-quantum controller report, present iff the engine ran
+    /// with a [`tq_core::adaptive::QuantumController`] active.
+    pub controller: Option<ControllerReport>,
 }
 
 /// One server's share of a rack run (see [`RackMeta`]).
@@ -303,6 +316,8 @@ pub struct RunRecord {
     pub system: String,
     /// Workload name.
     pub workload: String,
+    /// Arrival-process name (`"poisson"`, `"mmpp"`, or `"diurnal"`).
+    pub process: &'static str,
     /// Worker cores/threads.
     pub workers: usize,
     /// Offered rate (requests per second).
@@ -335,6 +350,8 @@ pub struct RunRecord {
     pub net: Option<NetMeta>,
     /// Scheduling-policy metadata (present for policy-aware engines).
     pub policy: Option<PolicyMeta>,
+    /// Adaptive-quantum controller report (present iff a controller ran).
+    pub controller: Option<ControllerReport>,
 }
 
 impl RunRecord {
@@ -352,12 +369,14 @@ pub fn run_to_record(engine: &mut dyn Engine, spec: &RunSpec) -> RunRecord {
     let mut out = engine.run(spec, spec.arrivals(), spec.horizon);
     let completed = out.completions.len() as u64;
     let audit = out.audit.take();
+    let controller = out.controller.take();
     let summary = summarize(&mut out.completions);
     RunRecord {
         engine: engine.kind().as_str(),
         model: engine.model(),
         system: engine.system(),
         workload: spec.workload.name().to_string(),
+        process: spec.process.name(),
         workers: engine.workers(),
         rate_rps: spec.rate_rps,
         horizon: spec.horizon,
@@ -374,6 +393,7 @@ pub fn run_to_record(engine: &mut dyn Engine, spec: &RunSpec) -> RunRecord {
         rack: engine.take_rack_meta(),
         net: None,
         policy: engine.policy_meta(),
+        controller,
     }
 }
 

@@ -8,6 +8,7 @@
 
 use crate::engine::{NetMeta, PolicyMeta, RackMeta, RunRecord};
 use tq_audit::AuditReport;
+use tq_core::adaptive::ControllerReport;
 use tq_sim::metrics::ClassSummary;
 
 /// The schema identifier written into every document.
@@ -124,6 +125,28 @@ fn policy_json(m: Option<&PolicyMeta>) -> String {
     }
 }
 
+/// The adaptive-quantum controller report as a JSON value: `null` for
+/// fixed-quantum runs.
+fn controller_json(r: Option<&ControllerReport>) -> String {
+    match r {
+        None => "null".to_string(),
+        Some(r) => format!(
+            concat!(
+                "{{\"final_quantum_ns\": {}, \"windows\": {}, ",
+                "\"empty_windows\": {}, \"grows\": {}, \"shrinks\": {}, ",
+                "\"min_quantum_ns\": {}, \"max_quantum_ns\": {}}}"
+            ),
+            r.final_quantum.as_nanos(),
+            r.stats.windows,
+            r.stats.empty_windows,
+            r.stats.grows,
+            r.stats.shrinks,
+            r.stats.min_quantum_seen.as_nanos(),
+            r.stats.max_quantum_seen.as_nanos(),
+        ),
+    }
+}
+
 /// The socket metadata as a JSON value: `null` for in-process runs.
 fn net_json(m: Option<&NetMeta>) -> String {
     match m {
@@ -194,8 +217,8 @@ pub fn record_json(r: &RunRecord) -> String {
     format!(
         concat!(
             "{{\"engine\": \"{}\", \"model\": \"{}\", \"system\": \"{}\", ",
-            "\"workload\": \"{}\", \"workers\": {}, \"rate_rps\": {}, ",
-            "\"horizon_ns\": {}, \"seed\": {},\n",
+            "\"workload\": \"{}\", \"process\": \"{}\", \"workers\": {}, ",
+            "\"rate_rps\": {}, \"horizon_ns\": {}, \"seed\": {},\n",
             "     \"submitted\": {}, \"completed\": {}, \"in_horizon\": {}, ",
             "\"achieved_rps\": {}, \"overall_slowdown_p999\": {},\n",
             "     \"classes_e2e\": [{}],\n",
@@ -206,6 +229,7 @@ pub fn record_json(r: &RunRecord) -> String {
             "\"dispatch_ns_per_request\": {},\n",
             "      \"workers\": [{}]}},\n",
             "     \"policy\": {},\n",
+            "     \"controller\": {},\n",
             "     \"rack\": {},\n",
             "     \"net\": {},\n",
             "     \"audit\": {}}}"
@@ -214,6 +238,7 @@ pub fn record_json(r: &RunRecord) -> String {
         r.model,
         r.system,
         r.workload,
+        r.process,
         r.workers,
         json_f64(r.rate_rps),
         r.horizon.as_nanos(),
@@ -234,6 +259,7 @@ pub fn record_json(r: &RunRecord) -> String {
         json_f64(r.counters.dispatch_ns_per_request()),
         workers.join(", "),
         policy_json(r.policy.as_ref()),
+        controller_json(r.controller.as_ref()),
         rack_json(r.rack.as_ref()),
         net_json(r.net.as_ref()),
         audit_json(r.audit.as_ref()),
@@ -271,6 +297,7 @@ mod tests {
             model: "two_level",
             system: "TQ".into(),
             workload: "wl".into(),
+            process: "mmpp",
             workers: 2,
             rate_rps: 1e6,
             horizon: tq_core::Nanos::from_millis(5),
@@ -327,6 +354,17 @@ mod tests {
                     invariant: "job_conservation",
                     detail: "submitted 10 != completed 9 + dropped 0 [\"quoted\"]".into(),
                 }],
+            }),
+            controller: Some(ControllerReport {
+                final_quantum: tq_core::Nanos::from_micros(8),
+                stats: tq_core::adaptive::ControllerStats {
+                    windows: 12,
+                    empty_windows: 2,
+                    grows: 3,
+                    shrinks: 1,
+                    min_quantum_seen: tq_core::Nanos::from_micros(4),
+                    max_quantum_seen: tq_core::Nanos::from_micros(10),
+                },
             }),
         };
         let doc = document(&[rec.clone(), rec]);

@@ -30,10 +30,11 @@
 //! ```
 //! use tq_core::Nanos;
 //! use tq_harness::{run_to_record, Engine, RunSpec, SimEngine};
-//! use tq_workloads::table1;
+//! use tq_workloads::{table1, ArrivalProcess};
 //!
 //! let spec = RunSpec {
 //!     workload: table1::extreme_bimodal(),
+//!     process: ArrivalProcess::Poisson,
 //!     rate_rps: table1::extreme_bimodal().rate_for_load(4, 0.3),
 //!     horizon: Nanos::from_millis(5),
 //!     seed: 42,

@@ -187,6 +187,10 @@ impl Engine for RackEngine {
             counters,
             completions,
             audit,
+            // Each shard runs its own independent controller; server 0's
+            // report stands in for the rack (the per-server breakdown
+            // stays in the engine stats).
+            controller: stats.per_server.first().and_then(|s| s.controller),
         }
     }
 

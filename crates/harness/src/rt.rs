@@ -27,6 +27,7 @@ use crate::engine::{
     Engine, EngineCounters, EngineKind, PolicyMeta, RunOutput, RunSpec, WorkerCounters,
 };
 use tq_audit::{CompletionFact, InvariantAuditor};
+use tq_core::adaptive::{ControllerConfig, QuantumController};
 use tq_core::job::Completion;
 use tq_core::Nanos;
 use tq_runtime::{ServerConfig, SpinJob, TinyQuanta, TscClock};
@@ -106,6 +107,7 @@ impl Pacer {
 pub struct RtEngine {
     config: ServerConfig,
     clock: TscClock,
+    controller: Option<ControllerConfig>,
 }
 
 impl RtEngine {
@@ -123,7 +125,30 @@ impl RtEngine {
         RtEngine {
             config,
             clock: TscClock::calibrated(),
+            controller: None,
         }
+    }
+
+    /// Attaches a wall-clock adaptive-quantum controller: every run then
+    /// measures windows on the engine's shared `TscClock` (relative to
+    /// the pacing origin), feeds the controller each drained completion,
+    /// and republishes the quantum to the workers through
+    /// [`TinyQuanta::set_quantum`] whenever a window steps it. This is
+    /// the live-runtime twin of `SystemConfig::controller` in the sims.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller config is invalid or the server's worker
+    /// discipline never preempts (the quantum would be dead weight).
+    pub fn with_controller(mut self, controller: ControllerConfig) -> Self {
+        controller.validate();
+        assert!(
+            self.config.discipline.preempts(),
+            "the adaptive-quantum controller needs a preempting policy, got {:?}",
+            self.config.discipline
+        );
+        self.controller = Some(controller);
+        self
     }
 
     /// The wrapped configuration.
@@ -180,6 +205,18 @@ impl Engine for RtEngine {
             Box::new(SpinJob::with_clock(req, &job_clock))
         });
 
+        // The wall-clock controller: windows are measured on the shared
+        // clock relative to the pacing origin, so its virtual-time twin
+        // in the sims sees the same time base. The initial quantum is
+        // clamped into the controller's band before the first arrival.
+        let mut ctl = self
+            .controller
+            .clone()
+            .map(|c| QuantumController::new(c, self.config.quantum));
+        if let Some(c) = &ctl {
+            server.set_quantum(c.quantum());
+        }
+
         let mut raw = Vec::with_capacity(schedule.len());
         let pacer = Pacer::start(clock.clone());
         let t0 = pacer.origin();
@@ -193,10 +230,30 @@ impl Engine for RtEngine {
             // the wrong service draw, so it is checked in release builds
             // too, not just debug.
             assert_eq!(id, r.id, "submission order must match stream ids");
-            // Keep the completion channel short while pacing.
+            // Keep the completion channel short while pacing; a controller
+            // sees every drained completion and republishes on a step.
+            let fresh = raw.len();
             raw.extend(server.drain_completions());
+            if let Some(c) = ctl.as_mut() {
+                for done in &raw[fresh..] {
+                    let sojourn = done.finished.saturating_sub(done.submitted);
+                    c.record(services[done.id.0 as usize], sojourn);
+                }
+                if c.advance(clock.wall_nanos().saturating_sub(t0)) {
+                    server.set_quantum(c.quantum());
+                }
+            }
         }
         let (rest, stats) = server.shutdown_with_stats();
+        if let Some(c) = ctl.as_mut() {
+            // Fold the drain tail into the report's stats; the server is
+            // gone, so no further quantum is published.
+            for done in &rest {
+                let sojourn = done.finished.saturating_sub(done.submitted);
+                c.record(services[done.id.0 as usize], sojourn);
+            }
+            c.advance(clock.wall_nanos().saturating_sub(t0));
+        }
         raw.extend(rest);
 
         // Normalize onto the stream's time base and re-attach the true
@@ -272,6 +329,7 @@ impl Engine for RtEngine {
                     .collect(),
             },
             audit,
+            controller: ctl.as_ref().map(QuantumController::report),
         }
     }
 }

@@ -76,7 +76,7 @@ impl Engine for SimEngine {
 
     fn run(&mut self, spec: &RunSpec, arrivals: ArrivalGen, horizon: Nanos) -> RunOutput {
         let mut completions = Vec::new();
-        let (sim_events, in_horizon, workers) = match self.config.arch {
+        let (sim_events, in_horizon, workers, controller) = match self.config.arch {
             Architecture::TwoLevel { .. } => {
                 // Same policy-seed derivation as `run_once`, so the two
                 // paths produce identical completion streams.
@@ -95,7 +95,7 @@ impl Engine for SimEngine {
                         max_ring_occupancy: 0,
                     })
                     .collect();
-                (s.events, s.in_horizon, workers)
+                (s.events, s.in_horizon, workers, s.controller)
             }
             Architecture::Centralized => {
                 let s = centralized::simulate_into(&self.config, arrivals, horizon, &mut completions);
@@ -107,7 +107,7 @@ impl Engine for SimEngine {
                         max_ring_occupancy: 0,
                     })
                     .collect();
-                (s.events, s.in_horizon, workers)
+                (s.events, s.in_horizon, workers, s.controller)
             }
         };
         // The models drain every arrival, so the submission count is the
@@ -164,6 +164,7 @@ impl Engine for SimEngine {
             counters,
             completions,
             audit,
+            controller,
         }
     }
 }

@@ -26,6 +26,7 @@ use crate::runq::IndexQueue;
 use crate::slab::{JobIdx, JobSlab};
 use crate::twolevel::{ArrivalSource, RX_RING_CAPACITY};
 use std::collections::VecDeque;
+use tq_core::adaptive::{ControllerReport, QuantumController};
 use tq_core::job::Completion;
 use tq_core::{Nanos, Request};
 use tq_sim::{EventQueue, TagQueue};
@@ -117,6 +118,8 @@ pub struct CentralizedStats {
     pub worker_quanta: Vec<u64>,
     /// Jobs that finished on each worker.
     pub worker_completed: Vec<u64>,
+    /// Adaptive-quantum controller outcome, when one was configured.
+    pub controller: Option<ControllerReport>,
 }
 
 /// Simulates the centralized system until arrivals stop at `horizon`, then
@@ -171,6 +174,10 @@ pub struct CentralizedSim {
     fed_events: u64,
     /// Jobs admitted and not yet completed (rack load-report signal).
     resident: u64,
+    /// Adaptive-quantum feedback loop over virtual-time windows; while
+    /// active, `cfg.quantum` tracks its output (see
+    /// [`crate::twolevel::TwoLevelSim`]).
+    ctl: Option<QuantumController>,
 }
 
 impl CentralizedSim {
@@ -217,6 +224,14 @@ impl CentralizedSim {
             "{}: worker index exceeds the 14-bit event-tag space",
             cfg.name
         );
+        let ctl = cfg
+            .controller
+            .clone()
+            .map(|c| QuantumController::new(c, cfg.quantum));
+        let mut owned = cfg.clone();
+        if let Some(c) = &ctl {
+            owned.quantum = c.quantum();
+        }
         CentralizedSim {
             st: State {
                 ingress_q: VecDeque::with_capacity(RX_RING_CAPACITY),
@@ -244,7 +259,8 @@ impl CentralizedSim {
             },
             fed_events: 0,
             resident: 0,
-            cfg: cfg.clone(),
+            ctl,
+            cfg: owned,
             horizon,
         }
     }
@@ -361,6 +377,13 @@ impl CentralizedSim {
                     if let Some(w) = st.idle.first() {
                         st.idle.clear(w);
                         st.n_idle -= 1;
+                        if self.ctl.is_some() {
+                            // Adaptive mode: slices always run at the
+                            // quantum currently in force, not the one
+                            // baked in at admission.
+                            let job = st.slab.get_mut(idx);
+                            job.quantum = cfg.quantum_for(job.class.0);
+                        }
                         let slice = st.slab.get(idx).next_slice();
                         st.running[w] = idx;
                         st.slices[w] = slice;
@@ -406,6 +429,12 @@ impl CentralizedSim {
                 service: job.service_true,
                 finish: now,
             });
+            if let Some(ctl) = &mut self.ctl {
+                ctl.record(job.service_true, now - job.arrival);
+                if ctl.advance(now) {
+                    self.cfg.quantum = ctl.quantum();
+                }
+            }
         } else {
             let j = st.slab.get(idx);
             let rank = self
@@ -444,6 +473,7 @@ impl CentralizedSim {
             in_horizon: self.in_horizon,
             worker_quanta: self.st.worker_quanta.clone(),
             worker_completed: self.st.worker_completed.clone(),
+            controller: self.ctl.as_ref().map(|c| c.report()),
         }
     }
 
@@ -456,6 +486,7 @@ impl CentralizedSim {
             in_horizon: self.in_horizon,
             worker_quanta: self.st.worker_quanta,
             worker_completed: self.st.worker_completed,
+            controller: self.ctl.as_ref().map(|c| c.report()),
         }
     }
 

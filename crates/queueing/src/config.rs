@@ -5,6 +5,7 @@
 //! [`crate::presets`] module builds the configurations the paper evaluates.
 
 use serde::{Deserialize, Serialize};
+use tq_core::adaptive::ControllerConfig;
 use tq_core::policy::{DispatchPolicy, WorkerPolicy};
 use tq_core::Nanos;
 
@@ -71,6 +72,13 @@ pub struct SystemConfig {
     pub work_stealing: bool,
     /// Cost of one successful steal, charged to the thief.
     pub steal_cost: Nanos,
+    /// Adaptive-quantum feedback loop. `None` (every fixed-quantum
+    /// preset) leaves the engines bit-identical to their pre-controller
+    /// behavior; `Some` runs a [`tq_core::adaptive::QuantumController`]
+    /// over virtual-time windows, starting from `quantum` and retuning it
+    /// at window boundaries. Per-class `quantum_overrides` still win for
+    /// their classes.
+    pub controller: Option<ControllerConfig>,
 }
 
 impl SystemConfig {
@@ -129,6 +137,14 @@ impl SystemConfig {
             self.name,
             self.inflation
         );
+        if let Some(ctl) = &self.controller {
+            assert!(
+                self.worker_policy.preempts(),
+                "{}: the adaptive-quantum controller needs a preempting policy",
+                self.name
+            );
+            ctl.validate();
+        }
     }
 
     /// Returns a renamed copy (for ablation variants).
@@ -140,6 +156,13 @@ impl SystemConfig {
     /// Returns a copy with a different quantum.
     pub fn with_quantum(mut self, quantum: Nanos) -> Self {
         self.quantum = quantum;
+        self
+    }
+
+    /// Returns a copy with the adaptive-quantum controller enabled
+    /// (`quantum` becomes the controller's starting point).
+    pub fn with_controller(mut self, controller: ControllerConfig) -> Self {
+        self.controller = Some(controller);
         self
     }
 

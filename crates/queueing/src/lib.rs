@@ -56,6 +56,6 @@ mod slab;
 pub use config::{Architecture, SystemConfig};
 pub use rack::{simulate_rack, simulate_rack_into, MembershipChange, RackPolicy, RackSpec, RackStats};
 pub use run::{
-    default_jobs, run_once, run_replicated, run_replicated_jobs, sweep, sweep_jobs, Replicated,
-    RunResult,
+    default_jobs, run_once, run_once_process, run_replicated, run_replicated_jobs, sweep,
+    sweep_jobs, sweep_jobs_process, Replicated, RunResult,
 };

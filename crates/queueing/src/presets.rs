@@ -29,6 +29,7 @@ pub fn tq(n_workers: usize, quantum: Nanos) -> SystemConfig {
         quantum_overrides: vec![],
         work_stealing: false,
         steal_cost: Nanos::ZERO,
+        controller: None,
     }
 }
 
@@ -52,6 +53,7 @@ pub fn shinjuku(n_workers: usize, quantum: Nanos) -> SystemConfig {
         quantum_overrides: vec![],
         work_stealing: false,
         steal_cost: Nanos::ZERO,
+        controller: None,
     }
 }
 
@@ -76,6 +78,7 @@ pub fn caladan_iokernel(n_workers: usize) -> SystemConfig {
         quantum_overrides: vec![],
         work_stealing: true,
         steal_cost: costs::WORK_STEAL,
+        controller: None,
     }
 }
 
@@ -100,6 +103,7 @@ pub fn caladan_directpath(n_workers: usize) -> SystemConfig {
         quantum_overrides: vec![],
         work_stealing: true,
         steal_cost: costs::WORK_STEAL,
+        controller: None,
     }
 }
 
@@ -123,6 +127,7 @@ pub fn ideal_centralized_ps(n_workers: usize, quantum: Nanos) -> SystemConfig {
         quantum_overrides: vec![],
         work_stealing: false,
         steal_cost: Nanos::ZERO,
+        controller: None,
     }
 }
 
@@ -242,6 +247,17 @@ pub fn tq_wfq(n_workers: usize, quantum: Nanos) -> SystemConfig {
     cfg
 }
 
+/// TQ-ADAPTIVE extension (LibPreemptible's observation applied to TQ):
+/// TQ whose quantum is retuned every window by the shared
+/// [`tq_core::adaptive::QuantumController`] — shrink when the windowed
+/// tail slowdown runs hot, grow it back when the window is comfortably
+/// cold, stand pat on empty windows. `quantum` is the starting point.
+pub fn tq_adaptive(n_workers: usize, quantum: Nanos) -> SystemConfig {
+    tq(n_workers, quantum)
+        .with_controller(tq_core::adaptive::ControllerConfig::default())
+        .named("TQ-ADAPTIVE")
+}
+
 /// Preset names [`by_name`] accepts, in display order — the CLI
 /// `--policy` vocabulary for the bench binaries and `tq-loadgen`.
 pub const NAMES: &[&str] = &[
@@ -261,6 +277,7 @@ pub const NAMES: &[&str] = &[
     "tq_priority",
     "tq_edf",
     "tq_wfq",
+    "tq_adaptive",
     "concord",
 ];
 
@@ -286,6 +303,7 @@ pub fn by_name(name: &str, n_workers: usize, quantum: Nanos) -> Option<SystemCon
         "tq_priority" => tq_priority(n_workers, quantum),
         "tq_edf" => tq_edf(n_workers, quantum),
         "tq_wfq" => tq_wfq(n_workers, quantum),
+        "tq_adaptive" => tq_adaptive(n_workers, quantum),
         "concord" => concord(n_workers, quantum),
         _ => return None,
     })
@@ -326,6 +344,7 @@ pub fn concord(n_workers: usize, quantum: Nanos) -> SystemConfig {
         quantum_overrides: vec![],
         work_stealing: false,
         steal_cost: Nanos::ZERO,
+        controller: None,
     }
 }
 
@@ -354,6 +373,7 @@ mod tests {
             tq_priority(16, q),
             tq_edf(16, q),
             tq_wfq(16, q),
+            tq_adaptive(16, q),
             tq_multi_dispatcher(16, q, 4),
             concord(16, q),
         ] {

@@ -229,6 +229,9 @@ pub struct RackServerStats {
     pub worker_completed: Vec<u64>,
     /// Jobs gained by stealing per worker (zero for centralized servers).
     pub worker_steals: Vec<u64>,
+    /// This server's adaptive-quantum controller report (present iff the
+    /// server config carries a controller; each shard runs its own).
+    pub controller: Option<tq_core::adaptive::ControllerReport>,
 }
 
 /// Everything a rack simulation produces besides the completion stream.
@@ -364,6 +367,7 @@ fn simulate_degenerate(
                 worker_quanta: s.worker_quanta,
                 worker_completed: s.worker_completed,
                 worker_steals: s.worker_steals,
+                controller: s.controller,
             }
         }
         Architecture::Centralized => {
@@ -377,6 +381,7 @@ fn simulate_degenerate(
                 worker_quanta: s.worker_quanta.clone(),
                 worker_completed: s.worker_completed,
                 worker_steals: vec![0; s.worker_quanta.len()],
+                controller: s.controller,
             }
         }
     };
@@ -832,17 +837,30 @@ impl ServerShard {
     }
 
     fn stats(&self, routed: u64) -> RackServerStats {
-        let (in_horizon, worker_quanta, worker_completed, worker_steals) = match &self.sim {
-            ServerSim::TwoLevel(s) => {
-                let st = s.stats();
-                (st.in_horizon, st.worker_quanta, st.worker_completed, st.worker_steals)
-            }
-            ServerSim::Centralized(s) => {
-                let st = s.stats();
-                let steals = vec![0; st.worker_quanta.len()];
-                (st.in_horizon, st.worker_quanta, st.worker_completed, steals)
-            }
-        };
+        let (in_horizon, worker_quanta, worker_completed, worker_steals, controller) =
+            match &self.sim {
+                ServerSim::TwoLevel(s) => {
+                    let st = s.stats();
+                    (
+                        st.in_horizon,
+                        st.worker_quanta,
+                        st.worker_completed,
+                        st.worker_steals,
+                        st.controller,
+                    )
+                }
+                ServerSim::Centralized(s) => {
+                    let st = s.stats();
+                    let steals = vec![0; st.worker_quanta.len()];
+                    (
+                        st.in_horizon,
+                        st.worker_quanta,
+                        st.worker_completed,
+                        steals,
+                        st.controller,
+                    )
+                }
+            };
         RackServerStats {
             routed,
             completed: self.completions.len() as u64,
@@ -852,6 +870,7 @@ impl ServerShard {
             worker_quanta,
             worker_completed,
             worker_steals,
+            controller,
         }
     }
 }

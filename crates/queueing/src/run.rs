@@ -18,7 +18,7 @@ use tq_core::job::Completion;
 use tq_core::Nanos;
 use tq_sim::metrics::ClassSummary;
 use tq_sim::{ClassRecorder, SimRng};
-use tq_workloads::{ArrivalGen, Workload};
+use tq_workloads::{ArrivalGen, ArrivalProcess, Workload};
 
 thread_local! {
     /// Per-thread completion buffer reused across sweep points: a long
@@ -85,8 +85,26 @@ pub fn run_once(
     duration: Nanos,
     seed: u64,
 ) -> RunResult {
+    run_once_process(cfg, workload, ArrivalProcess::Poisson, rate_rps, duration, seed)
+}
+
+/// [`run_once`] under an explicit arrival process (MMPP bursts, diurnal
+/// ramps). With [`ArrivalProcess::Poisson`] the output is bit-identical
+/// to `run_once`.
+///
+/// # Panics
+///
+/// Panics if the configuration or the process parameters are invalid.
+pub fn run_once_process(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    process: ArrivalProcess,
+    rate_rps: f64,
+    duration: Nanos,
+    seed: u64,
+) -> RunResult {
     cfg.validate();
-    let gen = ArrivalGen::new(workload.clone(), rate_rps, SimRng::new(seed));
+    let gen = ArrivalGen::with_process(workload.clone(), rate_rps, process, SimRng::new(seed));
     let mut completions = COMPLETIONS_SCRATCH.with(|cell| cell.take());
     // The engines count in-horizon completions during the run, so goodput
     // needs no extra pass over the completion stream.
@@ -196,8 +214,31 @@ pub fn sweep_jobs(
     seed: u64,
     jobs: usize,
 ) -> Vec<RunResult> {
+    sweep_jobs_process(
+        cfg,
+        workload,
+        ArrivalProcess::Poisson,
+        rates_rps,
+        duration,
+        seed,
+        jobs,
+    )
+}
+
+/// [`sweep_jobs`] under an explicit arrival process; Poisson reproduces
+/// `sweep_jobs` bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_jobs_process(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    process: ArrivalProcess,
+    rates_rps: &[f64],
+    duration: Nanos,
+    seed: u64,
+    jobs: usize,
+) -> Vec<RunResult> {
     parallel_map(rates_rps.len(), jobs, |i| {
-        run_once(cfg, workload, rates_rps[i], duration, seed)
+        run_once_process(cfg, workload, process, rates_rps[i], duration, seed)
     })
 }
 

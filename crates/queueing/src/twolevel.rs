@@ -34,6 +34,7 @@ use crate::mask::WorkerMask;
 use crate::runq::IndexQueue;
 use crate::slab::{JobIdx, JobSlab};
 use std::collections::VecDeque;
+use tq_core::adaptive::{ControllerReport, QuantumController};
 use tq_core::job::Completion;
 use tq_core::policy::Dispatcher;
 use tq_core::{Nanos, Request};
@@ -140,6 +141,8 @@ pub struct TwoLevelStats {
     /// Jobs each worker gained by stealing (thief-side count, including
     /// dispatcher-triggered rebalances to idle workers).
     pub worker_steals: Vec<u64>,
+    /// Adaptive-quantum controller outcome, when one was configured.
+    pub controller: Option<ControllerReport>,
 }
 
 /// Simulates the configured two-level system serving `gen`'s request
@@ -240,6 +243,11 @@ pub struct TwoLevelSim {
     fed_events: u64,
     /// Jobs admitted and not yet completed (rack load-report signal).
     resident: u64,
+    /// Adaptive-quantum feedback loop over virtual-time windows. While
+    /// active, `cfg.quantum` tracks its output so `quantum_for` (and
+    /// every slice-refresh site) sees the adaptive value; `None` leaves
+    /// the engine bit-identical to the fixed-quantum behavior.
+    ctl: Option<QuantumController>,
 }
 
 impl TwoLevelSim {
@@ -292,6 +300,16 @@ impl TwoLevelSim {
             "{}: worker/dispatcher index exceeds the 14-bit event-tag space",
             cfg.name
         );
+        let ctl = cfg
+            .controller
+            .clone()
+            .map(|c| QuantumController::new(c, cfg.quantum));
+        let mut owned = cfg.clone();
+        if let Some(c) = &ctl {
+            // The controller clamps the starting quantum into its band;
+            // the sim's live config must agree from the first slice.
+            owned.quantum = c.quantum();
+        }
         TwoLevelSim {
             policies,
             ws: Workers::new(cfg),
@@ -309,7 +327,8 @@ impl TwoLevelSim {
             },
             fed_events: 0,
             resident: 0,
-            cfg: cfg.clone(),
+            ctl,
+            cfg: owned,
             horizon,
             n_disp,
         }
@@ -456,6 +475,12 @@ impl TwoLevelSim {
         let slice = ws.slices[w];
         let job = ws.slab.get_mut(idx);
         let done = job.apply_slice(slice);
+        if self.ctl.is_some() {
+            // Re-read the (possibly retuned) quantum at every slice
+            // boundary so a controller step takes effect on the very next
+            // slice, not just on jobs admitted after it.
+            job.quantum = self.cfg.quantum_for(job.class.0);
+        }
         let next = job.next_slice();
         let rank = self
             .cfg
@@ -489,6 +514,12 @@ impl TwoLevelSim {
                 service: job.service_true,
                 finish: now,
             });
+            if let Some(ctl) = &mut self.ctl {
+                ctl.record(job.service_true, now - job.arrival);
+                if ctl.advance(now) {
+                    self.cfg.quantum = ctl.quantum();
+                }
+            }
         } else {
             ws.queues[w].push(idx, rank);
             ws.backlog.set(w);
@@ -526,6 +557,7 @@ impl TwoLevelSim {
             worker_quanta: self.ws.quanta_total.clone(),
             worker_completed: self.ws.completed_total.clone(),
             worker_steals: self.ws.steals_total.clone(),
+            controller: self.ctl.as_ref().map(|c| c.report()),
         }
     }
 
@@ -537,6 +569,7 @@ impl TwoLevelSim {
             worker_quanta: self.ws.quanta_total,
             worker_completed: self.ws.completed_total,
             worker_steals: self.ws.steals_total,
+            controller: self.ctl.as_ref().map(|c| c.report()),
         }
     }
 
@@ -611,6 +644,12 @@ fn start_slice(
     let idx = ws.queues[w].take_next().expect("start_slice on empty queue");
     if ws.queues[w].is_empty() {
         ws.backlog.clear(w);
+    }
+    if cfg.controller.is_some() {
+        // Adaptive mode: the queued job's admission-time quantum may be
+        // stale; slices always run at the quantum currently in force.
+        let job = ws.slab.get_mut(idx);
+        job.quantum = cfg.quantum_for(job.class.0);
     }
     let slice = ws.slab.get(idx).next_slice();
     let wall = slice + cfg.preempt_overhead + extra;
@@ -818,6 +857,37 @@ mod tests {
             ps * 5 < fcfs,
             "PS should avoid head-of-line blocking: PS {ps}, FCFS {fcfs}"
         );
+    }
+
+    #[test]
+    fn adaptive_controller_reports_and_replays_identically() {
+        let wl = table1::extreme_bimodal();
+        let rate = wl.rate_for_load(4, 0.7);
+        let cfg = presets::tq_adaptive(4, Nanos::from_micros(10));
+        let run = || {
+            let gen = ArrivalGen::new(wl.clone(), rate, SimRng::new(17));
+            let mut comps = Vec::new();
+            let stats = simulate_into(&cfg, gen, Nanos::from_millis(20), 17, &mut comps);
+            (comps, stats)
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b, "adaptive run must replay bit-identically");
+        let rep = sa.controller.expect("controller configured");
+        assert_eq!(Some(rep), sb.controller);
+        assert!(rep.stats.windows > 0, "20ms of traffic closes windows");
+        let band = cfg.controller.unwrap();
+        assert!(rep.final_quantum >= band.min_quantum);
+        assert!(rep.final_quantum <= band.max_quantum);
+    }
+
+    #[test]
+    fn fixed_quantum_run_reports_no_controller() {
+        let cfg = presets::tq(4, Nanos::from_micros(2));
+        let gen = ArrivalGen::new(table1::extreme_bimodal(), 1.0e6, SimRng::new(5));
+        let mut comps = Vec::new();
+        let stats = simulate_into(&cfg, gen, Nanos::from_millis(5), 5, &mut comps);
+        assert!(stats.controller.is_none());
     }
 
     /// The engine-vs-seed contract, pinned here at unit level too (the

@@ -20,7 +20,7 @@ use crate::job::Job;
 use crate::ring;
 use crate::worker::{self, WorkerHandle};
 use crossbeam::channel;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use tq_audit::fault::FaultPlan;
 use tq_audit::{AuditReport, DropReason, InvariantAuditor, RingAuditLog};
@@ -261,6 +261,11 @@ pub struct TinyQuanta {
     work_stealing: bool,
     clock: TscClock,
     next_id: std::sync::atomic::AtomicU64,
+    /// Live scheduling quantum in nanoseconds, shared with every worker.
+    /// Workers re-read it before arming each quantum, so
+    /// [`TinyQuanta::set_quantum`] (the adaptive controller's publish
+    /// path) takes effect within one quantum without restarting anything.
+    quantum: Arc<AtomicU64>,
 }
 
 impl TinyQuanta {
@@ -298,6 +303,7 @@ impl TinyQuanta {
             (0..config.workers).map(|_| SharedCounters::new()).collect(),
         );
         let signal = Arc::new(ShutdownSignal::default());
+        let quantum = Arc::new(AtomicU64::new(config.quantum.0));
         let audit_log = config
             .audit
             .then(|| Arc::new(RingAuditLog::new(config.workers)));
@@ -320,6 +326,7 @@ impl TinyQuanta {
                 workers.push(worker::spawn(
                     w,
                     &config,
+                    Arc::clone(&quantum),
                     worker::WorkerRx::Shared {
                         index: w,
                         queues: queues.clone(),
@@ -341,6 +348,7 @@ impl TinyQuanta {
                 workers.push(worker::spawn(
                     w,
                     &config,
+                    Arc::clone(&quantum),
                     worker::WorkerRx::Spsc(c),
                     Arc::clone(&factory),
                     Arc::clone(&counters),
@@ -373,7 +381,22 @@ impl TinyQuanta {
             work_stealing,
             clock,
             next_id: std::sync::atomic::AtomicU64::new(0),
+            quantum,
         }
+    }
+
+    /// The scheduling quantum currently in force.
+    pub fn quantum(&self) -> Nanos {
+        Nanos(self.quantum.load(Ordering::Relaxed))
+    }
+
+    /// Publishes a new scheduling quantum to every worker — the adaptive
+    /// controller's wall-clock analogue of the simulators' window step.
+    /// Workers pick it up before arming their next quantum; jobs mid-
+    /// quantum finish their current slice under the old value. Has no
+    /// effect on non-preempting disciplines (FCFS never arms a deadline).
+    pub fn set_quantum(&self, quantum: Nanos) {
+        self.quantum.store(quantum.0, Ordering::Relaxed);
     }
 
     /// Submits a synthetic request of the given class and service time.
@@ -627,6 +650,36 @@ mod tests {
         for c in server.shutdown() {
             assert!(c.sojourn() >= Nanos::from_micros(40), "sojourn {}", c.sojourn());
         }
+    }
+
+    #[test]
+    fn set_quantum_republishes_to_workers_mid_run() {
+        // Same server, two phases: a fat quantum runs a 100µs job in one
+        // slice; after `set_quantum` shrinks it to 5µs, a 200µs job must
+        // be sliced many times — workers re-read the shared cell without
+        // any restart.
+        let server = spin_server(1, 500);
+        server.submit(0, Nanos::from_micros(100));
+        let mut first = Vec::new();
+        while first.is_empty() {
+            server.drain_completions_into(&mut first);
+            std::thread::yield_now();
+        }
+        assert!(
+            first[0].quanta <= 2,
+            "100µs under a 500µs quantum took {} quanta",
+            first[0].quanta
+        );
+        server.set_quantum(Nanos::from_micros(5));
+        assert_eq!(server.quantum(), Nanos::from_micros(5));
+        server.submit(0, Nanos::from_micros(200));
+        let completions = server.shutdown();
+        assert_eq!(completions.len(), 1);
+        assert!(
+            completions[0].quanta >= 10,
+            "200µs under the republished 5µs quantum took only {} quanta",
+            completions[0].quanta
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::job::{Job, JobStatus, QuantumCtx};
 use crate::ring::{Consumer, Producer};
 use crate::server::{Completion, JobFactory, RtRequest, ServerConfig, ShutdownSignal};
 use crossbeam::queue::ArrayQueue;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tq_audit::fault::FaultPlan;
 use tq_audit::RingAuditLog;
@@ -179,7 +180,12 @@ impl WorkerRx {
 struct WorkerCtx {
     index: usize,
     n_slots: usize,
-    quantum: tq_core::Nanos,
+    /// Quantum in nanoseconds, shared with the server facade so the
+    /// adaptive controller can republish it mid-run ([`crate::server::
+    /// TinyQuanta::set_quantum`]). Workers re-read it (one Relaxed load)
+    /// before arming each quantum and only re-derive the cycle deadline
+    /// when the value actually changed.
+    quantum: Arc<AtomicU64>,
     discipline: WorkerPolicy,
     factory: Arc<JobFactory>,
     counters: Arc<Vec<SharedCounters>>,
@@ -199,6 +205,7 @@ struct WorkerCtx {
 pub(crate) fn spawn(
     index: usize,
     config: &ServerConfig,
+    quantum: Arc<AtomicU64>,
     rx: WorkerRx,
     factory: Arc<JobFactory>,
     counters: Arc<Vec<SharedCounters>>,
@@ -217,7 +224,7 @@ pub(crate) fn spawn(
     let ctx = WorkerCtx {
         index,
         n_slots: config.task_slots,
-        quantum: config.quantum,
+        quantum,
         discipline: config.discipline,
         factory,
         counters,
@@ -280,9 +287,13 @@ fn run_worker(w: WorkerCtx, rx: WorkerRx) -> WorkerStats {
         idle_yields,
         idle_sleep,
     } = w;
-    // FCFS never preempts: arm an effectively-infinite deadline.
-    let quantum_cycles: Cycles = if discipline.preempts() {
-        clock.to_cycles(quantum)
+    // FCFS never preempts: arm an effectively-infinite deadline. For
+    // preempting disciplines the shared cell is re-read before each arm
+    // (the adaptive controller republishes it mid-run); the ns→cycles
+    // conversion is cached and redone only on an actual change.
+    let mut quantum_nanos = quantum.load(Ordering::Relaxed);
+    let mut quantum_cycles: Cycles = if discipline.preempts() {
+        clock.to_cycles(tq_core::Nanos(quantum_nanos))
     } else {
         Cycles(u64::MAX / 2)
     };
@@ -371,6 +382,13 @@ fn run_worker(w: WorkerCtx, rx: WorkerRx) -> WorkerStats {
         if let Some(slot) = next_slot {
             idle_streak = 0;
             let task = slots[slot].as_mut().expect("rotation holds busy slots");
+            if discipline.preempts() {
+                let q = quantum.load(Ordering::Relaxed);
+                if q != quantum_nanos {
+                    quantum_nanos = q;
+                    quantum_cycles = clock.to_cycles(tq_core::Nanos(q));
+                }
+            }
             ctx.arm(quantum_cycles);
             let status = task.job.run(&mut ctx);
             task.quanta += 1;

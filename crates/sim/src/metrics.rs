@@ -65,15 +65,27 @@ impl TailStats {
 
     /// Arithmetic mean, or 0 with no samples.
     pub fn mean(&self) -> f64 {
+        self.try_mean().unwrap_or(0.0)
+    }
+
+    /// Arithmetic mean, or `None` with no samples — for consumers (like
+    /// a feedback controller window) that must distinguish "no traffic"
+    /// from "zero latency".
+    pub fn try_mean(&self) -> Option<f64> {
         if self.samples.is_empty() {
-            return 0.0;
+            return None;
         }
-        self.samples.iter().map(|&v| v as f64).sum::<f64>() / self.samples.len() as f64
+        Some(self.samples.iter().map(|&v| v as f64).sum::<f64>() / self.samples.len() as f64)
     }
 
     /// Largest sample, or 0 with no samples.
     pub fn max(&self) -> u64 {
-        self.samples.iter().copied().max().unwrap_or(0)
+        self.try_max().unwrap_or(0)
+    }
+
+    /// Largest sample, or `None` with no samples.
+    pub fn try_max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
     }
 
     /// Nearest-rank percentile: the smallest sample such that at least
@@ -84,8 +96,20 @@ impl TailStats {
     /// Panics if `p` is outside `(0, 100]`.
     pub fn percentile(&mut self, p: f64) -> u64 {
         assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
+        self.try_percentile(p).unwrap_or(0)
+    }
+
+    /// Nearest-rank percentile, or `None` with no samples. An empty
+    /// window is *absence of evidence*, not a perfect tail: callers that
+    /// feed a controller must treat `None` differently from 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn try_percentile(&mut self, p: f64) -> Option<u64> {
+        assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
         if self.samples.is_empty() {
-            return 0;
+            return None;
         }
         if !self.sorted {
             self.samples.sort_unstable();
@@ -93,7 +117,7 @@ impl TailStats {
         }
         let n = self.samples.len();
         let rank = ((p / 100.0) * n as f64 - 1e-9).ceil() as usize;
-        self.samples[rank.clamp(1, n) - 1]
+        Some(self.samples[rank.clamp(1, n) - 1])
     }
 
     /// Convenience: the 99.9th percentile the paper reports everywhere.
@@ -422,8 +446,15 @@ impl ClassRecorder {
 
 /// Index of the nearest-rank `p`th percentile in a sorted slice of
 /// length `n ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 100]` — the same contract
+/// [`TailStats::percentile`] enforces, checked in every build profile
+/// (a release build must not silently clamp a bogus percentile to the
+/// max sample).
 fn rank_index(n: usize, p: f64) -> usize {
-    debug_assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
+    assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
     let rank = ((p / 100.0) * n as f64 - 1e-9).ceil() as usize;
     rank.clamp(1, n) - 1
 }
@@ -685,6 +716,36 @@ mod tests {
         assert_eq!(s.p999(), 0);
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn try_accessors_surface_emptiness() {
+        let mut s = TailStats::new();
+        assert_eq!(s.try_percentile(99.9), None);
+        assert_eq!(s.try_mean(), None);
+        assert_eq!(s.try_max(), None);
+        s.record(7);
+        assert_eq!(s.try_percentile(99.9), Some(7));
+        assert_eq!(s.try_mean(), Some(7.0));
+        assert_eq!(s.try_max(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn try_percentile_rejects_out_of_range_even_when_empty() {
+        let mut s = TailStats::new();
+        let _ = s.try_percentile(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn rank_index_rejects_out_of_range_in_all_profiles() {
+        // Regression: `rank_index` used to debug_assert only, so a
+        // release build silently clamped e.g. p=200 to the max sample.
+        // `overall_latency` is the user-supplied-percentile path into it.
+        let mut rec = ClassRecorder::new(0.0);
+        rec.record(comp(0, 0, 0, 100, 200));
+        let _ = rec.overall_latency(200.0, Nanos::ZERO);
     }
 
     #[test]

@@ -1,14 +1,124 @@
-//! Open-loop Poisson load generation.
+//! Open-loop load generation: Poisson and hostile variants.
 //!
 //! The paper's client "transmits requests under a Poisson process centered
 //! at the workload's average service time over UDP" (§5.1) — i.e. an
 //! *open-loop* generator: arrivals keep coming at the configured rate no
 //! matter how far behind the server falls, which is what exposes tail
 //! collapse at saturation.
+//!
+//! Beyond the paper's Poisson client, [`ArrivalProcess`] adds two hostile
+//! arrival shapes with the *same* stationary mean rate, so a sweep at load
+//! ρ stays a sweep at load ρ no matter how bursty the arrivals are:
+//!
+//! * [`ArrivalProcess::Mmpp`] — a two-state Markov-modulated Poisson
+//!   process (bursty traffic with exponential dwell times).
+//! * [`ArrivalProcess::Diurnal`] — a slow triangle-wave rate ramp
+//!   (load that drifts above and below the configured mean).
 
 use crate::spec::Workload;
+use serde::{Deserialize, Serialize};
 use tq_core::{JobId, Nanos, Request};
 use tq_sim::SimRng;
+
+/// The shape of the inter-arrival process fed to [`ArrivalGen`].
+///
+/// Every variant is normalized so its *stationary mean* rate equals the
+/// `rate_rps` handed to the generator: MMPP divides each state's rate
+/// multiplier by the dwell-weighted mean multiplier, and the diurnal ramp
+/// thins a peak-rate Poisson stream whose acceptance probability averages
+/// to the configured mean over a period. Only the gap RNG stream is
+/// consulted for the extra draws, so the class/service sequence for a
+/// given seed is identical across all three processes (pinned by test
+/// `service_draws_identical_across_processes`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at the configured rate — the paper's client.
+    Poisson,
+    /// Two-state Markov-modulated Poisson process: the rate alternates
+    /// between `burst_mult`× and `calm_mult`× the configured mean, with
+    /// exponentially distributed dwell times in each state. Multipliers
+    /// are renormalized by the stationary mean
+    /// `(burst_dwell·burst_mult + calm_dwell·calm_mult) / (burst_dwell +
+    /// calm_dwell)` so the long-run rate stays `rate_rps`.
+    Mmpp {
+        /// Rate multiplier while bursting (relative to the mean rate).
+        burst_mult: f64,
+        /// Rate multiplier while calm (relative to the mean rate).
+        calm_mult: f64,
+        /// Mean dwell time in the burst state.
+        burst_dwell: Nanos,
+        /// Mean dwell time in the calm state.
+        calm_dwell: Nanos,
+    },
+    /// Deterministic triangle-wave rate ramp with the given period: the
+    /// instantaneous rate multiplier sweeps linearly `low_mult → high_mult
+    /// → low_mult` each period, renormalized by the wave's mean
+    /// `(low_mult + high_mult) / 2`. Sampled by thinning a peak-rate
+    /// Poisson stream, which keeps gaps exact without rate-integral
+    /// inversion.
+    Diurnal {
+        /// Length of one full low→high→low sweep.
+        period: Nanos,
+        /// Rate multiplier at the trough of the wave.
+        low_mult: f64,
+        /// Rate multiplier at the crest of the wave.
+        high_mult: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Short snake_case name for logs and the `tq-run/v1` JSON schema.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson => "poisson",
+            ArrivalProcess::Mmpp { .. } => "mmpp",
+            ArrivalProcess::Diurnal { .. } => "diurnal",
+        }
+    }
+
+    /// Panics if the parameters are degenerate (non-positive multipliers,
+    /// zero dwells or period, trough above crest).
+    pub fn validate(&self) {
+        match *self {
+            ArrivalProcess::Poisson => {}
+            ArrivalProcess::Mmpp {
+                burst_mult,
+                calm_mult,
+                burst_dwell,
+                calm_dwell,
+            } => {
+                assert!(
+                    burst_mult.is_finite() && burst_mult > 0.0,
+                    "MMPP burst multiplier must be positive: {burst_mult}"
+                );
+                assert!(
+                    calm_mult.is_finite() && calm_mult > 0.0,
+                    "MMPP calm multiplier must be positive: {calm_mult}"
+                );
+                assert!(
+                    !burst_dwell.is_zero() && !calm_dwell.is_zero(),
+                    "MMPP dwell times must be non-zero"
+                );
+            }
+            ArrivalProcess::Diurnal {
+                period,
+                low_mult,
+                high_mult,
+            } => {
+                assert!(!period.is_zero(), "diurnal period must be non-zero");
+                assert!(
+                    low_mult.is_finite() && low_mult > 0.0,
+                    "diurnal low multiplier must be positive: {low_mult}"
+                );
+                assert!(
+                    high_mult.is_finite() && high_mult >= low_mult,
+                    "diurnal high multiplier {high_mult} must be at least \
+                     the low multiplier {low_mult}"
+                );
+            }
+        }
+    }
+}
 
 /// Generates an open-loop Poisson stream of [`Request`]s for a workload.
 ///
@@ -35,21 +145,55 @@ pub struct ArrivalGen {
     service_rng: SimRng,
     next_id: u64,
     clock: Nanos,
+    process: ArrivalProcess,
+    /// MMPP modulating-chain state; unused for the other processes.
+    in_burst: bool,
+    /// Virtual time at which the MMPP chain next flips state.
+    switch_at: Nanos,
 }
 
 impl ArrivalGen {
-    /// Creates a generator emitting `rate_rps` requests per second.
+    /// Creates a generator emitting `rate_rps` requests per second under
+    /// a Poisson process (the paper's client).
     ///
     /// # Panics
     ///
     /// Panics if `rate_rps` is not strictly positive and finite.
-    pub fn new(workload: Workload, rate_rps: f64, mut rng: SimRng) -> Self {
+    pub fn new(workload: Workload, rate_rps: f64, rng: SimRng) -> Self {
+        // Delegates with Poisson, which draws nothing extra from either
+        // RNG stream: the gap/service sequences of every pre-existing
+        // experiment stay byte-identical.
+        Self::with_process(workload, rate_rps, ArrivalProcess::Poisson, rng)
+    }
+
+    /// Creates a generator whose inter-arrival gaps follow `process`,
+    /// with stationary mean rate `rate_rps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_rps` is not strictly positive and finite, or if
+    /// the process parameters fail [`ArrivalProcess::validate`].
+    pub fn with_process(
+        workload: Workload,
+        rate_rps: f64,
+        process: ArrivalProcess,
+        mut rng: SimRng,
+    ) -> Self {
         assert!(
             rate_rps.is_finite() && rate_rps > 0.0,
             "invalid rate: {rate_rps} rps"
         );
-        let gap_rng = rng.fork(1);
+        process.validate();
+        let mut gap_rng = rng.fork(1);
         let service_rng = rng.fork(2);
+        // The MMPP chain starts calm; its first dwell is the only
+        // constructor-time draw, and only on the MMPP path.
+        let switch_at = match process {
+            ArrivalProcess::Mmpp { calm_dwell, .. } => {
+                gap_rng.exp_nanos(calm_dwell.as_nanos() as f64)
+            }
+            _ => Nanos::ZERO,
+        };
         ArrivalGen {
             workload,
             mean_gap_nanos: 1e9 / rate_rps,
@@ -57,12 +201,20 @@ impl ArrivalGen {
             service_rng,
             next_id: 0,
             clock: Nanos::ZERO,
+            process,
+            in_burst: false,
+            switch_at,
         }
     }
 
     /// The workload being generated.
     pub fn workload(&self) -> &Workload {
         &self.workload
+    }
+
+    /// The arrival process shaping inter-arrival gaps.
+    pub fn process(&self) -> ArrivalProcess {
+        self.process
     }
 
     /// Expected number of arrivals before `horizon` (`horizon ÷ mean
@@ -73,11 +225,74 @@ impl ArrivalGen {
 
     /// Draws the next request; arrival times are strictly non-decreasing.
     pub fn next_request(&mut self) -> Request {
-        self.clock += self.gap_rng.exp_nanos(self.mean_gap_nanos);
+        self.advance_clock();
         let (class, service) = self.workload.sample(&mut self.service_rng);
         let id = JobId(self.next_id);
         self.next_id += 1;
         Request::new(id, class, self.clock, service)
+    }
+
+    /// Advances `clock` to the next arrival instant under `process`,
+    /// drawing only from `gap_rng`.
+    fn advance_clock(&mut self) {
+        match self.process {
+            ArrivalProcess::Poisson => {
+                self.clock += self.gap_rng.exp_nanos(self.mean_gap_nanos);
+            }
+            ArrivalProcess::Mmpp {
+                burst_mult,
+                calm_mult,
+                burst_dwell,
+                calm_dwell,
+            } => {
+                // Renormalize so the dwell-weighted mean multiplier is 1.
+                let (bd, cd) = (burst_dwell.as_nanos() as f64, calm_dwell.as_nanos() as f64);
+                let mean_mult = (bd * burst_mult + cd * calm_mult) / (bd + cd);
+                loop {
+                    let mult =
+                        if self.in_burst { burst_mult } else { calm_mult } / mean_mult;
+                    let gap = self.gap_rng.exp_nanos(self.mean_gap_nanos / mult);
+                    if self.clock + gap < self.switch_at {
+                        self.clock += gap;
+                        return;
+                    }
+                    // The gap crosses a state flip. Exponential gaps are
+                    // memoryless, so discard it, jump to the flip instant,
+                    // and resample at the new state's rate.
+                    self.clock = self.switch_at;
+                    self.in_burst = !self.in_burst;
+                    let dwell = if self.in_burst { burst_dwell } else { calm_dwell };
+                    self.switch_at =
+                        self.clock + self.gap_rng.exp_nanos(dwell.as_nanos() as f64);
+                }
+            }
+            ArrivalProcess::Diurnal {
+                period,
+                low_mult,
+                high_mult,
+            } => {
+                // Thinning: draw gaps at the (normalized) peak rate and
+                // accept each candidate with probability m(t)/high, where
+                // m(t) is the triangle wave's multiplier at the candidate
+                // instant. Accepted instants form an inhomogeneous
+                // Poisson process with exactly the ramped rate.
+                let mean_mult = (low_mult + high_mult) / 2.0;
+                let peak = high_mult / mean_mult;
+                loop {
+                    self.clock += self.gap_rng.exp_nanos(self.mean_gap_nanos / peak);
+                    let phase = (self.clock.as_nanos() % period.as_nanos()) as f64
+                        / period.as_nanos() as f64;
+                    let m = if phase < 0.5 {
+                        low_mult + (high_mult - low_mult) * 2.0 * phase
+                    } else {
+                        high_mult - (high_mult - low_mult) * (2.0 * phase - 1.0)
+                    };
+                    if self.gap_rng.f64() < m / high_mult {
+                        return;
+                    }
+                }
+            }
+        }
     }
 
     /// Generates every request arriving before `horizon`.
@@ -205,5 +420,189 @@ mod tests {
     #[should_panic(expected = "invalid rate")]
     fn rejects_zero_rate() {
         let _ = ArrivalGen::new(table1::exp1(), 0.0, SimRng::new(5));
+    }
+
+    fn bursty() -> ArrivalProcess {
+        ArrivalProcess::Mmpp {
+            burst_mult: 4.0,
+            calm_mult: 0.25,
+            burst_dwell: Nanos::from_micros(500),
+            calm_dwell: Nanos::from_millis(2),
+        }
+    }
+
+    fn ramp() -> ArrivalProcess {
+        ArrivalProcess::Diurnal {
+            period: Nanos::from_millis(20),
+            low_mult: 0.4,
+            high_mult: 1.6,
+        }
+    }
+
+    #[test]
+    fn poisson_via_with_process_is_byte_identical() {
+        let mut a = ArrivalGen::new(table1::extreme_bimodal(), 2.0e6, SimRng::new(77));
+        let mut b = ArrivalGen::with_process(
+            table1::extreme_bimodal(),
+            2.0e6,
+            ArrivalProcess::Poisson,
+            SimRng::new(77),
+        );
+        for _ in 0..5_000 {
+            let (ra, rb) = (a.next_request(), b.next_request());
+            assert_eq!(ra.arrival, rb.arrival);
+            assert_eq!(ra.service, rb.service);
+        }
+    }
+
+    #[test]
+    fn mmpp_rate_converges_to_stationary_mean() {
+        // The dwell-weighted mean multiplier is renormalized to 1, so a
+        // long horizon must see the configured rate despite 4×/0.25×
+        // swings — satellite property: MMPP empirical rate matches the
+        // stationary mean.
+        let rate = 1.0e6;
+        let horizon = Nanos::from_millis(2_000);
+        let mut gen =
+            ArrivalGen::with_process(table1::exp1(), rate, bursty(), SimRng::new(13));
+        let got = gen.until(horizon).len() as f64;
+        let expected = rate * horizon.as_secs_f64();
+        assert!(
+            (got - expected).abs() / expected < 0.02,
+            "MMPP produced {got} arrivals, stationary mean predicts ~{expected}"
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_converges_to_mean_over_whole_periods() {
+        let rate = 1.0e6;
+        // An integer number of 20 ms periods so the ramp averages out.
+        let horizon = Nanos::from_millis(2_000);
+        let mut gen = ArrivalGen::with_process(table1::exp1(), rate, ramp(), SimRng::new(29));
+        let got = gen.until(horizon).len() as f64;
+        let expected = rate * horizon.as_secs_f64();
+        assert!(
+            (got - expected).abs() / expected < 0.02,
+            "diurnal produced {got} arrivals, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Index of dispersion of 100 µs window counts: ≈1 for Poisson,
+        // well above 1 for a 4×-burst MMPP with sub-ms dwells.
+        let dispersion = |process: ArrivalProcess| {
+            let horizon = Nanos::from_millis(500);
+            let window = Nanos::from_micros(100).as_nanos();
+            let mut gen =
+                ArrivalGen::with_process(table1::exp1(), 1.0e6, process, SimRng::new(41));
+            let mut counts = vec![0f64; (horizon.as_nanos() / window) as usize];
+            for r in gen.until(horizon) {
+                counts[(r.arrival.as_nanos() / window) as usize] += 1.0;
+            }
+            let n = counts.len() as f64;
+            let mean = counts.iter().sum::<f64>() / n;
+            let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / n;
+            var / mean
+        };
+        let poisson = dispersion(ArrivalProcess::Poisson);
+        let mmpp = dispersion(bursty());
+        assert!(
+            (poisson - 1.0).abs() < 0.25,
+            "Poisson dispersion should be ~1, got {poisson:.2}"
+        );
+        assert!(
+            mmpp > 2.0,
+            "MMPP dispersion should be well above 1, got {mmpp:.2}"
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_actually_ramps() {
+        // Arrivals in the crest half-period should clearly outnumber the
+        // trough half-period (multiplier 1.6 vs 0.4).
+        let period = Nanos::from_millis(20).as_nanos();
+        let mut gen =
+            ArrivalGen::with_process(table1::exp1(), 1.0e6, ramp(), SimRng::new(57));
+        let (mut crest, mut trough) = (0u64, 0u64);
+        for r in gen.until(Nanos::from_millis(400)) {
+            // Phase 0.25–0.75 covers the crest of the triangle wave.
+            let phase = (r.arrival.as_nanos() % period) as f64 / period as f64;
+            if (0.25..0.75).contains(&phase) {
+                crest += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(
+            crest as f64 > 1.5 * trough as f64,
+            "crest {crest} should dominate trough {trough}"
+        );
+    }
+
+    #[test]
+    fn service_draws_identical_across_processes() {
+        // Hostile processes reshape *when* requests arrive, never *what*
+        // they are: the class/service stream must be byte-identical so a
+        // bursty run and a Poisson run at the same seed compare the same
+        // jobs.
+        let mut a = ArrivalGen::new(table1::extreme_bimodal(), 1.0e6, SimRng::new(19));
+        let mut b = ArrivalGen::with_process(
+            table1::extreme_bimodal(),
+            1.0e6,
+            bursty(),
+            SimRng::new(19),
+        );
+        let mut c = ArrivalGen::with_process(
+            table1::extreme_bimodal(),
+            1.0e6,
+            ramp(),
+            SimRng::new(19),
+        );
+        for _ in 0..2_000 {
+            let (ra, rb, rc) = (a.next_request(), b.next_request(), c.next_request());
+            assert_eq!(ra.class, rb.class);
+            assert_eq!(ra.service, rb.service);
+            assert_eq!(ra.class, rc.class);
+            assert_eq!(ra.service, rc.service);
+        }
+    }
+
+    #[test]
+    fn hostile_processes_replay_bit_identically() {
+        for process in [bursty(), ramp()] {
+            let mut a =
+                ArrivalGen::with_process(table1::extreme_bimodal(), 1.0e6, process, SimRng::new(7));
+            let mut b =
+                ArrivalGen::with_process(table1::extreme_bimodal(), 1.0e6, process, SimRng::new(7));
+            for _ in 0..5_000 {
+                let (ra, rb) = (a.next_request(), b.next_request());
+                assert_eq!(ra.arrival, rb.arrival);
+                assert_eq!(ra.service, rb.service);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dwell times must be non-zero")]
+    fn mmpp_rejects_zero_dwell() {
+        ArrivalProcess::Mmpp {
+            burst_mult: 2.0,
+            calm_mult: 0.5,
+            burst_dwell: Nanos::ZERO,
+            calm_dwell: Nanos::from_millis(1),
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least")]
+    fn diurnal_rejects_inverted_ramp() {
+        ArrivalProcess::Diurnal {
+            period: Nanos::from_millis(1),
+            low_mult: 2.0,
+            high_mult: 0.5,
+        }
+        .validate();
     }
 }

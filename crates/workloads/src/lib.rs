@@ -8,8 +8,12 @@
 //! * [`table1`] — constructors for every workload in the paper's Table 1:
 //!   Extreme Bimodal, High Bimodal, TPC-C, Exp(1), and the RocksDB-style
 //!   GET/SCAN mixes.
-//! * [`arrivals`] — the open-loop Poisson request generator
-//!   ([`ArrivalGen`]).
+//! * [`arrivals`] — the open-loop request generator ([`ArrivalGen`]) and
+//!   its arrival shapes ([`ArrivalProcess`]): Poisson, bursty MMPP, and
+//!   diurnal ramps.
+//! * [`hostile`] — the named hostile-traffic catalog ([`TrafficPreset`]):
+//!   adversarial workload × arrival-process pairings reachable by name
+//!   from every engine.
 //!
 //! ## Example
 //!
@@ -31,8 +35,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod arrivals;
+pub mod hostile;
 pub mod spec;
 pub mod table1;
 
-pub use arrivals::ArrivalGen;
+pub use arrivals::{ArrivalGen, ArrivalProcess};
+pub use hostile::TrafficPreset;
 pub use spec::{ClassDist, EmpiricalDist, JobClass, Workload};

@@ -21,6 +21,21 @@ pub enum ClassDist {
     /// paper's blind-scheduling stance is designed for: no knob needs
     /// retuning when the measured mix changes.
     Empirical(EmpiricalDist),
+    /// Bounded (truncated) Pareto: the heavy-tailed service class of the
+    /// hostile-traffic catalog. Density `∝ x^(-α-1)` on `[scale, cap]`,
+    /// so a tail index `α` near 1 makes a tiny fraction of jobs dominate
+    /// total work — the regime where PS beats FCFS hardest. The bound
+    /// keeps the mean finite and horizons tractable; below the cap the
+    /// survival function matches an unbounded Pareto exactly.
+    Pareto {
+        /// Minimum (and modal) service time; must be ≥ 1 ns.
+        scale: Nanos,
+        /// Tail index `α`; must exceed 1 so the mean is well-behaved
+        /// even far from the cap.
+        alpha: f64,
+        /// Hard upper bound on a draw; must exceed `scale`.
+        cap: Nanos,
+    },
 }
 
 impl ClassDist {
@@ -34,6 +49,17 @@ impl ClassDist {
                 Nanos::from_nanos(rng.exp_nanos(mean.as_nanos() as f64).as_nanos().max(1))
             }
             ClassDist::Empirical(d) => d.sample(rng),
+            ClassDist::Pareto { scale, alpha, cap } => {
+                self.validate();
+                let l = scale.as_nanos() as f64;
+                let h = cap.as_nanos() as f64;
+                // Inverse CDF of the truncated Pareto on [l, h]:
+                // x = l / (1 - u·(1 - (l/h)^α))^(1/α), u ∈ [0, 1).
+                let r_alpha = (l / h).powf(*alpha);
+                let u = rng.f64();
+                let x = l / (1.0 - u * (1.0 - r_alpha)).powf(1.0 / alpha);
+                Nanos::from_nanos_f64(x.min(h)).max(Nanos::from_nanos(1))
+            }
         }
     }
 
@@ -42,6 +68,34 @@ impl ClassDist {
         match self {
             ClassDist::Deterministic(t) | ClassDist::Exponential(t) => t.as_nanos() as f64,
             ClassDist::Empirical(d) => d.mean_nanos(),
+            ClassDist::Pareto { scale, alpha, cap } => {
+                self.validate();
+                let l = scale.as_nanos() as f64;
+                let h = cap.as_nanos() as f64;
+                let r = l / h;
+                // Truncated-Pareto mean: l·(α/(α−1))·(1−r^(α−1))/(1−r^α).
+                l * (alpha / (alpha - 1.0)) * (1.0 - r.powf(alpha - 1.0)) / (1.0 - r.powf(*alpha))
+            }
+        }
+    }
+
+    /// Panics unless the distribution's parameters are valid (currently
+    /// only [`ClassDist::Pareto`] has constraints: `scale ≥ 1 ns`,
+    /// `α > 1`, `cap > scale`).
+    pub fn validate(&self) {
+        if let ClassDist::Pareto { scale, alpha, cap } = self {
+            assert!(
+                !scale.is_zero(),
+                "Pareto scale must be at least 1 ns (zero-length jobs make slowdown undefined)"
+            );
+            assert!(
+                alpha.is_finite() && *alpha > 1.0,
+                "Pareto tail index must exceed 1, got {alpha}"
+            );
+            assert!(
+                cap > scale,
+                "Pareto cap {cap} must exceed its scale {scale}"
+            );
         }
     }
 }
@@ -185,6 +239,7 @@ impl Workload {
             .iter()
             .map(|c| {
                 assert!(c.ratio > 0.0, "class {:?} has non-positive ratio", c.name);
+                c.dist.validate();
                 cum += c.ratio;
                 cum
             })
@@ -350,6 +405,92 @@ mod tests {
             vec![JobClass::new("measured", ClassDist::Empirical(d), 1.0)],
         );
         assert!((wl.mean_service_nanos() - 3_000.0).abs() < 1e-9);
+    }
+
+    fn pareto() -> ClassDist {
+        ClassDist::Pareto {
+            scale: Nanos::from_micros(1),
+            alpha: 1.5,
+            cap: Nanos::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn pareto_mean_matches_formula_and_samples() {
+        let d = pareto();
+        // Truncated-Pareto mean with l=1µs, h=1ms, α=1.5.
+        let (l, h, a) = (1_000.0f64, 1_000_000.0f64, 1.5f64);
+        let r: f64 = l / h;
+        let expect = l * (a / (a - 1.0)) * (1.0 - r.powf(a - 1.0)) / (1.0 - r.powf(a));
+        assert!((d.mean_nanos() - expect).abs() < 1e-9);
+        let mut rng = SimRng::new(8);
+        let n = 400_000;
+        let total: u64 = (0..n).map(|_| d.sample(&mut rng).as_nanos()).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "empirical mean {mean:.1} vs analytic {expect:.1}"
+        );
+    }
+
+    #[test]
+    fn pareto_samples_match_configured_tail_index() {
+        // The survival function of the truncated Pareto at k·scale is
+        // ((1/k)^α − r^α) / (1 − r^α); checking it at two points pins
+        // the *tail index*, not just the mean.
+        let d = pareto();
+        let mut rng = SimRng::new(21);
+        let n = 400_000usize;
+        let samples: Vec<u64> = (0..n).map(|_| d.sample(&mut rng).as_nanos()).collect();
+        let r_alpha = (1_000.0f64 / 1_000_000.0).powf(1.5);
+        for k in [10.0f64, 50.0] {
+            let expect = ((1.0 / k).powf(1.5) - r_alpha) / (1.0 - r_alpha);
+            let got = samples.iter().filter(|&&s| s as f64 > k * 1_000.0).count() as f64
+                / n as f64;
+            assert!(
+                (got - expect).abs() / expect < 0.15,
+                "P(X > {k}·scale) = {got:.5}, α=1.5 predicts {expect:.5}"
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_respects_bounds() {
+        let d = pareto();
+        let mut rng = SimRng::new(5);
+        for _ in 0..100_000 {
+            let s = d.sample(&mut rng);
+            assert!(s >= Nanos::from_micros(1) && s <= Nanos::from_millis(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tail index must exceed 1")]
+    fn pareto_rejects_infinite_mean_regime() {
+        let wl = Workload::new(
+            "bad",
+            vec![JobClass::new(
+                "x",
+                ClassDist::Pareto {
+                    scale: Nanos::from_micros(1),
+                    alpha: 1.0,
+                    cap: Nanos::from_millis(1),
+                },
+                1.0,
+            )],
+        );
+        drop(wl);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn pareto_rejects_cap_below_scale() {
+        ClassDist::Pareto {
+            scale: Nanos::from_micros(10),
+            alpha: 1.5,
+            cap: Nanos::from_micros(10),
+        }
+        .validate();
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use tq_core::Nanos;
 use tq_harness::{run_to_record, RtEngine, RunRecord, RunSpec, SimEngine};
 use tq_runtime::ServerConfig;
-use tq_workloads::table1;
+use tq_workloads::{table1, ArrivalProcess};
 
 fn print_record(r: &RunRecord) {
     println!(
@@ -58,6 +58,7 @@ fn main() {
         // oversubscribed laptop/CI host keeps up with the pacer.
         rate_rps: workload.rate_for_load(workers, 0.2),
         workload,
+        process: ArrivalProcess::Poisson,
         horizon: Nanos::from_millis(50),
         seed: 42,
     };

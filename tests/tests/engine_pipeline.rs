@@ -18,13 +18,14 @@ use tq_core::Nanos;
 use tq_harness::{json, run_to_record, Engine, RtEngine, RunSpec, SimEngine};
 use tq_queueing::{presets, run_once};
 use tq_runtime::ServerConfig;
-use tq_workloads::table1;
+use tq_workloads::{table1, ArrivalProcess};
 
 fn spec(workers: usize, load: f64, horizon_ms: u64, seed: u64) -> RunSpec {
     let workload = table1::extreme_bimodal();
     let rate_rps = workload.rate_for_load(workers, load);
     RunSpec {
         workload,
+        process: ArrivalProcess::Poisson,
         rate_rps,
         horizon: Nanos::from_millis(horizon_ms),
         seed,
@@ -49,6 +50,7 @@ fn sim_engine_matches_run_once() {
             &mut engine,
             &RunSpec {
                 workload,
+                process: ArrivalProcess::Poisson,
                 rate_rps: rate,
                 horizon: duration,
                 seed,

@@ -23,7 +23,7 @@ use tq_core::Nanos;
 use tq_harness::{Engine, RtEngine, RunOutput, RunSpec, SimEngine};
 use tq_queueing::presets;
 use tq_runtime::ServerConfig;
-use tq_workloads::{ClassDist, JobClass, Workload};
+use tq_workloads::{ArrivalProcess, ClassDist, JobClass, Workload};
 
 const SEED: u64 = 0xFA17;
 
@@ -60,6 +60,7 @@ fn spec_for(scenario: FaultScenario, horizon: Nanos) -> RunSpec {
     match scenario {
         FaultScenario::BurstArrivals => RunSpec {
             workload: mix(),
+            process: ArrivalProcess::Poisson,
             // ~1 job/ns over a 300 ns window: ~300 requests landing
             // essentially at once, maximum ring backpressure.
             rate_rps: 1e9,
@@ -68,12 +69,14 @@ fn spec_for(scenario: FaultScenario, horizon: Nanos) -> RunSpec {
         },
         FaultScenario::ZeroService => RunSpec {
             workload: zero_service_mix(),
+            process: ArrivalProcess::Poisson,
             rate_rps: 200_000.0,
             horizon,
             seed: SEED,
         },
         _ => RunSpec {
             workload: mix(),
+            process: ArrivalProcess::Poisson,
             rate_rps: 200_000.0,
             horizon,
             seed: SEED,

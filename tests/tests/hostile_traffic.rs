@@ -1,0 +1,158 @@
+//! The hostile-traffic matrix: every catalog preset, fixed and adaptive
+//! quantum, through the audited engine pipeline.
+//!
+//! Three contracts:
+//!
+//! 1. **Matrix hygiene** — every preset × {fixed, adaptive} run conserves
+//!    jobs, passes the invariant audit, and reports (or omits) a
+//!    controller block exactly when a controller was configured.
+//! 2. **Overload degrades, it does not diverge** — under sustained
+//!    λ > µ the tail is bounded by the accumulated backlog, not runaway.
+//! 3. **PDES determinism with the controller on** — the adaptive
+//!    controller is part of the bit-identical rack contract: same spec +
+//!    seed → identical completions *and* identical per-server controller
+//!    reports at every thread count.
+
+use tq_core::Nanos;
+use tq_harness::{run_to_record, RunSpec, SimEngine};
+use tq_queueing::presets;
+use tq_queueing::rack::{simulate_rack, RackSpec};
+use tq_sim::SimRng;
+use tq_workloads::{hostile, ArrivalGen};
+
+const WORKERS: usize = 4;
+const QUANTUM: Nanos = Nanos::from_micros(2);
+
+fn spec_for(preset: &hostile::TrafficPreset, horizon: Nanos) -> RunSpec {
+    RunSpec {
+        workload: preset.workload.clone(),
+        process: preset.process,
+        rate_rps: preset.workload.rate_for_load(WORKERS, preset.load),
+        horizon,
+        seed: 0xBEEF,
+    }
+}
+
+/// Contract 1: the full matrix is conservation- and audit-clean, and the
+/// controller block appears exactly when the controller is configured.
+#[test]
+fn hostile_matrix_is_audit_clean_fixed_and_adaptive() {
+    let horizon = Nanos::from_millis(3);
+    for preset in hostile::all() {
+        for adaptive in [false, true] {
+            let cfg = if adaptive {
+                presets::tq_adaptive(WORKERS, QUANTUM)
+            } else {
+                presets::tq(WORKERS, QUANTUM)
+            };
+            let mut engine = SimEngine::new(cfg).with_audit(true);
+            let rec = run_to_record(&mut engine, &spec_for(&preset, horizon));
+            let tag = format!("{} (adaptive={adaptive})", preset.name);
+            assert!(rec.conserved(), "{tag}: lost jobs");
+            assert!(rec.submitted > 1_000, "{tag}: degenerate run");
+            let audit = rec.audit.as_ref().expect("auditing was on");
+            assert!(audit.is_clean(), "{tag}: audit violations: {audit}");
+            assert_eq!(rec.process, preset.process.name(), "{tag}");
+            if adaptive {
+                let ctl = rec
+                    .controller
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{tag}: controller report missing"));
+                assert!(ctl.stats.windows > 0, "{tag}: controller never advanced");
+                assert!(
+                    ctl.final_quantum >= Nanos::from_micros(1)
+                        && ctl.final_quantum <= Nanos::from_micros(50),
+                    "{tag}: final quantum {:?} escaped the clamp range",
+                    ctl.final_quantum
+                );
+            } else {
+                assert!(rec.controller.is_none(), "{tag}: phantom controller report");
+            }
+        }
+    }
+}
+
+/// Contract 2: sustained overload (λ = 1.4 µ) keeps a bounded, honest
+/// tail. The worst any job can wait is the backlog the run accumulated —
+/// excess load × horizon — so the short-class p999 sojourn must stay
+/// under the horizon itself, and the overall slowdown must stay finite.
+#[test]
+fn overload_tail_degrades_instead_of_diverging() {
+    let preset = hostile::by_name("overload").unwrap();
+    let horizon = Nanos::from_millis(4);
+    for adaptive in [false, true] {
+        let cfg = if adaptive {
+            presets::tq_adaptive(WORKERS, QUANTUM)
+        } else {
+            presets::tq(WORKERS, QUANTUM)
+        };
+        let mut engine = SimEngine::new(cfg).with_audit(true);
+        let rec = run_to_record(&mut engine, &spec_for(&preset, horizon));
+        assert!(rec.conserved(), "overload lost jobs (adaptive={adaptive})");
+        // Backlog bound: 0.4 excess load over a 4 ms horizon can queue at
+        // most ~1.6 ms of work; the p999 sojourn must sit under the
+        // horizon, far below divergence.
+        let short_p999 = rec.classes_sojourn[0].p999;
+        assert!(
+            short_p999 < horizon,
+            "short-class p999 {short_p999:?} exceeds the backlog bound (adaptive={adaptive})"
+        );
+        assert!(
+            rec.overall_slowdown_p999.is_finite() && rec.overall_slowdown_p999 > 1.0,
+            "implausible overload p999 slowdown {} (adaptive={adaptive})",
+            rec.overall_slowdown_p999
+        );
+    }
+}
+
+/// Contract 3: the sim-side controller is inside the PDES determinism
+/// boundary — completions *and* per-server controller reports are
+/// bit-identical at every thread count, under hostile arrivals.
+#[test]
+fn controller_is_bit_identical_across_pdes_thread_counts() {
+    let horizon = Nanos::from_millis(3);
+    for preset_name in ["bursty", "heavy_tail", "diurnal"] {
+        let preset = hostile::by_name(preset_name).unwrap();
+        let n_servers = 3;
+        let spec = RackSpec::new(presets::tq_adaptive(WORKERS, QUANTUM), n_servers);
+        let rate =
+            preset.workload.rate_for_load(WORKERS, preset.load) * n_servers as f64;
+        let gen = ArrivalGen::with_process(
+            preset.workload.clone(),
+            rate,
+            preset.process,
+            SimRng::new(7),
+        );
+
+        let (base, base_stats) = simulate_rack(&spec, gen.clone(), horizon, 7, 1);
+        assert_eq!(
+            base.len() as u64,
+            base_stats.submitted,
+            "{preset_name}: rack lost jobs"
+        );
+        for s in &base_stats.per_server {
+            let ctl = s
+                .controller
+                .as_ref()
+                .unwrap_or_else(|| panic!("{preset_name}: shard missing controller"));
+            assert!(ctl.stats.windows > 0, "{preset_name}: controller idle");
+        }
+        for threads in [2usize, 4, 8] {
+            let (run, stats) = simulate_rack(&spec, gen.clone(), horizon, 7, threads);
+            assert_eq!(run, base, "{preset_name}: completions diverged at {threads} threads");
+            assert_eq!(stats.windows, base_stats.windows, "{preset_name}");
+            assert_eq!(stats.messages, base_stats.messages, "{preset_name}");
+            for (i, (a, b)) in stats
+                .per_server
+                .iter()
+                .zip(&base_stats.per_server)
+                .enumerate()
+            {
+                assert_eq!(
+                    a.controller, b.controller,
+                    "{preset_name}: server {i} controller diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}

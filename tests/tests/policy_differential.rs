@@ -23,7 +23,7 @@ use tq_harness::{json, run_to_record, RackEngine, RtEngine, RunSpec, SimEngine};
 use tq_queueing::rack::{simulate_rack_into, RackPolicy, RackSpec};
 use tq_queueing::{presets, reference, SystemConfig};
 use tq_sim::SimRng;
-use tq_workloads::{table1, ArrivalGen};
+use tq_workloads::{table1, ArrivalGen, ArrivalProcess};
 
 const HORIZON: Nanos = Nanos::from_millis(1);
 const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 42];
@@ -174,6 +174,7 @@ fn new_policies_run_in_sim_rack_and_rt_with_audited_conservation() {
         let preset = presets::by_name(name, 2, Nanos::from_micros(5)).expect("preset");
         let spec = RunSpec {
             workload: wl.clone(),
+            process: ArrivalProcess::Poisson,
             rate_rps: wl.rate_for_load(2, 0.4),
             horizon: Nanos::from_millis(4),
             seed: 11,

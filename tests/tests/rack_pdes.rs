@@ -21,7 +21,7 @@ use tq_harness::{run_to_record, RackEngine, RunSpec};
 use tq_queueing::rack::{simulate_rack, MembershipChange, RackPolicy, RackSpec};
 use tq_queueing::{presets, SystemConfig};
 use tq_sim::SimRng;
-use tq_workloads::{table1, ArrivalGen};
+use tq_workloads::{table1, ArrivalGen, ArrivalProcess};
 
 const HORIZON: Nanos = Nanos::from_millis(2);
 
@@ -155,6 +155,7 @@ fn audited_rack_engine_run_is_clean() {
     let run = RunSpec {
         rate_rps: wl.rate_for_load(4, 0.6) * 3.0,
         workload: wl,
+        process: ArrivalProcess::Poisson,
         horizon: Nanos::from_millis(3),
         seed: 42,
     };
