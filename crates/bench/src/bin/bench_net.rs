@@ -1,8 +1,9 @@
 //! Socket front-end throughput baseline: per-datagram syscalls vs the
-//! batched `recvmmsg`/`sendmmsg` transport, end to end over loopback.
+//! batched `recvmmsg`/`sendmmsg` transport vs the completion-driven
+//! io_uring transport, end to end over loopback.
 //!
 //! ```text
-//! cargo run --release -p tq-bench --bin bench_net -- --throughput  # both arms → BENCH_net.json
+//! cargo run --release -p tq-bench --bin bench_net -- --throughput  # all arms → BENCH_net.json
 //! cargo run --release -p tq-bench --bin bench_net -- --check       # perf gate vs committed file
 //! ```
 //!
@@ -19,16 +20,28 @@
 //! heap `HashMap` per in-flight job, and one `send_to` syscall per
 //! completion — with the client likewise pinned to one frame per
 //! syscall. The `batched` arm is the shipped [`serve`] loop over the
-//! `recvmmsg`/`sendmmsg` transport.
+//! `recvmmsg`/`sendmmsg` transport. The `io_uring` arm runs the same
+//! serve loop over `IoUringTransport` (multishot provided-buffer
+//! receive with a registered fixed file on capable kernels) behind the
+//! *same* mmsg client as the batched arm — the client is held constant
+//! so the delta isolates the server-side transport swap — and exists
+//! only where the startup capability probe validates it; the probe
+//! result is printed either way, so a skipped arm is visible in logs,
+//! never silently green.
 //!
-//! `--throughput` measures both arms (best of trials, criterion-style
+//! `--throughput` measures every arm (best of trials, criterion-style
 //! minimum) and writes `BENCH_net.json` (schema `tq-bench-net/v1`) at
-//! the repo root. `--check` re-measures only the batched arm and exits
-//! non-zero if ns/request regressed past [`NET_CHECK_TOLERANCE`] against
-//! the committed baseline; it never rewrites the file. As with
-//! `bench_rt`, the tolerance is generous because CI hosts are shared:
-//! the gate catches a lost batch path (e.g. a reintroduced per-datagram
-//! send loop), not percent-level drift.
+//! the repo root; on io_uring-capable hosts it refuses to write a
+//! baseline in which the io_uring arm does not beat the batched arm
+//! (floor [`URING_BASELINE_FLOOR`], recorded in the file). `--check`
+//! re-measures the batched arm — and, where the probe allows, the
+//! io_uring arm — and exits non-zero if ns/request regressed past
+//! [`NET_CHECK_TOLERANCE`] against the committed baseline, or if the
+//! io_uring arm fell below [`URING_CHECK_FLOOR`] of the batched arm
+//! measured in the same run; it never rewrites the file. As with
+//! `bench_rt`, the tolerances are generous because CI hosts are shared:
+//! the gates catch a lost batch/completion path (e.g. a reintroduced
+//! per-datagram send loop), not percent-level drift.
 //!
 //! Every trial is audited end to end (`TQ_AUDIT=0` disables): client
 //! conservation (every request answered exactly once), the server's
@@ -51,13 +64,42 @@ use tq_runtime::net::{
     ServeOutcome,
 };
 use tq_runtime::transport::{set_socket_buffers, Frame, Transport, UdpTransport, MAX_BATCH};
+use tq_runtime::uring::{self, IoUringTransport, UringConfig, UringMode};
 use tq_runtime::{ServerConfig, SpinJob, TinyQuanta, TscClock};
 
-/// `--check` fails when the batched arm's ns/request rises above
+/// `--check` fails when a gated arm's ns/request rises above
 /// `committed / NET_CHECK_TOLERANCE` (a >2.5x regression). Same
 /// rationale as `bench_rt`'s gate: shared CI hosts make wall time noisy;
 /// the gate exists to catch a lost batch path, not drift.
 const NET_CHECK_TOLERANCE: f64 = 0.4;
+
+/// `--throughput` refuses to write a baseline in which the io_uring arm
+/// is slower than the batched arm: the committed file must always show
+/// the completion-driven path winning on the host that produced it.
+const URING_BASELINE_FLOOR: f64 = 1.0;
+
+/// `--check`'s same-run relative floor: the io_uring arm must stay
+/// within this fraction of the batched arm's speed (a lost completion
+/// path shows up as a multiple, not a percent).
+const URING_CHECK_FLOOR: f64 = 0.8;
+
+/// The measurable arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Arm {
+    PerDatagram,
+    Batched,
+    IoUring,
+}
+
+impl Arm {
+    fn name(self) -> &'static str {
+        match self {
+            Arm::PerDatagram => "per_datagram",
+            Arm::Batched => "batched",
+            Arm::IoUring => "io_uring",
+        }
+    }
+}
 
 fn audit_enabled() -> bool {
     std::env::var("TQ_AUDIT").map_or(true, |v| v != "0")
@@ -134,6 +176,47 @@ fn make_transport(socket: UdpSocket, batched: bool) -> UdpTransport {
     .expect("transport")
 }
 
+/// The client-side transport for an arm: one frame per syscall for
+/// `per_datagram`, mmsg batching for everything else. The `io_uring`
+/// arm deliberately reuses the batched client — the client is the load
+/// generator, not the system under test, and holding it constant makes
+/// the batched→io_uring delta attribute entirely to the server-side
+/// transport swap. (The connected io_uring client tiers are exercised
+/// by the conformance suite and `tq-loadgen`, not gated here.)
+fn client_transport(arm: Arm) -> Box<dyn Transport + Send> {
+    let socket = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+    match arm {
+        Arm::PerDatagram => Box::new(make_transport(socket, false)),
+        Arm::Batched | Arm::IoUring => Box::new(make_transport(socket, true)),
+    }
+}
+
+/// The server-side transport for an arm (the `per_datagram` arm never
+/// gets here — it runs [`serve_legacy`] on the raw socket).
+fn server_transport(arm: Arm, socket: UdpSocket, net_config: &NetConfig) -> Box<dyn Transport + Send> {
+    set_socket_buffers(&socket, 1 << 20).expect("socket buffers");
+    match arm {
+        Arm::PerDatagram => unreachable!("per_datagram runs serve_legacy"),
+        Arm::Batched => Box::new(UdpTransport::batched(socket).expect("transport")),
+        Arm::IoUring => {
+            // Same sizing rule as `net::server_transport`: armed receive
+            // depth covers the admission bound plus one burst of slack.
+            let pool = net_config.max_in_flight.saturating_add(MAX_BATCH).min(1024);
+            Box::new(
+                IoUringTransport::server_with(
+                    socket,
+                    UringConfig {
+                        mode: UringMode::Auto,
+                        recv_pool: pool,
+                        send_pool: pool,
+                    },
+                )
+                .expect("uring server"),
+            )
+        }
+    }
+}
+
 /// The pre-PR serving loop, verbatim: a blocking socket with a 1 ms read
 /// timeout (so every datagram pays a receiver wakeup), one `recv_from`
 /// syscall and one `submit()` — with its own ledger snapshot — per
@@ -203,7 +286,7 @@ fn serve_legacy(
 /// wall time and both sides' counters. Panics on loss, stall, or audit
 /// violation — a throughput baseline over loopback must conserve.
 fn run_trial(
-    batched: bool,
+    arm: Arm,
     n: u64,
     window: usize,
     workers: usize,
@@ -232,17 +315,17 @@ fn run_trial(
             ..NetConfig::default()
         };
         std::thread::spawn(move || {
-            if batched {
-                let mut t = make_transport(srv_socket, true);
-                serve(server, &mut t, &stop, &net_config)
-            } else {
+            if arm == Arm::PerDatagram {
                 set_socket_buffers(&srv_socket, 1 << 20).expect("socket buffers");
                 serve_legacy(server, &srv_socket, &stop)
+            } else {
+                let mut t = server_transport(arm, srv_socket, &net_config);
+                serve(server, &mut t, &stop, &net_config)
             }
         })
     };
 
-    let mut transport = make_transport(UdpSocket::bind("127.0.0.1:0").expect("bind client"), batched);
+    let mut transport = client_transport(arm);
     let mut rx = vec![Frame::empty(); transport.max_batch()];
     let mut tx: Vec<Frame> = Vec::with_capacity(MAX_BATCH);
     let mut next = 0u64; // next tag to send
@@ -297,7 +380,7 @@ fn run_trial(
 /// Best (lowest ns/request) of `trials` floods for one arm.
 #[allow(clippy::too_many_arguments)]
 fn measure(
-    batched: bool,
+    arm: Arm,
     n: u64,
     window: usize,
     workers: usize,
@@ -309,9 +392,9 @@ fn measure(
     let mut best: Option<NetMeasure> = None;
     for _ in 0..trials.max(1) {
         let (wall_nanos, send_calls, recv_calls, outcome) =
-            run_trial(batched, n, window, workers, audit, seed, clock);
+            run_trial(arm, n, window, workers, audit, seed, clock);
         let m = NetMeasure {
-            arm: if batched { "batched" } else { "per_datagram" },
+            arm: arm.name(),
             requests: n,
             window,
             trials: trials.max(1),
@@ -355,21 +438,49 @@ fn baseline_ns_per_request(json: &str, arm: &str) -> Option<f64> {
 
 fn run_throughput(n: u64, window: usize, workers: usize, audit: bool, seed: u64) -> ! {
     let trials = 3;
+    let caps = uring::probe();
     println!(
         "bench_net (throughput): {workers} workers, {n} requests/trial, window {window}, \
          best of {trials}, seed {seed}, audit {}",
         if audit { "on" } else { "off" }
     );
+    println!("capability probe: {}", caps.summary());
     println!();
     let clock = TscClock::calibrated();
-    let per_datagram = measure(false, n, window, workers, trials, audit, seed, &clock);
+    let per_datagram = measure(Arm::PerDatagram, n, window, workers, trials, audit, seed, &clock);
     print_measure(&per_datagram);
-    let batched = measure(true, n, window, workers, trials, audit, seed, &clock);
+    let batched = measure(Arm::Batched, n, window, workers, trials, audit, seed, &clock);
     print_measure(&batched);
+    let io_uring = if caps.available {
+        let m = measure(Arm::IoUring, n, window, workers, trials, audit, seed, &clock);
+        print_measure(&m);
+        Some(m)
+    } else {
+        println!("    io_uring: SKIPPED — {}", caps.reason);
+        None
+    };
     let speedup = per_datagram.ns_per_request() / batched.ns_per_request();
     println!();
     println!("socket speedup (per-datagram / batched ns/request): {speedup:.2}x");
+    let uring_speedup = io_uring.as_ref().map(|m| {
+        let s = batched.ns_per_request() / m.ns_per_request();
+        println!("io_uring speedup (batched / io_uring ns/request): {s:.2}x");
+        s
+    });
+    if let Some(s) = uring_speedup {
+        assert!(
+            s >= URING_BASELINE_FLOOR,
+            "refusing to commit a baseline where io_uring ({:.1} ns/request) does not beat \
+             batched ({:.1} ns/request): {s:.2}x < {URING_BASELINE_FLOOR:.1}x floor",
+            io_uring.as_ref().unwrap().ns_per_request(),
+            batched.ns_per_request(),
+        );
+    }
 
+    let mut arms = vec![per_datagram.json(), batched.json()];
+    if let Some(m) = &io_uring {
+        arms.push(m.json());
+    }
     let doc = format!(
         concat!(
             "{{\n",
@@ -381,8 +492,11 @@ fn run_throughput(n: u64, window: usize, workers: usize, audit: bool, seed: u64)
             "  \"audit\": {},\n",
             "  \"host_cores\": {},\n",
             "  \"quick\": {},\n",
-            "  \"arms\": [\n    {},\n    {}\n  ],\n",
-            "  \"speedup_ns_per_request\": {:.2}\n",
+            "  \"io_uring_probe\": \"{}\",\n",
+            "  \"arms\": [\n    {}\n  ],\n",
+            "  \"speedup_ns_per_request\": {:.2},\n",
+            "  \"io_uring_speedup_vs_batched\": {},\n",
+            "  \"io_uring_gate_floor_vs_batched\": {:.1}\n",
             "}}\n"
         ),
         workers,
@@ -392,9 +506,11 @@ fn run_throughput(n: u64, window: usize, workers: usize, audit: bool, seed: u64)
         audit,
         tq_bench::host_cores(),
         n < 48_000, // reduced flood via TQ_NET_REQUESTS: not a full baseline
-        per_datagram.json(),
-        batched.json(),
+        caps.summary(),
+        arms.join(",\n    "),
         speedup,
+        uring_speedup.map_or("null".to_string(), |s| format!("{s:.2}")),
+        URING_BASELINE_FLOOR,
     );
     std::fs::write("BENCH_net.json", &doc).expect("write BENCH_net.json");
     println!("wrote BENCH_net.json");
@@ -403,25 +519,28 @@ fn run_throughput(n: u64, window: usize, workers: usize, audit: bool, seed: u64)
 
 fn run_check(n: u64, window: usize, workers: usize, audit: bool, seed: u64) -> ! {
     let trials = 2;
+    let caps = uring::probe();
     println!(
         "bench_net (check): {workers} workers, {n} requests/trial, window {window}, \
          best of {trials}, seed {seed}, audit {}",
         if audit { "on" } else { "off" }
     );
+    println!("capability probe: {}", caps.summary());
     println!();
     let committed = std::fs::read_to_string("BENCH_net.json")
         .expect("--check needs a committed BENCH_net.json");
     let baseline = baseline_ns_per_request(&committed, "batched")
         .expect("BENCH_net.json has no batched ns_per_request");
     let clock = TscClock::calibrated();
-    let batched = measure(true, n, window, workers, trials, audit, seed, &clock);
+    let batched = measure(Arm::Batched, n, window, workers, trials, audit, seed, &clock);
     print_measure(&batched);
     let current = batched.ns_per_request();
+    let mut failed = false;
     // ns/request is a cost: a ratio below 1.0 means slower than committed.
     let ratio = baseline / current;
     println!();
     println!(
-        "perf gate: {current:.1} ns/request vs committed {baseline:.1} ns/request — \
+        "perf gate (batched): {current:.1} ns/request vs committed {baseline:.1} ns/request — \
          {:.0}% (floor {:.0}%)",
         ratio * 100.0,
         NET_CHECK_TOLERANCE * 100.0,
@@ -431,6 +550,50 @@ fn run_check(n: u64, window: usize, workers: usize, audit: bool, seed: u64) -> !
             "PERF REGRESSION: socket ns/request rose to {:.1}x the committed baseline",
             current / baseline
         );
+        failed = true;
+    }
+    if caps.available {
+        let io_uring = measure(Arm::IoUring, n, window, workers, trials, audit, seed, &clock);
+        print_measure(&io_uring);
+        let uring_current = io_uring.ns_per_request();
+        // Absolute gate against the committed io_uring arm (if the file
+        // predates the arm, the same-run relative gate still applies).
+        if let Some(uring_baseline) = baseline_ns_per_request(&committed, "io_uring") {
+            let uring_ratio = uring_baseline / uring_current;
+            println!(
+                "perf gate (io_uring): {uring_current:.1} ns/request vs committed \
+                 {uring_baseline:.1} ns/request — {:.0}% (floor {:.0}%)",
+                uring_ratio * 100.0,
+                NET_CHECK_TOLERANCE * 100.0,
+            );
+            if uring_ratio < NET_CHECK_TOLERANCE {
+                eprintln!(
+                    "PERF REGRESSION: io_uring ns/request rose to {:.1}x the committed baseline",
+                    uring_current / uring_baseline
+                );
+                failed = true;
+            }
+        }
+        // Same-run relative floor: catches a lost completion path even
+        // when both arms drift together with the host.
+        let rel = current / uring_current;
+        println!(
+            "perf gate (io_uring vs batched, same run): {:.2}x (floor {URING_CHECK_FLOOR:.1}x)",
+            rel
+        );
+        if rel < URING_CHECK_FLOOR {
+            eprintln!(
+                "PERF REGRESSION: io_uring ({uring_current:.1} ns/request) fell below \
+                 {URING_CHECK_FLOOR:.1}x of batched ({current:.1} ns/request) in the same run"
+            );
+            failed = true;
+        }
+    } else {
+        // Loud skip: the gate must never look green because the probe
+        // quietly said no.
+        println!("PERF GATE SKIPPED (io_uring arm): {}", caps.reason);
+    }
+    if failed {
         std::process::exit(1);
     }
     println!("perf gate passed");

@@ -34,11 +34,24 @@
 //! over loopback at smoke rates every datagram must survive, which is
 //! what the CI net smoke job gates on.
 //!
-//! Knobs: `--requests`, `--rate` (rps), `--workload kv|spin|<preset>`
-//! (a hostile-traffic preset name from `tq_workloads::hostile` runs its
+//! Multi-client fan-in (`--clients N`) splits the offered load across
+//! `N` concurrent paced clients, each on its own socket with its own
+//! arrival schedule (seed `base ^ idx`) at `rate / N` — the server sees
+//! genuinely interleaved flows, which is what exercises the batched and
+//! io_uring receive paths' frame demultiplexing. The merged record's
+//! `net` block then carries per-client round-trip tails and the
+//! cross-client p99.9 spread (max − min), so fan-in unfairness is one
+//! field, not a re-run.
+//!
+//! Knobs: `--requests` (total across clients), `--rate` (rps, total),
+//! `--clients N` (default 1), `--workload kv|spin|<preset>` (a
+//! hostile-traffic preset name from `tq_workloads::hostile` runs its
 //! workload *and* arrival process as spin jobs), `--workers`,
-//! `--transport mmsg|syscall` (both sides), `--out`;
-//! `TQ_SEED`, `TQ_AUDIT`, `TQ_RT_WORKERS` as everywhere else.
+//! `--transport mmsg|syscall|io_uring` (both sides; `io_uring` uses the
+//! connected fixed-buffer client tier against an io_uring server and
+//! skips loudly — exit 0 with the probe's reason — where the kernel
+//! lacks it), `--out`; `TQ_SEED`, `TQ_AUDIT`, `TQ_RT_WORKERS` as
+//! everywhere else.
 
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -47,10 +60,11 @@ use std::time::{Duration, Instant};
 use tq_audit::InvariantAuditor;
 use tq_core::job::Completion;
 use tq_core::Nanos;
-use tq_harness::{json, NetMeta, Pacer, PolicyMeta, RtEngine, RunRecord, RunSpec};
+use tq_harness::{json, ClientRtt, NetMeta, Pacer, PolicyMeta, RtEngine, RunRecord, RunSpec};
 use tq_runtime::kv::{kv_factory, kv_store};
 use tq_runtime::net::{decode_response, encode_request, serve, NetConfig, ServeOutcome};
-use tq_runtime::transport::{set_socket_buffers, Frame, Transport, UdpTransport};
+use tq_runtime::transport::{set_socket_buffers, Frame, Transport, UdpTransport, MAX_BATCH};
+use tq_runtime::uring::{self, IoUringTransport, UringConfig, UringMode};
 use tq_runtime::{ServerConfig, SpinJob, TinyQuanta, TscClock};
 use tq_sim::TailStats;
 use tq_workloads::{table1, ArrivalProcess};
@@ -66,13 +80,36 @@ enum WorkloadChoice {
     Hostile(&'static str),
 }
 
+/// Which wire both sides ride (`--transport`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TransportChoice {
+    /// One datagram per syscall (`udp:syscall`).
+    Syscall,
+    /// `recvmmsg`/`sendmmsg` batching (`udp:mmsg`).
+    Mmsg,
+    /// io_uring: connected fixed-buffer client tier against an
+    /// io_uring server; requires the capability probe to pass.
+    IoUring,
+}
+
+impl TransportChoice {
+    fn label(self) -> &'static str {
+        match self {
+            TransportChoice::Syscall => "udp:syscall",
+            TransportChoice::Mmsg => "udp:mmsg",
+            TransportChoice::IoUring => "io_uring",
+        }
+    }
+}
+
 #[derive(Clone)]
 struct Args {
     requests: u64,
     rate_rps: f64,
+    clients: usize,
     workload: WorkloadChoice,
     workers: usize,
-    batched: bool,
+    transport: TransportChoice,
     smoke: bool,
     compare: bool,
     connect: Option<SocketAddr>,
@@ -86,9 +123,10 @@ fn parse_args() -> Args {
     let mut args = Args {
         requests: 0, // resolved after --smoke is known
         rate_rps: 0.0,
+        clients: 1,
         workload: WorkloadChoice::Kv,
         workers: 0,
-        batched: true,
+        transport: TransportChoice::Mmsg,
         smoke: false,
         compare: false,
         connect: None,
@@ -150,20 +188,29 @@ fn parse_args() -> Args {
                 };
             }
             "--transport" => {
-                args.batched = match value("--transport").as_str() {
-                    "mmsg" => true,
-                    "syscall" => false,
+                args.transport = match value("--transport").as_str() {
+                    "mmsg" => TransportChoice::Mmsg,
+                    "syscall" => TransportChoice::Syscall,
+                    "io_uring" => TransportChoice::IoUring,
                     v => {
-                        eprintln!("--transport takes mmsg|syscall, got {v:?}");
+                        eprintln!("--transport takes mmsg|syscall|io_uring, got {v:?}");
                         std::process::exit(2);
                     }
                 };
             }
+            "--clients" => {
+                args.clients = value("--clients").parse().unwrap_or(0);
+                if args.clients == 0 {
+                    eprintln!("--clients needs a positive count");
+                    std::process::exit(2);
+                }
+            }
             _ => {
                 eprintln!(
                     "unknown argument {a:?} (supported: --smoke, --compare, --requests N, \
-                     --rate RPS, --workload kv|spin, --workers N, --transport mmsg|syscall, \
-                     --policy NAME, --connect ADDR, --serve ADDR, --serve-secs N, --out PATH)"
+                     --rate RPS, --clients N, --workload kv|spin, --workers N, \
+                     --transport mmsg|syscall|io_uring, --policy NAME, --connect ADDR, \
+                     --serve ADDR, --serve-secs N, --out PATH)"
                 );
                 std::process::exit(2);
             }
@@ -187,6 +234,69 @@ fn audit_enabled() -> bool {
     std::env::var("TQ_AUDIT").map_or(true, |v| v != "0")
 }
 
+/// `--transport io_uring` on a kernel whose probe fails: skip loudly,
+/// exit clean — the CI job passes without pretending the arm ran.
+fn gate_uring_or_skip() {
+    let caps = uring::probe();
+    if !caps.available {
+        println!("SKIPPED (--transport io_uring): {}", caps.reason);
+        std::process::exit(0);
+    }
+}
+
+/// The server-side transport for a choice; io_uring pools are sized as
+/// in `net::server_transport` (admission bound plus a burst of slack).
+fn server_wire(
+    choice: TransportChoice,
+    socket: UdpSocket,
+    net_config: &NetConfig,
+) -> std::io::Result<Box<dyn Transport + Send>> {
+    Ok(match choice {
+        TransportChoice::Syscall => Box::new(UdpTransport::per_datagram(socket)?),
+        TransportChoice::Mmsg => Box::new(UdpTransport::batched(socket)?),
+        TransportChoice::IoUring => {
+            let pool = net_config.max_in_flight.saturating_add(MAX_BATCH).min(1024);
+            Box::new(IoUringTransport::server_with(
+                socket,
+                UringConfig {
+                    mode: UringMode::Auto,
+                    recv_pool: pool,
+                    send_pool: pool,
+                },
+            )?)
+        }
+    })
+}
+
+/// A client transport aimed at `srv_addr`: the io_uring choice uses the
+/// connected tier (registered fixed buffers where the probe allows),
+/// the others their mmsg/syscall counterparts.
+fn client_wire(choice: TransportChoice, srv_addr: SocketAddr) -> Box<dyn Transport + Send> {
+    let socket = UdpSocket::bind("127.0.0.1:0").expect("bind client socket");
+    set_socket_buffers(&socket, 1 << 20).expect("socket buffers");
+    match choice {
+        TransportChoice::Syscall => {
+            Box::new(UdpTransport::per_datagram(socket).expect("client transport"))
+        }
+        TransportChoice::Mmsg => Box::new(UdpTransport::batched(socket).expect("client transport")),
+        TransportChoice::IoUring => {
+            socket.connect(srv_addr).expect("connect client");
+            // Armed receive depth covers an open-loop backlog burst.
+            Box::new(
+                IoUringTransport::connected_with(
+                    socket,
+                    UringConfig {
+                        mode: UringMode::Auto,
+                        recv_pool: 512,
+                        send_pool: 512,
+                    },
+                )
+                .expect("uring client"),
+            )
+        }
+    }
+}
+
 /// Per-response client bookkeeping filled in by the receive path.
 struct ClientState {
     /// Stream-time receive instant per tag (`None` = still outstanding).
@@ -202,8 +312,102 @@ struct ClientState {
     server_sojourn: TailStats,
 }
 
+/// One fan-in client's ledger, tail, and completion stream.
+struct ClientOutcome {
+    sent: u64,
+    responses: u64,
+    lost: u64,
+    unexpected: u64,
+    malformed: u64,
+    rtt: TailStats,
+    server_sojourn: TailStats,
+    /// Client-observed completions on this client's stream clock
+    /// (arrival = actual send instant, finish = receive instant).
+    completions: Vec<Completion>,
+    in_horizon: u64,
+}
+
+/// Paces `schedule` against the wall clock over its own socket,
+/// draining responses while pacing, then drains stragglers. The whole
+/// open-loop client, one call per fan-in client.
+fn run_client(
+    choice: TransportChoice,
+    srv_addr: SocketAddr,
+    clock: TscClock,
+    schedule: &[tq_core::Request],
+    horizon: Nanos,
+    smoke: bool,
+) -> ClientOutcome {
+    let mut transport = client_wire(choice, srv_addr);
+    let mut rx = vec![Frame::empty(); transport.max_batch()];
+    let mut state = ClientState {
+        recv_time: vec![None; schedule.len()],
+        responses: 0,
+        unexpected: 0,
+        malformed: 0,
+        server_sojourn: TailStats::new(),
+    };
+    let mut send_time = vec![Nanos::ZERO; schedule.len()];
+
+    let pacer = Pacer::start(clock.clone());
+    let t0 = pacer.origin();
+    for (i, r) in schedule.iter().enumerate() {
+        pacer.wait_until_with(r.arrival, &mut || {
+            drain_responses(&mut transport, &mut rx, &clock, t0, &mut state);
+        });
+        // Wire tags are schedule positions, local to this client's
+        // socket — responses route back by source address.
+        let req = encode_request(r.class.0, r.service, i as u64);
+        transport
+            .send_batch(&[Frame::new(&req, srv_addr)])
+            .expect("client send");
+        send_time[i] = clock.wall_nanos().saturating_sub(t0);
+    }
+    let sent = schedule.len() as u64;
+
+    // Drain stragglers: UDP promises nothing, so give up after a
+    // deadline and account the rest as lost.
+    let drain_deadline = Instant::now() + Duration::from_secs(if smoke { 5 } else { 10 });
+    while state.responses < sent && Instant::now() < drain_deadline {
+        drain_responses(&mut transport, &mut rx, &clock, t0, &mut state);
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    let lost = sent - state.responses;
+
+    let mut rtt = TailStats::new();
+    let mut completions: Vec<Completion> = Vec::with_capacity(state.responses as usize);
+    let mut in_horizon = 0u64;
+    for (i, r) in schedule.iter().enumerate() {
+        if let Some(finish) = state.recv_time[i] {
+            rtt.record(finish.saturating_sub(send_time[i]).as_nanos());
+            in_horizon += u64::from(finish <= horizon);
+            completions.push(Completion {
+                id: r.id,
+                class: r.class,
+                // Sojourn here = the client-observed round trip: the
+                // clock starts at the actual send instant (open loop:
+                // late sends measure the trip, not the pacing debt).
+                arrival: send_time[i],
+                service: r.service,
+                finish,
+            });
+        }
+    }
+    ClientOutcome {
+        sent,
+        responses: state.responses,
+        lost,
+        unexpected: state.unexpected,
+        malformed: state.malformed,
+        rtt,
+        server_sojourn: state.server_sojourn,
+        completions,
+        in_horizon,
+    }
+}
+
 /// Drains every response currently readable, stamping receive times.
-fn drain_responses<T: Transport>(
+fn drain_responses<T: Transport + ?Sized>(
     transport: &mut T,
     rx: &mut [Frame],
     clock: &TscClock,
@@ -281,12 +485,7 @@ fn run_server(args: &Args, config: ServerConfig, bind: SocketAddr) {
         config.discipline,
         config.workers,
     );
-    let mut t = if args.batched {
-        UdpTransport::batched(socket)
-    } else {
-        UdpTransport::per_datagram(socket)
-    }
-    .expect("serve transport");
+    let mut t = server_wire(args.transport, socket, &net_config).expect("serve transport");
     let outcome = serve(server, &mut t, &stop, &net_config).expect("serve ok");
     println!(
         "server: received {}  responded {}  malformed {}  shed {}",
@@ -325,6 +524,9 @@ fn main() {
         c.audit = audit;
         c
     };
+    if args.transport == TransportChoice::IoUring {
+        gate_uring_or_skip();
+    }
     if let Some(bind) = args.serve {
         run_server(&args, server_config, bind);
         return;
@@ -345,11 +547,27 @@ fn main() {
         horizon,
         seed,
     };
-    let schedule = spec.arrivals().until(horizon);
-    let sent_target = schedule.len() as u64;
-    let transport_label = if args.batched { "udp:mmsg" } else { "udp:syscall" };
+    // Fan-in: client `i` draws its own schedule from `seed ^ i` at an
+    // equal share of the offered rate, so the flows are independent
+    // but the whole run stays reproducible from one seed.
+    let n_clients = args.clients;
+    let schedules: Vec<Vec<tq_core::Request>> = (0..n_clients)
+        .map(|i| {
+            RunSpec {
+                workload: workload.clone(),
+                process,
+                rate_rps: args.rate_rps / n_clients as f64,
+                horizon,
+                seed: seed ^ i as u64,
+            }
+            .arrivals()
+            .until(horizon)
+        })
+        .collect();
+    let sent_target: u64 = schedules.iter().map(|s| s.len() as u64).sum();
+    let transport_label = args.transport.label();
     println!(
-        "tq-loadgen ({}): {} requests at {:.0} rps over {} ({} workload, {} workers, seed {}, audit {})",
+        "tq-loadgen ({}): {} requests at {:.0} rps over {} ({} workload, {} workers, {} client{}, seed {}, audit {})",
         if args.smoke { "smoke" } else { "full" },
         sent_target,
         args.rate_rps,
@@ -360,6 +578,8 @@ fn main() {
             WorkloadChoice::Hostile(name) => name,
         },
         args.workers,
+        n_clients,
+        if n_clients == 1 { "" } else { "s" },
         seed,
         if audit { "on" } else { "off" },
     );
@@ -393,7 +613,7 @@ fn main() {
             let socket = UdpSocket::bind("127.0.0.1:0").expect("bind server socket");
             set_socket_buffers(&socket, 1 << 20).expect("socket buffers");
             let addr = socket.local_addr().unwrap();
-            let batched = args.batched;
+            let choice = args.transport;
             // Admit the entire schedule: shedding is a backpressure
             // safety valve, not something a paced loopback run should
             // trip (smoke asserts it stays at zero).
@@ -403,82 +623,51 @@ fn main() {
             };
             let stop2 = Arc::clone(&stop);
             server_thread = Some(std::thread::spawn(move || -> std::io::Result<ServeOutcome> {
-                let mut t = if batched {
-                    UdpTransport::batched(socket)?
-                } else {
-                    UdpTransport::per_datagram(socket)?
-                };
+                let mut t = server_wire(choice, socket, &net_config)?;
                 serve(server, &mut t, &stop2, &net_config)
             }));
             addr
         }
     };
 
-    // --- open-loop client ------------------------------------------------
-    let client_socket = UdpSocket::bind("127.0.0.1:0").expect("bind client socket");
-    set_socket_buffers(&client_socket, 1 << 20).expect("socket buffers");
-    let mut transport = if args.batched {
-        UdpTransport::batched(client_socket)
-    } else {
-        UdpTransport::per_datagram(client_socket)
-    }
-    .expect("client transport");
-    let mut rx = vec![Frame::empty(); transport.max_batch()];
-    let mut state = ClientState {
-        recv_time: vec![None; schedule.len()],
-        responses: 0,
-        unexpected: 0,
-        malformed: 0,
-        server_sojourn: TailStats::new(),
-    };
-    let mut send_time = vec![Nanos::ZERO; schedule.len()];
-
-    let pacer = Pacer::start(clock.clone());
-    let t0 = pacer.origin();
-    for r in &schedule {
-        pacer.wait_until_with(r.arrival, &mut || {
-            drain_responses(&mut transport, &mut rx, &clock, t0, &mut state);
-        });
-        let req = encode_request(r.class.0, r.service, r.id.0);
-        transport
-            .send_batch(&[Frame::new(&req, srv_addr)])
-            .expect("client send");
-        send_time[r.id.0 as usize] = clock.wall_nanos().saturating_sub(t0);
-    }
-    let sent = sent_target;
-
-    // Drain stragglers: UDP promises nothing, so give up after a
-    // deadline and account the rest as lost.
-    let drain_deadline = Instant::now() + Duration::from_secs(if args.smoke { 5 } else { 10 });
-    while state.responses < sent && Instant::now() < drain_deadline {
-        drain_responses(&mut transport, &mut rx, &clock, t0, &mut state);
-        std::thread::sleep(Duration::from_micros(100));
-    }
-    let lost = sent - state.responses;
+    // --- open-loop clients (fan-in when --clients > 1) --------------------
+    let choice = args.transport;
+    let smoke = args.smoke;
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = schedules
+            .iter()
+            .map(|schedule| {
+                let clock = clock.clone();
+                scope.spawn(move || run_client(choice, srv_addr, clock, schedule, horizon, smoke))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
 
     // --- shut the server down, collect both ledgers ----------------------
     stop.store(true, Ordering::Release);
     let outcome = server_thread.map(|h| h.join().expect("serve thread").expect("serve ok"));
 
-    // --- client-observed metrics -----------------------------------------
+    // --- merged client-observed metrics -----------------------------------
+    let sent = sent_target;
+    let responses: u64 = outcomes.iter().map(|o| o.responses).sum();
+    let lost: u64 = outcomes.iter().map(|o| o.lost).sum();
+    let unexpected: u64 = outcomes.iter().map(|o| o.unexpected).sum();
+    let malformed: u64 = outcomes.iter().map(|o| o.malformed).sum();
+    let in_horizon: u64 = outcomes.iter().map(|o| o.in_horizon).sum();
     let mut rtt = TailStats::new();
-    let mut completions: Vec<Completion> = Vec::with_capacity(state.responses as usize);
-    let mut in_horizon = 0u64;
-    for r in &schedule {
-        if let Some(finish) = state.recv_time[r.id.0 as usize] {
-            rtt.record(finish.saturating_sub(send_time[r.id.0 as usize]).as_nanos());
-            in_horizon += u64::from(finish <= horizon);
-            completions.push(Completion {
-                id: r.id,
-                class: r.class,
-                // Sojourn here = the client-observed round trip: the
-                // clock starts at the actual send instant (open loop:
-                // late sends measure the trip, not the pacing debt).
-                arrival: send_time[r.id.0 as usize],
-                service: r.service,
-                finish,
-            });
-        }
+    let mut server_sojourn = TailStats::new();
+    let mut completions: Vec<Completion> = Vec::with_capacity(responses as usize);
+    for (i, o) in outcomes.iter().enumerate() {
+        rtt.absorb(&o.rtt);
+        server_sojourn.absorb(&o.server_sojourn);
+        // Completion ids are client-local schedule ids; offset them so
+        // the merged stream stays unique.
+        let base: u64 = outcomes[..i].iter().map(|p| p.sent).sum();
+        completions.extend(o.completions.iter().map(|c| Completion {
+            id: tq_core::JobId(base + c.id.0),
+            ..*c
+        }));
     }
     let summary = tq_harness::summarize(&mut completions);
 
@@ -487,14 +676,14 @@ fn main() {
         let mut a = InvariantAuditor::new("loadgen");
         a.check(
             "client_conservation",
-            sent == state.responses + lost,
-            || format!("sent {} != responses {} + lost {}", sent, state.responses, lost),
+            sent == responses + lost,
+            || format!("sent {sent} != responses {responses} + lost {lost}"),
         );
-        a.check("client_no_unexpected_tags", state.unexpected == 0, || {
-            format!("{} duplicate/unknown response tags", state.unexpected)
+        a.check("client_no_unexpected_tags", unexpected == 0, || {
+            format!("{unexpected} duplicate/unknown response tags")
         });
-        a.check("client_no_malformed_responses", state.malformed == 0, || {
-            format!("{} undecodable responses", state.malformed)
+        a.check("client_no_malformed_responses", malformed == 0, || {
+            format!("{malformed} undecodable responses")
         });
         let mut report = a.finish();
         if let Some(o) = &outcome {
@@ -515,15 +704,39 @@ fn main() {
             server_config.discipline,
         )
     });
+    // Per-client tails (only meaningful — and only recorded — when the
+    // run actually fanned in) plus the cross-client p99.9 spread.
+    let mut outcomes = outcomes;
+    let client_rtts: Vec<ClientRtt> = if n_clients > 1 {
+        outcomes
+            .iter_mut()
+            .map(|o| ClientRtt {
+                sent: o.sent,
+                responses: o.responses,
+                rtt_p50_ns: o.rtt.percentile(50.0),
+                rtt_p99_ns: o.rtt.percentile(99.0),
+                rtt_p999_ns: o.rtt.percentile(99.9),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let rtt_p999_spread_ns = {
+        let max = client_rtts.iter().map(|c| c.rtt_p999_ns).max().unwrap_or(0);
+        let min = client_rtts.iter().map(|c| c.rtt_p999_ns).min().unwrap_or(0);
+        max - min
+    };
     let net_meta = {
         let mut m = NetMeta {
             transport: transport_label.to_string(),
             sent,
-            responses: state.responses,
+            responses,
             lost,
             rtt_p50_ns: rtt.percentile(50.0),
             rtt_p99_ns: rtt.percentile(99.0),
             rtt_p999_ns: rtt.percentile(99.9),
+            clients: client_rtts.clone(),
+            rtt_p999_spread_ns,
             ..NetMeta::default()
         };
         if let Some(o) = &outcome {
@@ -533,6 +746,8 @@ fn main() {
             m.server_shed = o.net.shed;
             m.frames_per_recv = o.net.transport.frames_per_recv_call();
             m.frames_per_send = o.net.transport.frames_per_send_call();
+            m.rcvbuf_bytes = o.net.transport.rcvbuf_bytes;
+            m.sndbuf_bytes = o.net.transport.sndbuf_bytes;
         }
         m
     };
@@ -547,7 +762,7 @@ fn main() {
         horizon,
         seed,
         submitted: sent,
-        completed: state.responses,
+        completed: responses,
         in_horizon,
         achieved_rps: in_horizon as f64 / horizon.as_secs_f64(),
         classes: summary.classes_e2e,
@@ -564,17 +779,33 @@ fn main() {
     // --- report ----------------------------------------------------------
     println!();
     println!(
-        "client: sent {sent}  responses {}  lost {lost}  (rtt p50 {} p99 {} p999 {})",
-        state.responses,
+        "client: sent {sent}  responses {responses}  lost {lost}  (rtt p50 {} p99 {} p999 {})",
         Nanos::from_nanos(rtt.percentile(50.0)),
         Nanos::from_nanos(rtt.percentile(99.0)),
         Nanos::from_nanos(rtt.percentile(99.9)),
     );
     println!(
         "        server-reported sojourn p50 {} p99 {}",
-        Nanos::from_nanos(state.server_sojourn.percentile(50.0)),
-        Nanos::from_nanos(state.server_sojourn.percentile(99.0)),
+        Nanos::from_nanos(server_sojourn.percentile(50.0)),
+        Nanos::from_nanos(server_sojourn.percentile(99.0)),
     );
+    for (i, c) in client_rtts.iter().enumerate() {
+        println!(
+            "client {i}: sent {}  responses {}  rtt p50 {} p99 {} p999 {}",
+            c.sent,
+            c.responses,
+            Nanos::from_nanos(c.rtt_p50_ns),
+            Nanos::from_nanos(c.rtt_p99_ns),
+            Nanos::from_nanos(c.rtt_p999_ns),
+        );
+    }
+    if client_rtts.len() > 1 {
+        println!(
+            "fan-in: cross-client p99.9 spread {} across {} clients",
+            Nanos::from_nanos(rtt_p999_spread_ns),
+            client_rtts.len(),
+        );
+    }
     if let Some(o) = &outcome {
         println!(
             "server: received {}  responded {}  malformed {}  shed {}  max_in_flight {}",

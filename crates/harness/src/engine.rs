@@ -274,6 +274,33 @@ pub struct NetMeta {
     pub frames_per_recv: f64,
     /// Mean frames moved per send syscall on the server.
     pub frames_per_send: f64,
+    /// Achieved server receive-buffer size in bytes (kernel read-back
+    /// after `SO_RCVBUF`; 0 when the server ran out of process).
+    pub rcvbuf_bytes: u64,
+    /// Achieved server send-buffer size in bytes (0 when unknown).
+    pub sndbuf_bytes: u64,
+    /// Per-client round-trip tails when the run fanned in from several
+    /// concurrent paced clients; empty for a single-client run.
+    pub clients: Vec<ClientRtt>,
+    /// Cross-client fairness: max minus min per-client p99.9 round
+    /// trip, in nanoseconds (0 unless `clients` has ≥ 2 entries).
+    pub rtt_p999_spread_ns: u64,
+}
+
+/// One fan-in client's ledger and round-trip tail (see
+/// [`NetMeta::clients`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClientRtt {
+    /// Datagrams this client sent.
+    pub sent: u64,
+    /// Responses this client received.
+    pub responses: u64,
+    /// This client's round-trip p50 in nanoseconds.
+    pub rtt_p50_ns: u64,
+    /// This client's round-trip p99 in nanoseconds.
+    pub rtt_p99_ns: u64,
+    /// This client's round-trip p99.9 in nanoseconds.
+    pub rtt_p999_ns: u64,
 }
 
 /// An execution engine: anything that can serve a [`RunSpec`]'s arrival

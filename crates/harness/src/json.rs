@@ -147,33 +147,53 @@ fn controller_json(r: Option<&ControllerReport>) -> String {
     }
 }
 
+/// One fan-in client's ledger and tail as a JSON object.
+fn client_rtt_json(c: &crate::engine::ClientRtt) -> String {
+    format!(
+        concat!(
+            "{{\"sent\": {}, \"responses\": {}, \"rtt_p50_ns\": {}, ",
+            "\"rtt_p99_ns\": {}, \"rtt_p999_ns\": {}}}"
+        ),
+        c.sent, c.responses, c.rtt_p50_ns, c.rtt_p99_ns, c.rtt_p999_ns,
+    )
+}
+
 /// The socket metadata as a JSON value: `null` for in-process runs.
 fn net_json(m: Option<&NetMeta>) -> String {
     match m {
         None => "null".to_string(),
-        Some(m) => format!(
-            concat!(
-                "{{\"transport\": \"{}\", \"sent\": {}, \"responses\": {}, ",
-                "\"lost\": {}, \"rtt_p50_ns\": {}, \"rtt_p99_ns\": {}, ",
-                "\"rtt_p999_ns\": {}, \"server_received\": {}, ",
-                "\"server_responded\": {}, \"server_malformed\": {}, ",
-                "\"server_shed\": {}, \"frames_per_recv\": {}, ",
-                "\"frames_per_send\": {}}}"
-            ),
-            json_str(&m.transport),
-            m.sent,
-            m.responses,
-            m.lost,
-            m.rtt_p50_ns,
-            m.rtt_p99_ns,
-            m.rtt_p999_ns,
-            m.server_received,
-            m.server_responded,
-            m.server_malformed,
-            m.server_shed,
-            json_f64(m.frames_per_recv),
-            json_f64(m.frames_per_send),
-        ),
+        Some(m) => {
+            let clients: Vec<String> = m.clients.iter().map(client_rtt_json).collect();
+            format!(
+                concat!(
+                    "{{\"transport\": \"{}\", \"sent\": {}, \"responses\": {}, ",
+                    "\"lost\": {}, \"rtt_p50_ns\": {}, \"rtt_p99_ns\": {}, ",
+                    "\"rtt_p999_ns\": {}, \"server_received\": {}, ",
+                    "\"server_responded\": {}, \"server_malformed\": {}, ",
+                    "\"server_shed\": {}, \"frames_per_recv\": {}, ",
+                    "\"frames_per_send\": {}, \"rcvbuf_bytes\": {}, ",
+                    "\"sndbuf_bytes\": {}, \"rtt_p999_spread_ns\": {}, ",
+                    "\"clients\": [{}]}}"
+                ),
+                json_str(&m.transport),
+                m.sent,
+                m.responses,
+                m.lost,
+                m.rtt_p50_ns,
+                m.rtt_p99_ns,
+                m.rtt_p999_ns,
+                m.server_received,
+                m.server_responded,
+                m.server_malformed,
+                m.server_shed,
+                json_f64(m.frames_per_recv),
+                json_f64(m.frames_per_send),
+                m.rcvbuf_bytes,
+                m.sndbuf_bytes,
+                m.rtt_p999_spread_ns,
+                clients.join(", "),
+            )
+        }
     }
 }
 
@@ -346,6 +366,25 @@ mod tests {
                 server_shed: 1,
                 frames_per_recv: 3.5,
                 frames_per_send: f64::NAN, // must render as null, not NaN
+                rcvbuf_bytes: 2 << 20,
+                sndbuf_bytes: 2 << 20,
+                rtt_p999_spread_ns: 4_000,
+                clients: vec![
+                    crate::engine::ClientRtt {
+                        sent: 5,
+                        responses: 5,
+                        rtt_p50_ns: 11_000,
+                        rtt_p99_ns: 46_000,
+                        rtt_p999_ns: 91_000,
+                    },
+                    crate::engine::ClientRtt {
+                        sent: 5,
+                        responses: 4,
+                        rtt_p50_ns: 13_000,
+                        rtt_p99_ns: 50_000,
+                        rtt_p999_ns: 95_000,
+                    },
+                ],
             }),
             audit: Some(tq_audit::AuditReport {
                 context: "sim two_level".into(),

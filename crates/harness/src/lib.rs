@@ -55,8 +55,8 @@ pub mod rt;
 pub mod sim;
 
 pub use engine::{
-    run_to_record, summarize, Engine, EngineCounters, EngineKind, NetMeta, PolicyMeta, RackMeta,
-    RackServerMeta, RunOutput, RunRecord, RunSpec, WorkerCounters,
+    run_to_record, summarize, ClientRtt, Engine, EngineCounters, EngineKind, NetMeta, PolicyMeta,
+    RackMeta, RackServerMeta, RunOutput, RunRecord, RunSpec, WorkerCounters,
 };
 pub use rack::RackEngine;
 pub use rt::{Pacer, RtEngine};

@@ -20,6 +20,10 @@
 //! * [`transport`] — batched datagram I/O: the [`transport::Transport`]
 //!   trait and a UDP implementation moving up to 64 frames per
 //!   `recvmmsg`/`sendmmsg` syscall.
+//! * [`uring`] — the completion-driven io_uring implementation of the
+//!   same trait: mmap'd SQ/CQ rings, registered fixed buffers, and
+//!   provided-buffer multishot receive, with a startup capability probe
+//!   that degrades feature-by-feature down to the mmsg transport.
 //! * [`net`] — the socket front end speaking the paper's client
 //!   protocol over a [`transport::Transport`], burst-submitting into the
 //!   dispatch pipeline.
@@ -59,6 +63,7 @@ pub mod net;
 pub mod ring;
 pub mod server;
 pub mod transport;
+pub mod uring;
 pub mod worker;
 
 pub use clock::TscClock;

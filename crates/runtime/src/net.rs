@@ -42,7 +42,7 @@
 //! the transport).
 
 use crate::server::{Completion, ServerStats, TinyQuanta};
-use crate::transport::{Frame, Transport, TransportStats, UdpTransport};
+use crate::transport::{Frame, Transport, TransportStats, UdpTransport, MAX_BATCH};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -315,6 +315,14 @@ pub fn serve<T: Transport>(
     stop: &AtomicBool,
     config: &NetConfig,
 ) -> io::Result<ServeOutcome> {
+    /// Full receive batches drained back-to-back per poll iteration.
+    /// With the completion-driven io_uring transport the kernel keeps
+    /// filling the armed receive pool *while* the loop decodes and
+    /// submits, so going straight back for the backlog overlaps
+    /// submission with reception; the bound keeps completions (and the
+    /// response flush) from starving under sustained overload.
+    const RECV_ROUNDS_PER_POLL: usize = 4;
+
     let burst = transport.max_batch().max(1);
     let mut stats = NetStats::default();
     let mut rx: Vec<Frame> = vec![Frame::empty(); burst];
@@ -325,41 +333,53 @@ pub fn serve<T: Transport>(
     let mut slab = InFlightSlab::with_capacity(config.max_in_flight.clamp(64, 8192));
     let mut idle_iters: u32 = 0;
 
-    let result = loop {
+    let result = 'serve: loop {
         // Read `stop` before receiving: every datagram drained after this
         // sees a consistent stopping decision, and any datagram racing in
         // after a `true` load is picked up by the next iteration's recv
         // (the loop only breaks once the *slab* is empty, after a recv
         // that returned nothing admissible).
         let stopping = stop.load(Ordering::Acquire);
-        let n = match transport.recv_batch(&mut rx) {
-            Ok(n) => n,
-            Err(e) => break Err(e),
-        };
-        stats.received += n as u64;
-        submit.clear();
-        meta.clear();
-        for f in &rx[..n] {
-            match decode_request(f.payload()) {
-                None => stats.malformed += 1,
-                Some((class, service, tag)) => {
-                    if stopping || slab.len() + submit.len() >= config.max_in_flight {
-                        stats.shed += 1;
-                    } else {
-                        submit.push((class, service));
-                        meta.push((tag, f.addr));
+        let mut received = 0usize;
+        for _ in 0..RECV_ROUNDS_PER_POLL {
+            let n = match transport.recv_batch(&mut rx) {
+                Ok(n) => n,
+                Err(e) => break 'serve Err(e),
+            };
+            stats.received += n as u64;
+            received += n;
+            submit.clear();
+            meta.clear();
+            for f in &rx[..n] {
+                match decode_request(f.payload()) {
+                    None => stats.malformed += 1,
+                    Some((class, service, tag)) => {
+                        if stopping || slab.len() + submit.len() >= config.max_in_flight {
+                            stats.shed += 1;
+                        } else {
+                            submit.push((class, service));
+                            meta.push((tag, f.addr));
+                        }
                     }
                 }
             }
-        }
-        if !submit.is_empty() {
-            // One burst: one clock read, one id-range reservation, one
-            // dispatcher snapshot downstream.
-            let first = server.submit_burst(&submit).0;
-            for (i, &(tag, addr)) in meta.iter().enumerate() {
-                slab.insert(first + i as u64, tag, addr);
+            if !submit.is_empty() {
+                // One burst: one clock read, one id-range reservation,
+                // one dispatcher snapshot downstream. A dispatcher that
+                // died mid-service is an error to report after draining,
+                // not a panic inside the serving thread.
+                let Some(first) = server.try_submit_burst(&submit) else {
+                    break 'serve Err(io::Error::other("dispatcher exited while serving"));
+                };
+                let first = first.0;
+                for (i, &(tag, addr)) in meta.iter().enumerate() {
+                    slab.insert(first + i as u64, tag, addr);
+                }
+                stats.max_in_flight = stats.max_in_flight.max(slab.len() as u64);
             }
-            stats.max_in_flight = stats.max_in_flight.max(slab.len() as u64);
+            if n < burst {
+                break; // backlog drained; don't poll an empty queue again
+            }
         }
         completions.clear();
         server.drain_completions_into(&mut completions);
@@ -389,7 +409,7 @@ pub fn serve<T: Transport>(
         // Idle backoff (spin → yield → sleep), mirroring the worker
         // loop: a hot serving loop answers in microseconds, an idle one
         // must not monopolize an oversubscribed host.
-        if n == 0 && completions.is_empty() {
+        if received == 0 && completions.is_empty() {
             idle_iters += 1;
             if idle_iters <= config.idle_spins {
                 std::hint::spin_loop();
@@ -446,6 +466,59 @@ pub fn serve_udp(
     stop: Arc<AtomicBool>,
 ) -> io::Result<NetStats> {
     let mut transport = UdpTransport::batched(socket)?;
+    serve(server, &mut transport, &stop, &NetConfig::default()).map(|o| o.net)
+}
+
+/// Builds the best server-side transport the host supports: io_uring
+/// when the startup capability probe validated it (receive pool sized
+/// against the config's in-flight bound, so the armed SQE depth covers
+/// everything the admission control will let in), the batched
+/// `recvmmsg`/`sendmmsg` transport otherwise. The choice is observable
+/// through [`Transport::label`]; callers that need the fallback *reason*
+/// print [`crate::uring::probe`]'s summary.
+///
+/// # Errors
+///
+/// Propagates socket/ring setup errors (a probe-validated host failing
+/// ring setup for this particular socket is a real error, not a
+/// fallback case).
+pub fn server_transport(
+    socket: UdpSocket,
+    config: &NetConfig,
+) -> io::Result<Box<dyn Transport + Send>> {
+    let caps = crate::uring::probe();
+    if caps.available {
+        // Depth covers the admission bound plus one burst of slack so a
+        // full slab still leaves armed receives for the datagrams that
+        // will be shed; `UringConfig` clamps to its own 1..=1024 range.
+        let pool = config.max_in_flight.saturating_add(MAX_BATCH).min(1024);
+        let transport = crate::uring::IoUringTransport::server_with(
+            socket,
+            crate::uring::UringConfig {
+                mode: crate::uring::UringMode::Auto,
+                recv_pool: pool,
+                send_pool: pool,
+            },
+        )?;
+        Ok(Box::new(transport))
+    } else {
+        Ok(Box::new(UdpTransport::batched(socket)?))
+    }
+}
+
+/// Serves `server` over the probe-selected transport (io_uring where
+/// available, batched mmsg otherwise — see [`server_transport`]) until
+/// `stop` is set and all in-flight work has drained.
+///
+/// # Errors
+///
+/// Propagates socket/ring errors.
+pub fn serve_auto(
+    server: TinyQuanta,
+    socket: UdpSocket,
+    stop: Arc<AtomicBool>,
+) -> io::Result<NetStats> {
+    let mut transport = server_transport(socket, &NetConfig::default())?;
     serve(server, &mut transport, &stop, &NetConfig::default()).map(|o| o.net)
 }
 
@@ -586,6 +659,53 @@ mod tests {
         assert_eq!(stats.responded, n);
         assert_eq!(stats.malformed, 0);
         assert_eq!(stats.shed, 0);
+        let report = stats.audit();
+        assert!(report.is_clean(), "net audit: {report}");
+    }
+
+    #[test]
+    fn auto_transport_round_trip_against_live_server() {
+        // On io_uring-capable hosts this exercises the full serve loop
+        // over the completion-driven transport; elsewhere it degrades to
+        // a second batched-mmsg round trip (the fallback is the point).
+        let caps = crate::uring::probe();
+        println!("server_transport probe: {}", caps.summary());
+        let server = spin_server(1);
+        let srv_sock = UdpSocket::bind("127.0.0.1:0").expect("bind server");
+        let srv_addr = srv_sock.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || serve_auto(server, srv_sock, stop2));
+
+        let client = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let n = 48u64;
+        for tag in 0..n {
+            let req = encode_request((tag % 2) as u16, Nanos::from_micros(2), tag);
+            client.send_to(&req, srv_addr).unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut buf = [0u8; 64];
+        while seen.len() < n as usize {
+            let (len, _) = match client.recv_from(&mut buf) {
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                r => r.expect("response"),
+            };
+            let (tag, _, _) = decode_response(&buf[..len]).expect("well-formed");
+            seen.insert(tag);
+        }
+        stop.store(true, Ordering::Release);
+        let stats = handle.join().unwrap().expect("serve ok");
+        assert_eq!(stats.received, n);
+        assert_eq!(stats.responded, n);
+        if caps.available {
+            assert!(
+                stats.transport.rcvbuf_bytes > 0,
+                "achieved socket buffer sizes flow through the uring transport"
+            );
+        }
         let report = stats.audit();
         assert!(report.is_clean(), "net audit: {report}");
     }

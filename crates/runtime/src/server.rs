@@ -436,11 +436,25 @@ impl TinyQuanta {
     /// Panics on an empty burst or if called after
     /// [`TinyQuanta::shutdown`].
     pub fn submit_burst(&self, reqs: &[(u16, Nanos)]) -> JobId {
+        self.try_submit_burst(reqs)
+            .expect("server is shut down or dispatcher exited early")
+    }
+
+    /// Fallible [`TinyQuanta::submit_burst`] for callers that own a
+    /// serving loop: a dispatcher that is gone (shutdown race, or a
+    /// dispatcher panic) surfaces as `None` so the loop can drain its
+    /// transport and report an error instead of aborting its thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty burst (that is a caller bug, not a runtime
+    /// state).
+    pub fn try_submit_burst(&self, reqs: &[(u16, Nanos)]) -> Option<JobId> {
         assert!(!reqs.is_empty(), "empty burst");
         let n = reqs.len() as u64;
         let first = self.next_id.fetch_add(n, Ordering::Relaxed);
         let now = self.clock.wall_nanos();
-        let tx = self.submit_tx.as_ref().expect("server is shut down");
+        let tx = self.submit_tx.as_ref()?;
         for (i, &(class, service)) in reqs.iter().enumerate() {
             tx.send(RtRequest {
                 id: JobId(first + i as u64),
@@ -448,9 +462,9 @@ impl TinyQuanta {
                 service,
                 submitted: now,
             })
-            .expect("dispatcher exited early");
+            .ok()?;
         }
-        JobId(first)
+        Some(JobId(first))
     }
 
     /// The server's wall clock (for aligning external measurements).

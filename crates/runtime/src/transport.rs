@@ -90,14 +90,27 @@ impl Frame {
 /// and the audit tie frame counts to request counts.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TransportStats {
-    /// Receive syscalls that returned at least one frame.
+    /// Receive syscalls that returned at least one frame. For the
+    /// completion-driven io_uring transport this counts *reap passes*
+    /// that yielded a frame — receives there cost no syscall at all
+    /// (see `enter_calls`).
     pub recv_calls: u64,
     /// Frames received.
     pub recv_frames: u64,
-    /// Send syscalls issued.
+    /// Send syscalls issued (`io_uring_enter` calls that carried send
+    /// SQEs, for the io_uring transport).
     pub send_calls: u64,
     /// Frames sent.
     pub send_frames: u64,
+    /// `io_uring_enter` syscalls issued over the transport's lifetime
+    /// (0 for the mmsg/per-datagram transports — they have no ring).
+    pub enter_calls: u64,
+    /// Effective `SO_RCVBUF` as the kernel reports it after any
+    /// `rmem_max` clamp (0 = unknown). The kernel clamps silently, so
+    /// this is read back at construction rather than assumed.
+    pub rcvbuf_bytes: u64,
+    /// Effective `SO_SNDBUF` after any `wmem_max` clamp (0 = unknown).
+    pub sndbuf_bytes: u64,
 }
 
 impl TransportStats {
@@ -136,6 +149,30 @@ pub trait Transport {
     fn stats(&self) -> TransportStats;
 }
 
+// Lets `net::server_transport` hand back a probe-selected transport as
+// `Box<dyn Transport + Send>` that still plugs into `serve<T: Transport>`.
+impl<T: Transport + ?Sized> Transport for Box<T> {
+    fn recv_batch(&mut self, out: &mut [Frame]) -> io::Result<usize> {
+        (**self).recv_batch(out)
+    }
+
+    fn send_batch(&mut self, frames: &[Frame]) -> io::Result<()> {
+        (**self).send_batch(frames)
+    }
+
+    fn max_batch(&self) -> usize {
+        (**self).max_batch()
+    }
+
+    fn label(&self) -> &'static str {
+        (**self).label()
+    }
+
+    fn stats(&self) -> TransportStats {
+        (**self).stats()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Linux recvmmsg/sendmmsg bindings.
 //
@@ -145,7 +182,7 @@ pub trait Transport {
 // 4-byte trailing padding supplied by `repr(C)` field alignment).
 // ---------------------------------------------------------------------------
 #[cfg(target_os = "linux")]
-mod sys {
+pub(crate) mod sys {
     use std::os::fd::RawFd;
 
     pub const AF_INET: u16 = 2;
@@ -211,14 +248,29 @@ mod sys {
             optval: *const u8,
             optlen: u32,
         ) -> i32;
+        pub fn getsockopt(
+            sockfd: RawFd,
+            level: i32,
+            optname: i32,
+            optval: *mut u8,
+            optlen: *mut u32,
+        ) -> i32;
     }
 }
 
-/// Requests larger kernel socket buffers (both directions). Loopback
-/// floods overflow the ~200 KiB defaults long before the serving loop is
-/// the bottleneck; the kernel clamps to `rmem_max`/`wmem_max`, so this is
-/// best-effort and silently partial. No-op off Linux.
-pub fn set_socket_buffers(socket: &UdpSocket, bytes: usize) -> io::Result<()> {
+/// Requests larger kernel socket buffers (both directions) and returns
+/// the sizes the kernel actually granted as `(rcvbuf, sndbuf)`.
+///
+/// The kernel clamps the request to `rmem_max`/`wmem_max` *silently* —
+/// `setsockopt` succeeds even when the effective size is a fraction of
+/// what was asked for (and the value `getsockopt` reports is doubled by
+/// the kernel to account for bookkeeping overhead). Pre-fix this helper
+/// returned `()` and every caller assumed the request took; now the
+/// achieved sizes are read back and surfaced so a clamped buffer shows
+/// up in [`TransportStats`] and the tq-run/v1 `net` block instead of
+/// masquerading as mysterious loopback loss. Off Linux the request is a
+/// no-op and `(0, 0)` is returned (unknown).
+pub fn set_socket_buffers(socket: &UdpSocket, bytes: usize) -> io::Result<(usize, usize)> {
     #[cfg(target_os = "linux")]
     {
         use std::os::fd::AsRawFd;
@@ -235,14 +287,51 @@ pub fn set_socket_buffers(socket: &UdpSocket, bytes: usize) -> io::Result<()> {
                 return Err(io::Error::last_os_error());
             }
         }
+        effective_socket_buffers(socket)
     }
     #[cfg(not(target_os = "linux"))]
-    let _ = (socket, bytes);
-    Ok(())
+    {
+        let _ = (socket, bytes);
+        Ok((0, 0))
+    }
+}
+
+/// Reads back the effective `(SO_RCVBUF, SO_SNDBUF)` sizes. Returns
+/// `(0, 0)` off Linux (unknown).
+pub fn effective_socket_buffers(socket: &UdpSocket) -> io::Result<(usize, usize)> {
+    #[cfg(target_os = "linux")]
+    {
+        use std::os::fd::AsRawFd;
+        let read_back = |optname: i32| -> io::Result<usize> {
+            let mut val: i32 = 0;
+            let mut len = std::mem::size_of::<i32>() as u32;
+            // SAFETY: optval points at a 4-byte int and optlen at its
+            // size, as SO_RCVBUF/SO_SNDBUF getsockopt requires.
+            let rc = unsafe {
+                sys::getsockopt(
+                    socket.as_raw_fd(),
+                    sys::SOL_SOCKET,
+                    optname,
+                    &mut val as *mut i32 as *mut u8,
+                    &mut len,
+                )
+            };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(val.max(0) as usize)
+        };
+        Ok((read_back(sys::SO_RCVBUF)?, read_back(sys::SO_SNDBUF)?))
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = socket;
+        Ok((0, 0))
+    }
 }
 
 #[cfg(target_os = "linux")]
-fn decode_sockaddr(storage: &sys::SockAddrStorage, len: u32) -> Option<SocketAddr> {
+pub(crate) fn decode_sockaddr(storage: &sys::SockAddrStorage, len: u32) -> Option<SocketAddr> {
     let b = &storage.bytes;
     let family = u16::from_ne_bytes([b[0], b[1]]);
     match family {
@@ -272,7 +361,7 @@ fn decode_sockaddr(storage: &sys::SockAddrStorage, len: u32) -> Option<SocketAdd
 }
 
 #[cfg(target_os = "linux")]
-fn encode_sockaddr(addr: &SocketAddr, storage: &mut sys::SockAddrStorage) -> u32 {
+pub(crate) fn encode_sockaddr(addr: &SocketAddr, storage: &mut sys::SockAddrStorage) -> u32 {
     let b = &mut storage.bytes;
     match addr {
         SocketAddr::V4(v4) => {
@@ -379,10 +468,17 @@ impl UdpTransport {
     pub fn with_batch(socket: UdpSocket, batch: usize) -> io::Result<UdpTransport> {
         let batch = batch.clamp(1, MAX_BATCH);
         socket.set_nonblocking(true)?;
+        let mut stats = TransportStats::default();
+        // Record the *achieved* socket buffer sizes (the kernel clamps
+        // setsockopt requests silently) so they surface in the stats.
+        if let Ok((rcv, snd)) = effective_socket_buffers(&socket) {
+            stats.rcvbuf_bytes = rcv as u64;
+            stats.sndbuf_bytes = snd as u64;
+        }
         Ok(UdpTransport {
             socket,
             batch,
-            stats: TransportStats::default(),
+            stats,
             #[cfg(target_os = "linux")]
             scratch: (batch > 1).then(|| MmsgScratch::new(batch)),
         })
@@ -715,7 +811,12 @@ mod tests {
         let (mut t, _keep) = pair(MAX_BATCH, MAX_BATCH);
         assert_eq!(t.recv_batch(&mut []).unwrap(), 0);
         t.send_batch(&[]).unwrap();
-        assert_eq!(t.stats(), TransportStats::default());
+        let s = t.stats();
+        assert_eq!(
+            (s.recv_calls, s.recv_frames, s.send_calls, s.send_frames),
+            (0, 0, 0, 0),
+            "no frames moved, no calls counted"
+        );
         // Nothing pending: nonblocking receive returns 0, not an error.
         let mut out = vec![Frame::empty(); 4];
         assert_eq!(t.recv_batch(&mut out).unwrap(), 0);
@@ -750,6 +851,29 @@ mod tests {
     #[test]
     fn socket_buffer_tuning_is_accepted() {
         let s = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let (rcv, snd) = set_socket_buffers(&s, 1 << 20).expect("setsockopt");
+        #[cfg(target_os = "linux")]
+        {
+            // The kernel may clamp far below the request, but the
+            // achieved sizes must be real (non-zero) and agree with an
+            // independent read-back.
+            assert!(rcv > 0 && snd > 0, "achieved sizes must be read back");
+            assert_eq!(effective_socket_buffers(&s).unwrap(), (rcv, snd));
+        }
+        #[cfg(not(target_os = "linux"))]
+        assert_eq!((rcv, snd), (0, 0));
+    }
+
+    #[test]
+    fn achieved_buffer_sizes_land_in_transport_stats() {
+        let s = UdpSocket::bind("127.0.0.1:0").unwrap();
         set_socket_buffers(&s, 1 << 20).expect("setsockopt");
+        let t = UdpTransport::batched(s).unwrap();
+        #[cfg(target_os = "linux")]
+        {
+            assert!(t.stats().rcvbuf_bytes > 0);
+            assert!(t.stats().sndbuf_bytes > 0);
+        }
+        let _ = t;
     }
 }

@@ -8,10 +8,12 @@
 //! malformed + shed` always — and shutdown must drain every admitted
 //! job over the socket rather than wedging or dropping it.
 //!
-//! Every test runs a real `TinyQuanta` server behind the batched
-//! `recvmmsg`/`sendmmsg` transport on loopback, with the invariant
-//! auditor on; timing assertions are avoided (CI hosts are shared), the
-//! assertions are all counting and conservation.
+//! Every test runs a real `TinyQuanta` server on loopback with the
+//! invariant auditor on, once per available wire — the batched
+//! `recvmmsg`/`sendmmsg` transport always, and the io_uring transport
+//! wherever the capability probe validates it (skipped loudly, with the
+//! probe's reason, elsewhere). Timing assertions are avoided (CI hosts
+//! are shared); the assertions are all counting and conservation.
 
 use std::collections::HashSet;
 use std::net::{SocketAddr, UdpSocket};
@@ -21,8 +23,28 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use tq_core::Nanos;
 use tq_runtime::net::{decode_response, encode_request, serve, NetConfig, ServeOutcome};
-use tq_runtime::transport::{set_socket_buffers, UdpTransport};
+use tq_runtime::transport::{set_socket_buffers, Transport, UdpTransport};
+use tq_runtime::uring::{self, IoUringTransport};
 use tq_runtime::{ServerConfig, SpinJob, TinyQuanta, TscClock};
+
+/// Which transport carries a scenario's wire traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Wire {
+    Batched,
+    Uring,
+}
+
+/// The wires this host can run; io_uring's absence is loud, never a
+/// silent pass.
+fn wires() -> Vec<Wire> {
+    let caps = uring::probe();
+    if caps.available {
+        vec![Wire::Batched, Wire::Uring]
+    } else {
+        println!("SKIP io_uring wire — probe: {}", caps.reason);
+        vec![Wire::Batched]
+    }
+}
 
 struct Served {
     addr: SocketAddr,
@@ -31,8 +53,9 @@ struct Served {
 }
 
 impl Served {
-    /// Spawns an audited spin-job server behind the batched transport.
-    fn start(workers: usize, net_config: NetConfig) -> Served {
+    /// Spawns an audited spin-job server behind the given wire's
+    /// transport.
+    fn start(workers: usize, net_config: NetConfig, wire: Wire) -> Served {
         let clock = TscClock::calibrated();
         let job_clock = clock.clone();
         let server = TinyQuanta::start_with_clock(
@@ -51,7 +74,10 @@ impl Served {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
-            let mut transport = UdpTransport::batched(socket).expect("transport");
+            let mut transport: Box<dyn Transport + Send> = match wire {
+                Wire::Batched => Box::new(UdpTransport::batched(socket).expect("transport")),
+                Wire::Uring => Box::new(IoUringTransport::server(socket).expect("uring")),
+            };
             serve(server, &mut transport, &stop2, &net_config)
         });
         Served { addr, stop, handle }
@@ -82,17 +108,21 @@ fn client() -> UdpSocket {
 
 fn recv_response(sock: &UdpSocket) -> Option<(u64, Nanos, u64)> {
     let mut buf = [0u8; 64];
-    match sock.recv_from(&mut buf) {
-        Ok((len, _)) => {
-            Some(decode_response(&buf[..len]).expect("server sent a malformed response"))
+    loop {
+        match sock.recv_from(&mut buf) {
+            Ok((len, _)) => {
+                return Some(decode_response(&buf[..len]).expect("server sent a malformed response"))
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return None
+            }
+            // EINTR under a loaded test host is weather, not a verdict.
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => panic!("client recv: {e}"),
         }
-        Err(e)
-            if e.kind() == std::io::ErrorKind::WouldBlock
-                || e.kind() == std::io::ErrorKind::TimedOut =>
-        {
-            None
-        }
-        Err(e) => panic!("client recv: {e}"),
     }
 }
 
@@ -102,7 +132,11 @@ fn recv_response(sock: &UdpSocket) -> Option<(u64, Nanos, u64)> {
 /// server-assigned `JobId`, never by wire input.
 #[test]
 fn duplicate_tags_are_both_answered() {
-    let served = Served::start(1, NetConfig::default());
+    wires().into_iter().for_each(duplicate_tags_scenario);
+}
+
+fn duplicate_tags_scenario(wire: Wire) {
+    let served = Served::start(1, NetConfig::default(), wire);
     let sock = client();
     for _ in 0..2 {
         sock.send_to(&encode_request(0, Nanos::from_micros(1), 42), served.addr)
@@ -122,8 +156,12 @@ fn duplicate_tags_are_both_answered() {
 /// socket, so even identical tags from different peers cannot cross).
 #[test]
 fn interleaved_clients_receive_only_their_own_responses() {
+    wires().into_iter().for_each(interleaved_clients_scenario);
+}
+
+fn interleaved_clients_scenario(wire: Wire) {
     const PER_CLIENT: u64 = 32;
-    let served = Served::start(2, NetConfig::default());
+    let served = Served::start(2, NetConfig::default(), wire);
     let a = client();
     let b = client();
     for tag in 0..PER_CLIENT {
@@ -152,9 +190,13 @@ fn interleaved_clients_receive_only_their_own_responses() {
 /// the responses.
 #[test]
 fn lossy_client_leaves_the_server_ledger_conserved() {
+    wires().into_iter().for_each(lossy_client_scenario);
+}
+
+fn lossy_client_scenario(wire: Wire) {
     const SENT: u64 = 64;
     const READ: u64 = 16;
-    let served = Served::start(1, NetConfig::default());
+    let served = Served::start(1, NetConfig::default(), wire);
     let sock = client();
     for tag in 0..SENT {
         sock.send_to(&encode_request(0, Nanos::ZERO, tag), served.addr)
@@ -178,8 +220,12 @@ fn lossy_client_leaves_the_server_ledger_conserved() {
 /// contract), and the join must not wedge.
 #[test]
 fn shutdown_while_requests_in_flight_drains_over_the_socket() {
+    wires().into_iter().for_each(shutdown_in_flight_scenario);
+}
+
+fn shutdown_in_flight_scenario(wire: Wire) {
     const SENT: u64 = 4;
-    let served = Served::start(1, NetConfig::default());
+    let served = Served::start(1, NetConfig::default(), wire);
     let sock = client();
     // 50 ms of spinning each on one worker: the first response proves
     // admission; the rest are guaranteed still in flight behind it.
@@ -219,6 +265,10 @@ fn shutdown_while_requests_in_flight_drains_over_the_socket() {
 /// lost: the ledger still balances and the auditor stays clean.
 #[test]
 fn overload_sheds_past_the_in_flight_bound() {
+    wires().into_iter().for_each(overload_shed_scenario);
+}
+
+fn overload_shed_scenario(wire: Wire) {
     const SENT: u64 = 32;
     let served = Served::start(
         1,
@@ -226,6 +276,7 @@ fn overload_sheds_past_the_in_flight_bound() {
             max_in_flight: 4,
             ..NetConfig::default()
         },
+        wire,
     );
     let sock = client();
     // Long jobs so no slot frees while the flood is being admitted.

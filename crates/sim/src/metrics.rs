@@ -53,6 +53,13 @@ impl TailStats {
         self.sorted = false;
     }
 
+    /// Merges another collector's samples into this one (used to fold
+    /// per-client tails into a run-wide distribution).
+    pub fn absorb(&mut self, other: &TailStats) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// Number of samples recorded.
     pub fn count(&self) -> usize {
         self.samples.len()
